@@ -1,0 +1,24 @@
+//! # iiot-aggregate — in-network aggregation for the sensing and actuation layer
+//!
+//! Implements TAG/TinyDB-style acquisitional query processing (paper
+//! §IV-B): continuous `SELECT agg(attr) SAMPLE PERIOD e` queries are
+//! disseminated down a collection tree, and each node sends a single
+//! mergeable *partial state record* per epoch instead of forwarding
+//! every raw reading — alleviating the traffic funnel at border
+//! routers. A raw-forwarding baseline is included for experiment E3.
+//!
+//! * [`query`] — the query language and its wire codec;
+//! * [`partial`] — mergeable partial state records (MIN/MAX/SUM/COUNT/AVG);
+//! * [`tree`] — the epoch-scheduled collection protocol, generic over
+//!   the [`Mac`](iiot_mac::Mac), with aggregate and raw modes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod partial;
+pub mod query;
+pub mod tree;
+
+pub use partial::Partial;
+pub use query::{Agg, Query};
+pub use tree::{AggConfig, AggregationNode, EpochResult, Mode};

@@ -1,0 +1,30 @@
+//! Regenerates every experiment table of DESIGN.md §2.
+//!
+//! Usage:
+//!   cargo run -p iiot-bench --release --bin experiments            # all
+//!   cargo run -p iiot-bench --release --bin experiments -- e2 e10  # some
+//!   cargo run -p iiot-bench --release --bin experiments -- --markdown
+
+use iiot_bench::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let selected: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    for (id, run) in all_experiments() {
+        if !selected.is_empty() && !selected.iter().any(|s| s.as_str() == id) {
+            continue;
+        }
+        eprintln!("[running {id} ...]");
+        let t0 = std::time::Instant::now();
+        for table in run() {
+            if markdown {
+                println!("{}", table.to_markdown());
+            } else {
+                println!("{table}");
+            }
+        }
+        eprintln!("[{id} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,37 @@
+//! # iiot-bench — the experiment harness
+//!
+//! One function per experiment of DESIGN.md §2 (E1-E12), each returning
+//! a [`Table`] that the `experiments` binary prints (and
+//! EXPERIMENTS.md records). The experiments regenerate the paper-claim
+//! tables; `cargo bench` (see `benches/`) measures the substrate
+//! kernels the experiments rely on.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod exp_depend;
+pub mod exp_interop;
+pub mod exp_scale;
+pub mod table;
+
+use table::Table;
+
+pub use table::Table as ResultTable;
+
+/// Every experiment, in DESIGN.md order: `(id, runner)`.
+pub fn all_experiments() -> Vec<(&'static str, fn() -> Vec<Table>)> {
+    vec![
+        ("e1", || vec![exp_interop::e1_layering()]),
+        ("e2", || vec![exp_scale::e2_latency_vs_hops(), exp_scale::e2_wake_ablation()]),
+        ("e3", || vec![exp_scale::e3_funneling(), exp_scale::e3_epoch_ablation()]),
+        ("e4", || vec![exp_depend::e4_rnfd()]),
+        ("e5", || vec![exp_scale::e5_size_scaling()]),
+        ("e6", || vec![exp_scale::e6_admin_scaling()]),
+        ("e7", || vec![exp_depend::e7_partition(), exp_depend::e7_delta_ablation()]),
+        ("e8", || vec![exp_depend::e8_redundancy()]),
+        ("e9", || vec![exp_depend::e9_safety_hvac()]),
+        ("e10", || vec![exp_interop::e10_security_overhead()]),
+        ("e11", || vec![exp_depend::e11_maintainability(), exp_scale::e11_trickle_ablation(), exp_depend::e11_diagnosis()]),
+        ("e12", || vec![exp_interop::e12_interop()]),
+    ]
+}

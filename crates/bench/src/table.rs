@@ -1,0 +1,133 @@
+//! Result tables: the uniform output format of the experiment harness.
+
+use std::fmt;
+
+/// A titled table of experiment results.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment id and description, e.g. `"E2: latency vs hops"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders as GitHub-flavoured markdown (for EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-")
+        )?;
+        for r in &self.rows {
+            writeln!(f, "{}", fmt_row(r))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 3 decimals (normalizing negative zero).
+pub fn f3(v: f64) -> String {
+    format!("{:.3}", if v == 0.0 { 0.0 } else { v })
+}
+
+/// Formats a float with 1 decimal (normalizing negative zero).
+pub fn f1(v: f64) -> String {
+    format!("{:.1}", if v == 0.0 { 0.0 } else { v })
+}
+
+/// Formats a ratio as a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_text_and_markdown() {
+        let mut t = Table::new("E0: demo", &["n", "value"]);
+        t.row(vec!["1".into(), f3(0.5)]);
+        t.row(vec!["10".into(), pct(0.987)]);
+        let text = t.to_string();
+        assert!(text.contains("E0: demo"));
+        assert!(text.contains("0.500"));
+        assert!(text.contains("98.7%"));
+        let md = t.to_markdown();
+        assert!(md.starts_with("### E0: demo"));
+        assert!(md.contains("| n | value |"));
+        assert_eq!(md.matches('\n').count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(pct(0.5), "50.0%");
+    }
+}

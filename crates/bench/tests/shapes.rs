@@ -1,0 +1,151 @@
+//! Shape regression tests: the qualitative claims EXPERIMENTS.md makes
+//! about each table — who wins, which way curves bend, where crossovers
+//! fall — asserted programmatically so a protocol regression cannot
+//! silently invert a paper claim. Only the fast experiments run here;
+//! the slow sweeps (E2, E4) are covered by their substrates' own tests.
+
+use iiot_bench::{exp_depend, exp_interop, exp_scale};
+
+fn cell(t: &iiot_bench::table::Table, row: usize, col: usize) -> f64 {
+    t.rows[row][col]
+        .trim_end_matches('%')
+        .trim_start_matches('+')
+        .parse()
+        .unwrap_or_else(|_| panic!("cell ({row},{col}) = {:?} not numeric", t.rows[row][col]))
+}
+
+#[test]
+fn e3_shape_aggregation_flattens_the_funnel() {
+    let t = exp_scale::e3_funneling();
+    // Raw messages decrease with distance from the root (funnel),
+    // aggregate messages are flat.
+    let raw_n1 = cell(&t, 0, 1);
+    let raw_n7 = cell(&t, 6, 1);
+    assert!(raw_n1 >= 6.0 * raw_n7, "funnel: {raw_n1} vs {raw_n7}");
+    for r in 0..t.rows.len() {
+        assert_eq!(cell(&t, r, 2), cell(&t, 0, 2), "aggregate load is flat");
+    }
+    // Radio-TX time tells the same story.
+    assert!(cell(&t, 0, 3) > 4.0 * cell(&t, 0, 4));
+}
+
+#[test]
+fn e3_shape_epoch_is_the_load_knob() {
+    let t = exp_scale::e3_epoch_ablation();
+    // Longer epochs, fewer root-adjacent messages.
+    assert!(cell(&t, 0, 2) > cell(&t, 1, 2));
+    assert!(cell(&t, 1, 2) > cell(&t, 2, 2));
+}
+
+#[test]
+fn e7_shape_cap_trade() {
+    let t = exp_depend::e7_partition();
+    // Rows alternate Ap/Cp for growing partition lengths.
+    for pair in t.rows.chunks(2) {
+        let (ap, cp) = (&pair[0], &pair[1]);
+        let ap_avail: f64 = ap[2].trim_end_matches('%').parse().expect("num");
+        let cp_avail: f64 = cp[2].trim_end_matches('%').parse().expect("num");
+        assert_eq!(ap_avail, 100.0, "AP is always available");
+        assert!(cp_avail <= ap_avail);
+        assert_ne!(ap[5], "never", "AP converges after heal");
+        assert_ne!(cp[5], "never", "CP converges after heal");
+    }
+    // CP availability strictly falls with partition length.
+    let cp_avails: Vec<f64> = t
+        .rows
+        .iter()
+        .filter(|r| r[1] == "Cp")
+        .map(|r| r[2].trim_end_matches('%').parse().expect("num"))
+        .collect();
+    assert!(cp_avails.windows(2).all(|w| w[1] <= w[0]));
+    assert!(cp_avails.last() < cp_avails.first());
+}
+
+#[test]
+fn e7_shape_delta_scaling() {
+    let t = exp_depend::e7_delta_ablation();
+    // Delta cost is constant; full-state cost grows with replicas.
+    for r in 0..t.rows.len() {
+        assert_eq!(cell(&t, r, 2), 18.0);
+    }
+    assert!(cell(&t, 3, 1) > 50.0 * cell(&t, 0, 2));
+}
+
+#[test]
+fn e8_shape_redundancy_crossovers() {
+    let t = exp_depend::e8_redundancy();
+    for r in 0..t.rows.len() {
+        // Monte Carlo within 3 points of the analytic model, per scheme.
+        assert!((cell(&t, r, 2) - cell(&t, r, 3)).abs() < 3.0, "parity row {r}");
+        assert!((cell(&t, r, 4) - cell(&t, r, 5)).abs() < 3.0, "retry row {r}");
+        assert!((cell(&t, r, 6) - cell(&t, r, 7)).abs() < 3.0, "vote row {r}");
+        // Time redundancy dominates everything at every loss level.
+        assert!(cell(&t, r, 4) >= cell(&t, r, 1));
+    }
+    // Parity beats no-protection at low loss and loses at high loss
+    // (the §V-A "information redundancy is limited" crossover).
+    assert!(cell(&t, 0, 2) > cell(&t, 0, 1), "parity wins at p=0.05");
+    let last = t.rows.len() - 1;
+    assert!(cell(&t, last, 2) < cell(&t, last, 1), "parity loses at p=0.5");
+}
+
+#[test]
+fn e9_shape_pareto_frontier() {
+    let t = exp_depend::e9_safety_hvac();
+    for w in (0..t.rows.len()).collect::<Vec<_>>().windows(2) {
+        let (a, b) = (w[0], w[1]);
+        assert!(cell(&t, b, 1) < cell(&t, a, 1), "wider setback saves energy");
+        assert!(
+            cell(&t, b, 2) >= cell(&t, a, 2),
+            "savings cost (non-negative) comfort"
+        );
+        assert_eq!(cell(&t, a, 3), 0.0, "hard limits never violated");
+    }
+}
+
+#[test]
+fn e10_shape_monotone_cost_ladder() {
+    let t = exp_interop::e10_security_overhead();
+    let col_monotone_within = |col: usize, groups: &[&[usize]]| {
+        for g in groups {
+            for w in g.windows(2) {
+                assert!(
+                    cell(&t, w[1], col) >= cell(&t, w[0], col),
+                    "col {col}: row {} -> {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    };
+    // Rows: None, Mic32, Mic64, Mic128, Enc, EncMic32, EncMic64, EncMic128.
+    // Bytes/airtime/energy grow within the MIC ladder and the ENC ladder.
+    for col in [1usize, 2, 3, 5] {
+        col_monotone_within(col, &[&[0, 1, 2, 3], &[4, 5, 6, 7]]);
+    }
+    // Goodput falls within each ladder.
+    for g in [&[0usize, 1, 2, 3][..], &[4, 5, 6, 7][..]] {
+        for w in g.windows(2) {
+            assert!(cell(&t, w[1], 6) <= cell(&t, w[0], 6));
+        }
+    }
+    // Encryption adds cost over the matching MIC-only level.
+    assert!(cell(&t, 5, 3) > cell(&t, 1, 3));
+    assert!(cell(&t, 7, 3) > cell(&t, 3, 3));
+}
+
+#[test]
+fn e12_shape_integration_fidelity() {
+    let t = exp_interop::e12_interop();
+    assert_eq!(t.rows[0][1], "3/3", "every protocol translates exactly");
+    let throughput: f64 = t.rows[1][1].parse().expect("num");
+    assert!(throughput > 10_000.0, "bridge throughput {throughput}/s");
+    assert_eq!(t.rows[3][1], "2.05 Content");
+}
+
+#[test]
+fn e11_shape_diagnosis_finds_the_victim() {
+    let t = exp_depend::e11_diagnosis();
+    assert_eq!(t.rows.len(), 1, "exactly one non-healthy finding");
+    assert_eq!(t.rows[0][0], "n7");
+}

@@ -1,0 +1,175 @@
+//! The Observe extension (RFC 7641): server-side observer registry and
+//! client-side notification ordering.
+
+use std::hash::Hash;
+
+/// One registered observer of a resource.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Observer<P> {
+    /// The observing peer.
+    pub peer: P,
+    /// The token the peer registered with (notifications echo it).
+    pub token: Vec<u8>,
+    /// Observed path.
+    pub path: String,
+    /// Next Observe sequence number to send.
+    pub seq: u32,
+}
+
+/// Server-side registry of observers per resource path.
+#[derive(Clone, Debug, Default)]
+pub struct ObserveRegistry<P> {
+    observers: Vec<Observer<P>>,
+}
+
+impl<P: Copy + Eq + Hash> ObserveRegistry<P> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ObserveRegistry {
+            observers: Vec::new(),
+        }
+    }
+
+    /// Registers (or refreshes) an observer. Returns the Observe
+    /// sequence number to use in the registration response.
+    pub fn register(&mut self, peer: P, token: Vec<u8>, path: &str) -> u32 {
+        if let Some(o) = self
+            .observers
+            .iter_mut()
+            .find(|o| o.peer == peer && o.token == token)
+        {
+            o.path = path.to_owned();
+            return o.seq;
+        }
+        self.observers.push(Observer {
+            peer,
+            token,
+            path: path.to_owned(),
+            seq: 1,
+        });
+        1
+    }
+
+    /// Deregisters by `(peer, token)`; returns whether an observer was
+    /// removed.
+    pub fn deregister(&mut self, peer: P, token: &[u8]) -> bool {
+        let before = self.observers.len();
+        self.observers.retain(|o| !(o.peer == peer && o.token == token));
+        before != self.observers.len()
+    }
+
+    /// Removes every observation held by `peer` (e.g. after an RST).
+    pub fn drop_peer(&mut self, peer: P) {
+        self.observers.retain(|o| o.peer != peer);
+    }
+
+    /// Observers of `path`, advancing each observer's sequence number.
+    /// The returned entries carry the sequence number to put in the
+    /// notification's Observe option.
+    pub fn notify(&mut self, path: &str) -> Vec<Observer<P>> {
+        let mut out = Vec::new();
+        for o in self.observers.iter_mut().filter(|o| o.path == path) {
+            o.seq = o.seq.wrapping_add(1);
+            out.push(o.clone());
+        }
+        out
+    }
+
+    /// Number of registered observations.
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// Whether no observations are registered.
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+}
+
+/// Client-side notification ordering (RFC 7641 §3.4): a notification is
+/// fresh if its sequence number is newer (mod 2^24) than the last seen.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NotifyOrder {
+    last: Option<u32>,
+}
+
+impl NotifyOrder {
+    /// No notification seen yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks and records a notification's sequence number; returns
+    /// whether it is fresh (should be delivered to the application).
+    pub fn is_fresh(&mut self, seq: u32) -> bool {
+        let fresh = match self.last {
+            None => true,
+            Some(last) => {
+                let diff = seq.wrapping_sub(last) & 0x00FF_FFFF;
+                diff != 0 && diff < (1 << 23)
+            }
+        };
+        if fresh {
+            self.last = Some(seq);
+        }
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_notify_deregister() {
+        let mut reg: ObserveRegistry<u32> = ObserveRegistry::new();
+        assert_eq!(reg.register(1, vec![0xA], "temp"), 1);
+        assert_eq!(reg.register(2, vec![0xB], "temp"), 1);
+        assert_eq!(reg.register(3, vec![0xC], "hum"), 1);
+        assert_eq!(reg.len(), 3);
+
+        let notified = reg.notify("temp");
+        assert_eq!(notified.len(), 2);
+        assert!(notified.iter().all(|o| o.seq == 2));
+        // Sequence advances on every notify.
+        assert!(reg.notify("temp").iter().all(|o| o.seq == 3));
+
+        assert!(reg.deregister(1, &[0xA]));
+        assert!(!reg.deregister(1, &[0xA]));
+        assert_eq!(reg.notify("temp").len(), 1);
+    }
+
+    #[test]
+    fn re_register_keeps_sequence() {
+        let mut reg: ObserveRegistry<u32> = ObserveRegistry::new();
+        reg.register(1, vec![0xA], "temp");
+        reg.notify("temp");
+        // Refresh of the same (peer, token) keeps counting.
+        assert_eq!(reg.register(1, vec![0xA], "temp"), 2);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn drop_peer_clears_all() {
+        let mut reg: ObserveRegistry<u32> = ObserveRegistry::new();
+        reg.register(1, vec![0xA], "t");
+        reg.register(1, vec![0xB], "h");
+        reg.register(2, vec![0xC], "t");
+        reg.drop_peer(1);
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn notify_order_rejects_stale_and_duplicate() {
+        let mut ord = NotifyOrder::new();
+        assert!(ord.is_fresh(5));
+        assert!(!ord.is_fresh(5), "duplicate");
+        assert!(!ord.is_fresh(3), "stale");
+        assert!(ord.is_fresh(6));
+        // Wrap-around within the 24-bit space.
+        let mut ord = NotifyOrder::new();
+        assert!(ord.is_fresh(0x00FF_FFFE));
+        assert!(ord.is_fresh(0x0000_0001), "wrapped but newer");
+    }
+}

@@ -1,0 +1,456 @@
+//! Deployment orchestration: build a simulated sensing-and-actuation
+//! deployment from a topology, a MAC choice and a traffic profile, run
+//! it, extend it (incremental rollout, §IV intro) and report collection
+//! metrics.
+
+use iiot_mac::csma::{CsmaConfig, CsmaMac};
+use iiot_mac::lpl::{LplConfig, LplMac};
+use iiot_mac::rimac::{RimacConfig, RimacMac};
+use iiot_mac::tdma::{TdmaConfig, TdmaMac, TdmaSchedule};
+use iiot_routing::dodag::{DodagConfig, DodagNode, Traffic};
+use iiot_routing::statictree::{StaticCollection, StaticConfig};
+use iiot_routing::graph;
+use iiot_sim::prelude::*;
+use iiot_sim::trace::Summary;
+
+/// Which MAC the deployment runs under the collection protocol.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MacChoice {
+    /// Always-on CSMA/CA.
+    Csma,
+    /// Low-power listening with the given wake interval.
+    Lpl(SimDuration),
+    /// Receiver-initiated duty cycling with the given wake interval.
+    Rimac(SimDuration),
+    /// Pipelined TDMA with the given slot length (schedule derived from
+    /// the BFS tree at build time).
+    Tdma(SimDuration),
+}
+
+impl MacChoice {
+    /// Short name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MacChoice::Csma => "csma",
+            MacChoice::Lpl(_) => "lpl",
+            MacChoice::Rimac(_) => "rimac",
+            MacChoice::Tdma(_) => "tdma",
+        }
+    }
+}
+
+/// Builder for a [`Deployment`].
+#[derive(Clone, Debug)]
+pub struct DeploymentBuilder {
+    topology: Topology,
+    mac: MacChoice,
+    seed: u64,
+    radio: RadioConfig,
+    dodag: DodagConfig,
+}
+
+impl DeploymentBuilder {
+    /// Starts a builder over `topology`; node 0 is the border router.
+    pub fn new(topology: Topology) -> Self {
+        DeploymentBuilder {
+            topology,
+            mac: MacChoice::Csma,
+            seed: 1,
+            radio: RadioConfig::default(),
+            dodag: DodagConfig::default(),
+        }
+    }
+
+    /// Chooses the MAC (default CSMA).
+    pub fn mac(mut self, mac: MacChoice) -> Self {
+        self.mac = mac;
+        self
+    }
+
+    /// Sets the world seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the radio configuration.
+    pub fn radio(mut self, radio: RadioConfig) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Makes every non-root node emit a reading with the given period
+    /// and payload size after the DODAG has had `start_after` to form.
+    pub fn traffic(mut self, period: SimDuration, payload_len: usize, start_after: SimDuration) -> Self {
+        self.dodag.traffic = Some(Traffic {
+            period,
+            payload_len,
+            start_after,
+        });
+        self
+    }
+
+    /// Overrides the routing configuration (traffic set via
+    /// [`traffic`](DeploymentBuilder::traffic) is preserved separately).
+    pub fn routing(mut self, mut dodag: DodagConfig) -> Self {
+        dodag.traffic = dodag.traffic.or(self.dodag.traffic);
+        self.dodag = dodag;
+        self
+    }
+
+    /// Builds the world and instantiates all nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is empty.
+    pub fn build(self) -> Deployment {
+        assert!(!self.topology.is_empty(), "deployment needs nodes");
+        let mut wc = WorldConfig::default();
+        wc.seed = self.seed;
+        wc.radio = self.radio.clone();
+
+        // For TDMA we must know the collection tree up front: compute
+        // BFS parents on a throwaway world with the same geometry. The
+        // tree then doubles as the static routing state (Dozer-style:
+        // the schedule *is* the route).
+        let schedule = if let MacChoice::Tdma(slot) = self.mac {
+            let mut probe = World::new(wc.clone());
+            probe.add_nodes(&self.topology, |_| Box::new(Idle) as Box<dyn Proto>);
+            let parents = graph::parents_bfs(&probe, NodeId(0));
+            // Superframe padding: three idle slots per active slot
+            // drops the duty cycle ~4x at ~4x the per-frame latency.
+            let active = parents.iter().filter(|p| p.is_some()).count();
+            let sched = TdmaSchedule::pipeline_to_root(&parents, slot).with_idle(active * 3);
+            Some((sched, parents))
+        } else {
+            None
+        };
+
+        let mut world = World::new(wc);
+        let mac = self.mac;
+        let dodag = self.dodag.clone();
+        let nodes = world.add_nodes(&self.topology, move |i| {
+            make_node(mac, &dodag, schedule.as_ref(), i == 0)
+        });
+        Deployment {
+            world,
+            root: nodes[0],
+            nodes,
+            mac,
+            dodag: self.dodag,
+        }
+    }
+}
+
+fn make_node(
+    mac: MacChoice,
+    dodag: &DodagConfig,
+    schedule: Option<&(TdmaSchedule, Vec<Option<NodeId>>)>,
+    is_root: bool,
+) -> Box<dyn Proto> {
+    match mac {
+        MacChoice::Csma => Box::new(DodagNode::new(
+            CsmaMac::new(CsmaConfig::default()),
+            dodag.clone(),
+            is_root,
+        )),
+        MacChoice::Lpl(wake) => {
+            let cfg = LplConfig {
+                wake_interval: wake,
+                ..LplConfig::default()
+            };
+            Box::new(DodagNode::new(LplMac::new(cfg), dodag.clone(), is_root))
+        }
+        MacChoice::Rimac(wake) => {
+            let cfg = RimacConfig {
+                wake_interval: wake,
+                ..RimacConfig::default()
+            };
+            Box::new(DodagNode::new(RimacMac::new(cfg), dodag.clone(), is_root))
+        }
+        MacChoice::Tdma(_) => {
+            let (sched, parents) = schedule.expect("tdma schedule computed at build").clone();
+            let mut cfg = StaticConfig::new(parents);
+            cfg.traffic = dodag.traffic;
+            Box::new(StaticCollection::new(
+                TdmaMac::new(TdmaConfig::default(), sched),
+                cfg,
+            ))
+        }
+    }
+}
+
+/// Collection metrics of a deployment run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CollectionReport {
+    /// Readings generated by the nodes.
+    pub generated: u64,
+    /// Readings delivered at the border router.
+    pub delivered: u64,
+    /// Delivery ratio in `[0, 1]` (1.0 when nothing was generated).
+    pub delivery_ratio: f64,
+    /// End-to-end latency summary, seconds.
+    pub latency: Summary,
+    /// Mean radio duty cycle over non-root nodes.
+    pub mean_duty_cycle: f64,
+    /// Nodes currently without a route to the root.
+    pub orphans: usize,
+    /// Fraction of nodes currently alive.
+    pub alive_fraction: f64,
+}
+
+/// A built deployment: the world plus its roster.
+pub struct Deployment {
+    /// The simulated world.
+    pub world: World,
+    /// The border router.
+    pub root: NodeId,
+    /// All nodes, in id order (including later rollout stages).
+    pub nodes: Vec<NodeId>,
+    mac: MacChoice,
+    dodag: DodagConfig,
+}
+
+impl Deployment {
+    /// Starts building a deployment over `topology`.
+    pub fn builder(topology: Topology) -> DeploymentBuilder {
+        DeploymentBuilder::new(topology)
+    }
+
+    /// The MAC in use.
+    pub fn mac(&self) -> MacChoice {
+        self.mac
+    }
+
+    /// Runs the deployment for `d` of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.world.run_for(d);
+    }
+
+    /// Incremental rollout (§IV): adds another batch of nodes at the
+    /// given positions while the system keeps running. Returns their
+    /// ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics for TDMA deployments, whose schedule is fixed at build
+    /// time — exactly the kind of design that needs a redesign to
+    /// scale, which experiment E5 quantifies.
+    pub fn extend(&mut self, extra: &Topology) -> Vec<NodeId> {
+        assert!(
+            !matches!(self.mac, MacChoice::Tdma(_)),
+            "static TDMA schedules cannot absorb rollout stages"
+        );
+        let mac = self.mac;
+        let dodag = self.dodag.clone();
+        let added: Vec<NodeId> = extra
+            .iter()
+            .map(|pos| {
+                self.world
+                    .add_node(pos, make_node(mac, &dodag, None, false))
+            })
+            .collect();
+        self.nodes.extend(added.iter().copied());
+        added
+    }
+
+    fn per_node<R>(&self, f: impl Fn(&dyn ReportableNode) -> R, node: NodeId) -> R {
+        match self.mac {
+            MacChoice::Csma => f(self.world.proto::<DodagNode<CsmaMac>>(node)),
+            MacChoice::Lpl(_) => f(self.world.proto::<DodagNode<LplMac>>(node)),
+            MacChoice::Rimac(_) => f(self.world.proto::<DodagNode<RimacMac>>(node)),
+            MacChoice::Tdma(_) => f(self.world.proto::<StaticCollection<TdmaMac>>(node)),
+        }
+    }
+
+    /// Whether `node` currently has a route to the root.
+    pub fn has_route(&self, node: NodeId) -> bool {
+        self.per_node(|n| n.route(), node)
+    }
+
+    /// Number of readings the root has collected.
+    pub fn collected_count(&self) -> usize {
+        self.per_node(|n| n.collected_len(), self.root)
+    }
+
+    /// Number of readings the root has collected from `origin`.
+    pub fn collected_from(&self, origin: NodeId) -> usize {
+        self.per_node(|n| n.collected_from(origin), self.root)
+    }
+
+    /// The most recent reading the root collected from `origin`.
+    pub fn latest_from(&self, origin: NodeId) -> Option<iiot_routing::Collected> {
+        self.per_node(|n| n.latest_from(origin), self.root)
+    }
+
+    /// Builds the collection report at the current time.
+    pub fn report(&self) -> CollectionReport {
+        let stats = self.world.stats();
+        let generated = stats.node_total("data_origin") as u64;
+        let delivered = stats.get("data_rx_root") as u64;
+        let mut duty = 0.0;
+        let mut non_root = 0;
+        let mut orphans = 0;
+        let mut alive = 0;
+        for &n in &self.nodes {
+            if self.world.is_alive(n) {
+                alive += 1;
+            }
+            if n != self.root {
+                duty += self.world.energy(n).duty_cycle();
+                non_root += 1;
+                if self.world.is_alive(n) && !self.has_route(n) {
+                    orphans += 1;
+                }
+            }
+        }
+        CollectionReport {
+            generated,
+            delivered,
+            delivery_ratio: if generated == 0 {
+                1.0
+            } else {
+                delivered as f64 / generated as f64
+            },
+            latency: stats.summary("collect_latency_s"),
+            mean_duty_cycle: if non_root == 0 { 0.0 } else { duty / non_root as f64 },
+            orphans,
+            alive_fraction: alive as f64 / self.nodes.len() as f64,
+        }
+    }
+}
+
+/// Object-safe view of a DODAG node used by [`Deployment`] reporting.
+trait ReportableNode {
+    fn route(&self) -> bool;
+    fn collected_len(&self) -> usize;
+    fn collected_from(&self, origin: NodeId) -> usize;
+    fn latest_from(&self, origin: NodeId) -> Option<iiot_routing::Collected>;
+}
+
+impl<M: iiot_mac::Mac> ReportableNode for DodagNode<M> {
+    fn route(&self) -> bool {
+        self.has_route()
+    }
+    fn collected_len(&self) -> usize {
+        self.collected().len()
+    }
+    fn collected_from(&self, origin: NodeId) -> usize {
+        self.collected().iter().filter(|c| c.origin == origin).count()
+    }
+    fn latest_from(&self, origin: NodeId) -> Option<iiot_routing::Collected> {
+        self.collected().iter().rev().find(|c| c.origin == origin).cloned()
+    }
+}
+
+impl<M: iiot_mac::Mac> ReportableNode for StaticCollection<M> {
+    fn route(&self) -> bool {
+        self.has_route()
+    }
+    fn collected_len(&self) -> usize {
+        self.collected().len()
+    }
+    fn collected_from(&self, origin: NodeId) -> usize {
+        self.collected().iter().filter(|c| c.origin == origin).count()
+    }
+    fn latest_from(&self, origin: NodeId) -> Option<iiot_routing::Collected> {
+        self.collected().iter().rev().find(|c| c.origin == origin).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Topology {
+        Topology::line(n, 20.0)
+    }
+
+    #[test]
+    fn csma_deployment_collects() {
+        let mut d = Deployment::builder(line(5))
+            .mac(MacChoice::Csma)
+            .seed(3)
+            .traffic(SimDuration::from_secs(5), 8, SimDuration::from_secs(15))
+            .build();
+        d.run_for(SimDuration::from_secs(60));
+        let r = d.report();
+        assert!(r.generated > 20, "generated {}", r.generated);
+        assert!(r.delivery_ratio > 0.95, "ratio {}", r.delivery_ratio);
+        assert!(r.latency.mean < 0.5, "csma latency {}", r.latency.mean);
+        assert!(r.mean_duty_cycle > 0.99, "csma never sleeps");
+        assert_eq!(r.orphans, 0);
+        assert_eq!(r.alive_fraction, 1.0);
+        assert_eq!(d.collected_count() as u64, r.delivered);
+    }
+
+    #[test]
+    fn lpl_deployment_duty_cycles() {
+        let mut d = Deployment::builder(line(3))
+            .mac(MacChoice::Lpl(SimDuration::from_millis(256)))
+            .seed(4)
+            .traffic(SimDuration::from_secs(10), 8, SimDuration::from_secs(20))
+            .build();
+        d.run_for(SimDuration::from_secs(120));
+        let r = d.report();
+        assert!(r.delivery_ratio > 0.8, "ratio {}", r.delivery_ratio);
+        assert!(
+            r.mean_duty_cycle < 0.35,
+            "lpl should sleep most of the time: {}",
+            r.mean_duty_cycle
+        );
+        assert!(
+            r.latency.mean > 0.05,
+            "duty-cycled latency is substantial: {}",
+            r.latency.mean
+        );
+    }
+
+    #[test]
+    fn tdma_deployment_low_latency_and_duty() {
+        let mut d = Deployment::builder(line(4))
+            .mac(MacChoice::Tdma(SimDuration::from_millis(20)))
+            .seed(5)
+            .traffic(SimDuration::from_secs(5), 8, SimDuration::from_secs(10))
+            .build();
+        d.run_for(SimDuration::from_secs(60));
+        let r = d.report();
+        assert!(r.delivery_ratio > 0.9, "ratio {}", r.delivery_ratio);
+        assert!(
+            r.latency.mean < 0.3,
+            "pipelined latency should be sub-300ms: {}",
+            r.latency.mean
+        );
+        assert!(r.mean_duty_cycle < 0.9, "tdma sleeps outside its slots");
+    }
+
+    #[test]
+    fn incremental_rollout_absorbs_new_stage() {
+        let mut d = Deployment::builder(line(3))
+            .mac(MacChoice::Csma)
+            .seed(6)
+            .traffic(SimDuration::from_secs(5), 8, SimDuration::from_secs(10))
+            .build();
+        d.run_for(SimDuration::from_secs(30));
+        // Stage 2: three more nodes continuing the line.
+        let extra: Topology = (3..6).map(|i| Pos::new(i as f64 * 20.0, 0.0)).collect();
+        let added = d.extend(&extra);
+        assert_eq!(added.len(), 3);
+        d.run_for(SimDuration::from_secs(60));
+        let r = d.report();
+        assert_eq!(d.nodes.len(), 6);
+        for &n in &added {
+            assert!(d.has_route(n), "rollout node {n} must join");
+        }
+        assert!(r.delivery_ratio > 0.9, "ratio {}", r.delivery_ratio);
+    }
+
+    #[test]
+    #[should_panic(expected = "TDMA")]
+    fn tdma_rollout_rejected() {
+        let mut d = Deployment::builder(line(3))
+            .mac(MacChoice::Tdma(SimDuration::from_millis(20)))
+            .build();
+        d.extend(&line(1));
+    }
+}

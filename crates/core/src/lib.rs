@@ -1,0 +1,42 @@
+//! # iiot-core — the sensing-and-actuation layer as a coherent framework
+//!
+//! The integration crate of the reproduction of *"A Distributed Systems
+//! Perspective on Industrial IoT"* (Iwanicki, ICDCS 2018). It assembles
+//! every substrate into the paper's architecture:
+//!
+//! * [`layer`] — Fig. 1's three tiers as code: a `Historian`
+//!   (data storage), a rule engine (application logic) and the
+//!   `SensingActuation` trait for the bottom
+//!   tier, closed into a loop by `LayeredSystem`;
+//! * [`deployment`] — build/run/extend simulated deployments over any
+//!   MAC (`MacChoice`), with incremental
+//!   rollout and collection reporting;
+//! * [`audit`] — the interoperability / scalability / dependability
+//!   scorecard.
+//!
+//! The substrate crates are re-exported under short names so a single
+//! dependency on `iiot-core` (or the `iiot` facade) gives access to the
+//! whole framework.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod audit;
+pub mod border;
+pub mod deployment;
+pub mod layer;
+
+pub use audit::Scorecard;
+pub use border::BorderRouter;
+pub use deployment::{CollectionReport, Deployment, DeploymentBuilder, MacChoice};
+pub use layer::{Actuation, Historian, LayeredSystem, Rule, SensingActuation};
+
+pub use iiot_aggregate as aggregate;
+pub use iiot_coap as coap;
+pub use iiot_crdt as crdt;
+pub use iiot_dependability as dependability;
+pub use iiot_gateway as gateway;
+pub use iiot_mac as mac;
+pub use iiot_routing as routing;
+pub use iiot_security as security;
+pub use iiot_sim as sim;

@@ -1,0 +1,174 @@
+//! Failure detectors over heartbeat streams: a fixed-timeout detector
+//! and a phi-accrual detector that adapts its suspicion to observed
+//! heartbeat jitter (§V-D: automated monitoring of components).
+
+use iiot_sim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// A classic fixed-timeout detector: suspect after `timeout` without a
+/// heartbeat.
+#[derive(Clone, Debug)]
+pub struct FixedTimeoutDetector {
+    timeout: SimDuration,
+    last: Option<SimTime>,
+}
+
+impl FixedTimeoutDetector {
+    /// A detector with the given timeout; no heartbeat seen yet.
+    pub fn new(timeout: SimDuration) -> Self {
+        FixedTimeoutDetector {
+            timeout,
+            last: None,
+        }
+    }
+
+    /// Records a heartbeat.
+    pub fn heartbeat(&mut self, now: SimTime) {
+        self.last = Some(now);
+    }
+
+    /// Whether the peer is suspected at `now`. Before the first
+    /// heartbeat nothing is suspected (bootstrap grace).
+    pub fn suspects(&self, now: SimTime) -> bool {
+        match self.last {
+            Some(last) => now.duration_since(last) > self.timeout,
+            None => false,
+        }
+    }
+}
+
+/// A phi-accrual detector (Hayashibara et al.): suspicion is a
+/// continuous level `phi = -log10(P(silence this long | history))`
+/// under an exponential model of inter-arrival times. Thresholding phi
+/// trades detection speed against false positives *adaptively*: noisy
+/// links automatically get longer effective timeouts.
+#[derive(Clone, Debug)]
+pub struct PhiAccrualDetector {
+    window: VecDeque<f64>,
+    cap: usize,
+    last: Option<SimTime>,
+}
+
+impl PhiAccrualDetector {
+    /// A detector remembering the last `window` inter-arrival times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        PhiAccrualDetector {
+            window: VecDeque::new(),
+            cap: window,
+            last: None,
+        }
+    }
+
+    /// Records a heartbeat at `now`.
+    pub fn heartbeat(&mut self, now: SimTime) {
+        if let Some(last) = self.last {
+            let gap = now.duration_since(last).as_secs_f64();
+            if self.window.len() >= self.cap {
+                self.window.pop_front();
+            }
+            self.window.push_back(gap.max(1e-9));
+        }
+        self.last = Some(now);
+    }
+
+    /// Mean observed inter-arrival time, seconds.
+    pub fn mean_interval(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        Some(self.window.iter().sum::<f64>() / self.window.len() as f64)
+    }
+
+    /// The suspicion level at `now`. Returns 0 until enough history
+    /// exists (bootstrap grace of 2 samples).
+    pub fn phi(&self, now: SimTime) -> f64 {
+        let (Some(last), Some(mean)) = (self.last, self.mean_interval()) else {
+            return 0.0;
+        };
+        if self.window.len() < 2 {
+            return 0.0;
+        }
+        let elapsed = now.duration_since(last).as_secs_f64();
+        // Exponential model: P(gap > elapsed) = exp(-elapsed/mean);
+        // phi = -log10 of that = elapsed / (mean * ln 10).
+        elapsed / (mean * std::f64::consts::LN_10)
+    }
+
+    /// Whether phi exceeds `threshold` at `now`.
+    pub fn suspects(&self, now: SimTime, threshold: f64) -> bool {
+        self.phi(now) > threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_timeout_basic() {
+        let mut d = FixedTimeoutDetector::new(SimDuration::from_secs(3));
+        assert!(!d.suspects(SimTime::from_secs(100)), "bootstrap grace");
+        d.heartbeat(SimTime::from_secs(10));
+        assert!(!d.suspects(SimTime::from_secs(12)));
+        assert!(d.suspects(SimTime::from_secs(14)));
+        d.heartbeat(SimTime::from_secs(14));
+        assert!(!d.suspects(SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn phi_grows_with_silence() {
+        let mut d = PhiAccrualDetector::new(10);
+        for k in 0..10 {
+            d.heartbeat(SimTime::from_secs(k));
+        }
+        let p1 = d.phi(SimTime::from_secs(10));
+        let p2 = d.phi(SimTime::from_secs(12));
+        let p3 = d.phi(SimTime::from_secs(20));
+        assert!(p1 < p2 && p2 < p3, "{p1} {p2} {p3}");
+        // After ~1 mean interval, phi ~ 1/ln10 ~ 0.43.
+        assert!((p1 - 1.0 / std::f64::consts::LN_10).abs() < 0.01);
+    }
+
+    #[test]
+    fn phi_adapts_to_jitter() {
+        // Regular 1s heartbeats: 3s of silence is highly suspicious.
+        let mut tight = PhiAccrualDetector::new(16);
+        for k in 0..10 {
+            tight.heartbeat(SimTime::from_secs(k));
+        }
+        // Jittery heartbeats averaging 3s: the same 3s silence is normal.
+        let mut loose = PhiAccrualDetector::new(16);
+        for k in 0..10u64 {
+            loose.heartbeat(SimTime::from_millis(k * 3000));
+        }
+        let now_tight = SimTime::from_secs(9 + 3);
+        let now_loose = SimTime::from_millis(9 * 3000 + 3000);
+        assert!(tight.phi(now_tight) > 2.0 * loose.phi(now_loose));
+    }
+
+    #[test]
+    fn phi_threshold_detection() {
+        let mut d = PhiAccrualDetector::new(8);
+        for k in 0..8 {
+            d.heartbeat(SimTime::from_secs(2 * k));
+        }
+        // Crash: silence from t=14. With mean 2s, phi crosses 3 at
+        // elapsed = 3 * 2 * ln10 ~ 13.8s.
+        assert!(!d.suspects(SimTime::from_secs(20), 3.0));
+        assert!(d.suspects(SimTime::from_secs(29), 3.0));
+    }
+
+    #[test]
+    fn phi_bootstrap_is_quiet() {
+        let d = PhiAccrualDetector::new(4);
+        assert_eq!(d.phi(SimTime::from_secs(100)), 0.0);
+        let mut d2 = PhiAccrualDetector::new(4);
+        d2.heartbeat(SimTime::ZERO);
+        assert_eq!(d2.phi(SimTime::from_secs(100)), 0.0, "one sample: no model");
+    }
+}

@@ -1,0 +1,253 @@
+//! Fault injection plans: declarative schedules of crashes, recoveries,
+//! link failures and partitions applied to a simulated world.
+
+use iiot_sim::{NodeId, SimDuration, SimTime, World};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled fault.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Node crashes permanently at `at`.
+    Crash {
+        /// Victim.
+        node: NodeId,
+        /// Crash time.
+        at: SimTime,
+    },
+    /// Node crashes at `at` and recovers `down_for` later.
+    CrashRecover {
+        /// Victim.
+        node: NodeId,
+        /// Crash time.
+        at: SimTime,
+        /// Outage duration.
+        down_for: SimDuration,
+    },
+    /// The link between two nodes fails at `at` (optionally healing).
+    LinkDown {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+        /// Failure time.
+        at: SimTime,
+        /// Heal time, if any.
+        heal_at: Option<SimTime>,
+    },
+    /// A network partition: nodes get the given groups and cross-group
+    /// communication stops between `at` and `heal_at`.
+    Partition {
+        /// Group of each node (by node index).
+        groups: Vec<u16>,
+        /// Partition start.
+        at: SimTime,
+        /// Partition end.
+        heal_at: SimTime,
+    },
+}
+
+/// An ordered set of faults to apply to a world.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault.
+    pub fn push(&mut self, fault: Fault) -> &mut Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Generates random crash-recovery churn: each non-excluded node
+    /// independently crashes with exponential inter-arrival times of
+    /// mean `mtbf` and recovers after `mttr`, within `[start, horizon]`.
+    pub fn random_churn<R: Rng>(
+        rng: &mut R,
+        nodes: &[NodeId],
+        mtbf: SimDuration,
+        mttr: SimDuration,
+        start: SimTime,
+        horizon: SimTime,
+        exclude: &[NodeId],
+    ) -> Self {
+        let mut plan = FaultPlan::new();
+        for &node in nodes {
+            if exclude.contains(&node) {
+                continue;
+            }
+            let mut t = start;
+            loop {
+                // Exponential(mean = mtbf) inter-arrival.
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                let gap = SimDuration::from_secs_f64(-u.ln() * mtbf.as_secs_f64());
+                t = t.saturating_add(gap);
+                if t >= horizon {
+                    break;
+                }
+                plan.push(Fault::CrashRecover {
+                    node,
+                    at: t,
+                    down_for: mttr,
+                });
+                t = t.saturating_add(mttr);
+            }
+        }
+        plan
+    }
+
+    /// Number of scheduled fault events.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Installs every fault into the world's event queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault is scheduled before the world's current time.
+    pub fn apply(&self, world: &mut World) {
+        for f in &self.faults {
+            match f.clone() {
+                Fault::Crash { node, at } => world.kill_at(at, node),
+                Fault::CrashRecover { node, at, down_for } => {
+                    world.kill_at(at, node);
+                    world.revive_at(at + down_for, node);
+                }
+                Fault::LinkDown { a, b, at, heal_at } => {
+                    world.schedule(at, move |w| w.medium_mut().block_link(a, b));
+                    if let Some(h) = heal_at {
+                        world.schedule(h, move |w| w.medium_mut().unblock_link(a, b));
+                    }
+                }
+                Fault::Partition { groups, at, heal_at } => {
+                    world.schedule(at, move |w| {
+                        for (i, &g) in groups.iter().enumerate() {
+                            w.medium_mut().set_group(NodeId(i as u32), g);
+                        }
+                        w.medium_mut().set_partitioned(true);
+                    });
+                    world.schedule(heal_at, |w| w.medium_mut().set_partitioned(false));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iiot_sim::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn idle_world(n: usize) -> World {
+        let mut w = World::new(WorldConfig::default());
+        w.add_nodes(&Topology::line(n, 10.0), |_| Box::new(Idle) as Box<dyn Proto>);
+        w
+    }
+
+    #[test]
+    fn crash_and_recover_applied() {
+        let mut w = idle_world(2);
+        let mut plan = FaultPlan::new();
+        plan.push(Fault::CrashRecover {
+            node: NodeId(1),
+            at: SimTime::from_secs(1),
+            down_for: SimDuration::from_secs(2),
+        });
+        plan.apply(&mut w);
+        w.run_until(SimTime::from_secs(2));
+        assert!(!w.is_alive(NodeId(1)));
+        w.run_until(SimTime::from_secs(4));
+        assert!(w.is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn permanent_crash() {
+        let mut w = idle_world(1);
+        let mut plan = FaultPlan::new();
+        plan.push(Fault::Crash {
+            node: NodeId(0),
+            at: SimTime::from_secs(1),
+        });
+        plan.apply(&mut w);
+        w.run_until(SimTime::from_secs(10));
+        assert!(!w.is_alive(NodeId(0)));
+    }
+
+    #[test]
+    fn partition_window() {
+        let mut w = idle_world(4);
+        let mut plan = FaultPlan::new();
+        plan.push(Fault::Partition {
+            groups: vec![0, 0, 1, 1],
+            at: SimTime::from_secs(1),
+            heal_at: SimTime::from_secs(5),
+        });
+        plan.apply(&mut w);
+        w.run_until(SimTime::from_secs(2));
+        assert!(w.medium().is_partitioned());
+        w.run_until(SimTime::from_secs(6));
+        assert!(!w.medium().is_partitioned());
+    }
+
+    #[test]
+    fn churn_respects_horizon_and_exclusions() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let plan = FaultPlan::random_churn(
+            &mut rng,
+            &nodes,
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(10),
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+            &[NodeId(0)],
+        );
+        assert!(!plan.is_empty(), "1000s at 100s MTBF should crash someone");
+        for f in plan.faults() {
+            match f {
+                Fault::CrashRecover { node, at, .. } => {
+                    assert_ne!(*node, NodeId(0), "excluded node crashed");
+                    assert!(*at < SimTime::from_secs(1000));
+                }
+                other => panic!("unexpected fault {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn churn_deterministic_per_seed() {
+        let nodes: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let mk = |seed| {
+            FaultPlan::random_churn(
+                &mut SmallRng::seed_from_u64(seed),
+                &nodes,
+                SimDuration::from_secs(50),
+                SimDuration::from_secs(5),
+                SimTime::ZERO,
+                SimTime::from_secs(500),
+                &[],
+            )
+        };
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+    }
+}

@@ -1,0 +1,210 @@
+//! Reliability and availability bookkeeping: MTTF/MTTR estimation and
+//! uptime tracking (§V-A, §V-C definitions made measurable).
+
+use iiot_sim::{SimDuration, SimTime};
+
+/// Records a component's failure/repair history and estimates MTTF,
+/// MTTR and availability.
+///
+/// # Examples
+///
+/// ```
+/// use iiot_dependability::metrics::LifeTracker;
+/// use iiot_sim::SimTime;
+///
+/// let mut t = LifeTracker::new(SimTime::ZERO);
+/// t.failed(SimTime::from_secs(100));
+/// t.repaired(SimTime::from_secs(110));
+/// t.failed(SimTime::from_secs(210));
+/// let r = t.report(SimTime::from_secs(260));
+/// assert_eq!(r.failures, 2);
+/// assert_eq!(r.mttf_s, 100.0);
+/// assert!((r.availability - 200.0 / 260.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LifeTracker {
+    epoch: SimTime,
+    /// `Some(since)` while up.
+    up_since: Option<SimTime>,
+    total_up: SimDuration,
+    total_down: SimDuration,
+    /// `Some(since)` while down.
+    down_since: Option<SimTime>,
+    uptimes: Vec<SimDuration>,
+    downtimes: Vec<SimDuration>,
+}
+
+/// Summary emitted by [`LifeTracker::report`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LifeReport {
+    /// Number of failures observed.
+    pub failures: usize,
+    /// Mean time to failure in seconds (0 if no failure yet).
+    pub mttf_s: f64,
+    /// Mean time to repair in seconds (0 if no repair yet).
+    pub mttr_s: f64,
+    /// Fraction of time the component was up.
+    pub availability: f64,
+    /// Failures per hour of up time.
+    pub failure_rate_per_hour: f64,
+}
+
+impl LifeTracker {
+    /// A tracker for a component that is up at `now`.
+    pub fn new(now: SimTime) -> Self {
+        LifeTracker {
+            epoch: now,
+            up_since: Some(now),
+            total_up: SimDuration::ZERO,
+            total_down: SimDuration::ZERO,
+            down_since: None,
+            uptimes: Vec::new(),
+            downtimes: Vec::new(),
+        }
+    }
+
+    /// Records a failure at `now`. Ignored if already down.
+    pub fn failed(&mut self, now: SimTime) {
+        if let Some(since) = self.up_since.take() {
+            let up = now.duration_since(since);
+            self.total_up += up;
+            self.uptimes.push(up);
+            self.down_since = Some(now);
+        }
+    }
+
+    /// Records a repair at `now`. Ignored if already up.
+    pub fn repaired(&mut self, now: SimTime) {
+        if let Some(since) = self.down_since.take() {
+            let down = now.duration_since(since);
+            self.total_down += down;
+            self.downtimes.push(down);
+            self.up_since = Some(now);
+        }
+    }
+
+    /// Whether the component is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up_since.is_some()
+    }
+
+    /// Builds the summary as of `now` (open intervals are closed at
+    /// `now` for the availability figure, without counting an extra
+    /// failure/repair).
+    pub fn report(&self, now: SimTime) -> LifeReport {
+        let mut up = self.total_up;
+        let mut down = self.total_down;
+        if let Some(since) = self.up_since {
+            up += now.duration_since(since);
+        }
+        if let Some(since) = self.down_since {
+            down += now.duration_since(since);
+        }
+        let total = now.duration_since(self.epoch).as_secs_f64();
+        let failures = self.uptimes.len();
+        let mttf_s = if failures > 0 {
+            self.uptimes.iter().map(|d| d.as_secs_f64()).sum::<f64>() / failures as f64
+        } else {
+            0.0
+        };
+        let repairs = self.downtimes.len();
+        let mttr_s = if repairs > 0 {
+            self.downtimes.iter().map(|d| d.as_secs_f64()).sum::<f64>() / repairs as f64
+        } else {
+            0.0
+        };
+        LifeReport {
+            failures,
+            mttf_s,
+            mttr_s,
+            availability: if total > 0.0 {
+                up.as_secs_f64() / total
+            } else {
+                1.0
+            },
+            failure_rate_per_hour: if up.as_secs_f64() > 0.0 {
+                failures as f64 / (up.as_secs_f64() / 3600.0)
+            } else {
+                0.0
+            },
+        }
+        .clamped()
+    }
+}
+
+impl LifeReport {
+    fn clamped(mut self) -> Self {
+        self.availability = self.availability.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// Steady-state availability from MTTF and MTTR: `MTTF/(MTTF+MTTR)`.
+pub fn steady_state_availability(mttf_s: f64, mttr_s: f64) -> f64 {
+    if mttf_s + mttr_s <= 0.0 {
+        return 1.0;
+    }
+    mttf_s / (mttf_s + mttr_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_failures_fully_available() {
+        let t = LifeTracker::new(SimTime::ZERO);
+        let r = t.report(SimTime::from_secs(100));
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.availability, 1.0);
+        assert_eq!(r.mttf_s, 0.0);
+        assert!(t.is_up());
+    }
+
+    #[test]
+    fn alternating_lifecycle() {
+        let mut t = LifeTracker::new(SimTime::ZERO);
+        // Up 60, down 20, up 40, down 10, up 30 (open).
+        t.failed(SimTime::from_secs(60));
+        t.repaired(SimTime::from_secs(80));
+        t.failed(SimTime::from_secs(120));
+        t.repaired(SimTime::from_secs(130));
+        let r = t.report(SimTime::from_secs(160));
+        assert_eq!(r.failures, 2);
+        assert_eq!(r.mttf_s, 50.0);
+        assert_eq!(r.mttr_s, 15.0);
+        assert!((r.availability - 130.0 / 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn double_events_ignored() {
+        let mut t = LifeTracker::new(SimTime::ZERO);
+        t.failed(SimTime::from_secs(10));
+        t.failed(SimTime::from_secs(20)); // already down
+        t.repaired(SimTime::from_secs(30));
+        t.repaired(SimTime::from_secs(40)); // already up
+        let r = t.report(SimTime::from_secs(50));
+        assert_eq!(r.failures, 1);
+        assert_eq!(r.mttr_s, 20.0);
+    }
+
+    #[test]
+    fn steady_state_formula() {
+        assert!((steady_state_availability(99.0, 1.0) - 0.99).abs() < 1e-12);
+        assert_eq!(steady_state_availability(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn reliable_but_not_available_and_vice_versa() {
+        // The paper's §V-C distinction: a system that fails once a year
+        // but takes a month to fix is reliable (MTTF huge) but poorly
+        // available; one that fails hourly but recovers in a second is
+        // highly available but unreliable.
+        let year = 365.0 * 24.0 * 3600.0;
+        let month = 30.0 * 24.0 * 3600.0;
+        let reliable = steady_state_availability(year, month);
+        let available = steady_state_availability(3600.0, 1.0);
+        assert!(reliable < available);
+        assert!(available > 0.999);
+    }
+}

@@ -1,0 +1,146 @@
+//! The gateway's internal publish/subscribe bus: the enterprise-
+//! integration backbone of §III-B, decoupling southbound adapters from
+//! northbound consumers (and from each other).
+
+use crate::model::Measurement;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+struct Sub {
+    prefix: String,
+    tx: Sender<Measurement>,
+}
+
+/// A topic bus: subscribers register a point-name prefix; every
+/// published measurement is fanned out to all matching subscribers.
+/// Thread-safe; receivers may live on other threads.
+///
+/// # Examples
+///
+/// ```
+/// use iiot_gateway::bus::Bus;
+/// use iiot_gateway::model::{Measurement, Quality, Unit};
+///
+/// let bus = Bus::new();
+/// let boiler = bus.subscribe("plant/boiler");
+/// bus.publish(&Measurement {
+///     point: "plant/boiler/temp".into(),
+///     value: 80.0,
+///     unit: Unit::Celsius,
+///     quality: Quality::Good,
+///     timestamp_us: 0,
+///     device: "plc".into(),
+/// });
+/// assert_eq!(boiler.try_recv().expect("delivered").value, 80.0);
+/// ```
+#[derive(Default)]
+pub struct Bus {
+    subs: Mutex<Vec<Sub>>,
+}
+
+impl Bus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes to all points whose name starts with `prefix`
+    /// (empty prefix = everything).
+    pub fn subscribe(&self, prefix: &str) -> Receiver<Measurement> {
+        let (tx, rx) = unbounded();
+        self.subs.lock().push(Sub {
+            prefix: prefix.to_owned(),
+            tx,
+        });
+        rx
+    }
+
+    /// Publishes a measurement; returns how many subscribers received
+    /// it. Disconnected subscribers are pruned.
+    pub fn publish(&self, m: &Measurement) -> usize {
+        let mut subs = self.subs.lock();
+        let mut delivered = 0;
+        subs.retain(|s| {
+            if m.point.starts_with(&s.prefix) {
+                match s.tx.send(m.clone()) {
+                    Ok(()) => {
+                        delivered += 1;
+                        true
+                    }
+                    Err(_) => false, // receiver dropped
+                }
+            } else {
+                true
+            }
+        });
+        delivered
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.lock().len()
+    }
+}
+
+impl std::fmt::Debug for Bus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bus")
+            .field("subscribers", &self.subscriber_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Quality, Unit};
+
+    fn m(point: &str, value: f64) -> Measurement {
+        Measurement {
+            point: point.into(),
+            value,
+            unit: Unit::Raw,
+            quality: Quality::Good,
+            timestamp_us: 0,
+            device: "d".into(),
+        }
+    }
+
+    #[test]
+    fn prefix_filtering() {
+        let bus = Bus::new();
+        let all = bus.subscribe("");
+        let line1 = bus.subscribe("plant/line1");
+        assert_eq!(bus.publish(&m("plant/line1/temp", 1.0)), 2);
+        assert_eq!(bus.publish(&m("plant/line2/temp", 2.0)), 1);
+        assert_eq!(all.try_iter().count(), 2);
+        let got: Vec<Measurement> = line1.try_iter().collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].point, "plant/line1/temp");
+    }
+
+    #[test]
+    fn dropped_subscriber_pruned() {
+        let bus = Bus::new();
+        let rx = bus.subscribe("a");
+        assert_eq!(bus.subscriber_count(), 1);
+        drop(rx);
+        // Pruning happens on the next matching publish.
+        assert_eq!(bus.publish(&m("a/x", 1.0)), 0);
+        assert_eq!(bus.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let bus = std::sync::Arc::new(Bus::new());
+        let rx = bus.subscribe("t");
+        let b2 = bus.clone();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                b2.publish(&m("t/x", i as f64));
+            }
+        });
+        h.join().expect("publisher thread");
+        assert_eq!(rx.try_iter().count(), 100);
+    }
+}

@@ -1,0 +1,35 @@
+//! # iiot-gateway — interoperability middleware for heterogeneous devices
+//!
+//! §III of the paper: industrial IoT systems "normally complement the
+//! infrastructure or even integrate its various existing components",
+//! so "even dedicated IoT-oriented devices can be highly heterogeneous
+//! in a single system ... they must interoperate to give an illusion of
+//! a single coherent system". This crate is that integration layer:
+//!
+//! * [`model`] — the normalized data model (points, units, quality) and
+//!   the `Adapter` trait;
+//! * [`modbus`] — a Modbus-RTU legacy device (real CRC-16 framing,
+//!   function codes 0x03/0x06) and its register-map adapter;
+//! * [`gatt`] — a BLE/GATT sensor (SIG characteristic formats) and its
+//!   adapter;
+//! * [`tlv`] — a raw 802.15.4-class TLV sensor, optionally protected
+//!   with [`iiot_security`] frame security, and its adapter;
+//! * [`bus`] — the internal publish/subscribe backbone;
+//! * [`bridge`] — the `Gateway`: polls adapters,
+//!   normalizes onto the bus and a CRDT-mergeable cache (for gateway
+//!   redundancy), and serves the unified namespace northbound over
+//!   CoAP (GET/PUT/Observe).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bridge;
+pub mod bus;
+pub mod gatt;
+pub mod modbus;
+pub mod model;
+pub mod tlv;
+
+pub use bridge::Gateway;
+pub use bus::Bus;
+pub use model::{Adapter, DeviceInfo, Measurement, PointInfo, Quality, Unit, WriteError};

@@ -1,0 +1,147 @@
+//! Connectivity oracles over a simulated deployment: breadth-first hop
+//! counts, BFS parent trees and reachability.
+//!
+//! These are *deployment-planning* utilities (and test oracles), not
+//! protocol components: they look at node positions and the link model
+//! the way an installer's site-survey tool would, e.g. to derive a TDMA
+//! schedule or to know the true hop distance when evaluating a routing
+//! protocol's choices.
+
+use iiot_sim::{NodeId, World};
+use std::collections::VecDeque;
+
+/// Distance below which a link is considered usable: the largest
+/// distance with packet reception ratio at least 0.5.
+fn usable(world: &World, a: NodeId, b: NodeId) -> bool {
+    let m = world.medium();
+    let d = m.pos(a).distance(m.pos(b));
+    match m.config().rssi_at(d) {
+        Some(rssi) => m.config().prr(d, rssi) >= 0.5,
+        None => false,
+    }
+}
+
+/// Adjacency lists under the world's link model (symmetric).
+///
+/// Dead nodes are included in the vector (with their usual links) so
+/// indices equal node ids; filter by [`World::is_alive`] if needed.
+pub fn neighbors(world: &World) -> Vec<Vec<NodeId>> {
+    let n = world.node_count();
+    let mut adj = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (a, b) = (NodeId(i as u32), NodeId(j as u32));
+            if usable(world, a, b) {
+                adj[i].push(b);
+                adj[j].push(a);
+            }
+        }
+    }
+    adj
+}
+
+/// BFS hop distance of every *alive* node from `root` (`None` if
+/// unreachable or dead).
+pub fn hops_from(world: &World, root: NodeId) -> Vec<Option<u32>> {
+    bfs(world, root).0
+}
+
+/// BFS parent of every alive node on a shortest-hop tree rooted at
+/// `root` (`None` for the root itself and for unreachable/dead nodes).
+pub fn parents_bfs(world: &World, root: NodeId) -> Vec<Option<NodeId>> {
+    bfs(world, root).1
+}
+
+fn bfs(world: &World, root: NodeId) -> (Vec<Option<u32>>, Vec<Option<NodeId>>) {
+    let n = world.node_count();
+    let adj = neighbors(world);
+    let mut hops = vec![None; n];
+    let mut parent = vec![None; n];
+    if !world.is_alive(root) {
+        return (hops, parent);
+    }
+    hops[root.index()] = Some(0);
+    let mut q = VecDeque::from([root]);
+    while let Some(u) = q.pop_front() {
+        let hu = hops[u.index()].expect("visited");
+        for &v in &adj[u.index()] {
+            if world.is_alive(v) && hops[v.index()].is_none() {
+                hops[v.index()] = Some(hu + 1);
+                parent[v.index()] = Some(u);
+                q.push_back(v);
+            }
+        }
+    }
+    (hops, parent)
+}
+
+/// Whether every alive node can reach `root` (the partition oracle).
+pub fn all_connected(world: &World, root: NodeId) -> bool {
+    let hops = hops_from(world, root);
+    (0..world.node_count())
+        .all(|i| !world.is_alive(NodeId(i as u32)) || hops[i].is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iiot_sim::prelude::*;
+
+    fn line_world(n: usize, spacing: f64) -> World {
+        let mut w = World::new(WorldConfig::default());
+        w.add_nodes(&Topology::line(n, spacing), |_| {
+            Box::new(Idle) as Box<dyn Proto>
+        });
+        w
+    }
+
+    #[test]
+    fn line_hops_are_sequential() {
+        let w = line_world(5, 20.0); // 20m spacing, 30m range: chain only
+        let hops = hops_from(&w, NodeId(0));
+        assert_eq!(hops, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+        let parents = parents_bfs(&w, NodeId(0));
+        assert_eq!(parents[0], None);
+        assert_eq!(parents[3], Some(NodeId(2)));
+        assert!(all_connected(&w, NodeId(0)));
+    }
+
+    #[test]
+    fn dense_spacing_shortcuts_hops() {
+        let w = line_world(5, 10.0); // 10m spacing: 30m range spans 3 nodes
+        let hops = hops_from(&w, NodeId(0));
+        assert_eq!(hops[4], Some(2), "two 30m jumps cover 40m");
+    }
+
+    #[test]
+    fn dead_node_breaks_the_chain() {
+        let mut w = line_world(5, 20.0);
+        w.kill(NodeId(2));
+        let hops = hops_from(&w, NodeId(0));
+        assert_eq!(hops[1], Some(1));
+        assert_eq!(hops[2], None, "dead");
+        assert_eq!(hops[3], None, "beyond the break");
+        assert!(!all_connected(&w, NodeId(0)));
+    }
+
+    #[test]
+    fn dead_root_reaches_nothing() {
+        let mut w = line_world(3, 20.0);
+        w.kill(NodeId(0));
+        assert_eq!(hops_from(&w, NodeId(0)), vec![None, None, None]);
+    }
+
+    #[test]
+    fn neighbors_symmetric() {
+        let w = line_world(4, 20.0);
+        let adj = neighbors(&w);
+        for (i, list) in adj.iter().enumerate() {
+            for &j in list {
+                assert!(
+                    adj[j.index()].contains(&NodeId(i as u32)),
+                    "asymmetric adjacency"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # iiot-routing — self-organizing collection routing for low-power deployments
+//!
+//! The network layer of the sensing and actuation stack, reproducing the
+//! protocols the paper's scalability and maintainability arguments rest
+//! on (§IV-B, §V-D):
+//!
+//! * [`trickle`] — the RFC 6206 adaptive beaconing timer;
+//! * [`dodag`] — an RPL-flavoured DODAG collection protocol with local
+//!   repair (parent eviction + poisoning + DIS solicitation), global
+//!   repair (version bump), and store-and-forward buffering under
+//!   partition;
+//! * [`rnfd`] — RNFD-style collective border-router failure detection,
+//!   with the solo-detector baseline;
+//! * [`graph`] — connectivity oracles (BFS hops/parents) used for
+//!   deployment planning, TDMA schedules and experiment ground truth.
+//!
+//! All protocols are generic over the [`Mac`](iiot_mac::Mac), so the
+//! same routing code runs over CSMA, LPL, RI-MAC or TDMA.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dodag;
+pub mod graph;
+pub mod rnfd;
+pub mod statictree;
+pub mod trickle;
+
+pub use dodag::{Collected, DodagConfig, DodagNode, Traffic};
+pub use rnfd::{RnfdConfig, RnfdNode};
+pub use statictree::{StaticCollection, StaticConfig};
+pub use trickle::{Trickle, TrickleConfig};

@@ -1,0 +1,403 @@
+//! RNFD-style collective border-router failure detection (paper §IV-B,
+//! citing Iwanicki's RNFD, IPSN 2016).
+//!
+//! The border router is a single point of failure whose loss every node
+//! eventually needs to learn about. A *solo* detector watches the
+//! router's heartbeats alone: over lossy links it must tolerate many
+//! consecutive misses before concluding "dead", or it raises false
+//! alarms. RNFD's insight is parallelism: the router's radio neighbours
+//! ("sentinels") each watch the heartbeats *and share their opinions*;
+//! the verdict requires every sentinel to concur. With `S` sentinels
+//! and per-link loss `p`, a false alarm needs all `S` nodes to miss
+//! simultaneously — probability `p^(m·S)` instead of `p^m` — so each
+//! sentinel can use a far smaller miss threshold `m`, detecting true
+//! crashes *much* faster at equal false-alarm rate.
+//!
+//! This module implements the root (heartbeat source), the sentinel
+//! quorum protocol, and — by configuring a singleton sentinel set — the
+//! solo-detector baseline the experiment compares against.
+
+use iiot_mac::{Mac, MacEvent};
+use iiot_sim::{
+    Ctx, Dst, Frame, NodeId, Proto, RxInfo, SimDuration, SimTime, Timer, TxOutcome,
+};
+use rand::Rng;
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// Upper-layer port of heartbeats.
+pub const PORT_HEARTBEAT: u8 = 20;
+/// Upper-layer port of sentinel opinion votes.
+pub const PORT_VOTE: u8 = 21;
+/// Upper-layer port of the final verdict flood.
+pub const PORT_VERDICT: u8 = 22;
+
+const TAG_HEARTBEAT: u64 = 0x200;
+const TAG_CHECK: u64 = 0x201;
+
+/// Configuration of an [`RnfdNode`].
+#[derive(Clone, Debug)]
+pub struct RnfdConfig {
+    /// The monitored border router.
+    pub root: NodeId,
+    /// Heartbeat period of the router.
+    pub heartbeat: SimDuration,
+    /// Consecutive missed heartbeats before a sentinel suspects the
+    /// router. The solo baseline needs this large; the quorum lets it
+    /// be small.
+    pub miss_threshold: u32,
+    /// The full sentinel set (must agree for a verdict). A singleton
+    /// set containing only this node yields the solo-detector baseline.
+    pub sentinels: Vec<NodeId>,
+}
+
+impl Default for RnfdConfig {
+    fn default() -> Self {
+        RnfdConfig {
+            root: NodeId(0),
+            heartbeat: SimDuration::from_secs(1),
+            miss_threshold: 2,
+            sentinels: Vec::new(),
+        }
+    }
+}
+
+/// One participant of the RNFD protocol: the root (when `ctx.id() ==
+/// config.root`) emits heartbeats; sentinels run the quorum.
+pub struct RnfdNode<M: Mac> {
+    mac: M,
+    config: RnfdConfig,
+    /// Heartbeats seen since the last check tick.
+    hb_since_check: u32,
+    misses: u32,
+    suspected: bool,
+    votes: BTreeMap<NodeId, bool>,
+    verdict_at: Option<SimTime>,
+    hb_seq: u16,
+}
+
+impl<M: Mac> RnfdNode<M> {
+    /// Creates a participant.
+    pub fn new(mac: M, config: RnfdConfig) -> Self {
+        RnfdNode {
+            mac,
+            config,
+            hb_since_check: 0,
+            misses: 0,
+            suspected: false,
+            votes: BTreeMap::new(),
+            verdict_at: None,
+            hb_seq: 0,
+        }
+    }
+
+    /// Whether this sentinel currently suspects the router.
+    pub fn suspected(&self) -> bool {
+        self.suspected
+    }
+
+    /// When this node concluded the router is dead, if it has.
+    pub fn verdict_at(&self) -> Option<SimTime> {
+        self.verdict_at
+    }
+
+    /// Current consecutive miss count.
+    pub fn misses(&self) -> u32 {
+        self.misses
+    }
+
+    fn is_root(&self, ctx: &Ctx<'_>) -> bool {
+        ctx.id() == self.config.root
+    }
+
+    fn is_sentinel(&self, ctx: &Ctx<'_>) -> bool {
+        self.config.sentinels.contains(&ctx.id())
+    }
+
+    fn broadcast_vote(&mut self, ctx: &mut Ctx<'_>, suspect: bool) {
+        let _ = self
+            .mac
+            .send(ctx, Dst::Broadcast, PORT_VOTE, vec![suspect as u8]);
+        ctx.count_node("rnfd_vote_tx", 1.0);
+        self.votes.insert(ctx.id(), suspect);
+        self.check_quorum(ctx);
+    }
+
+    fn check_quorum(&mut self, ctx: &mut Ctx<'_>) {
+        if self.verdict_at.is_some() || !self.suspected {
+            return;
+        }
+        let unanimous = self
+            .config
+            .sentinels
+            .iter()
+            .all(|s| self.votes.get(s).copied() == Some(true));
+        if unanimous {
+            self.verdict_at = Some(ctx.now());
+            ctx.count("rnfd_verdicts", 1.0);
+            ctx.record("rnfd_verdict_time_s", ctx.now().as_secs_f64());
+            let _ = self.mac.send(ctx, Dst::Broadcast, PORT_VERDICT, vec![]);
+        }
+    }
+
+    fn handle_mac_events(&mut self, ctx: &mut Ctx<'_>, events: Vec<MacEvent>) {
+        for ev in events {
+            let MacEvent::Delivered {
+                src,
+                upper_port,
+                payload,
+                ..
+            } = ev
+            else {
+                continue;
+            };
+            match upper_port {
+                PORT_HEARTBEAT => {
+                    self.hb_since_check += 1;
+                    self.misses = 0;
+                    if self.suspected {
+                        // The router is alive after all: retract.
+                        self.suspected = false;
+                        ctx.count_node("rnfd_retract", 1.0);
+                        self.broadcast_vote(ctx, false);
+                    }
+                }
+                PORT_VOTE => {
+                    if self.config.sentinels.contains(&src) && !payload.is_empty() {
+                        self.votes.insert(src, payload[0] != 0);
+                        self.check_quorum(ctx);
+                    }
+                }
+                PORT_VERDICT => {
+                    if self.verdict_at.is_none() {
+                        self.verdict_at = Some(ctx.now());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl<M: Mac> Proto for RnfdNode<M> {
+    fn start(&mut self, ctx: &mut Ctx<'_>) {
+        self.mac.start(ctx);
+        if self.is_root(ctx) {
+            ctx.set_timer(self.config.heartbeat, TAG_HEARTBEAT);
+        } else if self.is_sentinel(ctx) {
+            // Random phase so sentinel checks are unsynchronized, plus
+            // 1.5 periods of grace for the first heartbeat.
+            let jitter = ctx.rng().gen_range(0..self.config.heartbeat.as_micros());
+            ctx.set_timer(
+                self.config.heartbeat + self.config.heartbeat / 2
+                    + SimDuration::from_micros(jitter),
+                TAG_CHECK,
+            );
+        }
+    }
+
+    fn timer(&mut self, ctx: &mut Ctx<'_>, timer: Timer) {
+        let mut out = Vec::new();
+        if self.mac.on_timer(ctx, timer, &mut out) {
+            self.handle_mac_events(ctx, out);
+            return;
+        }
+        match timer.tag {
+            TAG_HEARTBEAT => {
+                self.hb_seq = self.hb_seq.wrapping_add(1);
+                let _ = self.mac.send(
+                    ctx,
+                    Dst::Broadcast,
+                    PORT_HEARTBEAT,
+                    self.hb_seq.to_be_bytes().to_vec(),
+                );
+                ctx.count_node("rnfd_hb_tx", 1.0);
+                ctx.set_timer(self.config.heartbeat, TAG_HEARTBEAT);
+            }
+            TAG_CHECK => {
+                if self.hb_since_check == 0 {
+                    self.misses += 1;
+                    if self.misses >= self.config.miss_threshold && !self.suspected {
+                        self.suspected = true;
+                        ctx.count_node("rnfd_suspect", 1.0);
+                        self.broadcast_vote(ctx, true);
+                    }
+                } else {
+                    self.misses = 0;
+                }
+                self.hb_since_check = 0;
+                ctx.set_timer(self.config.heartbeat, TAG_CHECK);
+            }
+            _ => {}
+        }
+    }
+
+    fn frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame, info: RxInfo) {
+        let mut out = Vec::new();
+        self.mac.on_frame(ctx, frame, info, &mut out);
+        self.handle_mac_events(ctx, out);
+    }
+
+    fn tx_done(&mut self, ctx: &mut Ctx<'_>, outcome: TxOutcome) {
+        let mut out = Vec::new();
+        self.mac.on_tx_done(ctx, outcome, &mut out);
+        self.handle_mac_events(ctx, out);
+    }
+
+    fn crashed(&mut self) {
+        self.mac.crashed();
+        self.hb_since_check = 0;
+        self.misses = 0;
+        self.suspected = false;
+        self.votes.clear();
+        self.hb_seq = 0;
+        // verdict_at is kept: a recovered node remembering its verdict
+        // models operator notification having already fired.
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iiot_mac::csma::{CsmaConfig, CsmaMac};
+    use iiot_sim::prelude::*;
+
+    type Node = RnfdNode<CsmaMac>;
+
+    /// Star: root at the center, `s` sentinels around it, all in range
+    /// of each other.
+    fn star(s: usize, seed: u64, prr: f64, miss_threshold: u32, solo: bool) -> (World, Vec<NodeId>) {
+        let mut wc = WorldConfig::default();
+        wc.seed = seed;
+        if prr < 1.0 {
+            wc.radio.link = LinkModel::LossyDisk {
+                range_m: 30.0,
+                interference_range_m: 45.0,
+                prr,
+            };
+        }
+        let mut w = World::new(wc);
+        let mut topo = Topology::new();
+        topo.push(Pos::new(0.0, 0.0));
+        for k in 0..s {
+            let ang = k as f64 / s as f64 * std::f64::consts::TAU;
+            topo.push(Pos::new(10.0 * ang.cos(), 10.0 * ang.sin()));
+        }
+        let sentinels: Vec<NodeId> = if solo {
+            vec![NodeId(1)]
+        } else {
+            (1..=s as u32).map(NodeId).collect()
+        };
+        let config = RnfdConfig {
+            root: NodeId(0),
+            heartbeat: SimDuration::from_secs(1),
+            miss_threshold,
+            sentinels,
+        };
+        let cfg2 = config.clone();
+        let ids = w.add_nodes(&topo, move |_| {
+            Box::new(RnfdNode::new(
+                CsmaMac::new(CsmaConfig::default()),
+                cfg2.clone(),
+            )) as Box<dyn Proto>
+        });
+        (w, ids)
+    }
+
+    #[test]
+    fn no_false_alarm_when_root_alive() {
+        let (mut w, ids) = star(4, 1, 1.0, 2, false);
+        w.run_for(SimDuration::from_secs(120));
+        for &id in &ids[1..] {
+            assert!(w.proto::<Node>(id).verdict_at().is_none());
+            assert!(!w.proto::<Node>(id).suspected());
+        }
+    }
+
+    #[test]
+    fn collective_detects_root_crash() {
+        let (mut w, ids) = star(4, 2, 1.0, 2, false);
+        let crash_at = SimTime::from_secs(30);
+        w.kill_at(crash_at, ids[0]);
+        w.run_for(SimDuration::from_secs(90));
+        for &id in &ids[1..] {
+            let v = w
+                .proto::<Node>(id)
+                .verdict_at()
+                .expect("every sentinel should reach the verdict");
+            let lat = v.duration_since(crash_at);
+            assert!(
+                lat <= SimDuration::from_secs(10),
+                "detection latency {lat} too large"
+            );
+        }
+    }
+
+    #[test]
+    fn solo_with_small_threshold_false_alarms_on_lossy_links() {
+        // 60% PRR: a solo detector with m=2 will see two consecutive
+        // losses quickly (p^2 = 0.16 per check) and cry wolf.
+        let (mut w, ids) = star(4, 3, 0.6, 2, true);
+        w.run_for(SimDuration::from_secs(120));
+        let solo = w.proto::<Node>(ids[1]);
+        assert!(
+            solo.verdict_at().is_some(),
+            "expected a false alarm from the solo detector"
+        );
+    }
+
+    #[test]
+    fn quorum_with_small_threshold_stays_quiet_on_lossy_links() {
+        // Same loss, same threshold, but 6 sentinels must concur: the
+        // probability that all six miss twice simultaneously is tiny.
+        let (mut w, ids) = star(6, 4, 0.6, 2, false);
+        w.run_for(SimDuration::from_secs(120));
+        for &id in &ids[1..] {
+            assert!(
+                w.proto::<Node>(id).verdict_at().is_none(),
+                "quorum false alarm at {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn quorum_still_detects_real_crash_on_lossy_links() {
+        let (mut w, ids) = star(6, 5, 0.6, 2, false);
+        let crash_at = SimTime::from_secs(40);
+        w.kill_at(crash_at, ids[0]);
+        w.run_for(SimDuration::from_secs(160));
+        let detected = ids[1..]
+            .iter()
+            .filter(|&&id| w.proto::<Node>(id).verdict_at().is_some())
+            .count();
+        assert!(
+            detected >= 4,
+            "only {detected}/6 sentinels reached a verdict"
+        );
+    }
+
+    #[test]
+    fn retraction_on_heartbeat_resume() {
+        // Root pauses (crash) briefly but revives before the quorum
+        // completes everywhere; suspicion must retract on resumed
+        // heartbeats for sentinels that haven't concluded.
+        let (mut w, ids) = star(4, 6, 1.0, 4, false);
+        w.kill_at(SimTime::from_secs(20), ids[0]);
+        // Back before any sentinel can accumulate 4 misses.
+        w.revive_at(SimTime::from_secs(22), ids[0]);
+        w.run_for(SimDuration::from_secs(80));
+        for &id in &ids[1..] {
+            let n = w.proto::<Node>(id);
+            assert!(!n.suspected(), "suspicion should retract at {id}");
+            assert!(n.verdict_at().is_none());
+        }
+    }
+}

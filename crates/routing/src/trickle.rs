@@ -1,0 +1,204 @@
+//! The Trickle timer (RFC 6206): the adaptive beaconing density control
+//! behind RPL's DIO dissemination.
+//!
+//! Trickle transmits rarely when the network is consistent (interval
+//! doubles up to `imin * 2^doublings`) and floods quickly after an
+//! inconsistency (interval resets to `imin`), while suppressing
+//! redundant transmissions when `k` consistent messages were already
+//! heard this interval. The suppression constant `k` is one of the
+//! design knobs DESIGN.md calls out for ablation (control overhead vs.
+//! repair latency).
+//!
+//! The implementation is a pure state machine: the caller owns the
+//! clock, asks where the interval's transmit point and end lie, and
+//! reports what it heard.
+
+use iiot_sim::SimDuration;
+use rand::Rng;
+
+/// Trickle parameters (RFC 6206 terminology).
+#[derive(Clone, Copy, Debug)]
+pub struct TrickleConfig {
+    /// Minimum interval length `Imin`.
+    pub imin: SimDuration,
+    /// Number of doublings: `Imax = Imin * 2^doublings`.
+    pub doublings: u32,
+    /// Redundancy constant `k`: suppress transmission after hearing
+    /// this many consistent messages in the interval.
+    pub k: u32,
+}
+
+impl Default for TrickleConfig {
+    fn default() -> Self {
+        TrickleConfig {
+            imin: SimDuration::from_millis(500),
+            doublings: 8,
+            k: 3,
+        }
+    }
+}
+
+/// One node's Trickle timer state.
+///
+/// # Examples
+///
+/// ```
+/// use iiot_routing::trickle::{Trickle, TrickleConfig};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut t = Trickle::new(TrickleConfig::default());
+/// let iv = t.begin_interval(&mut rng);
+/// assert!(iv.t <= iv.end);
+/// t.heard_consistent();
+/// ```
+#[derive(Clone, Debug)]
+pub struct Trickle {
+    config: TrickleConfig,
+    /// Current interval length.
+    i: SimDuration,
+    /// Consistent messages heard this interval.
+    counter: u32,
+}
+
+/// The timing of one Trickle interval, relative to its start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Transmit point, uniform in `[I/2, I)`.
+    pub t: SimDuration,
+    /// Interval end `I`.
+    pub end: SimDuration,
+}
+
+impl Trickle {
+    /// A fresh timer starting at the minimum interval.
+    pub fn new(config: TrickleConfig) -> Self {
+        Trickle {
+            i: config.imin,
+            config,
+            counter: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrickleConfig {
+        &self.config
+    }
+
+    /// Starts a new interval of the current length: clears the counter
+    /// and draws the transmit point.
+    pub fn begin_interval<R: Rng>(&mut self, rng: &mut R) -> Interval {
+        self.counter = 0;
+        let half = self.i.as_micros() / 2;
+        let t = half + rng.gen_range(0..half.max(1));
+        Interval {
+            t: SimDuration::from_micros(t),
+            end: self.i,
+        }
+    }
+
+    /// Records a consistent message heard this interval.
+    pub fn heard_consistent(&mut self) {
+        self.counter = self.counter.saturating_add(1);
+    }
+
+    /// Whether the node should transmit at the interval's `t` point
+    /// (suppressed once `k` consistent messages were heard).
+    pub fn should_transmit(&self) -> bool {
+        self.counter < self.config.k
+    }
+
+    /// Ends the interval: doubles `I` up to `Imax`. Call
+    /// [`begin_interval`](Trickle::begin_interval) next.
+    pub fn interval_expired(&mut self) {
+        let imax = self.config.imin * (1u64 << self.config.doublings);
+        self.i = (self.i * 2).min(imax);
+    }
+
+    /// An inconsistency was detected: resets `I` to `Imin`. Returns
+    /// `true` if the interval length actually changed (RFC 6206 resets
+    /// only then, avoiding reset storms). Call
+    /// [`begin_interval`](Trickle::begin_interval) if it returns `true`.
+    pub fn inconsistent(&mut self) -> bool {
+        if self.i > self.config.imin {
+            self.i = self.config.imin;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current interval length (diagnostics).
+    pub fn interval_len(&self) -> SimDuration {
+        self.i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn transmit_point_in_second_half() {
+        let mut r = rng();
+        let mut t = Trickle::new(TrickleConfig::default());
+        for _ in 0..100 {
+            let iv = t.begin_interval(&mut r);
+            assert!(iv.t >= iv.end / 2, "t={:?} end={:?}", iv.t, iv.end);
+            assert!(iv.t < iv.end);
+            t.interval_expired();
+        }
+    }
+
+    #[test]
+    fn interval_doubles_to_imax() {
+        let cfg = TrickleConfig {
+            imin: SimDuration::from_millis(100),
+            doublings: 3,
+            k: 1,
+        };
+        let mut t = Trickle::new(cfg);
+        assert_eq!(t.interval_len(), SimDuration::from_millis(100));
+        for _ in 0..10 {
+            t.interval_expired();
+        }
+        assert_eq!(t.interval_len(), SimDuration::from_millis(800));
+    }
+
+    #[test]
+    fn suppression_after_k_messages() {
+        let mut r = rng();
+        let mut t = Trickle::new(TrickleConfig {
+            k: 2,
+            ..TrickleConfig::default()
+        });
+        t.begin_interval(&mut r);
+        assert!(t.should_transmit());
+        t.heard_consistent();
+        assert!(t.should_transmit());
+        t.heard_consistent();
+        assert!(!t.should_transmit());
+        // A new interval clears the counter.
+        t.begin_interval(&mut r);
+        assert!(t.should_transmit());
+    }
+
+    #[test]
+    fn inconsistency_resets_once() {
+        let mut t = Trickle::new(TrickleConfig::default());
+        t.interval_expired();
+        t.interval_expired();
+        assert!(t.interval_len() > t.config().imin);
+        assert!(t.inconsistent());
+        assert_eq!(t.interval_len(), t.config().imin);
+        // Already at Imin: no further reset (no reset storms).
+        assert!(!t.inconsistent());
+    }
+}

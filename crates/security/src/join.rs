@@ -1,0 +1,377 @@
+//! Secure network admission: a three-message join handshake that
+//! delivers the network key to a device holding a pre-shared join key
+//! (the commissioning secret printed on the device label).
+//!
+//! ```text
+//! M1  joiner -> coordinator : addr, Nj,               MIC_J(m1 | addr | Nj)
+//! M2  coordinator -> joiner : Nc, E_J(network key),   MIC_J(m2 | addr | Nj | Nc | ct)
+//! M3  joiner -> coordinator : addr,                   MIC_J(m3 | addr | Nj | Nc)
+//! ```
+//!
+//! Mutual authentication comes from both MICs covering both nonces; the
+//! network key travels encrypted under the join key with a nonce bound
+//! to the exchange.
+
+use crate::crypto::{cbc_mac, ctr_xor, mac_eq, Key};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+const MIC_LEN: usize = 8;
+
+/// Errors during the join handshake.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JoinError {
+    /// Message shorter than its layout.
+    Truncated,
+    /// MIC verification failed (wrong join key or tampering).
+    BadMic,
+    /// Message for an unknown pending exchange or unknown device.
+    Unknown,
+    /// State machine used out of order.
+    BadState,
+}
+
+impl core::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            JoinError::Truncated => write!(f, "join message truncated"),
+            JoinError::BadMic => write!(f, "join message failed authentication"),
+            JoinError::Unknown => write!(f, "no such pending join exchange"),
+            JoinError::BadState => write!(f, "join state machine misuse"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+fn mic(key: &Key, tag: u8, parts: &[&[u8]]) -> Vec<u8> {
+    let mut buf = vec![tag];
+    for p in parts {
+        buf.extend_from_slice(p);
+    }
+    cbc_mac(key, &buf, MIC_LEN)
+}
+
+fn kek_nonce(nj: u64, nc: u64) -> u64 {
+    nj.rotate_left(17) ^ nc
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum JoinerState {
+    Idle,
+    Waiting,
+    Done,
+}
+
+/// The joining device's side of the handshake.
+#[derive(Clone, Debug)]
+pub struct Joiner {
+    addr: u32,
+    join_key: Key,
+    nonce_j: u64,
+    state: JoinerState,
+}
+
+impl Joiner {
+    /// A joiner for device `addr` holding `join_key`.
+    pub fn new(addr: u32, join_key: Key) -> Self {
+        Joiner {
+            addr,
+            join_key,
+            nonce_j: 0,
+            state: JoinerState::Idle,
+        }
+    }
+
+    /// Builds M1.
+    ///
+    /// # Errors
+    ///
+    /// [`JoinError::BadState`] if the handshake already completed.
+    pub fn start<R: Rng>(&mut self, rng: &mut R) -> Result<Vec<u8>, JoinError> {
+        if self.state == JoinerState::Done {
+            return Err(JoinError::BadState);
+        }
+        self.nonce_j = rng.gen();
+        self.state = JoinerState::Waiting;
+        let mut m1 = Vec::with_capacity(4 + 8 + MIC_LEN);
+        m1.extend_from_slice(&self.addr.to_be_bytes());
+        m1.extend_from_slice(&self.nonce_j.to_be_bytes());
+        let tag = mic(
+            &self.join_key,
+            1,
+            &[&self.addr.to_be_bytes(), &self.nonce_j.to_be_bytes()],
+        );
+        m1.extend_from_slice(&tag);
+        Ok(m1)
+    }
+
+    /// Processes M2; on success returns the network key and M3.
+    ///
+    /// # Errors
+    ///
+    /// See [`JoinError`].
+    pub fn handle_m2(&mut self, m2: &[u8]) -> Result<(Key, Vec<u8>), JoinError> {
+        if self.state != JoinerState::Waiting {
+            return Err(JoinError::BadState);
+        }
+        if m2.len() != 8 + 16 + MIC_LEN {
+            return Err(JoinError::Truncated);
+        }
+        let nonce_c = u64::from_be_bytes(m2[0..8].try_into().expect("len"));
+        let ct = &m2[8..24];
+        let tag = &m2[24..];
+        let expect = mic(
+            &self.join_key,
+            2,
+            &[
+                &self.addr.to_be_bytes(),
+                &self.nonce_j.to_be_bytes(),
+                &nonce_c.to_be_bytes(),
+                ct,
+            ],
+        );
+        if !mac_eq(&expect, tag) {
+            return Err(JoinError::BadMic);
+        }
+        let mut key_bytes: [u8; 16] = ct.try_into().expect("len");
+        ctr_xor(
+            &self.join_key,
+            kek_nonce(self.nonce_j, nonce_c),
+            &mut key_bytes,
+        );
+        let network = Key(key_bytes);
+        self.state = JoinerState::Done;
+
+        let mut m3 = Vec::with_capacity(4 + MIC_LEN);
+        m3.extend_from_slice(&self.addr.to_be_bytes());
+        m3.extend_from_slice(&mic(
+            &self.join_key,
+            3,
+            &[
+                &self.addr.to_be_bytes(),
+                &self.nonce_j.to_be_bytes(),
+                &nonce_c.to_be_bytes(),
+            ],
+        ));
+        Ok((network, m3))
+    }
+
+    /// Whether the handshake has completed.
+    pub fn is_done(&self) -> bool {
+        self.state == JoinerState::Done
+    }
+}
+
+/// The coordinator (border router) side of the handshake.
+#[derive(Clone, Debug)]
+pub struct Coordinator {
+    network_key: Key,
+    /// Per-device commissioning secrets.
+    join_keys: BTreeMap<u32, Key>,
+    /// Pending exchanges: addr -> (nonce_j, nonce_c).
+    pending: BTreeMap<u32, (u64, u64)>,
+    joined: Vec<u32>,
+}
+
+impl Coordinator {
+    /// A coordinator distributing `network_key`.
+    pub fn new(network_key: Key) -> Self {
+        Coordinator {
+            network_key,
+            join_keys: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            joined: Vec::new(),
+        }
+    }
+
+    /// Commissions a device: records its join key.
+    pub fn commission(&mut self, addr: u32, join_key: Key) {
+        self.join_keys.insert(addr, join_key);
+    }
+
+    /// Devices that completed the handshake.
+    pub fn joined(&self) -> &[u32] {
+        &self.joined
+    }
+
+    /// Processes M1; returns M2.
+    ///
+    /// # Errors
+    ///
+    /// See [`JoinError`].
+    pub fn handle_m1<R: Rng>(&mut self, m1: &[u8], rng: &mut R) -> Result<Vec<u8>, JoinError> {
+        if m1.len() != 4 + 8 + MIC_LEN {
+            return Err(JoinError::Truncated);
+        }
+        let addr = u32::from_be_bytes(m1[0..4].try_into().expect("len"));
+        let nonce_j = u64::from_be_bytes(m1[4..12].try_into().expect("len"));
+        let tag = &m1[12..];
+        let jk = self.join_keys.get(&addr).ok_or(JoinError::Unknown)?;
+        let expect = mic(jk, 1, &[&addr.to_be_bytes(), &nonce_j.to_be_bytes()]);
+        if !mac_eq(&expect, tag) {
+            return Err(JoinError::BadMic);
+        }
+        let nonce_c: u64 = rng.gen();
+        self.pending.insert(addr, (nonce_j, nonce_c));
+
+        let mut ct = self.network_key.0;
+        ctr_xor(jk, kek_nonce(nonce_j, nonce_c), &mut ct);
+        let mut m2 = Vec::with_capacity(8 + 16 + MIC_LEN);
+        m2.extend_from_slice(&nonce_c.to_be_bytes());
+        m2.extend_from_slice(&ct);
+        m2.extend_from_slice(&mic(
+            jk,
+            2,
+            &[
+                &addr.to_be_bytes(),
+                &nonce_j.to_be_bytes(),
+                &nonce_c.to_be_bytes(),
+                &ct,
+            ],
+        ));
+        Ok(m2)
+    }
+
+    /// Processes M3; returns the address of the newly joined device.
+    ///
+    /// # Errors
+    ///
+    /// See [`JoinError`].
+    pub fn handle_m3(&mut self, m3: &[u8]) -> Result<u32, JoinError> {
+        if m3.len() != 4 + MIC_LEN {
+            return Err(JoinError::Truncated);
+        }
+        let addr = u32::from_be_bytes(m3[0..4].try_into().expect("len"));
+        let tag = &m3[4..];
+        let &(nonce_j, nonce_c) = self.pending.get(&addr).ok_or(JoinError::Unknown)?;
+        let jk = self.join_keys.get(&addr).ok_or(JoinError::Unknown)?;
+        let expect = mic(
+            jk,
+            3,
+            &[
+                &addr.to_be_bytes(),
+                &nonce_j.to_be_bytes(),
+                &nonce_c.to_be_bytes(),
+            ],
+        );
+        if !mac_eq(&expect, tag) {
+            return Err(JoinError::BadMic);
+        }
+        self.pending.remove(&addr);
+        self.joined.push(addr);
+        Ok(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn keys() -> (Key, Key) {
+        (Key(*b"the-network-key!"), Key(*b"device-join-key7"))
+    }
+
+    #[test]
+    fn successful_join_delivers_network_key() {
+        let (nk, jk) = keys();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut coord = Coordinator::new(nk);
+        coord.commission(42, jk);
+        let mut joiner = Joiner::new(42, jk);
+
+        let m1 = joiner.start(&mut rng).expect("m1");
+        let m2 = coord.handle_m1(&m1, &mut rng).expect("m2");
+        let (got_key, m3) = joiner.handle_m2(&m2).expect("m3");
+        assert_eq!(got_key, nk, "network key delivered intact");
+        assert_eq!(coord.handle_m3(&m3), Ok(42));
+        assert_eq!(coord.joined(), &[42]);
+        assert!(joiner.is_done());
+    }
+
+    #[test]
+    fn network_key_not_in_clear() {
+        let (nk, jk) = keys();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut coord = Coordinator::new(nk);
+        coord.commission(1, jk);
+        let mut joiner = Joiner::new(1, jk);
+        let m1 = joiner.start(&mut rng).expect("m1");
+        let m2 = coord.handle_m1(&m1, &mut rng).expect("m2");
+        assert!(
+            !m2.windows(16).any(|w| w == nk.0),
+            "network key leaked in plaintext"
+        );
+    }
+
+    #[test]
+    fn uncommissioned_device_rejected() {
+        let (nk, jk) = keys();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut coord = Coordinator::new(nk);
+        let mut joiner = Joiner::new(99, jk);
+        let m1 = joiner.start(&mut rng).expect("m1");
+        assert_eq!(coord.handle_m1(&m1, &mut rng), Err(JoinError::Unknown));
+    }
+
+    #[test]
+    fn wrong_join_key_rejected_both_ways() {
+        let (nk, jk) = keys();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut coord = Coordinator::new(nk);
+        coord.commission(1, jk);
+        // Attacker guesses a wrong key.
+        let mut rogue = Joiner::new(1, Key(*b"wrong-join-key!!"));
+        let m1 = rogue.start(&mut rng).expect("m1");
+        assert_eq!(coord.handle_m1(&m1, &mut rng), Err(JoinError::BadMic));
+
+        // Legit joiner receives an M2 forged without the join key.
+        let mut joiner = Joiner::new(1, jk);
+        let _ = joiner.start(&mut rng).expect("m1");
+        let forged = vec![0u8; 8 + 16 + 8];
+        assert_eq!(joiner.handle_m2(&forged), Err(JoinError::BadMic));
+    }
+
+    #[test]
+    fn tampered_m2_rejected() {
+        let (nk, jk) = keys();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut coord = Coordinator::new(nk);
+        coord.commission(1, jk);
+        let mut joiner = Joiner::new(1, jk);
+        let m1 = joiner.start(&mut rng).expect("m1");
+        let mut m2 = coord.handle_m1(&m1, &mut rng).expect("m2");
+        m2[10] ^= 1; // flip a ciphertext bit
+        assert_eq!(joiner.handle_m2(&m2), Err(JoinError::BadMic));
+    }
+
+    #[test]
+    fn replayed_m3_rejected() {
+        let (nk, jk) = keys();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut coord = Coordinator::new(nk);
+        coord.commission(1, jk);
+        let mut joiner = Joiner::new(1, jk);
+        let m1 = joiner.start(&mut rng).expect("m1");
+        let m2 = coord.handle_m1(&m1, &mut rng).expect("m2");
+        let (_, m3) = joiner.handle_m2(&m2).expect("ok");
+        assert!(coord.handle_m3(&m3).is_ok());
+        assert_eq!(
+            coord.handle_m3(&m3),
+            Err(JoinError::Unknown),
+            "pending state consumed"
+        );
+    }
+
+    #[test]
+    fn state_machine_misuse() {
+        let (_, jk) = keys();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut joiner = Joiner::new(1, jk);
+        assert_eq!(joiner.handle_m2(&[0; 32]), Err(JoinError::BadState));
+        let _ = joiner.start(&mut rng).expect("m1");
+        assert_eq!(joiner.handle_m2(&[0; 3]), Err(JoinError::Truncated));
+    }
+}

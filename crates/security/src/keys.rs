@@ -1,0 +1,119 @@
+//! Key management: the network key, derived per-link keys, and the
+//! device key store.
+
+use crate::crypto::{cbc_mac_wide, Key};
+use std::collections::BTreeMap;
+
+/// Derives a pairwise link key from the network key and the two device
+/// addresses (order-independent, so both ends derive the same key).
+pub fn derive_link_key(network: &Key, a: u32, b: u32) -> Key {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut input = Vec::with_capacity(12);
+    input.extend_from_slice(b"link");
+    input.extend_from_slice(&lo.to_be_bytes());
+    input.extend_from_slice(&hi.to_be_bytes());
+    let mac = cbc_mac_wide(network, &input);
+    let mut out = [0u8; 16];
+    out.copy_from_slice(&mac);
+    Key(out)
+}
+
+/// A device's key material.
+#[derive(Clone, Debug)]
+pub struct KeyStore {
+    /// This device's address.
+    pub addr: u32,
+    network: Option<Key>,
+    links: BTreeMap<u32, Key>,
+}
+
+impl KeyStore {
+    /// A store for `addr` with no keys yet (pre-join state).
+    pub fn new(addr: u32) -> Self {
+        KeyStore {
+            addr,
+            network: None,
+            links: BTreeMap::new(),
+        }
+    }
+
+    /// Installs the network key (delivered by the secure join).
+    pub fn install_network_key(&mut self, key: Key) {
+        self.network = Some(key);
+        self.links.clear(); // link keys derive from the network key
+    }
+
+    /// The network key, if joined.
+    pub fn network_key(&self) -> Option<&Key> {
+        self.network.as_ref()
+    }
+
+    /// Whether the device holds the network key.
+    pub fn is_joined(&self) -> bool {
+        self.network.is_some()
+    }
+
+    /// The pairwise key for talking to `peer`, derived on first use and
+    /// cached. `None` before joining.
+    pub fn link_key(&mut self, peer: u32) -> Option<Key> {
+        let network = self.network?;
+        let addr = self.addr;
+        Some(
+            *self
+                .links
+                .entry(peer)
+                .or_insert_with(|| derive_link_key(&network, addr, peer)),
+        )
+    }
+
+    /// Wipes all key material (decommissioning, §V-E hygiene).
+    pub fn wipe(&mut self) {
+        self.network = None;
+        self.links.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nk() -> Key {
+        Key(*b"factory-net-key1")
+    }
+
+    #[test]
+    fn link_key_symmetric() {
+        assert_eq!(derive_link_key(&nk(), 1, 2), derive_link_key(&nk(), 2, 1));
+    }
+
+    #[test]
+    fn link_key_pair_specific() {
+        assert_ne!(derive_link_key(&nk(), 1, 2), derive_link_key(&nk(), 1, 3));
+        assert_ne!(derive_link_key(&nk(), 1, 2), nk(), "derived != network");
+    }
+
+    #[test]
+    fn store_lifecycle() {
+        let mut s = KeyStore::new(5);
+        assert!(!s.is_joined());
+        assert!(s.link_key(9).is_none());
+        s.install_network_key(nk());
+        assert!(s.is_joined());
+        let k1 = s.link_key(9).expect("joined");
+        assert_eq!(k1, derive_link_key(&nk(), 5, 9));
+        // Cached: same key on second ask.
+        assert_eq!(s.link_key(9), Some(k1));
+        s.wipe();
+        assert!(!s.is_joined());
+        assert!(s.link_key(9).is_none());
+    }
+
+    #[test]
+    fn both_ends_agree() {
+        let mut a = KeyStore::new(1);
+        let mut b = KeyStore::new(2);
+        a.install_network_key(nk());
+        b.install_network_key(nk());
+        assert_eq!(a.link_key(2), b.link_key(1));
+    }
+}

@@ -1,0 +1,93 @@
+//! # iiot-sim — deterministic discrete-event simulator for the sensing and actuation layer
+//!
+//! This crate is the hardware substitute for the reproduction of
+//! *"A Distributed Systems Perspective on Industrial IoT"* (Iwanicki,
+//! ICDCS 2018): a deterministic discrete-event simulation kernel that
+//! stands in for the low-power wireless testbeds the paper's claims are
+//! grounded in.
+//!
+//! The kernel provides:
+//!
+//! * integer-microsecond [`time`], a totally ordered event queue, and a
+//!   per-node seeded RNG — runs are bit-for-bit reproducible per seed;
+//! * a [`radio`] medium with unit-disk, lossy-disk and log-distance/
+//!   sigmoid-PRR link models, collisions with capture, CCA, channels and
+//!   administrative partitions;
+//! * per-node [`energy`] accounting (sleep/listen/transmit residency,
+//!   charge, projected battery lifetime);
+//! * [`topology`] generators for the deployment shapes industrial IoT
+//!   dictates (lines, grids, uniform scatters, machine clusters);
+//! * fault injection (node crash/recovery, link failures, partitions)
+//!   via [`World::kill`](world::World::kill) and friends;
+//! * [`trace`] counters and sample series for experiment reporting.
+//!
+//! Protocols implement [`node::Proto`] and act through [`world::Ctx`].
+//!
+//! # Examples
+//!
+//! ```
+//! use iiot_sim::prelude::*;
+//! /// Broadcast one hello and count how many neighbours answer.
+//! struct Hello { replies: u32 }
+//!
+//! impl Proto for Hello {
+//!     fn start(&mut self, ctx: &mut Ctx<'_>) {
+//!         ctx.radio_on().expect("radio");
+//!         if ctx.id() == NodeId(0) {
+//!             // Delay the hello so every neighbour has booted its radio.
+//!             ctx.set_timer(SimDuration::from_millis(10), 0);
+//!         }
+//!     }
+//!     fn timer(&mut self, ctx: &mut Ctx<'_>, _t: Timer) {
+//!         ctx.transmit(Dst::Broadcast, 0, b"hi".to_vec()).expect("tx");
+//!     }
+//!     fn frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame, _info: RxInfo) {
+//!         if frame.payload == b"hi" {
+//!             ctx.transmit(Dst::Unicast(frame.src), 0, b"yo".to_vec()).ok();
+//!         } else {
+//!             self.replies += 1;
+//!         }
+//!     }
+//!     fn as_any(&self) -> &dyn std::any::Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+//! }
+//!
+//! let mut world = World::new(WorldConfig::default());
+//! let ids = world.add_nodes(&Topology::line(3, 20.0), |_| Box::new(Hello { replies: 0 }) as Box<dyn Proto>);
+//! world.run_for(SimDuration::from_secs(1));
+//! // Only the immediate neighbour is in the 30 m unit-disk range.
+//! assert_eq!(world.proto::<Hello>(ids[0]).replies, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod energy;
+pub mod ids;
+pub mod node;
+pub mod radio;
+pub mod time;
+pub mod topology;
+pub mod trace;
+pub mod world;
+
+pub use ids::{NodeId, TimerId};
+pub use node::{Idle, Proto, Timer};
+pub use radio::{Dst, Frame, RadioConfig, RadioError, RadioState, RxInfo, TxOutcome};
+pub use time::{SimDuration, SimTime};
+pub use topology::{Pos, Topology};
+pub use world::{Ctx, World, WorldConfig};
+
+/// Convenient glob import for building simulations.
+pub mod prelude {
+    pub use crate::energy::{EnergyModel, EnergyUsage};
+    pub use crate::ids::{NodeId, TimerId};
+    pub use crate::node::{Idle, Proto, Timer};
+    pub use crate::radio::{
+        Dst, Frame, LinkModel, RadioConfig, RadioError, RadioState, RxInfo, TxOutcome,
+    };
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::topology::{Pos, Topology};
+    pub use crate::trace::{Stats, Summary};
+    pub use crate::world::{Ctx, World, WorldConfig};
+}

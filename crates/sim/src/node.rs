@@ -1,0 +1,109 @@
+//! The protocol interface implemented by simulated node software.
+
+use crate::ids::{NodeId, TimerId};
+use crate::radio::{Frame, RxInfo, TxOutcome};
+use crate::world::Ctx;
+use std::any::Any;
+
+/// A fired timer, as delivered to [`Proto::timer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Timer {
+    /// The id returned by [`Ctx::set_timer`](crate::world::Ctx::set_timer).
+    pub id: TimerId,
+    /// The caller-chosen tag, used to multiplex timer purposes.
+    pub tag: u64,
+}
+
+/// The software running on one simulated node.
+///
+/// A `Proto` is a state machine driven entirely by callbacks: the world
+/// calls [`start`](Proto::start) once (and again after a crash-recovery),
+/// then delivers timers, received frames, transmission completions and
+/// backhaul ("wire") messages. All side effects go through the [`Ctx`]
+/// handed to each callback.
+///
+/// Implementations must provide [`as_any`](Proto::as_any) /
+/// [`as_any_mut`](Proto::as_any_mut) (two lines of boilerplate returning
+/// `self`) so experiments can downcast and inspect final protocol state.
+///
+/// # Examples
+///
+/// ```
+/// use iiot_sim::node::{Proto, Timer};
+/// use iiot_sim::world::Ctx;
+/// use std::any::Any;
+///
+/// /// Counts how many times its periodic timer fired.
+/// struct Ticker {
+///     period_ms: u64,
+///     fired: u32,
+/// }
+///
+/// impl Proto for Ticker {
+///     fn start(&mut self, ctx: &mut Ctx<'_>) {
+///         ctx.set_timer(iiot_sim::time::SimDuration::from_millis(self.period_ms), 0);
+///     }
+///     fn timer(&mut self, ctx: &mut Ctx<'_>, _t: Timer) {
+///         self.fired += 1;
+///         ctx.set_timer(iiot_sim::time::SimDuration::from_millis(self.period_ms), 0);
+///     }
+///     fn as_any(&self) -> &dyn Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn Any { self }
+/// }
+/// ```
+pub trait Proto: 'static {
+    /// Called once when the node boots (time of node creation) and again
+    /// after every crash-recovery ([`World::revive`](crate::world::World::revive)).
+    fn start(&mut self, ctx: &mut Ctx<'_>);
+
+    /// A timer set through [`Ctx::set_timer`](crate::world::Ctx::set_timer)
+    /// fired.
+    fn timer(&mut self, ctx: &mut Ctx<'_>, timer: Timer) {
+        let _ = (ctx, timer);
+    }
+
+    /// A frame was received by the radio (and passed address filtering).
+    fn frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame, info: RxInfo) {
+        let _ = (ctx, frame, info);
+    }
+
+    /// A transmission started with [`Ctx::transmit`](crate::world::Ctx::transmit)
+    /// left the air.
+    fn tx_done(&mut self, ctx: &mut Ctx<'_>, outcome: TxOutcome) {
+        let _ = (ctx, outcome);
+    }
+
+    /// A backhaul message sent with
+    /// [`Ctx::wire_send`](crate::world::Ctx::wire_send) arrived. Models
+    /// the wired/IP side of border routers.
+    fn wire(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
+        let _ = (ctx, from, payload);
+    }
+
+    /// The node crashed (fault injection). Volatile state should be
+    /// cleared here; state the implementation considers "persisted to
+    /// flash" may be kept. After a later revive, [`start`](Proto::start)
+    /// runs again.
+    fn crashed(&mut self) {}
+
+    /// Upcast for downcasting to the concrete protocol type.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for downcasting to the concrete protocol type.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A protocol that does nothing; useful as a placeholder (e.g. for nodes
+/// that only relay at the MAC layer in a test).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Idle;
+
+impl Proto for Idle {
+    fn start(&mut self, _ctx: &mut Ctx<'_>) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

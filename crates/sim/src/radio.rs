@@ -1,0 +1,971 @@
+//! The shared wireless medium: propagation, packet loss, collisions,
+//! carrier sensing, channels and partitions.
+//!
+//! The model is deliberately protocol-level rather than RF-accurate (see
+//! DESIGN.md §0): what the experiments need is a medium in which duty
+//! cycling, contention, funneling near border routers and co-channel
+//! interference all have the right *shape*. Three link models are
+//! provided, from fully deterministic (for unit tests) to lossy sigmoid
+//! PRR curves (for experiments).
+
+use crate::ids::NodeId;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Pos;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Destination of a frame at the link layer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Dst {
+    /// A single link-layer destination.
+    Unicast(NodeId),
+    /// All nodes in radio range on the same channel.
+    Broadcast,
+}
+
+impl Dst {
+    /// Whether `node` should accept a frame with this destination
+    /// (ignoring promiscuous mode).
+    pub fn accepts(self, node: NodeId) -> bool {
+        match self {
+            Dst::Unicast(n) => n == node,
+            Dst::Broadcast => true,
+        }
+    }
+}
+
+/// A link-layer frame on the air.
+///
+/// `port` is a one-byte demultiplexing field (similar in role to an
+/// EtherType or an 802.15.4 payload dispatch byte) that lets several
+/// protocols share one radio.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Frame {
+    /// Link-layer source.
+    pub src: NodeId,
+    /// Link-layer destination.
+    pub dst: Dst,
+    /// Protocol demultiplexing byte.
+    pub port: u8,
+    /// Payload bytes (on-air length adds [`RadioConfig::overhead_bytes`]).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(src: NodeId, dst: Dst, port: u8, payload: Vec<u8>) -> Self {
+        Frame {
+            src,
+            dst,
+            port,
+            payload,
+        }
+    }
+}
+
+/// Reception metadata handed to protocols alongside a frame.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RxInfo {
+    /// Received signal strength in dBm.
+    pub rssi_dbm: f64,
+    /// Channel the frame was received on.
+    pub channel: u8,
+    /// When the transmission started.
+    pub started: SimTime,
+}
+
+/// Outcome of a transmission, reported to the sender.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxOutcome {
+    /// Number of link-layer candidates that actually received the frame.
+    /// A real radio does not know this; it is exposed for tracing and
+    /// must not be used for protocol decisions (use ACKs instead).
+    pub oracle_receivers: usize,
+}
+
+/// State of a node's radio.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RadioState {
+    /// Radio powered down (sleep current).
+    #[default]
+    Off,
+    /// Radio on and listening (receive current).
+    Listening,
+    /// Radio transmitting a frame.
+    Transmitting,
+}
+
+/// Errors returned by radio operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RadioError {
+    /// The radio is powered off.
+    Off,
+    /// The radio is already transmitting.
+    Busy,
+    /// Payload exceeds [`RadioConfig::max_payload`].
+    FrameTooLarge,
+    /// The node has been killed by fault injection.
+    NodeDead,
+}
+
+impl core::fmt::Display for RadioError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RadioError::Off => write!(f, "radio is powered off"),
+            RadioError::Busy => write!(f, "radio is already transmitting"),
+            RadioError::FrameTooLarge => write!(f, "payload exceeds maximum frame size"),
+            RadioError::NodeDead => write!(f, "node is dead"),
+        }
+    }
+}
+
+impl std::error::Error for RadioError {}
+
+/// Propagation / loss model for the medium.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum LinkModel {
+    /// Perfect delivery within `range_m`; silence beyond. Interference is
+    /// heard up to `interference_range_m`. The fully deterministic model
+    /// used by most unit tests.
+    UnitDisk {
+        /// Communication range in meters.
+        range_m: f64,
+        /// Range within which a transmission still raises the noise floor.
+        interference_range_m: f64,
+    },
+    /// Like `UnitDisk` but every in-range frame is independently lost
+    /// with probability `1 - prr`.
+    LossyDisk {
+        /// Communication range in meters.
+        range_m: f64,
+        /// Interference range in meters.
+        interference_range_m: f64,
+        /// Packet reception ratio within range, in `[0, 1]`.
+        prr: f64,
+    },
+    /// Log-distance path loss with a sigmoid PRR-vs-RSSI curve: the
+    /// standard empirical model for low-power wireless links, featuring
+    /// a "gray zone" of intermediate-quality links.
+    LogDistance {
+        /// Path-loss exponent (2.0 free space, 3.0-4.0 indoor).
+        path_loss_exp: f64,
+        /// Loss at the 1 m reference distance, in dB.
+        ref_loss_db: f64,
+        /// RSSI at which PRR is 50%, in dBm.
+        rssi50_dbm: f64,
+        /// Width of the transition region, in dB.
+        spread_db: f64,
+    },
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::UnitDisk {
+            range_m: 30.0,
+            interference_range_m: 45.0,
+        }
+    }
+}
+
+/// Static configuration of every radio in the deployment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RadioConfig {
+    /// Radio bitrate in bits per second (802.15.4: 250 kbit/s).
+    pub bitrate_bps: u64,
+    /// Per-frame on-air overhead (preamble, SFD, length, MAC header, FCS).
+    pub overhead_bytes: usize,
+    /// Largest allowed payload per frame.
+    pub max_payload: usize,
+    /// Transmit power in dBm.
+    pub tx_power_dbm: f64,
+    /// Weakest decodable signal in dBm.
+    pub sensitivity_dbm: f64,
+    /// Clear-channel-assessment threshold in dBm.
+    pub cca_threshold_dbm: f64,
+    /// A frame survives interference if it is at least this much
+    /// stronger than every interferer (capture effect), in dB.
+    pub capture_db: f64,
+    /// Propagation and loss model.
+    pub link: LinkModel,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        RadioConfig {
+            bitrate_bps: 250_000,
+            overhead_bytes: 17,
+            max_payload: 110,
+            tx_power_dbm: 0.0,
+            sensitivity_dbm: -94.0,
+            cca_threshold_dbm: -85.0,
+            capture_db: 6.0,
+            link: LinkModel::default(),
+        }
+    }
+}
+
+impl RadioConfig {
+    /// On-air duration of a frame with `payload_len` payload bytes.
+    pub fn airtime(&self, payload_len: usize) -> SimDuration {
+        let bits = (self.overhead_bytes + payload_len) as u64 * 8;
+        SimDuration::from_micros(bits * 1_000_000 / self.bitrate_bps)
+    }
+
+    /// Received power at distance `d` meters, in dBm, or `None` if the
+    /// model treats the nodes as fully out of range of each other.
+    pub fn rssi_at(&self, d: f64) -> Option<f64> {
+        match &self.link {
+            LinkModel::UnitDisk {
+                interference_range_m,
+                ..
+            }
+            | LinkModel::LossyDisk {
+                interference_range_m,
+                ..
+            } => {
+                if d <= *interference_range_m {
+                    // Synthetic monotone RSSI so traces remain meaningful.
+                    Some(self.tx_power_dbm - 40.0 - 20.0 * (d.max(1.0)).log10())
+                } else {
+                    None
+                }
+            }
+            LinkModel::LogDistance {
+                path_loss_exp,
+                ref_loss_db,
+                ..
+            } => {
+                let rssi =
+                    self.tx_power_dbm - ref_loss_db - 10.0 * path_loss_exp * d.max(1.0).log10();
+                if rssi >= self.sensitivity_dbm - 10.0 {
+                    Some(rssi)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Packet reception ratio on a link of length `d` meters with
+    /// received power `rssi` dBm, ignoring collisions.
+    pub fn prr(&self, d: f64, rssi: f64) -> f64 {
+        match &self.link {
+            LinkModel::UnitDisk { range_m, .. } => {
+                if d <= *range_m {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            LinkModel::LossyDisk { range_m, prr, .. } => {
+                if d <= *range_m {
+                    *prr
+                } else {
+                    0.0
+                }
+            }
+            LinkModel::LogDistance {
+                rssi50_dbm,
+                spread_db,
+                ..
+            } => {
+                if rssi < self.sensitivity_dbm {
+                    0.0
+                } else {
+                    1.0 / (1.0 + (-(rssi - rssi50_dbm) / spread_db).exp())
+                }
+            }
+        }
+    }
+}
+
+/// Identifier of a transmission on the medium.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TxId(pub(crate) u64);
+
+#[derive(Clone, Debug)]
+struct NodeRadio {
+    pos: Pos,
+    alive: bool,
+    state: RadioState,
+    channel: u8,
+    /// When the radio last entered `Listening`.
+    listen_since: SimTime,
+    promiscuous: bool,
+    group: u16,
+}
+
+#[derive(Clone, Debug)]
+struct TxRecord {
+    id: TxId,
+    src: NodeId,
+    channel: u8,
+    start: SimTime,
+    end: SimTime,
+    frame: Frame,
+    /// (receiver, rssi, passed-PRR-draw)
+    candidates: Vec<(NodeId, f64, bool)>,
+}
+
+/// Result of evaluating one candidate reception at transmission end.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum RxEval {
+    /// Frame delivered to the node's protocol stack.
+    Deliver(Frame, RxInfo),
+    /// Frame lost (PRR draw, collision, radio moved, address filter).
+    Dropped(DropReason),
+}
+
+/// Why a candidate reception failed; recorded in medium statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// Lost to the link-loss model.
+    Prr,
+    /// Destroyed by an overlapping transmission.
+    Collision,
+    /// The receiver's radio left the listening state mid-frame.
+    RadioMoved,
+    /// Unicast frame for someone else (not an error; address filter).
+    Filtered,
+    /// The receiver died mid-frame.
+    Dead,
+}
+
+/// Aggregate medium statistics, for experiment reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MediumStats {
+    /// Transmissions started.
+    pub tx_started: u64,
+    /// Frames delivered to a protocol stack.
+    pub delivered: u64,
+    /// Candidate receptions lost to the PRR draw.
+    pub lost_prr: u64,
+    /// Candidate receptions lost to collisions.
+    pub lost_collision: u64,
+    /// Candidate receptions lost because the radio left listening state.
+    pub lost_radio_moved: u64,
+    /// Unicast frames dropped by the address filter.
+    pub filtered: u64,
+}
+
+/// The shared wireless medium.
+///
+/// Owned by the [`World`](crate::world::World); protocols interact with it
+/// through [`Ctx`](crate::world::Ctx) radio methods.
+#[derive(Clone, Debug)]
+pub struct Medium {
+    config: RadioConfig,
+    nodes: Vec<NodeRadio>,
+    txs: Vec<TxRecord>,
+    next_tx_id: u64,
+    /// Symmetric pairs of node indices whose link is administratively
+    /// severed (fault injection).
+    blocked_links: HashSet<(u32, u32)>,
+    /// When `true`, nodes in different groups cannot hear each other.
+    partitioned: bool,
+    stats: MediumStats,
+}
+
+impl Medium {
+    /// Creates a medium with the given radio configuration.
+    pub fn new(config: RadioConfig) -> Self {
+        Medium {
+            config,
+            nodes: Vec::new(),
+            txs: Vec::new(),
+            next_tx_id: 0,
+            blocked_links: HashSet::new(),
+            partitioned: false,
+            stats: MediumStats::default(),
+        }
+    }
+
+    /// The radio configuration.
+    pub fn config(&self) -> &RadioConfig {
+        &self.config
+    }
+
+    /// Medium statistics so far.
+    pub fn stats(&self) -> MediumStats {
+        self.stats
+    }
+
+    pub(crate) fn add_node(&mut self, pos: Pos) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeRadio {
+            pos,
+            alive: true,
+            state: RadioState::Off,
+            channel: 0,
+            listen_since: SimTime::ZERO,
+            promiscuous: false,
+            group: 0,
+        });
+        id
+    }
+
+    /// Number of nodes attached to the medium.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Position of `node`.
+    pub fn pos(&self, node: NodeId) -> Pos {
+        self.nodes[node.index()].pos
+    }
+
+    /// Current radio state of `node`.
+    pub fn state(&self, node: NodeId) -> RadioState {
+        self.nodes[node.index()].state
+    }
+
+    /// Current channel of `node`.
+    pub fn channel(&self, node: NodeId) -> u8 {
+        self.nodes[node.index()].channel
+    }
+
+    pub(crate) fn set_alive(&mut self, node: NodeId, alive: bool) {
+        let n = &mut self.nodes[node.index()];
+        n.alive = alive;
+        if !alive {
+            n.state = RadioState::Off;
+        }
+    }
+
+    /// Whether `node` is alive (not killed by fault injection).
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].alive
+    }
+
+    /// Administratively severs the link between `a` and `b` (both ways).
+    pub fn block_link(&mut self, a: NodeId, b: NodeId) {
+        let (x, y) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        self.blocked_links.insert((x, y));
+    }
+
+    /// Restores a previously severed link.
+    pub fn unblock_link(&mut self, a: NodeId, b: NodeId) {
+        let (x, y) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        self.blocked_links.remove(&(x, y));
+    }
+
+    /// Assigns `node` to a partition group (see [`Medium::set_partitioned`]).
+    pub fn set_group(&mut self, node: NodeId, group: u16) {
+        self.nodes[node.index()].group = group;
+    }
+
+    /// Enables or disables the partition: while enabled, nodes in
+    /// different groups cannot hear each other at all.
+    pub fn set_partitioned(&mut self, on: bool) {
+        self.partitioned = on;
+    }
+
+    /// Whether the partition is currently active.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    fn link_open(&self, a: NodeId, b: NodeId) -> bool {
+        let (x, y) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        if self.blocked_links.contains(&(x, y)) {
+            return false;
+        }
+        if self.partitioned && self.nodes[a.index()].group != self.nodes[b.index()].group {
+            return false;
+        }
+        true
+    }
+
+    pub(crate) fn set_promiscuous(&mut self, node: NodeId, on: bool) {
+        self.nodes[node.index()].promiscuous = on;
+    }
+
+    pub(crate) fn radio_on(&mut self, node: NodeId, now: SimTime) -> Result<(), RadioError> {
+        let n = &mut self.nodes[node.index()];
+        if !n.alive {
+            return Err(RadioError::NodeDead);
+        }
+        if n.state == RadioState::Off {
+            n.state = RadioState::Listening;
+            n.listen_since = now;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn radio_off(&mut self, node: NodeId) -> Result<(), RadioError> {
+        let n = &mut self.nodes[node.index()];
+        if !n.alive {
+            return Err(RadioError::NodeDead);
+        }
+        if n.state == RadioState::Transmitting {
+            return Err(RadioError::Busy);
+        }
+        n.state = RadioState::Off;
+        Ok(())
+    }
+
+    pub(crate) fn set_channel(
+        &mut self,
+        node: NodeId,
+        channel: u8,
+        now: SimTime,
+    ) -> Result<(), RadioError> {
+        let n = &mut self.nodes[node.index()];
+        if !n.alive {
+            return Err(RadioError::NodeDead);
+        }
+        if n.state == RadioState::Transmitting {
+            return Err(RadioError::Busy);
+        }
+        if n.channel != channel {
+            n.channel = channel;
+            // Retuning interrupts any ongoing reception.
+            if n.state == RadioState::Listening {
+                n.listen_since = now;
+            }
+        }
+        Ok(())
+    }
+
+    /// Is the channel busy at `node` right now (any audible transmission
+    /// above the CCA threshold)?
+    pub(crate) fn cca_busy(&self, node: NodeId, now: SimTime) -> bool {
+        let me = &self.nodes[node.index()];
+        self.txs.iter().any(|tx| {
+            tx.start <= now
+                && now < tx.end
+                && tx.channel == me.channel
+                && tx.src != node
+                && self.link_open(tx.src, node)
+                && self
+                    .config
+                    .rssi_at(self.nodes[tx.src.index()].pos.distance(me.pos))
+                    .is_some_and(|r| r >= self.config.cca_threshold_dbm)
+        })
+    }
+
+    /// Starts a transmission. Returns the tx id, its end time and the
+    /// list of candidate receivers for which `RxEnd` events must be
+    /// scheduled.
+    pub(crate) fn start_tx<R: Rng>(
+        &mut self,
+        frame: Frame,
+        now: SimTime,
+        rng: &mut R,
+    ) -> Result<(TxId, SimTime, Vec<NodeId>), RadioError> {
+        let src = frame.src;
+        {
+            let n = &self.nodes[src.index()];
+            if !n.alive {
+                return Err(RadioError::NodeDead);
+            }
+            match n.state {
+                RadioState::Off => return Err(RadioError::Off),
+                RadioState::Transmitting => return Err(RadioError::Busy),
+                RadioState::Listening => {}
+            }
+            if frame.payload.len() > self.config.max_payload {
+                return Err(RadioError::FrameTooLarge);
+            }
+        }
+        let end = now + self.config.airtime(frame.payload.len());
+        let channel = self.nodes[src.index()].channel;
+        let src_pos = self.nodes[src.index()].pos;
+
+        // Prune records old enough to never matter again (frames are
+        // milliseconds long; one second of history is generous).
+        let horizon = SimDuration::from_secs(1);
+        let cutoff = if now.as_micros() > horizon.as_micros() {
+            now - horizon
+        } else {
+            SimTime::ZERO
+        };
+        self.txs.retain(|t| t.end >= cutoff);
+
+        let mut candidates = Vec::new();
+        let mut schedule = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let r = NodeId(i as u32);
+            if r == src
+                || !n.alive
+                || n.state != RadioState::Listening
+                || n.channel != channel
+                || !self.link_open(src, r)
+            {
+                continue;
+            }
+            let d = src_pos.distance(n.pos);
+            let Some(rssi) = self.config.rssi_at(d) else {
+                continue;
+            };
+            if rssi < self.config.sensitivity_dbm {
+                continue;
+            }
+            let ok = rng.gen::<f64>() < self.config.prr(d, rssi);
+            candidates.push((r, rssi, ok));
+            schedule.push(r);
+        }
+
+        self.nodes[src.index()].state = RadioState::Transmitting;
+        let id = TxId(self.next_tx_id);
+        self.next_tx_id += 1;
+        self.txs.push(TxRecord {
+            id,
+            src,
+            channel,
+            start: now,
+            end,
+            frame,
+            candidates,
+        });
+        self.stats.tx_started += 1;
+        Ok((id, end, schedule))
+    }
+
+    /// Finishes a transmission at the sender side; returns the outcome.
+    pub(crate) fn end_tx(&mut self, tx: TxId, now: SimTime) -> TxOutcome {
+        let rec = self
+            .txs
+            .iter()
+            .find(|t| t.id == tx)
+            .expect("end_tx: unknown transmission");
+        let src = rec.src;
+        let oracle = rec.candidates.iter().filter(|c| c.2).count();
+        let n = &mut self.nodes[src.index()];
+        if n.alive && n.state == RadioState::Transmitting {
+            n.state = RadioState::Listening;
+            n.listen_since = now;
+        }
+        TxOutcome {
+            oracle_receivers: oracle,
+        }
+    }
+
+    /// Evaluates the candidate reception of `tx` at `node`, at the end of
+    /// the transmission.
+    pub(crate) fn eval_rx(&mut self, tx: TxId, node: NodeId, _now: SimTime) -> RxEval {
+        let Some(rec) = self.txs.iter().find(|t| t.id == tx) else {
+            return RxEval::Dropped(DropReason::RadioMoved);
+        };
+        let rec_start = rec.start;
+        let rec_end = rec.end;
+        let rec_channel = rec.channel;
+        let Some(&(_, rssi, prr_ok)) = rec.candidates.iter().find(|c| c.0 == node) else {
+            return RxEval::Dropped(DropReason::RadioMoved);
+        };
+        let n = &self.nodes[node.index()];
+        if !n.alive {
+            self.stats.lost_radio_moved += 1;
+            return RxEval::Dropped(DropReason::Dead);
+        }
+        // The radio must have been listening on this channel for the
+        // whole frame.
+        if n.state != RadioState::Listening
+            || n.listen_since > rec_start
+            || n.channel != rec_channel
+        {
+            self.stats.lost_radio_moved += 1;
+            return RxEval::Dropped(DropReason::RadioMoved);
+        }
+        if !prr_ok {
+            self.stats.lost_prr += 1;
+            return RxEval::Dropped(DropReason::Prr);
+        }
+        // Collision check: any other overlapping audible transmission
+        // strong enough to defeat capture destroys the frame.
+        let my_pos = n.pos;
+        let src_of = |t: &TxRecord| t.src;
+        for other in &self.txs {
+            if other.id == tx
+                || other.channel != rec_channel
+                || other.end <= rec_start
+                || other.start >= rec_end
+                || src_of(other) == node
+                || !self.link_open(src_of(other), node)
+            {
+                continue;
+            }
+            let d = self.nodes[other.src.index()].pos.distance(my_pos);
+            if let Some(int_rssi) = self.config.rssi_at(d) {
+                if rssi < int_rssi + self.config.capture_db {
+                    self.stats.lost_collision += 1;
+                    return RxEval::Dropped(DropReason::Collision);
+                }
+            }
+        }
+        let rec = self.txs.iter().find(|t| t.id == tx).expect("checked above");
+        if !rec.frame.dst.accepts(node) && !n.promiscuous {
+            self.stats.filtered += 1;
+            return RxEval::Dropped(DropReason::Filtered);
+        }
+        self.stats.delivered += 1;
+        RxEval::Deliver(
+            rec.frame.clone(),
+            RxInfo {
+                rssi_dbm: rssi,
+                channel: rec_channel,
+                started: rec_start,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn medium_with_line(n: usize, spacing: f64) -> Medium {
+        let mut m = Medium::new(RadioConfig::default());
+        for i in 0..n {
+            m.add_node(Pos::new(i as f64 * spacing, 0.0));
+        }
+        m
+    }
+
+    #[test]
+    fn airtime_matches_bitrate() {
+        let c = RadioConfig::default();
+        // (17 + 33) * 8 = 400 bits at 250 kbit/s = 1600 us.
+        assert_eq!(c.airtime(33), SimDuration::from_micros(1600));
+    }
+
+    #[test]
+    fn unit_disk_prr_step() {
+        let c = RadioConfig::default();
+        assert_eq!(c.prr(29.0, -60.0), 1.0);
+        assert_eq!(c.prr(31.0, -60.0), 0.0);
+    }
+
+    #[test]
+    fn log_distance_prr_monotone() {
+        let c = RadioConfig {
+            link: LinkModel::LogDistance {
+                path_loss_exp: 3.0,
+                ref_loss_db: 40.0,
+                rssi50_dbm: -88.0,
+                spread_db: 3.0,
+            },
+            ..RadioConfig::default()
+        };
+        let r10 = c.rssi_at(10.0).unwrap();
+        let r40 = c.rssi_at(40.0).unwrap();
+        assert!(r10 > r40);
+        assert!(c.prr(10.0, r10) > c.prr(40.0, r40));
+    }
+
+    #[test]
+    fn tx_requires_radio_on() {
+        let mut m = medium_with_line(2, 10.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let f = Frame::new(NodeId(0), Dst::Broadcast, 0, vec![1, 2, 3]);
+        assert_eq!(
+            m.start_tx(f, SimTime::ZERO, &mut rng).unwrap_err(),
+            RadioError::Off
+        );
+    }
+
+    #[test]
+    fn basic_delivery() {
+        let mut m = medium_with_line(2, 10.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let t0 = SimTime::ZERO;
+        m.radio_on(NodeId(0), t0).unwrap();
+        m.radio_on(NodeId(1), t0).unwrap();
+        let f = Frame::new(NodeId(0), Dst::Unicast(NodeId(1)), 7, vec![42]);
+        let (tx, end, sched) = m.start_tx(f.clone(), t0, &mut rng).unwrap();
+        assert_eq!(sched, vec![NodeId(1)]);
+        assert_eq!(m.state(NodeId(0)), RadioState::Transmitting);
+        let out = m.end_tx(tx, end);
+        assert_eq!(out.oracle_receivers, 1);
+        assert_eq!(m.state(NodeId(0)), RadioState::Listening);
+        match m.eval_rx(tx, NodeId(1), end) {
+            RxEval::Deliver(got, info) => {
+                assert_eq!(got, f);
+                assert_eq!(info.channel, 0);
+                assert_eq!(info.started, t0);
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        assert_eq!(m.stats().delivered, 1);
+    }
+
+    #[test]
+    fn out_of_range_not_candidate() {
+        let mut m = medium_with_line(2, 100.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        m.radio_on(NodeId(0), SimTime::ZERO).unwrap();
+        m.radio_on(NodeId(1), SimTime::ZERO).unwrap();
+        let f = Frame::new(NodeId(0), Dst::Broadcast, 0, vec![]);
+        let (_, _, sched) = m.start_tx(f, SimTime::ZERO, &mut rng).unwrap();
+        assert!(sched.is_empty());
+    }
+
+    #[test]
+    fn address_filter_drops_foreign_unicast() {
+        let mut m = medium_with_line(3, 10.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for i in 0..3 {
+            m.radio_on(NodeId(i), SimTime::ZERO).unwrap();
+        }
+        let f = Frame::new(NodeId(0), Dst::Unicast(NodeId(1)), 0, vec![]);
+        let (tx, end, sched) = m.start_tx(f, SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(sched.len(), 2);
+        m.end_tx(tx, end);
+        assert!(matches!(
+            m.eval_rx(tx, NodeId(2), end),
+            RxEval::Dropped(DropReason::Filtered)
+        ));
+        assert!(matches!(m.eval_rx(tx, NodeId(1), end), RxEval::Deliver(..)));
+    }
+
+    #[test]
+    fn promiscuous_overhears() {
+        let mut m = medium_with_line(3, 10.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for i in 0..3 {
+            m.radio_on(NodeId(i), SimTime::ZERO).unwrap();
+        }
+        m.set_promiscuous(NodeId(2), true);
+        let f = Frame::new(NodeId(0), Dst::Unicast(NodeId(1)), 0, vec![]);
+        let (tx, end, _) = m.start_tx(f, SimTime::ZERO, &mut rng).unwrap();
+        m.end_tx(tx, end);
+        assert!(matches!(m.eval_rx(tx, NodeId(2), end), RxEval::Deliver(..)));
+    }
+
+    #[test]
+    fn radio_off_mid_frame_loses_it() {
+        let mut m = medium_with_line(2, 10.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        m.radio_on(NodeId(0), SimTime::ZERO).unwrap();
+        m.radio_on(NodeId(1), SimTime::ZERO).unwrap();
+        let f = Frame::new(NodeId(0), Dst::Broadcast, 0, vec![0; 50]);
+        let (tx, end, _) = m.start_tx(f, SimTime::ZERO, &mut rng).unwrap();
+        // Receiver cycles its radio in the middle of the frame.
+        m.radio_off(NodeId(1)).unwrap();
+        m.radio_on(NodeId(1), SimTime::from_micros(100)).unwrap();
+        m.end_tx(tx, end);
+        assert!(matches!(
+            m.eval_rx(tx, NodeId(1), end),
+            RxEval::Dropped(DropReason::RadioMoved)
+        ));
+    }
+
+    #[test]
+    fn overlapping_transmissions_collide() {
+        // Nodes 0 and 2 both in range of node 1, equidistant -> no capture.
+        let mut m = medium_with_line(3, 10.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for i in 0..3 {
+            m.radio_on(NodeId(i), SimTime::ZERO).unwrap();
+        }
+        let f0 = Frame::new(NodeId(0), Dst::Broadcast, 0, vec![0; 50]);
+        let f2 = Frame::new(NodeId(2), Dst::Broadcast, 0, vec![0; 50]);
+        let (tx0, end0, _) = m.start_tx(f0, SimTime::ZERO, &mut rng).unwrap();
+        let (_tx2, _, _) = m
+            .start_tx(f2, SimTime::from_micros(50), &mut rng)
+            .unwrap();
+        m.end_tx(tx0, end0);
+        assert!(matches!(
+            m.eval_rx(tx0, NodeId(1), end0),
+            RxEval::Dropped(DropReason::Collision)
+        ));
+        assert_eq!(m.stats().lost_collision, 1);
+    }
+
+    #[test]
+    fn capture_effect_keeps_strong_frame() {
+        // Interferer much farther away than the sender: capture wins.
+        let mut m = Medium::new(RadioConfig::default());
+        m.add_node(Pos::new(0.0, 0.0)); // sender
+        m.add_node(Pos::new(2.0, 0.0)); // receiver
+        m.add_node(Pos::new(40.0, 0.0)); // weak interferer (interference range only)
+        let mut rng = SmallRng::seed_from_u64(0);
+        for i in 0..3 {
+            m.radio_on(NodeId(i), SimTime::ZERO).unwrap();
+        }
+        let f0 = Frame::new(NodeId(0), Dst::Unicast(NodeId(1)), 0, vec![0; 20]);
+        let f2 = Frame::new(NodeId(2), Dst::Broadcast, 0, vec![0; 20]);
+        let (tx0, end0, _) = m.start_tx(f0, SimTime::ZERO, &mut rng).unwrap();
+        m.start_tx(f2, SimTime::from_micros(10), &mut rng).unwrap();
+        m.end_tx(tx0, end0);
+        assert!(matches!(m.eval_rx(tx0, NodeId(1), end0), RxEval::Deliver(..)));
+    }
+
+    #[test]
+    fn different_channels_do_not_interact() {
+        let mut m = medium_with_line(2, 10.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        m.radio_on(NodeId(0), SimTime::ZERO).unwrap();
+        m.radio_on(NodeId(1), SimTime::ZERO).unwrap();
+        m.set_channel(NodeId(1), 5, SimTime::ZERO).unwrap();
+        let f = Frame::new(NodeId(0), Dst::Broadcast, 0, vec![]);
+        let (_, _, sched) = m.start_tx(f, SimTime::ZERO, &mut rng).unwrap();
+        assert!(sched.is_empty());
+        assert!(!m.cca_busy(NodeId(1), SimTime::from_micros(10)));
+    }
+
+    #[test]
+    fn cca_sees_ongoing_transmission() {
+        let mut m = medium_with_line(2, 10.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        m.radio_on(NodeId(0), SimTime::ZERO).unwrap();
+        m.radio_on(NodeId(1), SimTime::ZERO).unwrap();
+        let f = Frame::new(NodeId(0), Dst::Broadcast, 0, vec![0; 50]);
+        let (tx, end, _) = m.start_tx(f, SimTime::ZERO, &mut rng).unwrap();
+        assert!(m.cca_busy(NodeId(1), SimTime::from_micros(10)));
+        m.end_tx(tx, end);
+        assert!(!m.cca_busy(NodeId(1), end));
+    }
+
+    #[test]
+    fn blocked_link_and_partition() {
+        let mut m = medium_with_line(2, 10.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        m.radio_on(NodeId(0), SimTime::ZERO).unwrap();
+        m.radio_on(NodeId(1), SimTime::ZERO).unwrap();
+        m.block_link(NodeId(0), NodeId(1));
+        let f = Frame::new(NodeId(0), Dst::Broadcast, 0, vec![]);
+        let (tx, end, sched) = m.start_tx(f.clone(), SimTime::ZERO, &mut rng).unwrap();
+        assert!(sched.is_empty());
+        m.end_tx(tx, end);
+        m.unblock_link(NodeId(0), NodeId(1));
+        m.set_group(NodeId(1), 1);
+        m.set_partitioned(true);
+        let (tx, end, sched) = m
+            .start_tx(f.clone(), SimTime::from_millis(10), &mut rng)
+            .unwrap();
+        assert!(sched.is_empty());
+        m.end_tx(tx, end);
+        m.set_partitioned(false);
+        let (_, _, sched) = m.start_tx(f, SimTime::from_millis(20), &mut rng).unwrap();
+        assert_eq!(sched, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn dead_node_cannot_transmit() {
+        let mut m = medium_with_line(2, 10.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        m.radio_on(NodeId(0), SimTime::ZERO).unwrap();
+        m.set_alive(NodeId(0), false);
+        let f = Frame::new(NodeId(0), Dst::Broadcast, 0, vec![]);
+        assert_eq!(
+            m.start_tx(f, SimTime::ZERO, &mut rng).unwrap_err(),
+            RadioError::NodeDead
+        );
+    }
+
+    #[test]
+    fn frame_too_large_rejected() {
+        let mut m = medium_with_line(1, 10.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        m.radio_on(NodeId(0), SimTime::ZERO).unwrap();
+        let f = Frame::new(NodeId(0), Dst::Broadcast, 0, vec![0; 200]);
+        assert_eq!(
+            m.start_tx(f, SimTime::ZERO, &mut rng).unwrap_err(),
+            RadioError::FrameTooLarge
+        );
+    }
+}

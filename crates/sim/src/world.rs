@@ -1,0 +1,860 @@
+//! The simulation engine: event queue, node lifecycle, fault injection.
+
+use crate::energy::{EnergyMeter, EnergyModel, EnergyUsage};
+use crate::ids::{NodeId, TimerId};
+use crate::node::{Proto, Timer};
+use crate::radio::{
+    Dst, Frame, Medium, RadioConfig, RadioError, RadioState, RxEval, TxId,
+};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{Pos, Topology};
+use crate::trace::Stats;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Static world parameters.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Master seed; everything random derives from it.
+    pub seed: u64,
+    /// Radio configuration shared by all nodes.
+    pub radio: RadioConfig,
+    /// Energy model shared by all nodes.
+    pub energy: EnergyModel,
+    /// One-way latency of the backhaul "wire" between nodes
+    /// (models the IP network between border routers and servers).
+    pub wire_latency: SimDuration,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 0xD15C0,
+            radio: RadioConfig::default(),
+            energy: EnergyModel::default(),
+            wire_latency: SimDuration::from_millis(20),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Start { node: NodeId },
+    Timer { node: NodeId, id: u64, tag: u64 },
+    TxEnd { node: NodeId, tx: TxId },
+    RxEnd { node: NodeId, tx: TxId },
+    Wire { to: NodeId, from: NodeId, payload: Vec<u8> },
+    Action(usize),
+}
+
+struct QEntry {
+    time: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Everything the engine owns besides the protocol objects. Split out so
+/// a node's protocol can be borrowed mutably at the same time as the
+/// kernel (via [`Ctx`]).
+pub(crate) struct Kernel {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<QEntry>>,
+    seq: u64,
+    medium: Medium,
+    energy_model: EnergyModel,
+    meters: Vec<EnergyMeter>,
+    rngs: Vec<SmallRng>,
+    stats: Stats,
+    cancelled: HashSet<u64>,
+    next_timer: u64,
+    wire_latency: SimDuration,
+    seed: u64,
+}
+
+impl Kernel {
+    fn push(&mut self, time: SimTime, ev: Ev) {
+        debug_assert!(time >= self.now, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QEntry { time, seq, ev }));
+    }
+
+    fn sync_meter(&mut self, node: NodeId) {
+        let state = self.medium.state(node);
+        self.meters[node.index()].transition(self.now, state);
+    }
+}
+
+/// The world: a set of nodes with protocol stacks, a shared radio
+/// medium, an event queue and fault-injection hooks.
+///
+/// # Examples
+///
+/// ```
+/// use iiot_sim::prelude::*;
+///
+/// let mut world = World::new(WorldConfig::default());
+/// let a = world.add_node(Pos::new(0.0, 0.0), Box::new(Idle));
+/// let b = world.add_node(Pos::new(10.0, 0.0), Box::new(Idle));
+/// world.run_for(SimDuration::from_secs(1));
+/// assert_eq!(world.now(), SimTime::from_secs(1));
+/// assert_ne!(a, b);
+/// ```
+pub struct World {
+    kernel: Kernel,
+    protos: Vec<Box<dyn Proto>>,
+    alive: Vec<bool>,
+    actions: Vec<Option<Box<dyn FnOnce(&mut World)>>>,
+}
+
+impl World {
+    /// Creates an empty world.
+    pub fn new(config: WorldConfig) -> Self {
+        World {
+            kernel: Kernel {
+                now: SimTime::ZERO,
+                queue: BinaryHeap::new(),
+                seq: 0,
+                medium: Medium::new(config.radio),
+                energy_model: config.energy,
+                meters: Vec::new(),
+                rngs: Vec::new(),
+                stats: Stats::new(),
+                cancelled: HashSet::new(),
+                next_timer: 0,
+                wire_latency: config.wire_latency,
+                seed: config.seed,
+            },
+            protos: Vec::new(),
+            alive: Vec::new(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// Adds a node at `pos` running `proto`. Its [`Proto::start`] runs at
+    /// the current simulation time, before any later event.
+    pub fn add_node(&mut self, pos: Pos, proto: Box<dyn Proto>) -> NodeId {
+        let id = self.kernel.medium.add_node(pos);
+        debug_assert_eq!(id.index(), self.protos.len());
+        self.protos.push(proto);
+        self.alive.push(true);
+        let mut meter = EnergyMeter::new();
+        meter.transition(self.kernel.now, RadioState::Off);
+        self.kernel.meters.push(meter);
+        let node_seed = self
+            .kernel
+            .seed
+            .wrapping_add((id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.kernel.rngs.push(SmallRng::seed_from_u64(node_seed));
+        let now = self.kernel.now;
+        self.kernel.push(now, Ev::Start { node: id });
+        id
+    }
+
+    /// Adds one node per position in `topo`, all running protocols
+    /// produced by `make`. Returns the ids in order.
+    pub fn add_nodes<F>(&mut self, topo: &Topology, mut make: F) -> Vec<NodeId>
+    where
+        F: FnMut(usize) -> Box<dyn Proto>,
+    {
+        (0..topo.len())
+            .map(|i| self.add_node(topo.pos(i), make(i)))
+            .collect()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.protos.len()
+    }
+
+    /// Shared medium (read access: stats, radio states, positions).
+    pub fn medium(&self) -> &Medium {
+        &self.kernel.medium
+    }
+
+    /// Mutable medium access for link fault injection and partitions.
+    pub fn medium_mut(&mut self) -> &mut Medium {
+        &mut self.kernel.medium
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.kernel.stats
+    }
+
+    /// Mutable statistics (for experiment bookkeeping outside protocols).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.kernel.stats
+    }
+
+    /// Energy usage of `node` as of the current time.
+    pub fn energy(&self, node: NodeId) -> EnergyUsage {
+        self.kernel.meters[node.index()].snapshot(self.kernel.now)
+    }
+
+    /// The world energy model.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.kernel.energy_model
+    }
+
+    /// Whether `node` is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// Immutable access to a node's protocol, downcast to `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol of `node` is not a `T`.
+    pub fn proto<T: Proto>(&self, node: NodeId) -> &T {
+        self.protos[node.index()]
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("protocol type mismatch")
+    }
+
+    /// Mutable access to a node's protocol, downcast to `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol of `node` is not a `T`.
+    pub fn proto_mut<T: Proto>(&mut self, node: NodeId) -> &mut T {
+        self.protos[node.index()]
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("protocol type mismatch")
+    }
+
+    /// Runs a closure with a [`Ctx`] for `node`, e.g. to inject an
+    /// application-level request from a test.
+    pub fn with_ctx<R>(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Proto, &mut Ctx<'_>) -> R) -> R {
+        let kernel = &mut self.kernel;
+        let proto = &mut self.protos[node.index()];
+        let mut ctx = Ctx { kernel, node };
+        f(proto.as_mut(), &mut ctx)
+    }
+
+    /// Schedules `f` to run on the world at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
+        assert!(at >= self.kernel.now, "cannot schedule into the past");
+        let idx = self.actions.len();
+        self.actions.push(Some(Box::new(f)));
+        self.kernel.push(at, Ev::Action(idx));
+    }
+
+    /// Kills `node` now: radio off, pending behaviour stops, volatile
+    /// protocol state is cleared via [`Proto::crashed`].
+    pub fn kill(&mut self, node: NodeId) {
+        if !self.alive[node.index()] {
+            return;
+        }
+        self.alive[node.index()] = false;
+        self.kernel.medium.set_alive(node, false);
+        self.kernel.sync_meter(node);
+        self.protos[node.index()].crashed();
+    }
+
+    /// Revives a dead node: it boots again through [`Proto::start`].
+    pub fn revive(&mut self, node: NodeId) {
+        if self.alive[node.index()] {
+            return;
+        }
+        self.alive[node.index()] = true;
+        self.kernel.medium.set_alive(node, true);
+        self.kernel.sync_meter(node);
+        let now = self.kernel.now;
+        self.kernel.push(now, Ev::Start { node });
+    }
+
+    /// Schedules a kill at `at`.
+    pub fn kill_at(&mut self, at: SimTime, node: NodeId) {
+        self.schedule(at, move |w| w.kill(node));
+    }
+
+    /// Schedules a revive at `at`.
+    pub fn revive_at(&mut self, at: SimTime, node: NodeId) {
+        self.schedule(at, move |w| w.revive(node));
+    }
+
+    /// Runs the simulation until `deadline` (inclusive of events at the
+    /// deadline); afterwards `now() == deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            let Some(Reverse(front)) = self.kernel.queue.peek() else {
+                break;
+            };
+            if front.time > deadline {
+                break;
+            }
+            let Reverse(entry) = self.kernel.queue.pop().expect("peeked");
+            debug_assert!(entry.time >= self.kernel.now);
+            self.kernel.now = entry.time;
+            self.dispatch(entry.ev);
+        }
+        self.kernel.now = deadline;
+    }
+
+    /// Runs the simulation for `d` more simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.kernel.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Runs until the event queue drains or `deadline` passes, whichever
+    /// comes first. Returns `true` if the queue drained.
+    pub fn run_until_idle(&mut self, deadline: SimTime) -> bool {
+        loop {
+            let Some(Reverse(front)) = self.kernel.queue.peek() else {
+                return true;
+            };
+            if front.time > deadline {
+                self.kernel.now = deadline;
+                return false;
+            }
+            let Reverse(entry) = self.kernel.queue.pop().expect("peeked");
+            self.kernel.now = entry.time;
+            self.dispatch(entry.ev);
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Action(idx) => {
+                if let Some(f) = self.actions[idx].take() {
+                    f(self);
+                }
+            }
+            Ev::Start { node } => {
+                if self.alive[node.index()] {
+                    self.call(node, |p, ctx| p.start(ctx));
+                }
+            }
+            Ev::Timer { node, id, tag } => {
+                if self.kernel.cancelled.remove(&id) {
+                    return;
+                }
+                if self.alive[node.index()] {
+                    self.call(node, |p, ctx| {
+                        p.timer(
+                            ctx,
+                            Timer {
+                                id: TimerId(id),
+                                tag,
+                            },
+                        )
+                    });
+                }
+            }
+            Ev::TxEnd { node, tx } => {
+                let outcome = self.kernel.medium.end_tx(tx, self.kernel.now);
+                self.kernel.sync_meter(node);
+                if self.alive[node.index()] {
+                    self.call(node, |p, ctx| p.tx_done(ctx, outcome));
+                }
+            }
+            Ev::RxEnd { node, tx } => {
+                let eval = self.kernel.medium.eval_rx(tx, node, self.kernel.now);
+                if let RxEval::Deliver(frame, info) = eval {
+                    if self.alive[node.index()] {
+                        self.call(node, |p, ctx| p.frame(ctx, &frame, info));
+                    }
+                }
+            }
+            Ev::Wire { to, from, payload } => {
+                if self.alive[to.index()] {
+                    self.call(to, |p, ctx| p.wire(ctx, from, &payload));
+                }
+            }
+        }
+    }
+
+    fn call(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Proto, &mut Ctx<'_>)) {
+        let kernel = &mut self.kernel;
+        let proto = &mut self.protos[node.index()];
+        let mut ctx = Ctx { kernel, node };
+        f(proto.as_mut(), &mut ctx);
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.kernel.now)
+            .field("nodes", &self.protos.len())
+            .field("queued_events", &self.kernel.queue.len())
+            .finish()
+    }
+}
+
+/// The per-callback handle through which protocols act on the world.
+///
+/// A `Ctx` is only valid during one callback; all its operations are
+/// attributed to the node the callback was delivered to.
+pub struct Ctx<'a> {
+    kernel: &'a mut Kernel,
+    node: NodeId,
+}
+
+impl Ctx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// The node this callback belongs to.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// This node's position.
+    pub fn pos(&self) -> Pos {
+        self.kernel.medium.pos(self.node)
+    }
+
+    /// Total number of nodes in the world (deployment-time knowledge).
+    pub fn node_count(&self) -> usize {
+        self.kernel.medium.node_count()
+    }
+
+    /// The shared radio configuration (bitrates, frame limits, ranges).
+    pub fn radio(&self) -> &RadioConfig {
+        self.kernel.medium.config()
+    }
+
+    /// This node's deterministic random source.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.kernel.rngs[self.node.index()]
+    }
+
+    /// Arms a one-shot timer firing after `delay`, carrying `tag`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        self.set_timer_at(self.kernel.now + delay, tag)
+    }
+
+    /// Arms a one-shot timer firing at absolute time `at`, carrying `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn set_timer_at(&mut self, at: SimTime, tag: u64) -> TimerId {
+        assert!(at >= self.kernel.now, "timer in the past");
+        let id = self.kernel.next_timer;
+        self.kernel.next_timer += 1;
+        self.kernel.push(
+            at,
+            Ev::Timer {
+                node: self.node,
+                id,
+                tag,
+            },
+        );
+        TimerId(id)
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or
+    /// [`TimerId::NONE`] timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        if !id.is_none() {
+            self.kernel.cancelled.insert(id.0);
+        }
+    }
+
+    /// Powers the radio on (listening).
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the node is dead (cannot happen from a live callback).
+    pub fn radio_on(&mut self) -> Result<(), RadioError> {
+        self.kernel.medium.radio_on(self.node, self.kernel.now)?;
+        self.kernel.sync_meter(self.node);
+        Ok(())
+    }
+
+    /// Powers the radio off (sleep).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`RadioError::Busy`] while transmitting.
+    pub fn radio_off(&mut self) -> Result<(), RadioError> {
+        self.kernel.medium.radio_off(self.node)?;
+        self.kernel.sync_meter(self.node);
+        Ok(())
+    }
+
+    /// Current radio state.
+    pub fn radio_state(&self) -> RadioState {
+        self.kernel.medium.state(self.node)
+    }
+
+    /// Retunes the radio to `channel`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`RadioError::Busy`] while transmitting.
+    pub fn set_channel(&mut self, channel: u8) -> Result<(), RadioError> {
+        self.kernel
+            .medium
+            .set_channel(self.node, channel, self.kernel.now)
+    }
+
+    /// The radio's current channel.
+    pub fn channel(&self) -> u8 {
+        self.kernel.medium.channel(self.node)
+    }
+
+    /// Enables or disables promiscuous reception (overhearing).
+    pub fn set_promiscuous(&mut self, on: bool) {
+        self.kernel.medium.set_promiscuous(self.node, on);
+    }
+
+    /// Clear channel assessment: `true` if an audible transmission is in
+    /// the air right now.
+    pub fn cca_busy(&self) -> bool {
+        self.kernel.medium.cca_busy(self.node, self.kernel.now)
+    }
+
+    /// Starts transmitting `payload` to `dst` on the demux `port`.
+    /// Completion is signalled via [`Proto::tx_done`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadioError::Off`] if the radio is off, [`RadioError::Busy`]
+    /// if a transmission is in progress, or [`RadioError::FrameTooLarge`].
+    pub fn transmit(&mut self, dst: Dst, port: u8, payload: Vec<u8>) -> Result<(), RadioError> {
+        let frame = Frame::new(self.node, dst, port, payload);
+        let node = self.node;
+        // Borrow dance: rng and medium are both in the kernel.
+        let (tx, end, schedule) = {
+            let Kernel {
+                medium, rngs, now, ..
+            } = &mut *self.kernel;
+            medium.start_tx(frame, *now, &mut rngs[node.index()])?
+        };
+        self.kernel.sync_meter(node);
+        self.kernel.push(end, Ev::TxEnd { node, tx });
+        for r in schedule {
+            self.kernel.push(end, Ev::RxEnd { node: r, tx });
+        }
+        Ok(())
+    }
+
+    /// Sends `payload` over the backhaul wire to `to`, arriving after the
+    /// configured wire latency. Only meaningful between nodes that are
+    /// conceptually wired (border routers, servers); the medium does not
+    /// check this.
+    pub fn wire_send(&mut self, to: NodeId, payload: Vec<u8>) {
+        let at = self.kernel.now + self.kernel.wire_latency;
+        let from = self.node;
+        self.kernel.push(at, Ev::Wire { to, from, payload });
+    }
+
+    /// Adds `v` to the global counter `name`.
+    pub fn count(&mut self, name: &str, v: f64) {
+        self.kernel.stats.inc(name, v);
+    }
+
+    /// Adds `v` to this node's counter `name`.
+    pub fn count_node(&mut self, name: &str, v: f64) {
+        self.kernel.stats.inc_node(self.node, name, v);
+    }
+
+    /// Appends a raw sample to the series `name`.
+    pub fn record(&mut self, name: &str, v: f64) {
+        self.kernel.stats.record(name, v);
+    }
+
+    /// Read access to all statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.kernel.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radio::RxInfo;
+    use crate::node::Idle;
+    use std::any::Any;
+
+    /// Ping-pong: node A unicasts to B, B replies, A records latency.
+    struct Ping {
+        peer: NodeId,
+        initiator: bool,
+        rtts: Vec<f64>,
+        sent_at: SimTime,
+    }
+
+    impl Ping {
+        fn new(peer: NodeId, initiator: bool) -> Self {
+            Ping {
+                peer,
+                initiator,
+                rtts: Vec::new(),
+                sent_at: SimTime::ZERO,
+            }
+        }
+    }
+
+    impl Proto for Ping {
+        fn start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.radio_on().expect("radio");
+            if self.initiator {
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+            }
+        }
+        fn timer(&mut self, ctx: &mut Ctx<'_>, _t: Timer) {
+            self.sent_at = ctx.now();
+            ctx.transmit(Dst::Unicast(self.peer), 1, vec![b'p'])
+                .expect("tx");
+        }
+        fn frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame, _info: RxInfo) {
+            if frame.payload == [b'p'] {
+                ctx.transmit(Dst::Unicast(frame.src), 1, vec![b'r'])
+                    .expect("tx reply");
+            } else {
+                let rtt = ctx.now().duration_since(self.sent_at).as_secs_f64();
+                self.rtts.push(rtt);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut w = World::new(WorldConfig::default());
+        let a = w.add_node(Pos::new(0.0, 0.0), Box::new(Ping::new(NodeId(1), true)));
+        let b = w.add_node(Pos::new(10.0, 0.0), Box::new(Ping::new(NodeId(0), false)));
+        assert_eq!((a, b), (NodeId(0), NodeId(1)));
+        w.run_for(SimDuration::from_secs(1));
+        let ping = w.proto::<Ping>(a);
+        assert_eq!(ping.rtts.len(), 1);
+        // Two 18-byte frames at 250kb/s: 2 * 576 us = 1.152 ms.
+        assert!((ping.rtts[0] - 0.001152).abs() < 1e-6, "rtt {}", ping.rtts[0]);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed: u64| {
+            let mut cfg = WorldConfig::default();
+            cfg.seed = seed;
+            let mut w = World::new(cfg);
+            let a = w.add_node(Pos::new(0.0, 0.0), Box::new(Ping::new(NodeId(1), true)));
+            w.add_node(Pos::new(10.0, 0.0), Box::new(Ping::new(NodeId(0), false)));
+            w.run_for(SimDuration::from_secs(1));
+            (w.medium().stats(), w.proto::<Ping>(a).rtts.clone())
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn kill_stops_timers_and_revive_restarts() {
+        struct Beacons {
+            fired: u32,
+        }
+        impl Proto for Beacons {
+            fn start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(100), 0);
+            }
+            fn timer(&mut self, ctx: &mut Ctx<'_>, _t: Timer) {
+                self.fired += 1;
+                ctx.set_timer(SimDuration::from_millis(100), 0);
+            }
+            fn crashed(&mut self) {
+                self.fired = 0; // volatile state lost
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(WorldConfig::default());
+        let n = w.add_node(Pos::new(0.0, 0.0), Box::new(Beacons { fired: 0 }));
+        w.kill_at(SimTime::from_millis(550), n);
+        w.revive_at(SimTime::from_secs(2), n);
+        w.run_until(SimTime::from_millis(1900));
+        // 5 fires before the kill, none after, reset on crash.
+        assert_eq!(w.proto::<Beacons>(n).fired, 0);
+        assert!(!w.is_alive(n));
+        w.run_until(SimTime::from_secs(3));
+        assert!(w.is_alive(n));
+        let fired = w.proto::<Beacons>(n).fired;
+        assert!((9..=11).contains(&fired), "fired {fired} after revive");
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        struct C {
+            fired: bool,
+        }
+        impl Proto for C {
+            fn start(&mut self, ctx: &mut Ctx<'_>) {
+                let t = ctx.set_timer(SimDuration::from_millis(10), 0);
+                ctx.cancel_timer(t);
+                ctx.cancel_timer(TimerId::NONE); // no-op
+            }
+            fn timer(&mut self, _ctx: &mut Ctx<'_>, _t: Timer) {
+                self.fired = true;
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(WorldConfig::default());
+        let n = w.add_node(Pos::new(0.0, 0.0), Box::new(C { fired: false }));
+        w.run_for(SimDuration::from_secs(1));
+        assert!(!w.proto::<C>(n).fired);
+    }
+
+    #[test]
+    fn wire_messages_arrive_after_latency() {
+        struct W {
+            got: Vec<(NodeId, Vec<u8>, SimTime)>,
+            send_to: Option<NodeId>,
+        }
+        impl Proto for W {
+            fn start(&mut self, ctx: &mut Ctx<'_>) {
+                if let Some(to) = self.send_to {
+                    ctx.wire_send(to, vec![9, 9]);
+                }
+            }
+            fn wire(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
+                self.got.push((from, payload.to_vec(), ctx.now()));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(WorldConfig::default());
+        let a = w.add_node(
+            Pos::new(0.0, 0.0),
+            Box::new(W {
+                got: vec![],
+                send_to: Some(NodeId(1)),
+            }),
+        );
+        let b = w.add_node(
+            Pos::new(1000.0, 0.0), // far out of radio range: wire still works
+            Box::new(W {
+                got: vec![],
+                send_to: None,
+            }),
+        );
+        w.run_for(SimDuration::from_secs(1));
+        let got = &w.proto::<W>(b).got;
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, a);
+        assert_eq!(got[0].1, vec![9, 9]);
+        assert_eq!(got[0].2, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn energy_accounting_through_ctx() {
+        struct E;
+        impl Proto for E {
+            fn start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.radio_on().expect("on");
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+            fn timer(&mut self, ctx: &mut Ctx<'_>, _t: Timer) {
+                ctx.radio_off().expect("off");
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(WorldConfig::default());
+        let n = w.add_node(Pos::new(0.0, 0.0), Box::new(E));
+        w.run_for(SimDuration::from_secs(10));
+        let u = w.energy(n);
+        assert_eq!(u.listen, SimDuration::from_secs(1));
+        assert_eq!(u.sleep, SimDuration::from_secs(9));
+    }
+
+    #[test]
+    fn run_until_idle_drains() {
+        let mut w = World::new(WorldConfig::default());
+        w.add_node(Pos::new(0.0, 0.0), Box::new(Idle));
+        assert!(w.run_until_idle(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn scheduled_actions_run_in_order() {
+        let mut w = World::new(WorldConfig::default());
+        w.add_node(Pos::new(0.0, 0.0), Box::new(Idle));
+        w.schedule(SimTime::from_secs(1), |w| w.stats_mut().record("o", 1.0));
+        w.schedule(SimTime::from_secs(2), |w| w.stats_mut().record("o", 2.0));
+        w.schedule(SimTime::from_secs(1), |w| w.stats_mut().record("o", 1.5));
+        w.run_for(SimDuration::from_secs(3));
+        assert_eq!(w.stats().samples("o"), &[1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn stats_via_ctx() {
+        struct S;
+        impl Proto for S {
+            fn start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.count("boots", 1.0);
+                ctx.count_node("boots", 1.0);
+                ctx.record("x", 7.0);
+                assert_eq!(ctx.stats().get("boots"), 1.0);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(WorldConfig::default());
+        let n = w.add_node(Pos::new(0.0, 0.0), Box::new(S));
+        w.run_for(SimDuration::from_millis(1));
+        assert_eq!(w.stats().get("boots"), 1.0);
+        assert_eq!(w.stats().get_node(n, "boots"), 1.0);
+        assert_eq!(w.stats().samples("x"), &[7.0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # iiot — a distributed-systems substrate for industrial IoT
+//!
+//! Facade crate of the reproduction of *"A Distributed Systems
+//! Perspective on Industrial IoT"* (Iwanicki, ICDCS 2018). Everything
+//! lives in focused sub-crates, re-exported here:
+//!
+//! | Module | Crate | Paper section |
+//! |---|---|---|
+//! | [`sim`] | `iiot-sim` | §II-B — the deployment substrate (DES kernel) |
+//! | [`mac`] | `iiot-mac` | §IV-B/§IV-C — CSMA, LPL, RI-MAC, TDMA, coexistence |
+//! | [`routing`] | `iiot-routing` | §IV/§V-D — Trickle, DODAG, RNFD, static trees |
+//! | [`coap`] | `iiot-coap` | §III-B — CoAP middleware (RFC 7252/7641/7959) |
+//! | [`crdt`] | `iiot-crdt` | §IV-B/§V-C — eventual consistency |
+//! | [`aggregate`] | `iiot-aggregate` | §IV-B — TinyDB-style in-network aggregation |
+//! | [`security`] | `iiot-security` | §V-E — frame security, secure join |
+//! | [`dependability`] | `iiot-dependability` | §V — faults, redundancy, safety, HVAC |
+//! | [`gateway`] | `iiot-gateway` | §III — legacy-protocol integration |
+//! | [`core`] | `iiot-core` | Fig. 1 — layers, deployments, scorecard |
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! DESIGN.md for the experiment index.
+
+pub use iiot_core::{
+    audit, deployment, layer, Actuation, CollectionReport, Deployment, DeploymentBuilder,
+    Historian, LayeredSystem, MacChoice, Rule, Scorecard, SensingActuation,
+};
+
+pub use iiot_aggregate as aggregate;
+pub use iiot_coap as coap;
+pub use iiot_core as core;
+pub use iiot_crdt as crdt;
+pub use iiot_dependability as dependability;
+pub use iiot_gateway as gateway;
+pub use iiot_mac as mac;
+pub use iiot_routing as routing;
+pub use iiot_security as security;
+pub use iiot_sim as sim;
