@@ -22,7 +22,6 @@ use iiot_mac::{Mac, MacEvent, SendHandle};
 use iiot_sim::{
     Ctx, Dst, Frame, NodeId, Proto, RxInfo, SimDuration, SimTime, Timer, TxOutcome,
 };
-use std::any::Any;
 use std::collections::VecDeque;
 
 /// Upper-layer port of query dissemination floods.
@@ -435,13 +434,7 @@ impl<M: Mac> Proto for AggregationNode<M> {
         self.inflight = None;
     }
 
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
 
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
 }
 
 #[cfg(test)]
@@ -465,8 +458,7 @@ mod tests {
         rounds: u16,
         seed: u64,
     ) -> (World, Vec<NodeId>) {
-        let mut wc = WorldConfig::default();
-        wc.seed = seed;
+        let wc = WorldConfig::default().seed(seed);
         let mut w = World::new(wc);
         let cfg = AggConfig::new(line_parents(n), mode, epoch_ms, rounds);
         let ids = w.add_nodes(&Topology::line(n, 20.0), move |_| {
@@ -542,8 +534,7 @@ mod tests {
             (Agg::Sum, 2),
             (Agg::Count, 3),
         ] {
-            let mut wc = WorldConfig::default();
-            wc.seed = 10 + check as u64;
+            let wc = WorldConfig::default().seed(10 + check as u64);
             let mut w = World::new(wc);
             let mut cfg = AggConfig::new(line_parents(4), Mode::Aggregate, 4_000, 2);
             cfg.query.agg = agg;
@@ -574,8 +565,7 @@ mod tests {
 
     #[test]
     fn dead_subtree_undercounts_gracefully() {
-        let mut wc = WorldConfig::default();
-        wc.seed = 20;
+        let wc = WorldConfig::default().seed(20);
         let mut w = World::new(wc);
         let cfg = AggConfig::new(line_parents(5), Mode::Aggregate, 4_000, 4);
         let ids = w.add_nodes(&Topology::line(5, 20.0), move |_| {

@@ -1,30 +1,103 @@
 //! Regenerates every experiment table of DESIGN.md §2.
 //!
 //! Usage:
-//!   cargo run -p iiot-bench --release --bin experiments            # all
-//!   cargo run -p iiot-bench --release --bin experiments -- e2 e10  # some
+//!   cargo run -p iiot-bench --release --bin experiments             # all
+//!   cargo run -p iiot-bench --release --bin experiments -- e2 e10   # some
 //!   cargo run -p iiot-bench --release --bin experiments -- --markdown
+//!   cargo run -p iiot-bench --release --bin experiments -- --jobs 4
+//!   cargo run -p iiot-bench --release --bin experiments -- --trials 5
+//!   cargo run -p iiot-bench --release --bin experiments -- --json out.json
+//!
+//! `--jobs N` sizes the trial worker pool (default: available cores;
+//! tables are byte-identical for any N). `--trials N` replicates every
+//! trial N times over split seeds and reports `mean (p95 x)` cells.
+//! `--json [PATH]` additionally writes the selected tables as a JSON
+//! array (default path `BENCH_experiments.json`).
 
-use iiot_bench::all_experiments;
+use iiot_bench::{all_experiments, RunConfig, Runner};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [e1..e12]... [--markdown] [--jobs N] [--trials N] [--json [PATH]]"
+    );
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let markdown = args.iter().any(|a| a == "--markdown");
-    let selected: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut markdown = false;
+    let mut jobs: Option<usize> = None;
+    let mut trials: u32 = 1;
+    let mut json: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
 
+    let mut it = args.into_iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--markdown" => markdown = true,
+            "--jobs" => {
+                let n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                jobs = Some(n);
+            }
+            "--trials" => {
+                trials = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                if trials == 0 {
+                    usage();
+                }
+            }
+            "--json" => {
+                // Optional path operand: the next token, unless it is
+                // another flag or an experiment id.
+                let path = match it.peek() {
+                    Some(p)
+                        if !p.starts_with("--")
+                            && !all_experiments().iter().any(|(id, _)| *id == p.as_str()) =>
+                    {
+                        it.next().unwrap()
+                    }
+                    _ => "BENCH_experiments.json".to_string(),
+                };
+                json = Some(path);
+            }
+            a if a.starts_with("--") => usage(),
+            _ => selected.push(arg),
+        }
+    }
+
+    let rc = RunConfig {
+        runner: jobs.map(Runner::new).unwrap_or_else(Runner::available_parallelism),
+        trials,
+    };
+    eprintln!("[jobs={} trials={}]", rc.runner.jobs(), rc.trials);
+
+    let mut json_tables: Vec<String> = Vec::new();
+    let total = std::time::Instant::now();
     for (id, run) in all_experiments() {
-        if !selected.is_empty() && !selected.iter().any(|s| s.as_str() == id) {
+        if !selected.is_empty() && !selected.iter().any(|s| s == id) {
             continue;
         }
         eprintln!("[running {id} ...]");
         let t0 = std::time::Instant::now();
-        for table in run() {
+        for table in run(&rc) {
             if markdown {
                 println!("{}", table.to_markdown());
             } else {
                 println!("{table}");
             }
+            if json.is_some() {
+                json_tables.push(table.to_json());
+            }
         }
         eprintln!("[{id} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+    eprintln!("[all done in {:.1}s]", total.elapsed().as_secs_f64());
+
+    if let Some(path) = json {
+        let body = format!("[{}]\n", json_tables.join(","));
+        std::fs::write(&path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[wrote {path}]");
     }
 }

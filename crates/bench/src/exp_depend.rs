@@ -1,8 +1,14 @@
 //! Dependability experiments: E4 (RNFD failure detection), E7 (CAP
 //! under partitions), E8 (redundancy types), E9 (soft safety / HVAC)
 //! and E11 (maintainability under churn + automated diagnosis).
+//!
+//! E7 and E11's churn sweep run on the [`Trial`] runner; the rest stay
+//! sequential (E4's seed loop is the measurement, E8/E9 and the
+//! diagnosis case are sub-second).
 
+use crate::runner::{Cell, Trial};
 use crate::table::{f1, f3, pct, Table};
+use crate::RunConfig;
 use iiot_core::{Deployment, MacChoice};
 use iiot_crdt::{GCounter, ReplicaId};
 use iiot_dependability::diagnosis::{diagnose_fleet, Symptoms};
@@ -33,14 +39,11 @@ fn rnfd_star(
     crash_at: Option<SimTime>,
     seed: u64,
 ) -> (bool, Option<f64>) {
-    let mut wc = WorldConfig::default();
-    wc.seed = seed;
-    wc.radio.link = LinkModel::LossyDisk {
+    let mut w = World::new(WorldConfig::default().seed(seed).link(LinkModel::LossyDisk {
         range_m: 30.0,
         interference_range_m: 45.0,
         prr,
-    };
-    let mut w = World::new(wc);
+    }));
     let mut topo = Topology::new();
     topo.push(Pos::new(0.0, 0.0));
     for k in 0..sentinels {
@@ -137,34 +140,49 @@ pub fn e4_rnfd() -> Table {
 /// guarantee safety \[and\] preferably ... continue offering their
 /// functionality"; CRDT-based eventual consistency is the compelling
 /// approach.
-pub fn e7_partition() -> Table {
+pub fn e7_partition(rc: &RunConfig) -> Table {
+    // One trial per (duration, design). The replica engine is
+    // deterministic — the seed is unused — but the grid of 8 store
+    // simulations still fans out over the worker pool.
+    let trials: Vec<Trial> = [0u64, 20, 40, 60]
+        .into_iter()
+        .flat_map(|dur| {
+            [Design::Ap, Design::Cp].into_iter().map(move |design| {
+                Trial::new(format!("e7/d{dur}/{design:?}"), 0xE7, move |_seed| {
+                    let windows = if dur == 0 {
+                        vec![]
+                    } else {
+                        vec![PartitionWindow {
+                            start: 20,
+                            end: 20 + dur,
+                            groups: vec![0, 0, 1, 1, 1],
+                        }]
+                    };
+                    let r = simulate_replicas(design, 5, 100, &windows, 4);
+                    vec![vec![
+                        Cell::label(dur.to_string()),
+                        Cell::label(format!("{design:?}")),
+                        Cell::pct(r.availability()),
+                        Cell::label(r.rejected.to_string()),
+                        Cell::label(r.max_divergence.to_string()),
+                        Cell::label(
+                            r.convergence_rounds
+                                .map(|c| c.to_string())
+                                .unwrap_or_else(|| "never".into()),
+                        ),
+                    ]]
+                })
+            })
+        })
+        .collect();
+    let out = rc.runner.run(trials, rc.trials);
+
     let mut t = Table::new(
         "E7: replicated store under a 2|3 partition (5 replicas, 100 rounds)",
         &["partition rounds", "design", "availability", "rejected", "max divergence", "converge (rounds)"],
     );
-    for dur in [0u64, 20, 40, 60] {
-        let windows = if dur == 0 {
-            vec![]
-        } else {
-            vec![PartitionWindow {
-                start: 20,
-                end: 20 + dur,
-                groups: vec![0, 0, 1, 1, 1],
-            }]
-        };
-        for design in [Design::Ap, Design::Cp] {
-            let r = simulate_replicas(design, 5, 100, &windows, 4);
-            t.row(vec![
-                dur.to_string(),
-                format!("{design:?}"),
-                pct(r.availability()),
-                r.rejected.to_string(),
-                r.max_divergence.to_string(),
-                r.convergence_rounds
-                    .map(|c| c.to_string())
-                    .unwrap_or_else(|| "never".into()),
-            ]);
-        }
+    for o in &out {
+        t.row(o.rows[0].clone());
     }
     t
 }
@@ -304,42 +322,56 @@ pub fn e9_safety_hvac() -> Table {
 ///
 /// Paper claim (§V-D): routing self-organizes and repairs, but
 /// automated diagnosis of components is the neglected piece.
-pub fn e11_maintainability() -> Table {
+pub fn e11_maintainability(rc: &RunConfig) -> Table {
+    let trials: Vec<Trial> = [0u64, 600, 300, 150]
+        .into_iter()
+        .map(|mtbf| {
+            Trial::new(format!("e11/mtbf{mtbf}"), 0xE11, move |seed| {
+                let mut d = Deployment::builder(Topology::grid(5, 5, 20.0))
+                    .mac(MacChoice::Csma)
+                    .seed(seed)
+                    .traffic(SimDuration::from_secs(20), 10, SimDuration::from_secs(40))
+                    .build();
+                if mtbf > 0 {
+                    // The churn plan splits its own stream from the
+                    // trial seed so replicas vary the fault schedule
+                    // along with everything else.
+                    let mut rng =
+                        SmallRng::seed_from_u64(iiot_sim::seed::derive(seed, mtbf));
+                    let plan = FaultPlan::random_churn(
+                        &mut rng,
+                        &d.nodes[1..],
+                        SimDuration::from_secs(mtbf),
+                        SimDuration::from_secs(30),
+                        SimTime::ZERO,
+                        SimTime::from_secs(550),
+                        &[],
+                    );
+                    plan.apply(&mut d.world);
+                }
+                d.run_for(SimDuration::from_secs(600));
+                let r = d.report();
+                let switches = d.world.stats().node_total("parent_switch");
+                let drops = d.world.stats().node_total("data_drop_retries")
+                    + d.world.stats().node_total("data_drop_queue");
+                vec![vec![
+                    Cell::label(if mtbf == 0 { "none".into() } else { mtbf.to_string() }),
+                    Cell::pct(r.delivery_ratio),
+                    Cell::f1(switches),
+                    Cell::f1(drops),
+                    Cell::int(r.orphans as f64),
+                ]]
+            })
+        })
+        .collect();
+    let out = rc.runner.run(trials, rc.trials);
+
     let mut t = Table::new(
         "E11: 5x5 grid under crash-recovery churn (600 s, MTTR 30 s)",
         &["node MTBF (s)", "delivery", "parent switches", "data drops", "orphans at end"],
     );
-    for mtbf in [0u64, 600, 300, 150] {
-        let mut d = Deployment::builder(Topology::grid(5, 5, 20.0))
-            .mac(MacChoice::Csma)
-            .seed(0xE11)
-            .traffic(SimDuration::from_secs(20), 10, SimDuration::from_secs(40))
-            .build();
-        if mtbf > 0 {
-            let mut rng = SmallRng::seed_from_u64(mtbf);
-            let plan = FaultPlan::random_churn(
-                &mut rng,
-                &d.nodes[1..],
-                SimDuration::from_secs(mtbf),
-                SimDuration::from_secs(30),
-                SimTime::ZERO,
-                SimTime::from_secs(550),
-                &[],
-            );
-            plan.apply(&mut d.world);
-        }
-        d.run_for(SimDuration::from_secs(600));
-        let r = d.report();
-        let switches = d.world.stats().node_total("parent_switch");
-        let drops = d.world.stats().node_total("data_drop_retries")
-            + d.world.stats().node_total("data_drop_queue");
-        t.row(vec![
-            if mtbf == 0 { "none".into() } else { mtbf.to_string() },
-            pct(r.delivery_ratio),
-            f1(switches),
-            f1(drops),
-            r.orphans.to_string(),
-        ]);
+    for o in &out {
+        t.row(o.rows[0].clone());
     }
     t
 }

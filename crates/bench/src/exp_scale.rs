@@ -1,8 +1,15 @@
 //! Scalability experiments: E2 (latency vs. hops per MAC), E3 (border-
 //! router funneling vs. in-network aggregation), E5 (size scaling,
 //! centralized vs. decentralized) and E6 (administrative scalability).
+//!
+//! The sweeps here are the harness's hot spots, so each configuration
+//! point becomes one [`Trial`] fanned out over the [`RunConfig`]'s
+//! worker pool; tables are assembled from outcomes in submission order
+//! and are byte-identical for any worker count.
 
-use crate::table::{f1, f3, pct, Table};
+use crate::runner::{Cell, Trial};
+use crate::table::Table;
+use crate::RunConfig;
 use iiot_aggregate::tree::{AggConfig, AggregationNode, Mode};
 use iiot_core::{Deployment, MacChoice};
 use iiot_mac::coex::{ChannelPlan, TenantId};
@@ -20,63 +27,67 @@ use rand::SeedableRng;
 /// seconds to be transmitted over few wireless hops", while synchronous
 /// coordination (TDMA) minimizes latency; always-on CSMA is the
 /// baseline that buys latency with energy.
-pub fn e2_latency_vs_hops() -> Table {
+pub fn e2_latency_vs_hops(rc: &RunConfig) -> Table {
     let macs = [
-        MacChoice::Csma,
-        MacChoice::Lpl(SimDuration::from_millis(512)),
-        MacChoice::Rimac(SimDuration::from_millis(512)),
-        MacChoice::Tdma(SimDuration::from_millis(20)),
+        ("csma", MacChoice::Csma),
+        ("lpl-512ms", MacChoice::Lpl(SimDuration::from_millis(512))),
+        ("rimac-512ms", MacChoice::Rimac(SimDuration::from_millis(512))),
+        ("tdma-20ms", MacChoice::Tdma(SimDuration::from_millis(20))),
     ];
     let buckets = [2u32, 4, 8, 12];
-    let mut per_mac: Vec<Vec<f64>> = Vec::new();
-    let mut duty: Vec<f64> = Vec::new();
 
-    for mac in macs {
-        let mut d = Deployment::builder(Topology::line(13, 20.0))
-            .mac(mac)
-            .seed(0xE2)
-            .traffic(SimDuration::from_secs(30), 10, SimDuration::from_secs(60))
-            .build();
-        d.run_for(SimDuration::from_secs(460));
-        let lats = d.world.stats().samples("collect_latency_s").to_vec();
-        let hops = d.world.stats().samples("collect_hops").to_vec();
-        let mean_for = |h: u32| -> f64 {
-            let vals: Vec<f64> = lats
-                .iter()
-                .zip(&hops)
-                .filter(|(_, &hh)| hh as u32 == h)
-                .map(|(&l, _)| l)
-                .collect();
-            if vals.is_empty() {
-                f64::NAN
-            } else {
-                vals.iter().sum::<f64>() / vals.len() as f64
-            }
-        };
-        per_mac.push(buckets.iter().map(|&h| mean_for(h)).collect());
-        duty.push(d.report().mean_duty_cycle);
-    }
+    // One trial per MAC, returning a single row: the per-bucket mean
+    // latencies followed by the duty cycle. The table below transposes
+    // those rows into per-bucket rows with one column per MAC.
+    let trials: Vec<Trial> = macs
+        .iter()
+        .map(|&(name, mac)| {
+            Trial::new(format!("e2/{name}"), 0xE2, move |seed| {
+                let mut d = Deployment::builder(Topology::line(13, 20.0))
+                    .mac(mac)
+                    .seed(seed)
+                    .traffic(SimDuration::from_secs(30), 10, SimDuration::from_secs(60))
+                    .build();
+                d.run_for(SimDuration::from_secs(460));
+                let lats = d.world.stats().samples("collect_latency_s").to_vec();
+                let hops = d.world.stats().samples("collect_hops").to_vec();
+                let mean_for = |h: u32| -> f64 {
+                    let vals: Vec<f64> = lats
+                        .iter()
+                        .zip(&hops)
+                        .filter(|(_, &hh)| hh as u32 == h)
+                        .map(|(&l, _)| l)
+                        .collect();
+                    if vals.is_empty() {
+                        f64::NAN
+                    } else {
+                        vals.iter().sum::<f64>() / vals.len() as f64
+                    }
+                };
+                let mut row: Vec<Cell> = buckets.iter().map(|&h| Cell::f3(mean_for(h))).collect();
+                row.push(Cell::pct(d.report().mean_duty_cycle));
+                vec![row]
+            })
+        })
+        .collect();
+    let out = rc.runner.run(trials, rc.trials);
 
     let mut t = Table::new(
         "E2: mean collection latency (s) vs hop distance, per MAC",
         &["hops", "csma", "lpl-512ms", "rimac-512ms", "tdma-20ms"],
     );
     for (i, h) in buckets.iter().enumerate() {
-        t.row(vec![
-            h.to_string(),
-            f3(per_mac[0][i]),
-            f3(per_mac[1][i]),
-            f3(per_mac[2][i]),
-            f3(per_mac[3][i]),
-        ]);
+        t.row(
+            std::iter::once(h.to_string())
+                .chain(out.iter().map(|o| o.rows[0][i].clone()))
+                .collect(),
+        );
     }
-    t.row(vec![
-        "duty".into(),
-        pct(duty[0]),
-        pct(duty[1]),
-        pct(duty[2]),
-        pct(duty[3]),
-    ]);
+    t.row(
+        std::iter::once("duty".to_string())
+            .chain(out.iter().map(|o| o.rows[0][buckets.len()].clone()))
+            .collect(),
+    );
     t
 }
 
@@ -84,9 +95,7 @@ fn run_agg(mode: Mode, epoch_ms: u32, rounds: u16, n: usize, seed: u64) -> World
     let parents: Vec<Option<NodeId>> = (0..n)
         .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
         .collect();
-    let mut wc = WorldConfig::default();
-    wc.seed = seed;
-    let mut w = World::new(wc);
+    let mut w = World::new(WorldConfig::default().seed(seed));
     let cfg = AggConfig::new(parents, mode, epoch_ms, rounds);
     w.add_nodes(&Topology::line(n, 20.0), move |_| {
         Box::new(AggregationNode::new(CsmaMac::default(), cfg.clone())) as Box<dyn Proto>
@@ -101,29 +110,45 @@ fn run_agg(mode: Mode, epoch_ms: u32, rounds: u16, n: usize, seed: u64) -> World
 ///
 /// Paper claim (§IV-B): nodes near border routers carry a heavy load;
 /// in-network aggregation alleviates it.
-pub fn e3_funneling() -> Table {
+pub fn e3_funneling(rc: &RunConfig) -> Table {
     let n = 8;
     let rounds = 8u16;
-    let wr = run_agg(Mode::Raw, 5_000, rounds, n, 0xE3);
-    let wa = run_agg(Mode::Aggregate, 5_000, rounds, n, 0xE3);
+
+    // One trial per mode; each returns one row per non-root node with
+    // that mode's message count and radio-tx time. The table zips the
+    // two outcomes into per-node rows.
+    let trials: Vec<Trial> = [("raw", Mode::Raw), ("agg", Mode::Aggregate)]
+        .into_iter()
+        .map(|(name, mode)| {
+            Trial::new(format!("e3/{name}"), 0xE3, move |seed| {
+                let counter = if mode == Mode::Raw { "raw_tx" } else { "agg_tx" };
+                let w = run_agg(mode, 5_000, rounds, n, seed);
+                (1..n)
+                    .map(|i| {
+                        let id = NodeId(i as u32);
+                        vec![
+                            Cell::f1(w.stats().get_node(id, counter)),
+                            Cell::f3(w.energy(id).tx.as_secs_f64() * 1e3),
+                        ]
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+    let out = rc.runner.run(trials, rc.trials);
 
     let mut t = Table::new(
         "E3: per-node transmissions and radio-tx time over 8 epochs (line of 8), raw vs aggregate",
         &["node (hops from root)", "raw msgs", "agg msgs", "raw tx ms", "agg tx ms"],
     );
     for i in 1..n {
-        let id = NodeId(i as u32);
-        let raw_msgs =
-            wr.stats().get_node(id, "raw_tx");
-        let agg_msgs = wa.stats().get_node(id, "agg_tx");
-        let raw_tx_ms = wr.energy(id).tx.as_secs_f64() * 1e3;
-        let agg_tx_ms = wa.energy(id).tx.as_secs_f64() * 1e3;
+        let (raw, agg) = (&out[0].rows[i - 1], &out[1].rows[i - 1]);
         t.row(vec![
             format!("n{i} ({i})"),
-            f1(raw_msgs),
-            f1(agg_msgs),
-            f3(raw_tx_ms),
-            f3(agg_tx_ms),
+            raw[0].clone(),
+            agg[0].clone(),
+            raw[1].clone(),
+            agg[1].clone(),
         ]);
     }
     t
@@ -131,30 +156,85 @@ pub fn e3_funneling() -> Table {
 
 /// E3 ablation: aggregation epoch length vs. root-adjacent load and
 /// result freshness.
-pub fn e3_epoch_ablation() -> Table {
+pub fn e3_epoch_ablation(rc: &RunConfig) -> Table {
+    let trials: Vec<Trial> = [5u32, 10, 20]
+        .into_iter()
+        .map(|epoch_s| {
+            Trial::new(format!("e3a/epoch{epoch_s}"), 0xE3A, move |seed| {
+                let rounds = (60 / epoch_s) as u16;
+                let w = run_agg(Mode::Aggregate, epoch_s * 1000, rounds, 8, seed);
+                vec![vec![
+                    Cell::label(epoch_s.to_string()),
+                    Cell::label(rounds.to_string()),
+                    Cell::f1(w.stats().get_node(NodeId(1), "agg_tx")),
+                    Cell::f3(w.energy(NodeId(1)).tx.as_secs_f64() * 1e3),
+                ]]
+            })
+        })
+        .collect();
+    let out = rc.runner.run(trials, rc.trials);
+
     let mut t = Table::new(
         "E3-ablation: epoch length vs root-adjacent load (aggregate mode, line of 8, 60 s)",
         &["epoch (s)", "epochs run", "n1 msgs", "n1 tx ms"],
     );
-    for epoch_s in [5u32, 10, 20] {
-        let rounds = (60 / epoch_s) as u16;
-        let w = run_agg(Mode::Aggregate, epoch_s * 1000, rounds, 8, 0xE3A);
-        t.row(vec![
-            epoch_s.to_string(),
-            rounds.to_string(),
-            f1(w.stats().get_node(NodeId(1), "agg_tx")),
-            f3(w.energy(NodeId(1)).tx.as_secs_f64() * 1e3),
-        ]);
+    for o in &out {
+        t.row(o.rows[0].clone());
     }
     t
 }
 
-/// E5: size scalability — delivery as the deployment grows, for the
-/// decentralized DODAG vs. a "direct to the sink" centralized design.
-///
-/// Paper claim (§IV-A): systems must tolerate orders-of-magnitude
-/// growth; scaling usually forces decentralized designs.
-pub fn e5_size_scaling() -> Table {
+/// E5 core, parameterized over grid sides and sim length so the
+/// determinism tests can run a cheap sweep; [`e5_size_scaling`] passes
+/// the full experiment axis.
+pub fn e5_size_scaling_with(rc: &RunConfig, sides: &[usize], secs: u64) -> Table {
+    let trials: Vec<Trial> = sides
+        .iter()
+        .map(|&side| {
+            Trial::new(format!("e5/{side}x{side}"), 0xE5, move |seed| {
+                let n = side * side;
+                // Decentralized: self-organizing DODAG over CSMA.
+                let mut d = Deployment::builder(Topology::grid(side, side, 20.0))
+                    .mac(MacChoice::Csma)
+                    .seed(seed)
+                    .traffic(SimDuration::from_secs(30), 10, SimDuration::from_secs(60))
+                    .build();
+                d.run_for(SimDuration::from_secs(secs));
+                let r = d.report();
+                let dio_rate =
+                    d.world.stats().node_total("dio_tx") / n as f64 / (secs as f64 / 60.0);
+
+                // Centralized: everyone unicasts straight to the sink.
+                let mut w = World::new(WorldConfig::default().seed(seed));
+                let parents: Vec<Option<NodeId>> = (0..n)
+                    .map(|i| if i == 0 { None } else { Some(NodeId(0)) })
+                    .collect();
+                let mut cfg = StaticConfig::new(parents);
+                cfg.traffic = Some(Traffic {
+                    period: SimDuration::from_secs(30),
+                    payload_len: 10,
+                    start_after: SimDuration::from_secs(60),
+                });
+                w.add_nodes(&Topology::grid(side, side, 20.0), move |_| {
+                    Box::new(StaticCollection::new(CsmaMac::default(), cfg.clone()))
+                        as Box<dyn Proto>
+                });
+                w.run_for(SimDuration::from_secs(secs));
+                let gen = w.stats().node_total("data_origin");
+                let del = w.stats().get("data_rx_root");
+
+                vec![vec![
+                    Cell::label(n.to_string()),
+                    Cell::pct(r.delivery_ratio),
+                    Cell::f3(r.latency.p95),
+                    Cell::f1(dio_rate),
+                    Cell::pct(if gen == 0.0 { 1.0 } else { del / gen }),
+                ]]
+            })
+        })
+        .collect();
+    let out = rc.runner.run(trials, rc.trials);
+
     let mut t = Table::new(
         "E5: delivery vs deployment size (20 m grid), decentralized DODAG vs direct-to-sink",
         &[
@@ -165,116 +245,106 @@ pub fn e5_size_scaling() -> Table {
             "direct delivery",
         ],
     );
-    for side in [3usize, 5, 8, 12, 17] {
-        let n = side * side;
-        let secs = 400u64;
-        // Decentralized: self-organizing DODAG over CSMA.
-        let mut d = Deployment::builder(Topology::grid(side, side, 20.0))
-            .mac(MacChoice::Csma)
-            .seed(0xE5)
-            .traffic(SimDuration::from_secs(30), 10, SimDuration::from_secs(60))
-            .build();
-        d.run_for(SimDuration::from_secs(secs));
-        let r = d.report();
-        let dio_rate = d.world.stats().node_total("dio_tx")
-            / n as f64
-            / (secs as f64 / 60.0);
-
-        // Centralized: everyone unicasts straight to the sink.
-        let mut wc = WorldConfig::default();
-        wc.seed = 0xE5;
-        let mut w = World::new(wc);
-        let parents: Vec<Option<NodeId>> = (0..n)
-            .map(|i| if i == 0 { None } else { Some(NodeId(0)) })
-            .collect();
-        let mut cfg = StaticConfig::new(parents);
-        cfg.traffic = Some(Traffic {
-            period: SimDuration::from_secs(30),
-            payload_len: 10,
-            start_after: SimDuration::from_secs(60),
-        });
-        let ids = w.add_nodes(&Topology::grid(side, side, 20.0), move |_| {
-            Box::new(StaticCollection::new(CsmaMac::default(), cfg.clone())) as Box<dyn Proto>
-        });
-        w.run_for(SimDuration::from_secs(secs));
-        let gen = w.stats().node_total("data_origin");
-        let del = w.stats().get("data_rx_root");
-        let _ = ids;
-
-        t.row(vec![
-            n.to_string(),
-            pct(r.delivery_ratio),
-            f3(r.latency.p95),
-            f1(dio_rate),
-            pct(if gen == 0.0 { 1.0 } else { del / gen }),
-        ]);
+    for o in &out {
+        t.row(o.rows[0].clone());
     }
     t
 }
 
+/// E5: size scalability — delivery as the deployment grows, for the
+/// decentralized DODAG vs. a "direct to the sink" centralized design.
+///
+/// Paper claim (§IV-A): systems must tolerate orders-of-magnitude
+/// growth; scaling usually forces decentralized designs.
+pub fn e5_size_scaling(rc: &RunConfig) -> Table {
+    e5_size_scaling_with(rc, &[3, 5, 8, 12, 17], 400)
+}
+
 /// E2 ablation: the LPL wake interval is the §IV-B energy/latency knob.
-pub fn e2_wake_ablation() -> Table {
+pub fn e2_wake_ablation(rc: &RunConfig) -> Table {
+    let trials: Vec<Trial> = [128u64, 256, 512, 1024]
+        .into_iter()
+        .map(|wake_ms| {
+            Trial::new(format!("e2a/wake{wake_ms}"), 0xE2A, move |seed| {
+                let mut d = Deployment::builder(Topology::line(7, 20.0))
+                    .mac(MacChoice::Lpl(SimDuration::from_millis(wake_ms)))
+                    .seed(seed)
+                    .traffic(SimDuration::from_secs(30), 10, SimDuration::from_secs(60))
+                    .build();
+                d.run_for(SimDuration::from_secs(360));
+                let r = d.report();
+                vec![vec![
+                    Cell::label(wake_ms.to_string()),
+                    Cell::pct(r.delivery_ratio),
+                    Cell::f3(r.latency.mean),
+                    Cell::pct(r.mean_duty_cycle),
+                ]]
+            })
+        })
+        .collect();
+    let out = rc.runner.run(trials, rc.trials);
+
     let mut t = Table::new(
         "E2-ablation: LPL wake interval vs latency and duty cycle (7-node line, 300 s)",
         &["wake (ms)", "delivery", "mean latency (s)", "duty cycle"],
     );
-    for wake_ms in [128u64, 256, 512, 1024] {
-        let mut d = Deployment::builder(Topology::line(7, 20.0))
-            .mac(MacChoice::Lpl(SimDuration::from_millis(wake_ms)))
-            .seed(0xE2A)
-            .traffic(SimDuration::from_secs(30), 10, SimDuration::from_secs(60))
-            .build();
-        d.run_for(SimDuration::from_secs(360));
-        let r = d.report();
-        t.row(vec![
-            wake_ms.to_string(),
-            pct(r.delivery_ratio),
-            f3(r.latency.mean),
-            pct(r.mean_duty_cycle),
-        ]);
+    for o in &out {
+        t.row(o.rows[0].clone());
     }
     t
 }
 
 /// E11 ablation: the Trickle redundancy constant `k` trades control
 /// overhead against repair responsiveness (DESIGN.md §3).
-pub fn e11_trickle_ablation() -> Table {
+pub fn e11_trickle_ablation(rc: &RunConfig) -> Table {
     use iiot_routing::dodag::DodagConfig;
+    let trials: Vec<Trial> = [1u32, 3, 10]
+        .into_iter()
+        .map(|k| {
+            Trial::new(format!("e11a/k{k}"), 0xE11A, move |seed| {
+                let mut cfg = DodagConfig::default();
+                cfg.trickle.k = k;
+                let mut d = Deployment::builder(Topology::grid(5, 5, 20.0))
+                    .mac(MacChoice::Csma)
+                    .seed(seed)
+                    .routing(cfg)
+                    .traffic(SimDuration::from_secs(20), 10, SimDuration::from_secs(40))
+                    .build();
+                // The churn plan splits its own stream from the trial
+                // seed so replicas vary the fault schedule too.
+                let mut rng = SmallRng::seed_from_u64(iiot_sim::seed::derive(seed, k as u64));
+                let plan = iiot_dependability::FaultPlan::random_churn(
+                    &mut rng,
+                    &d.nodes[1..],
+                    SimDuration::from_secs(200),
+                    SimDuration::from_secs(20),
+                    SimTime::ZERO,
+                    SimTime::from_secs(350),
+                    &[],
+                );
+                plan.apply(&mut d.world);
+                let secs = 400u64;
+                d.run_for(SimDuration::from_secs(secs));
+                let r = d.report();
+                let dio_rate =
+                    d.world.stats().node_total("dio_tx") / 25.0 / (secs as f64 / 60.0);
+                vec![vec![
+                    Cell::label(k.to_string()),
+                    Cell::f1(dio_rate),
+                    Cell::pct(r.delivery_ratio),
+                    Cell::f1(d.world.stats().node_total("parent_switch")),
+                ]]
+            })
+        })
+        .collect();
+    let out = rc.runner.run(trials, rc.trials);
+
     let mut t = Table::new(
         "E11-ablation: trickle k vs control overhead and delivery under churn (5x5 grid, 400 s, MTBF 200 s)",
         &["k", "dio/node/min", "delivery", "parent switches"],
     );
-    for k in [1u32, 3, 10] {
-        let mut cfg = DodagConfig::default();
-        cfg.trickle.k = k;
-        let mut d = Deployment::builder(Topology::grid(5, 5, 20.0))
-            .mac(MacChoice::Csma)
-            .seed(0xE11A)
-            .routing(cfg)
-            .traffic(SimDuration::from_secs(20), 10, SimDuration::from_secs(40))
-            .build();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(k as u64);
-        let plan = iiot_dependability::FaultPlan::random_churn(
-            &mut rng,
-            &d.nodes[1..],
-            SimDuration::from_secs(200),
-            SimDuration::from_secs(20),
-            SimTime::ZERO,
-            SimTime::from_secs(350),
-            &[],
-        );
-        plan.apply(&mut d.world);
-        let secs = 400u64;
-        d.run_for(SimDuration::from_secs(secs));
-        let r = d.report();
-        let dio_rate =
-            d.world.stats().node_total("dio_tx") / 25.0 / (secs as f64 / 60.0);
-        t.row(vec![
-            k.to_string(),
-            f1(dio_rate),
-            pct(r.delivery_ratio),
-            f1(d.world.stats().node_total("parent_switch")),
-        ]);
+    for o in &out {
+        t.row(o.rows[0].clone());
     }
     t
 }
@@ -284,9 +354,7 @@ pub fn e11_trickle_ablation() -> Table {
 fn run_tenants(plan: ChannelPlan, tenants: usize, seed: u64) -> (usize, usize) {
     let per_tenant = 6usize;
     let frames = 600u64;
-    let mut wc = WorldConfig::default();
-    wc.seed = seed;
-    let mut w = World::new(wc);
+    let mut w = World::new(WorldConfig::default().seed(seed));
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0E);
     let mut groups: Vec<Vec<NodeId>> = Vec::new();
     for t in 0..tenants {
@@ -350,36 +418,52 @@ fn run_tenants(plan: ChannelPlan, tenants: usize, seed: u64) -> (usize, usize) {
 /// Paper claim (§IV-C): co-located systems of different owners "will
 /// likely compete for resources, notably wireless communication
 /// channels".
-pub fn e6_admin_scaling() -> Table {
-    let mut t = Table::new(
-        "E6: intra-tenant delivery vs co-located tenants (saturating broadcast load)",
-        &["tenants", "shared channel", "per-tenant channels", "hopping (16ch)"],
-    );
-    for tenants in [1usize, 2, 3, 4] {
-        let shared = run_tenants(ChannelPlan::Shared { channel: 11 }, tenants, 0xE6);
-        let dedic = run_tenants(
+pub fn e6_admin_scaling(rc: &RunConfig) -> Table {
+    let plans = [
+        ("shared", ChannelPlan::Shared { channel: 11 }),
+        (
+            "per-tenant",
             ChannelPlan::PerTenant {
                 base: 11,
                 num_channels: 16,
             },
-            tenants,
-            0xE6,
-        );
-        let hop = run_tenants(
+        ),
+        (
+            "hopping",
             ChannelPlan::Hopping {
                 base: 11,
                 num_channels: 16,
             },
-            tenants,
-            0xE6,
+        ),
+    ];
+    let tenant_axis = [1usize, 2, 3, 4];
+
+    // One trial per (tenant count, plan); the table regroups the flat
+    // outcome list into one row per tenant count.
+    let trials: Vec<Trial> = tenant_axis
+        .iter()
+        .flat_map(|&tenants| {
+            plans.iter().map(move |&(name, plan)| {
+                Trial::new(format!("e6/t{tenants}/{name}"), 0xE6, move |seed| {
+                    let (got, want) = run_tenants(plan, tenants, seed);
+                    vec![vec![Cell::pct(got as f64 / want.max(1) as f64)]]
+                })
+            })
+        })
+        .collect();
+    let out = rc.runner.run(trials, rc.trials);
+
+    let mut t = Table::new(
+        "E6: intra-tenant delivery vs co-located tenants (saturating broadcast load)",
+        &["tenants", "shared channel", "per-tenant channels", "hopping (16ch)"],
+    );
+    for (i, tenants) in tenant_axis.iter().enumerate() {
+        let base = i * plans.len();
+        t.row(
+            std::iter::once(tenants.to_string())
+                .chain((0..plans.len()).map(|p| out[base + p].rows[0][0].clone()))
+                .collect(),
         );
-        let p = |(got, want): (usize, usize)| pct(got as f64 / want.max(1) as f64);
-        t.row(vec![
-            tenants.to_string(),
-            p(shared),
-            p(dedic),
-            p(hop),
-        ]);
     }
     t
 }

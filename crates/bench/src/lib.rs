@@ -1,10 +1,12 @@
 //! # iiot-bench — the experiment harness
 //!
 //! One function per experiment of DESIGN.md §2 (E1-E12), each returning
-//! a [`Table`] that the `experiments` binary prints (and
-//! EXPERIMENTS.md records). The experiments regenerate the paper-claim
-//! tables; `cargo bench` (see `benches/`) measures the substrate
-//! kernels the experiments rely on.
+//! [`Table`]s that the `experiments` binary prints (and EXPERIMENTS.md
+//! records). The hot experiments fan their trials out over the
+//! [`runner`] worker pool; every experiment takes the shared
+//! [`RunConfig`] (worker count + replication factor) and produces
+//! byte-identical tables for any worker count. `cargo bench` (see
+//! `benches/`) measures the substrate kernels the experiments rely on.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -12,26 +14,69 @@
 pub mod exp_depend;
 pub mod exp_interop;
 pub mod exp_scale;
+pub mod runner;
 pub mod table;
 
 use table::Table;
 
+pub use runner::{Cell, MetricRows, Runner, Trial, TrialOutcome, Unit};
 pub use table::Table as ResultTable;
 
+/// How the harness executes experiments: the worker pool and the
+/// replication factor (`--trials`).
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// The trial scheduler.
+    pub runner: Runner,
+    /// Replicas per trial; values above 1 aggregate numeric cells as
+    /// `mean (p95 x)` over seeds split from each trial's base seed.
+    pub trials: u32,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            runner: Runner::sequential(),
+            trials: 1,
+        }
+    }
+}
+
 /// Every experiment, in DESIGN.md order: `(id, runner)`.
-pub fn all_experiments() -> Vec<(&'static str, fn() -> Vec<Table>)> {
+pub fn all_experiments() -> Vec<(&'static str, fn(&RunConfig) -> Vec<Table>)> {
     vec![
-        ("e1", || vec![exp_interop::e1_layering()]),
-        ("e2", || vec![exp_scale::e2_latency_vs_hops(), exp_scale::e2_wake_ablation()]),
-        ("e3", || vec![exp_scale::e3_funneling(), exp_scale::e3_epoch_ablation()]),
-        ("e4", || vec![exp_depend::e4_rnfd()]),
-        ("e5", || vec![exp_scale::e5_size_scaling()]),
-        ("e6", || vec![exp_scale::e6_admin_scaling()]),
-        ("e7", || vec![exp_depend::e7_partition(), exp_depend::e7_delta_ablation()]),
-        ("e8", || vec![exp_depend::e8_redundancy()]),
-        ("e9", || vec![exp_depend::e9_safety_hvac()]),
-        ("e10", || vec![exp_interop::e10_security_overhead()]),
-        ("e11", || vec![exp_depend::e11_maintainability(), exp_scale::e11_trickle_ablation(), exp_depend::e11_diagnosis()]),
-        ("e12", || vec![exp_interop::e12_interop()]),
+        ("e1", |_| vec![exp_interop::e1_layering()]),
+        ("e2", |rc| {
+            vec![
+                exp_scale::e2_latency_vs_hops(rc),
+                exp_scale::e2_wake_ablation(rc),
+            ]
+        }),
+        ("e3", |rc| {
+            vec![
+                exp_scale::e3_funneling(rc),
+                exp_scale::e3_epoch_ablation(rc),
+            ]
+        }),
+        ("e4", |_| vec![exp_depend::e4_rnfd()]),
+        ("e5", |rc| vec![exp_scale::e5_size_scaling(rc)]),
+        ("e6", |rc| vec![exp_scale::e6_admin_scaling(rc)]),
+        ("e7", |rc| {
+            vec![
+                exp_depend::e7_partition(rc),
+                exp_depend::e7_delta_ablation(),
+            ]
+        }),
+        ("e8", |_| vec![exp_depend::e8_redundancy()]),
+        ("e9", |_| vec![exp_depend::e9_safety_hvac()]),
+        ("e10", |_| vec![exp_interop::e10_security_overhead()]),
+        ("e11", |rc| {
+            vec![
+                exp_depend::e11_maintainability(rc),
+                exp_scale::e11_trickle_ablation(rc),
+                exp_depend::e11_diagnosis(),
+            ]
+        }),
+        ("e12", |_| vec![exp_interop::e12_interop()]),
     ]
 }

@@ -34,6 +34,44 @@ impl Table {
         self
     }
 
+    /// The rows appended so far, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Serializes as a JSON object `{"title", "headers", "rows"}`.
+    ///
+    /// The shared machine-readable path of the trial runner and the
+    /// `experiments --json` dump; hand-rolled because the workspace
+    /// never takes a JSON dependency.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"title\":");
+        json_string(&mut out, &self.title);
+        out.push_str(",\"headers\":[");
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, h);
+        }
+        out.push_str("],\"rows\":[");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, c) in r.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json_string(&mut out, c);
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Renders as GitHub-flavoured markdown (for EXPERIMENTS.md).
     pub fn to_markdown(&self) -> String {
         let mut out = format!("### {}\n\n", self.title);
@@ -83,6 +121,23 @@ impl fmt::Display for Table {
     }
 }
 
+/// Appends `s` to `out` as a JSON string literal.
+pub(crate) fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 /// Formats a float with 3 decimals (normalizing negative zero).
 pub fn f3(v: f64) -> String {
     format!("{:.3}", if v == 0.0 { 0.0 } else { v })
@@ -129,5 +184,22 @@ mod tests {
         assert_eq!(f3(1.23456), "1.235");
         assert_eq!(f1(1.26), "1.3");
         assert_eq!(pct(0.5), "50.0%");
+    }
+
+    #[test]
+    fn rows_accessor() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into()]);
+        assert_eq!(t.rows(), &[vec!["1".to_string()]]);
+    }
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let mut t = Table::new("T \"q\"\n", &["h1", "h2"]);
+        t.row(vec!["a\\b".into(), "99.9%".into()]);
+        assert_eq!(
+            t.to_json(),
+            r#"{"title":"T \"q\"\n","headers":["h1","h2"],"rows":[["a\\b","99.9%"]]}"#
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! silently invert a paper claim. Only the fast experiments run here;
 //! the slow sweeps (E2, E4) are covered by their substrates' own tests.
 
-use iiot_bench::{exp_depend, exp_interop, exp_scale};
+use iiot_bench::{exp_depend, exp_interop, exp_scale, RunConfig};
 
 fn cell(t: &iiot_bench::table::Table, row: usize, col: usize) -> f64 {
     t.rows[row][col]
@@ -16,7 +16,7 @@ fn cell(t: &iiot_bench::table::Table, row: usize, col: usize) -> f64 {
 
 #[test]
 fn e3_shape_aggregation_flattens_the_funnel() {
-    let t = exp_scale::e3_funneling();
+    let t = exp_scale::e3_funneling(&RunConfig::default());
     // Raw messages decrease with distance from the root (funnel),
     // aggregate messages are flat.
     let raw_n1 = cell(&t, 0, 1);
@@ -31,7 +31,7 @@ fn e3_shape_aggregation_flattens_the_funnel() {
 
 #[test]
 fn e3_shape_epoch_is_the_load_knob() {
-    let t = exp_scale::e3_epoch_ablation();
+    let t = exp_scale::e3_epoch_ablation(&RunConfig::default());
     // Longer epochs, fewer root-adjacent messages.
     assert!(cell(&t, 0, 2) > cell(&t, 1, 2));
     assert!(cell(&t, 1, 2) > cell(&t, 2, 2));
@@ -39,7 +39,7 @@ fn e3_shape_epoch_is_the_load_knob() {
 
 #[test]
 fn e7_shape_cap_trade() {
-    let t = exp_depend::e7_partition();
+    let t = exp_depend::e7_partition(&RunConfig::default());
     // Rows alternate Ap/Cp for growing partition lengths.
     for pair in t.rows.chunks(2) {
         let (ap, cp) = (&pair[0], &pair[1]);

@@ -437,13 +437,11 @@ mod tests {
 
     #[test]
     fn retransmission_recovers_from_loss() {
-        let mut cfg = WorldConfig::default();
-        cfg.radio.link = LinkModel::LossyDisk {
+        let cfg = WorldConfig::default().seed(7).link(LinkModel::LossyDisk {
             range_m: 30.0,
             interference_range_m: 45.0,
             prr: 0.6,
-        };
-        cfg.seed = 7;
+        });
         let mut w = World::new(cfg);
         let a = w.add_node(
             Pos::new(0.0, 0.0),

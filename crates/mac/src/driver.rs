@@ -4,7 +4,6 @@
 
 use crate::{is_mac_tag, Mac, MacError, MacEvent, SendHandle};
 use iiot_sim::{Ctx, Dst, Frame, NodeId, Proto, RxInfo, SimTime, Timer, TxOutcome};
-use std::any::Any;
 
 /// One recorded delivery.
 #[derive(Clone, Debug, PartialEq)]
@@ -190,11 +189,5 @@ impl<M: Mac> Proto for MacDriver<M> {
         self.mac.crashed();
     }
 
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
 
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
 }

@@ -366,8 +366,7 @@ mod tests {
     type Drv = MacDriver<LplMac>;
 
     fn lpl_world(n: usize, spacing: f64, seed: u64) -> (World, Vec<NodeId>) {
-        let mut cfg = WorldConfig::default();
-        cfg.seed = seed;
+        let cfg = WorldConfig::default().seed(seed);
         let mut w = World::new(cfg);
         let ids = w.add_nodes(&Topology::line(n, spacing), |_| {
             Box::new(MacDriver::new(LplMac::default())) as Box<dyn Proto>
@@ -395,7 +394,12 @@ mod tests {
 
     #[test]
     fn ack_stops_strobe_early() {
-        let (mut w, ids) = lpl_world(2, 10.0, 4);
+        // Seed 5, not 4: the vendored SmallRng draws a different wake
+        // phase per seed than the crates.io build did, and seed 4 now
+        // lands the receiver's ACK inside the sender's next strobe copy
+        // (ACK lost, full strobe). Any phase where the ACK falls in the
+        // inter-copy gap exercises the intended early-stop path.
+        let (mut w, ids) = lpl_world(2, 10.0, 5);
         w.proto_mut::<Drv>(ids[0]).push_send(
             SimTime::from_secs(1),
             Dst::Unicast(ids[1]),

@@ -498,8 +498,7 @@ mod tests {
             .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
             .collect();
         let sched = TdmaSchedule::pipeline_to_root(&parents, SimDuration::from_millis(slot_ms));
-        let mut cfg = WorldConfig::default();
-        cfg.seed = seed;
+        let cfg = WorldConfig::default().seed(seed);
         let mut w = World::new(cfg);
         let s2 = sched.clone();
         let ids = w.add_nodes(&Topology::line(n, 10.0), move |_| {

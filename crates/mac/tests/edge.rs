@@ -102,8 +102,7 @@ fn oversized_payload_rejected_by_every_mac() {
 
 #[test]
 fn lpl_unicast_out_of_range_reports_failure() {
-    let mut cfg = WorldConfig::default();
-    cfg.seed = 77;
+    let cfg = WorldConfig::default().seed(77);
     let mut w = World::new(cfg);
     let a = w.add_node(
         Pos::new(0.0, 0.0),

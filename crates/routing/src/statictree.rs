@@ -13,7 +13,6 @@ use crate::dodag::{decode_data, encode_data, Collected, Datum, Traffic, PORT_DAT
 use iiot_mac::{Mac, MacEvent, SendHandle};
 use iiot_sim::{Ctx, Dst, Frame, NodeId, Proto, RxInfo, SimDuration, Timer, TxOutcome};
 use rand::Rng;
-use std::any::Any;
 use std::collections::VecDeque;
 
 const TAG_TRAFFIC: u64 = 0x180;
@@ -246,13 +245,7 @@ impl<M: Mac> Proto for StaticCollection<M> {
         self.seen.clear();
     }
 
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
 
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
 }
 
 #[cfg(test)]
@@ -270,8 +263,7 @@ mod tests {
             .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
             .collect();
         let sched = TdmaSchedule::pipeline_to_root(&parents, SimDuration::from_millis(20));
-        let mut wc = WorldConfig::default();
-        wc.seed = 8;
+        let wc = WorldConfig::default().seed(8);
         let mut w = World::new(wc);
         let mut cfg = StaticConfig::new(parents);
         cfg.traffic = Some(Traffic {

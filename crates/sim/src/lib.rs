@@ -48,8 +48,6 @@
 //!             self.replies += 1;
 //!         }
 //!     }
-//!     fn as_any(&self) -> &dyn std::any::Any { self }
-//!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
 //! }
 //!
 //! let mut world = World::new(WorldConfig::default());
@@ -66,13 +64,14 @@ pub mod energy;
 pub mod ids;
 pub mod node;
 pub mod radio;
+pub mod seed;
 pub mod time;
 pub mod topology;
 pub mod trace;
 pub mod world;
 
 pub use ids::{NodeId, TimerId};
-pub use node::{Idle, Proto, Timer};
+pub use node::{AsAny, Idle, Proto, Timer};
 pub use radio::{Dst, Frame, RadioConfig, RadioError, RadioState, RxInfo, TxOutcome};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Pos, Topology};
@@ -82,7 +81,7 @@ pub use world::{Ctx, World, WorldConfig};
 pub mod prelude {
     pub use crate::energy::{EnergyModel, EnergyUsage};
     pub use crate::ids::{NodeId, TimerId};
-    pub use crate::node::{Idle, Proto, Timer};
+    pub use crate::node::{AsAny, Idle, Proto, Timer};
     pub use crate::radio::{
         Dst, Frame, LinkModel, RadioConfig, RadioError, RadioState, RxInfo, TxOutcome,
     };

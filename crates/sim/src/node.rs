@@ -14,6 +14,33 @@ pub struct Timer {
     pub tag: u64,
 }
 
+/// Upcasting support for protocol downcasts.
+///
+/// Blanket-implemented for every `'static` type, so [`Proto`]
+/// implementations get `as_any`/`as_any_mut` for free: the supertrait
+/// bound on [`Proto`] is what lets [`World::proto`] downcast a
+/// `dyn Proto` back to its concrete type without each protocol writing
+/// the two-line boilerplate by hand.
+///
+/// [`World::proto`]: crate::world::World::proto
+pub trait AsAny: Any {
+    /// Upcast for downcasting to the concrete type.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for downcasting to the concrete type.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
 /// The software running on one simulated node.
 ///
 /// A `Proto` is a state machine driven entirely by callbacks: the world
@@ -22,16 +49,15 @@ pub struct Timer {
 /// backhaul ("wire") messages. All side effects go through the [`Ctx`]
 /// handed to each callback.
 ///
-/// Implementations must provide [`as_any`](Proto::as_any) /
-/// [`as_any_mut`](Proto::as_any_mut) (two lines of boilerplate returning
-/// `self`) so experiments can downcast and inspect final protocol state.
+/// Downcasting (so experiments can inspect final protocol state) comes
+/// for free through the [`AsAny`] supertrait; implementations only
+/// write the callbacks they care about.
 ///
 /// # Examples
 ///
 /// ```
 /// use iiot_sim::node::{Proto, Timer};
 /// use iiot_sim::world::Ctx;
-/// use std::any::Any;
 ///
 /// /// Counts how many times its periodic timer fired.
 /// struct Ticker {
@@ -47,11 +73,9 @@ pub struct Timer {
 ///         self.fired += 1;
 ///         ctx.set_timer(iiot_sim::time::SimDuration::from_millis(self.period_ms), 0);
 ///     }
-///     fn as_any(&self) -> &dyn Any { self }
-///     fn as_any_mut(&mut self) -> &mut dyn Any { self }
 /// }
 /// ```
-pub trait Proto: 'static {
+pub trait Proto: AsAny {
     /// Called once when the node boots (time of node creation) and again
     /// after every crash-recovery ([`World::revive`](crate::world::World::revive)).
     fn start(&mut self, ctx: &mut Ctx<'_>);
@@ -85,12 +109,6 @@ pub trait Proto: 'static {
     /// flash" may be kept. After a later revive, [`start`](Proto::start)
     /// runs again.
     fn crashed(&mut self) {}
-
-    /// Upcast for downcasting to the concrete protocol type.
-    fn as_any(&self) -> &dyn Any;
-
-    /// Mutable upcast for downcasting to the concrete protocol type.
-    fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
 /// A protocol that does nothing; useful as a placeholder (e.g. for nodes
@@ -100,10 +118,4 @@ pub struct Idle;
 
 impl Proto for Idle {
     fn start(&mut self, _ctx: &mut Ctx<'_>) {}
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
 }

@@ -118,6 +118,39 @@ impl Stats {
         self.counters.keys().map(String::as_str)
     }
 
+    /// All global counters as `(name, value)` pairs, in name order.
+    /// The stable export surface used by trial runners and JSON dumps.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iiot_sim::trace::Stats;
+    ///
+    /// let mut s = Stats::new();
+    /// s.inc("rx", 2.0);
+    /// s.inc("tx", 5.0);
+    /// let all: Vec<_> = s.counters().collect();
+    /// assert_eq!(all, vec![("rx", 2.0), ("tx", 5.0)]);
+    /// ```
+    pub fn counters(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Names of all sample series, in name order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iiot_sim::trace::Stats;
+    ///
+    /// let mut s = Stats::new();
+    /// s.record("latency_s", 0.2);
+    /// assert_eq!(s.series_names().collect::<Vec<_>>(), vec!["latency_s"]);
+    /// ```
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
     /// Merges another `Stats` into this one (counters add, series append).
     pub fn merge(&mut self, other: &Stats) {
         for (k, v) in &other.counters {

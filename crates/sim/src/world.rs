@@ -4,7 +4,7 @@ use crate::energy::{EnergyMeter, EnergyModel, EnergyUsage};
 use crate::ids::{NodeId, TimerId};
 use crate::node::{Proto, Timer};
 use crate::radio::{
-    Dst, Frame, Medium, RadioConfig, RadioError, RadioState, RxEval, TxId,
+    Dst, Frame, LinkModel, Medium, RadioConfig, RadioError, RadioState, RxEval, TxId,
 };
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{Pos, Topology};
@@ -36,6 +36,77 @@ impl Default for WorldConfig {
             energy: EnergyModel::default(),
             wire_latency: SimDuration::from_millis(20),
         }
+    }
+}
+
+impl WorldConfig {
+    /// Sets the master seed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iiot_sim::prelude::*;
+    ///
+    /// let cfg = WorldConfig::default().seed(7).radius(30.0);
+    /// let w = World::new(cfg);
+    /// assert_eq!(w.now(), SimTime::ZERO);
+    /// ```
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the communication range of disk-shaped link models,
+    /// keeping the interference range at 1.5x the communication range.
+    /// A [`LinkModel::LogDistance`] link has no sharp radius and is
+    /// left unchanged; use [`WorldConfig::link`] to replace it.
+    #[must_use]
+    pub fn radius(mut self, range: f64) -> Self {
+        match &mut self.radio.link {
+            LinkModel::UnitDisk {
+                range_m,
+                interference_range_m,
+            }
+            | LinkModel::LossyDisk {
+                range_m,
+                interference_range_m,
+                ..
+            } => {
+                *range_m = range;
+                *interference_range_m = range * 1.5;
+            }
+            LinkModel::LogDistance { .. } => {}
+        }
+        self
+    }
+
+    /// Replaces the link model.
+    #[must_use]
+    pub fn link(mut self, link: LinkModel) -> Self {
+        self.radio.link = link;
+        self
+    }
+
+    /// Replaces the whole radio configuration.
+    #[must_use]
+    pub fn radio(mut self, radio: RadioConfig) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Replaces the energy model.
+    #[must_use]
+    pub fn energy(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Sets the one-way backhaul latency.
+    #[must_use]
+    pub fn wire_latency(mut self, latency: SimDuration) -> Self {
+        self.wire_latency = latency;
+        self
     }
 }
 
@@ -603,7 +674,6 @@ mod tests {
     use super::*;
     use crate::radio::RxInfo;
     use crate::node::Idle;
-    use std::any::Any;
 
     /// Ping-pong: node A unicasts to B, B replies, A records latency.
     struct Ping {
@@ -645,12 +715,6 @@ mod tests {
                 self.rtts.push(rtt);
             }
         }
-        fn as_any(&self) -> &dyn Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn Any {
-            self
-        }
     }
 
     #[test]
@@ -669,8 +733,7 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_outcome() {
         let run = |seed: u64| {
-            let mut cfg = WorldConfig::default();
-            cfg.seed = seed;
+            let cfg = WorldConfig::default().seed(seed);
             let mut w = World::new(cfg);
             let a = w.add_node(Pos::new(0.0, 0.0), Box::new(Ping::new(NodeId(1), true)));
             w.add_node(Pos::new(10.0, 0.0), Box::new(Ping::new(NodeId(0), false)));
@@ -695,12 +758,6 @@ mod tests {
             }
             fn crashed(&mut self) {
                 self.fired = 0; // volatile state lost
-            }
-            fn as_any(&self) -> &dyn Any {
-                self
-            }
-            fn as_any_mut(&mut self) -> &mut dyn Any {
-                self
             }
         }
         let mut w = World::new(WorldConfig::default());
@@ -731,12 +788,6 @@ mod tests {
             fn timer(&mut self, _ctx: &mut Ctx<'_>, _t: Timer) {
                 self.fired = true;
             }
-            fn as_any(&self) -> &dyn Any {
-                self
-            }
-            fn as_any_mut(&mut self) -> &mut dyn Any {
-                self
-            }
         }
         let mut w = World::new(WorldConfig::default());
         let n = w.add_node(Pos::new(0.0, 0.0), Box::new(C { fired: false }));
@@ -758,12 +809,6 @@ mod tests {
             }
             fn wire(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
                 self.got.push((from, payload.to_vec(), ctx.now()));
-            }
-            fn as_any(&self) -> &dyn Any {
-                self
-            }
-            fn as_any_mut(&mut self) -> &mut dyn Any {
-                self
             }
         }
         let mut w = World::new(WorldConfig::default());
@@ -799,12 +844,6 @@ mod tests {
             }
             fn timer(&mut self, ctx: &mut Ctx<'_>, _t: Timer) {
                 ctx.radio_off().expect("off");
-            }
-            fn as_any(&self) -> &dyn Any {
-                self
-            }
-            fn as_any_mut(&mut self) -> &mut dyn Any {
-                self
             }
         }
         let mut w = World::new(WorldConfig::default());
@@ -842,12 +881,6 @@ mod tests {
                 ctx.count_node("boots", 1.0);
                 ctx.record("x", 7.0);
                 assert_eq!(ctx.stats().get("boots"), 1.0);
-            }
-            fn as_any(&self) -> &dyn Any {
-                self
-            }
-            fn as_any_mut(&mut self) -> &mut dyn Any {
-                self
             }
         }
         let mut w = World::new(WorldConfig::default());

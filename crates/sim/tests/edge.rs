@@ -2,7 +2,6 @@
 
 use iiot_sim::energy::EnergyModel;
 use iiot_sim::prelude::*;
-use std::any::Any;
 
 #[test]
 fn radio_config_serde_round_trip() {
@@ -63,12 +62,6 @@ fn medium_stats_accumulate() {
             ctx.transmit(Dst::Unicast(NodeId(1)), 0, vec![1, 2, 3]).expect("tx");
             ctx.set_timer(SimDuration::from_millis(50), 0);
         }
-        fn as_any(&self) -> &dyn Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn Any {
-            self
-        }
     }
     let mut w = World::new(WorldConfig::default());
     w.add_nodes(&Topology::line(2, 10.0), |_| Box::new(Chatter) as Box<dyn Proto>);
@@ -94,12 +87,6 @@ fn run_until_idle_stops_at_quiescence() {
                 self.left -= 1;
                 ctx.set_timer(SimDuration::from_millis(10), 0);
             }
-        }
-        fn as_any(&self) -> &dyn Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn Any {
-            self
         }
     }
     let mut w = World::new(WorldConfig::default());
@@ -141,20 +128,12 @@ fn lossy_disk_drops_roughly_at_rate() {
             ctx.transmit(Dst::Broadcast, 0, vec![0; 10]).expect("tx");
             ctx.set_timer(SimDuration::from_millis(10), 0);
         }
-        fn as_any(&self) -> &dyn Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn Any {
-            self
-        }
     }
-    let mut cfg = WorldConfig::default();
-    cfg.seed = 99;
-    cfg.radio.link = LinkModel::LossyDisk {
+    let cfg = WorldConfig::default().seed(99).link(LinkModel::LossyDisk {
         range_m: 30.0,
         interference_range_m: 45.0,
         prr: 0.7,
-    };
+    });
     let mut w = World::new(cfg);
     w.add_nodes(&Topology::line(2, 10.0), |_| Box::new(Sender) as Box<dyn Proto>);
     w.run_for(SimDuration::from_secs(20));

@@ -21,8 +21,7 @@ use rand::SeedableRng;
 /// Three tenants, each a small cluster of chatty nodes, dropped into
 /// the same 60x60 m site. Returns per-tenant delivery counts.
 fn run_tenants(plan: ChannelPlan, seed: u64) -> Vec<(usize, usize)> {
-    let mut wc = WorldConfig::default();
-    wc.seed = seed;
+    let wc = WorldConfig::default().seed(seed);
     let mut w = World::new(wc);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0E);
     let tenants = 3usize;
@@ -111,8 +110,7 @@ fn main() {
     // A star of six sentinels around the border router; random churn
     // kills and revives sentinels, but only the router's real crash
     // must produce a verdict.
-    let mut wc = WorldConfig::default();
-    wc.seed = 9;
+    let wc = WorldConfig::default().seed(9);
     let mut w = World::new(wc);
     let mut topo = Topology::new();
     topo.push(Pos::new(0.0, 0.0));

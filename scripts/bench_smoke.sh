@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Tier-2 smoke check for the parallel trial runner: the E5 sweep must
+# produce byte-identical tables (and JSON dumps) at --jobs 1 and
+# --jobs 2. Catches scheduling-dependent output before it reaches
+# EXPERIMENTS.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${TMPDIR:-/tmp}/iiot-bench-smoke.$$"
+mkdir -p "$out"
+trap 'rm -rf "$out"' EXIT
+
+cargo build -p iiot-bench --release --offline --bin experiments
+bin=target/release/experiments
+
+"$bin" e5 --jobs 1 --json "$out/e5-j1.json" > "$out/e5-j1.txt" 2> /dev/null
+"$bin" e5 --jobs 2 --json "$out/e5-j2.json" > "$out/e5-j2.txt" 2> /dev/null
+
+diff -u "$out/e5-j1.txt" "$out/e5-j2.txt"
+diff -u "$out/e5-j1.json" "$out/e5-j2.json"
+
+# The dump must be machine-readable JSON of the expected shape.
+python3 - "$out/e5-j1.json" <<'EOF'
+import json, sys
+tables = json.load(open(sys.argv[1]))
+assert isinstance(tables, list) and tables, "no tables in dump"
+for t in tables:
+    assert set(t) == {"title", "headers", "rows"}, t.keys()
+    for row in t["rows"]:
+        assert len(row) == len(t["headers"]), (t["title"], row)
+EOF
+
+echo "bench smoke OK: e5 tables byte-identical at --jobs 1 and --jobs 2"

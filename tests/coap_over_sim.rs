@@ -7,7 +7,6 @@ use iiot::coap::resource::Response;
 use iiot::coap::{Code, CoapEndpoint, CoapEvent, EndpointConfig};
 use iiot::sim::prelude::*;
 use rand::Rng;
-use std::any::Any;
 
 const TAG_COAP_TIMER: u64 = 0x700;
 
@@ -83,18 +82,12 @@ impl Proto for CoapWireNode {
         self.flush(ctx);
     }
 
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
 }
 
 fn run(loss: f64, seed: u64, gets: usize) -> (usize, usize, f64) {
-    let mut wc = WorldConfig::default();
-    wc.seed = seed;
-    wc.wire_latency = SimDuration::from_millis(40);
+    let wc = WorldConfig::default()
+        .seed(seed)
+        .wire_latency(SimDuration::from_millis(40));
     let mut w = World::new(wc);
 
     let mut server = CoapWireNode::new(1, loss);

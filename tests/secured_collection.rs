@@ -15,8 +15,7 @@ const NETWORK_KEY: Key = Key(*b"factory-net-key1");
 const LEVEL: SecLevel = SecLevel::EncMic64;
 
 fn build(n: usize, seed: u64) -> (World, Vec<NodeId>) {
-    let mut wc = WorldConfig::default();
-    wc.seed = seed;
+    let wc = WorldConfig::default().seed(seed);
     let mut w = World::new(wc);
     let ids = w.add_nodes(&Topology::line(n, 20.0), |i| {
         Box::new(DodagNode::new(

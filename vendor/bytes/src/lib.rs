@@ -1,0 +1,119 @@
+//! Workspace-local stand-in for `bytes`.
+//!
+//! The workspace declares this dependency but currently constructs all
+//! frames from `Vec<u8>`; this stub keeps the dependency edge alive
+//! offline with a minimal `Vec`-backed [`Bytes`]/[`BytesMut`] pair so
+//! future code can migrate without touching Cargo metadata.
+
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+
+/// An immutable byte buffer (cheaply cloneable via `Arc` upstream; a
+/// plain `Vec` clone here — correctness over zero-copy).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub const fn new() -> Self {
+        Bytes(Vec::new())
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(data.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(v.to_vec())
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Vec<u8> {
+        b.0
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub const fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty buffer with `cap` reserved bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Appends `data`.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_round_trip() {
+        let mut b = BytesMut::with_capacity(4);
+        b.extend_from_slice(&[1, 2, 3]);
+        let f = b.freeze();
+        assert_eq!(&f[..], &[1, 2, 3]);
+        assert_eq!(Vec::from(f), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness with the criterion API
+//! shape (`criterion_group!`/`criterion_main!`, `Criterion::
+//! bench_function`, `Bencher::iter`/`iter_batched`, `BatchSize`). It
+//! reports median ns/iteration over a few short measurement rounds —
+//! enough to track regressions in CI logs, with none of upstream's
+//! statistics machinery.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How much setup output to batch per measurement (accepted for API
+/// parity; the harness always re-runs setup per measured batch).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small routine input: many iterations per batch upstream.
+    SmallInput,
+    /// Large routine input: few iterations per batch upstream.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Per-function measurement driver.
+pub struct Bencher {
+    /// Collected per-iteration times of the current measurement.
+    samples: Vec<Duration>,
+}
+
+const TARGET_TIME: Duration = Duration::from_millis(300);
+const MAX_ITERS: u64 = 10_000;
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while iters < MAX_ITERS && started.elapsed() < TARGET_TIME {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+            iters += 1;
+        }
+    }
+
+    /// Measures `routine` on fresh input from `setup` each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while iters < MAX_ITERS && started.elapsed() < TARGET_TIME {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t0.elapsed());
+            iters += 1;
+        }
+    }
+}
+
+/// The benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut ns: Vec<u128> = b.samples.iter().map(Duration::as_nanos).collect();
+        ns.sort_unstable();
+        if ns.is_empty() {
+            println!("{id:<44} no samples");
+        } else {
+            let median = ns[ns.len() / 2];
+            let (lo, hi) = (ns[ns.len() / 20], ns[ns.len() - 1 - ns.len() / 20]);
+            println!(
+                "{id:<44} median {median:>12} ns/iter  (p5 {lo}, p95 {hi}, n={})",
+                ns.len()
+            );
+        }
+        self
+    }
+}
+
+/// Groups benchmark functions under one runner fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

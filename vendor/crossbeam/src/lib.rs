@@ -1,0 +1,206 @@
+//! Workspace-local stand-in for `crossbeam`, backed by `std`.
+//!
+//! Two subsets are implemented, matching what the workspace uses:
+//!
+//! * [`channel`] — multi-producer channels with the crossbeam surface
+//!   (`unbounded`, cloneable `Sender`, `Receiver::try_recv`/`try_iter`),
+//!   backed by `std::sync::mpsc`;
+//! * [`thread`] — scoped spawning with the crossbeam 0.8 closure shape
+//!   (`scope(|s| { s.spawn(|_| ...); })`), backed by
+//!   `std::thread::scope`, so borrowed data can cross into workers
+//!   without `'static` bounds. This is what `iiot-bench`'s parallel
+//!   trial runner fans out on.
+
+#![warn(missing_docs)]
+
+pub mod channel {
+    //! Multi-producer multi-consumer-ish channels (mpsc-backed subset).
+
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// All senders dropped and buffer drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half; clone freely.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, failing only if the receiver was dropped.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back inside [`SendError`].
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when nothing is buffered,
+        /// [`TryRecvError::Disconnected`] when the channel is closed.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] when every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Iterator over currently-buffered values (non-blocking).
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.try_iter()
+        }
+
+        /// Blocking iterator until the channel closes.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_try_recv() {
+            let (tx, rx) = unbounded();
+            tx.send(7).expect("open");
+            assert_eq!(rx.try_recv(), Ok(7));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn clone_senders_fan_in() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            tx.send(1).expect("open");
+            tx2.send(2).expect("open");
+            assert_eq!(rx.try_iter().count(), 2);
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 API shape.
+
+    use std::marker::PhantomData;
+
+    /// Handle passed to the `scope` closure; spawns scoped workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped worker.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the worker and returns its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the worker's panic payload if it panicked.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker; the closure receives the scope again (the
+        /// crossbeam shape — spawn nested workers through it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned workers are joined before
+    /// this returns. Always `Ok` unless a worker panicked (std
+    /// propagates worker panics on scope exit, so `Err` is never
+    /// actually observed — the `Result` keeps the crossbeam signature).
+    ///
+    /// # Errors
+    ///
+    /// Never, in practice; see above.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_borrow() {
+            let data = vec![1u64, 2, 3, 4];
+            let mut out = vec![0u64; 4];
+            super::scope(|s| {
+                let mut handles = Vec::new();
+                for (i, chunk) in out.chunks_mut(1).enumerate() {
+                    let data = &data;
+                    handles.push(s.spawn(move |_| chunk[0] = data[i] * 10));
+                }
+                for h in handles {
+                    h.join().expect("worker");
+                }
+            })
+            .expect("scope");
+            assert_eq!(out, vec![10, 20, 30, 40]);
+        }
+    }
+}

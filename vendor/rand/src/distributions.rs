@@ -1,0 +1,141 @@
+//! Distributions: the [`Standard`] distribution and uniform ranges.
+
+use crate::RngCore;
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draws one value using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over all values for
+/// integers, uniform in `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Distribution<[u8; N]> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Uniform range sampling (`Rng::gen_range`).
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types `gen_range` can sample.
+    pub trait SampleUniform: PartialOrd + Copy {
+        /// Uniform draw from `[lo, hi)`.
+        fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+        /// Uniform draw from `[lo, hi]`.
+        fn sample_uniform_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R)
+            -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo < hi, "cannot sample empty range");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    lo.wrapping_add((rng.next_u64() % span) as $t)
+                }
+                fn sample_uniform_inclusive<R: RngCore + ?Sized>(
+                    lo: Self,
+                    hi: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+                }
+            }
+        )*};
+    }
+    uniform_int!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+    );
+
+    impl SampleUniform for f64 {
+        fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+            assert!(lo < hi, "cannot sample empty range");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            lo + unit * (hi - lo)
+        }
+        fn sample_uniform_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+            assert!(lo <= hi, "cannot sample empty range");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+            lo + unit * (hi - lo)
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+            f64::sample_uniform(lo as f64, hi as f64, rng) as f32
+        }
+        fn sample_uniform_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+            f64::sample_uniform_inclusive(lo as f64, hi as f64, rng) as f32
+        }
+    }
+
+    /// Range forms accepted by `gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! The workspace only *declares* serializability (via derives) and
+//! never drives a serde data format, so the traits here are markers,
+//! blanket-implemented for every type: `use serde::{Serialize,
+//! Deserialize}` and `#[derive(Serialize, Deserialize)]` compile
+//! unchanged, and generic bounds like `T: Serialize` are always
+//! satisfiable. Machine-readable output in this workspace goes through
+//! hand-rolled JSON writers instead (see `iiot-bench`'s `Table::to_json`).
+
+#![warn(missing_docs)]
+
+/// Marker for types whose values can be serialized. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types whose values can be deserialized. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker for seed-driven deserialization (API parity). Blanket-implemented.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

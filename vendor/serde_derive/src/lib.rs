@@ -1,0 +1,33 @@
+//! Marker-only `Serialize`/`Deserialize` derives.
+//!
+//! The workspace derives serde traits on its data types for downstream
+//! consumers, but never invokes a serde data format (the build
+//! environment has no crates.io access, so the real `serde_derive` and
+//! any format crates are unavailable). These derives accept the same
+//! attribute grammar and expand to empty marker impls, keeping every
+//! `#[derive(Serialize, Deserialize)]` compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// Extracts `(name, generics-use)` of the deriving type well enough to
+/// emit `impl serde::Serialize for Name { }` for plain types and
+/// `impl<T0, ...> serde::Serialize for Name<T0, ...>` is unnecessary:
+/// the marker traits are implemented blanket-style in `serde` itself,
+/// so the derive only needs to swallow its input.
+fn noop(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Serialize` derive: the `serde` stub blanket-implements the
+/// marker trait, so nothing needs to be generated.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    noop(item)
+}
+
+/// No-op `Deserialize` derive: the `serde` stub blanket-implements the
+/// marker trait, so nothing needs to be generated.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    noop(item)
+}
