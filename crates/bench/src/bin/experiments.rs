@@ -7,18 +7,24 @@
 //!   cargo run -p iiot-bench --release --bin experiments -- --jobs 4
 //!   cargo run -p iiot-bench --release --bin experiments -- --trials 5
 //!   cargo run -p iiot-bench --release --bin experiments -- --json out.json
+//!   cargo run -p iiot-bench --release --bin experiments -- e5 --trace e5.jsonl
 //!
 //! `--jobs N` sizes the trial worker pool (default: available cores;
 //! tables are byte-identical for any N). `--trials N` replicates every
 //! trial N times over split seeds and reports `mean (p95 x)` cells.
 //! `--json [PATH]` additionally writes the selected tables as a JSON
-//! array (default path `BENCH_experiments.json`).
+//! array (default path `BENCH_experiments.json`). `--trace PATH` turns
+//! on structured event capture ([`iiot_sim::obs`]) and dumps every
+//! simulated world's events as JSONL — byte-identical for any `--jobs`
+//! — which `trace_report` summarizes.
 
 use iiot_bench::{all_experiments, RunConfig, Runner};
+use iiot_sim::obs;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [e1..e12]... [--markdown] [--jobs N] [--trials N] [--json [PATH]]"
+        "usage: experiments [e1..e12]... [--markdown] [--jobs N] [--trials N] [--json [PATH]] \
+         [--trace PATH]"
     );
     std::process::exit(2);
 }
@@ -29,6 +35,7 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut trials: u32 = 1;
     let mut json: Option<String> = None;
+    let mut trace: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
 
     let mut it = args.into_iter().peekable();
@@ -59,6 +66,13 @@ fn main() {
                 };
                 json = Some(path);
             }
+            "--trace" => {
+                let path = it.next().unwrap_or_else(|| usage());
+                if path.starts_with("--") {
+                    usage();
+                }
+                trace = Some(path);
+            }
             a if a.starts_with("--") => usage(),
             _ => selected.push(arg),
         }
@@ -69,6 +83,9 @@ fn main() {
         trials,
     };
     eprintln!("[jobs={} trials={}]", rc.runner.jobs(), rc.trials);
+    if trace.is_some() {
+        obs::enable_tracing();
+    }
 
     let mut json_tables: Vec<String> = Vec::new();
     let total = std::time::Instant::now();
@@ -99,5 +116,15 @@ fn main() {
             std::process::exit(1);
         });
         eprintln!("[wrote {path}]");
+    }
+
+    if let Some(path) = trace {
+        let traces = obs::drain_traces();
+        let events: usize = traces.iter().map(|t| t.events.len()).sum();
+        std::fs::write(&path, obs::traces_to_jsonl(&traces)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[wrote {path}: {} traces, {events} events]", traces.len());
     }
 }

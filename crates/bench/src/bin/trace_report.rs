@@ -1,0 +1,30 @@
+//! Summarizes a `--trace` JSONL dump from the `experiments` binary.
+//!
+//! Usage:
+//!   cargo run -p iiot-bench --release --bin experiments -- e5 --trace e5.jsonl
+//!   cargo run -p iiot-bench --release --bin trace_report -- e5.jsonl
+//!
+//! Prints the [`iiot_sim::obs::report`] summary: per-kind event counts,
+//! top talkers, drop causes, packet-span latency/hops, queue depths and
+//! the repair timeline (Trickle resets, rank changes, RNFD verdicts,
+//! injected faults). The output is deterministic: the same dump always
+//! yields the same report.
+
+use iiot_sim::obs;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: trace_report TRACE.jsonl");
+        std::process::exit(2);
+    };
+    let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let traces = obs::parse_jsonl(&body).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", obs::report(&traces));
+}

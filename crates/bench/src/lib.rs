@@ -7,6 +7,25 @@
 //! [`RunConfig`] (worker count + replication factor) and produces
 //! byte-identical tables for any worker count. `cargo bench` (see
 //! `benches/`) measures the substrate kernels the experiments rely on.
+//!
+//! # Examples
+//!
+//! The [`Runner`] contract: trials fan out over workers, results come
+//! back in submission order regardless of the worker count.
+//!
+//! ```
+//! use iiot_bench::{Cell, Runner, Trial};
+//!
+//! let mk = || (0..4).map(|i| {
+//!     Trial::new(format!("t{i}"), 100 + i, |seed| vec![vec![Cell::int(seed as f64)]])
+//! }).collect();
+//! let seq = Runner::new(1).run(mk(), 1);
+//! let par = Runner::new(4).run(mk(), 1);
+//! assert_eq!(seq.len(), 4);
+//! for (a, b) in seq.iter().zip(&par) {
+//!     assert_eq!((&a.label, &a.rows), (&b.label, &b.rows));
+//! }
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

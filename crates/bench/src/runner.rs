@@ -205,6 +205,10 @@ impl Runner {
     /// or if a trial closure panics.
     pub fn run(&self, trials: Vec<Trial>, replicas: u32) -> Vec<TrialOutcome> {
         let replicas = replicas.max(1);
+        // Section ids are allocated here, in submission order, before
+        // any worker runs: trace scope keys depend only on the call
+        // sequence, never on scheduling.
+        let section = iiot_sim::obs::begin_section();
         // The full work plan, fixed up front: one job per (trial,
         // replica), each with its pre-derived seed.
         let jobs: Vec<(usize, u32, u64)> = trials
@@ -234,7 +238,14 @@ impl Runner {
                             break;
                         };
                         let started = Instant::now();
+                        // Tag the worker thread so any worlds the trial
+                        // builds record into the trace sink under a
+                        // deterministic (section, trial, replica) key.
+                        if iiot_sim::obs::tracing_enabled() {
+                            iiot_sim::obs::set_scope(section, t as u32, r, trials_ref[t].label());
+                        }
                         let rows = (trials_ref[t].run)(seed);
+                        iiot_sim::obs::clear_scope();
                         tx.send((t, r, rows, started.elapsed()))
                             .expect("collector alive");
                     }

@@ -90,6 +90,7 @@ pub struct CoapEndpoint<P> {
     recent_notifies: VecDeque<(u16, P, Vec<u8>)>,
     outbox: Vec<(P, Vec<u8>)>,
     events: Vec<CoapEvent>,
+    retx_log: Vec<u32>,
     rng: SmallRng,
 }
 
@@ -108,6 +109,7 @@ impl<P: Copy + Eq + Hash + Debug> CoapEndpoint<P> {
             recent_notifies: VecDeque::new(),
             outbox: Vec::new(),
             events: Vec::new(),
+            retx_log: Vec::new(),
             rng: SmallRng::seed_from_u64(seed),
         }
     }
@@ -265,11 +267,25 @@ impl<P: Copy + Eq + Hash + Debug> CoapEndpoint<P> {
         self.tracker.next_deadline()
     }
 
+    /// Total confirmable retransmissions performed so far; the
+    /// difference between two reads is the retransmission count of the
+    /// interval, which sim drivers turn into `CoapRetx` events.
+    pub fn retransmissions(&self) -> u64 {
+        self.tracker.retransmissions()
+    }
+
+    /// Drains the attempt numbers of retransmissions performed since
+    /// the last call (for structured-event emission).
+    pub fn take_retransmissions(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.retx_log)
+    }
+
     /// Runs retransmission/give-up processing at `now`.
     pub fn poll_timers(&mut self, now: SimTime) {
         for action in self.tracker.due(now) {
             match action {
-                DueAction::Retransmit(peer, msg) => {
+                DueAction::Retransmit(peer, msg, attempt) => {
+                    self.retx_log.push(attempt);
                     self.outbox.push((peer, msg.encode()));
                 }
                 DueAction::GiveUp(ex) => {
@@ -621,6 +637,8 @@ mod tests {
         // Fire the retransmission timer and deliver everything.
         let wake = c.next_wakeup().expect("retransmission armed");
         c.poll_timers(wake);
+        assert_eq!(c.retransmissions(), 1);
+        assert_eq!(c.take_retransmissions(), vec![1]);
         shuttle(&mut c, &mut s, wake, usize::MAX);
         let ev = c.take_events();
         assert!(matches!(&ev[0], CoapEvent::Response { code: Code::Content, .. }));

@@ -51,13 +51,15 @@ pub struct Exchange<P> {
 pub struct ConTracker<P> {
     config: ReliabilityConfig,
     inflight: HashMap<u16, Exchange<P>>,
+    retransmissions: u64,
 }
 
 /// What [`ConTracker::due`] decided for one exchange.
 #[derive(Clone, Debug)]
 pub enum DueAction<P> {
-    /// Retransmit this message to this peer.
-    Retransmit(P, Message),
+    /// Retransmit this message to this peer; the third field is the
+    /// 1-based retransmission attempt number.
+    Retransmit(P, Message, u32),
     /// All retransmissions exhausted: the exchange failed.
     GiveUp(Exchange<P>),
 }
@@ -68,7 +70,13 @@ impl<P: Copy + Eq + Hash> ConTracker<P> {
         ConTracker {
             config,
             inflight: HashMap::new(),
+            retransmissions: 0,
         }
+    }
+
+    /// Total retransmissions performed over the tracker's lifetime.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
     }
 
     /// Registers a just-transmitted CON message.
@@ -125,7 +133,8 @@ impl<P: Copy + Eq + Hash> ConTracker<P> {
                 e.retries += 1;
                 e.timeout = e.timeout * 2;
                 e.next_at = now + e.timeout;
-                actions.push(DueAction::Retransmit(e.peer, e.msg.clone()));
+                self.retransmissions += 1;
+                actions.push(DueAction::Retransmit(e.peer, e.msg.clone(), e.retries));
             }
         }
         actions
@@ -218,17 +227,18 @@ mod tests {
 
         // First deadline: retransmit, timeout doubles to 4s.
         let a = t.due(SimTime::from_secs(2));
-        assert!(matches!(a.as_slice(), [DueAction::Retransmit(9, _)]));
+        assert!(matches!(a.as_slice(), [DueAction::Retransmit(9, _, 1)]));
         assert_eq!(t.next_deadline(), Some(SimTime::from_secs(6)));
 
         // Second: retransmit, doubles to 8s.
         let a = t.due(SimTime::from_secs(6));
-        assert!(matches!(a.as_slice(), [DueAction::Retransmit(9, _)]));
+        assert!(matches!(a.as_slice(), [DueAction::Retransmit(9, _, 2)]));
 
         // Third: give up.
         let a = t.due(SimTime::from_secs(14));
         assert!(matches!(a.as_slice(), [DueAction::GiveUp(_)]));
         assert_eq!(t.outstanding(), 0);
+        assert_eq!(t.retransmissions(), 2);
     }
 
     #[test]

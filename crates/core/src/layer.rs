@@ -15,6 +15,52 @@
 //! other systems but also physical objects" (§II-B). Measurements flow
 //! up through the rules into storage; actuation commands flow back
 //! down.
+//!
+//! # Examples
+//!
+//! The core of `examples/quickstart.rs`: a gateway fronting a Modbus
+//! PLC is closed into the three-tier loop — an overheat rule reads the
+//! boiler temperature and actuates the valve, while the historian
+//! retains the series.
+//!
+//! ```
+//! use iiot_core::{Historian, LayeredSystem, Rule};
+//! use iiot_crdt::ReplicaId;
+//! use iiot_gateway::modbus::{ModbusAdapter, ModbusDevice, RegisterMap};
+//! use iiot_gateway::{Gateway, Unit};
+//!
+//! // Sensing and actuation tier: one Modbus PLC behind a gateway.
+//! let mut plc = ModbusDevice::new(1, 8);
+//! plc.set_register(0, 923); // 92.3 C: the boiler is running hot
+//! let mut gw = Gateway::new(ReplicaId(1));
+//! gw.add_adapter(Box::new(ModbusAdapter::new("plc-1", plc, vec![
+//!     RegisterMap { addr: 0, point: "plant/boiler/temp".into(), unit: Unit::Celsius,
+//!                   scale: 0.1, offset: 0.0, writable: false },
+//!     RegisterMap { addr: 1, point: "plant/boiler/valve".into(), unit: Unit::Percent,
+//!                   scale: 1.0, offset: 0.0, writable: true },
+//! ])));
+//!
+//! // Application-logic tier: close the valve above 90 C.
+//! let rules = vec![Rule {
+//!     name: "boiler-overheat".into(),
+//!     input: "plant/boiler/temp".into(),
+//!     above: true,
+//!     threshold: 90.0,
+//!     output: "plant/boiler/valve".into(),
+//!     command: 0.0,
+//! }];
+//!
+//! // Data-storage tier on top; cycle the loop a few times.
+//! let mut system = LayeredSystem::new(gw, rules, Historian::new(1_000));
+//! for cycle in 0..3u64 {
+//!     system.cycle(cycle * 1_000_000);
+//! }
+//!
+//! let latest = system.historian.latest("plant/boiler/temp").expect("stored");
+//! assert!((latest - 92.3).abs() < 1e-9);
+//! assert!(!system.actuations().is_empty(), "the overheat rule fired");
+//! assert_eq!(system.actuations()[0].point, "plant/boiler/valve");
+//! ```
 
 use iiot_gateway::{Gateway, Measurement, WriteError};
 use serde::{Deserialize, Serialize};

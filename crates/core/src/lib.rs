@@ -17,6 +17,29 @@
 //! The substrate crates are re-exported under short names so a single
 //! dependency on `iiot-core` (or the `iiot` facade) gives access to the
 //! whole framework.
+//!
+//! # Examples
+//!
+//! The application-logic and data-storage tiers in isolation (see the
+//! [`layer`] module docs for the full three-tier loop):
+//!
+//! ```
+//! use iiot_core::{Historian, Rule};
+//!
+//! let rule = Rule {
+//!     name: "overheat".into(),
+//!     input: "plant/boiler/temp".into(),
+//!     above: true,
+//!     threshold: 90.0,
+//!     output: "plant/boiler/valve".into(),
+//!     command: 0.0,
+//! };
+//! assert!(rule.fires(92.3) && !rule.fires(88.0));
+//!
+//! let mut historian = Historian::new(1_000);
+//! historian.store("plant/boiler/temp", 0, 92.3);
+//! assert_eq!(historian.latest("plant/boiler/temp"), Some(92.3));
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

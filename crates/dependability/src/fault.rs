@@ -131,9 +131,11 @@ impl FaultPlan {
                     world.revive_at(at + down_for, node);
                 }
                 Fault::LinkDown { a, b, at, heal_at } => {
-                    world.schedule(at, move |w| w.medium_mut().block_link(a, b));
+                    // The World wrappers (rather than raw medium calls)
+                    // emit structured `Fault` events for trace dumps.
+                    world.schedule(at, move |w| w.block_link(a, b));
                     if let Some(h) = heal_at {
-                        world.schedule(h, move |w| w.medium_mut().unblock_link(a, b));
+                        world.schedule(h, move |w| w.unblock_link(a, b));
                     }
                 }
                 Fault::Partition { groups, at, heal_at } => {
@@ -141,9 +143,9 @@ impl FaultPlan {
                         for (i, &g) in groups.iter().enumerate() {
                             w.medium_mut().set_group(NodeId(i as u32), g);
                         }
-                        w.medium_mut().set_partitioned(true);
+                        w.set_partitioned(true);
                     });
-                    world.schedule(heal_at, |w| w.medium_mut().set_partitioned(false));
+                    world.schedule(heal_at, |w| w.set_partitioned(false));
                 }
             }
         }

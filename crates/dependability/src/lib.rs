@@ -19,6 +19,23 @@
 //!   and majority-quorum (CP) stores under partitions (§V-C, E7);
 //! * [`diagnosis`] — automated root-cause analysis of node symptoms,
 //!   the §V-D gap made concrete.
+//!
+//! # Examples
+//!
+//! The CAP trade-off in two lines each: under a total partition the
+//! quorum (CP) store refuses every write while the CRDT (AP) store
+//! stays fully available and converges after the heal.
+//!
+//! ```
+//! use iiot_dependability::replica::{simulate, Design, PartitionWindow};
+//!
+//! let split = vec![PartitionWindow { start: 0, end: 10, groups: vec![0, 1, 2] }];
+//! let cp = simulate(Design::Cp, 3, 20, &split, 2);
+//! assert!(cp.availability() < 1.0, "no majority, no writes");
+//! let ap = simulate(Design::Ap, 3, 20, &split, 2);
+//! assert_eq!(ap.availability(), 1.0);
+//! assert!(ap.convergence_rounds.is_some(), "anti-entropy heals the divergence");
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

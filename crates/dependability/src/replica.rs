@@ -9,6 +9,8 @@
 //! replicas; the AP store always accepts locally and converges later.
 
 use iiot_crdt::{Crdt, LwwMap, ReplicaId};
+use iiot_sim::obs::{Event, EventKind, Recorder, SpanId};
+use iiot_sim::{NodeId, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Which consistency design the store runs.
@@ -73,6 +75,20 @@ pub fn simulate(
     partitions: &[PartitionWindow],
     keys: u8,
 ) -> AvailabilityReport {
+    simulate_with(design, replicas, rounds, partitions, keys, None)
+}
+
+/// Like [`simulate`], but streams a [`CrdtMerge`](EventKind::CrdtMerge)
+/// event per anti-entropy merge into `recorder` (rounds map to
+/// milliseconds of synthetic sim-time, replica indices to node ids).
+pub fn simulate_with(
+    design: Design,
+    replicas: usize,
+    rounds: u64,
+    partitions: &[PartitionWindow],
+    keys: u8,
+    mut recorder: Option<&mut dyn Recorder>,
+) -> AvailabilityReport {
     assert!(replicas > 0);
     for p in partitions {
         assert_eq!(p.groups.len(), replicas, "groups must cover replicas");
@@ -116,6 +132,16 @@ pub fn simulate(
                 if a != b && group_of(round, a) == group_of(round, b) {
                     let src = stores[b].clone();
                     stores[a].merge(&src);
+                    if let Some(r) = recorder.as_deref_mut() {
+                        r.record(&Event {
+                            t: SimTime::from_millis(round),
+                            node: NodeId(a as u32),
+                            span: SpanId::episode(NodeId(b as u32), round as u32),
+                            kind: EventKind::CrdtMerge {
+                                keys: src.len() as u32,
+                            },
+                        });
+                    }
                 }
             }
         }
@@ -151,6 +177,16 @@ mod tests {
             end: 30,
             groups: vec![0, 0, 1, 1, 1],
         }]
+    }
+
+    #[test]
+    fn simulate_with_streams_merge_events() {
+        use iiot_sim::obs::CountingRecorder;
+        let mut rec = CountingRecorder::new();
+        let r = simulate_with(Design::Ap, 3, 5, &[], 2, Some(&mut rec));
+        assert_eq!(r.availability(), 1.0);
+        // Full mesh of 3 replicas = 6 ordered pairs, over 5 rounds.
+        assert_eq!(rec.count("crdt_merge"), 30);
     }
 
     #[test]

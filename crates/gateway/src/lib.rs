@@ -19,6 +19,32 @@
 //!   normalizes onto the bus and a CRDT-mergeable cache (for gateway
 //!   redundancy), and serves the unified namespace northbound over
 //!   CoAP (GET/PUT/Observe).
+//!
+//! # Examples
+//!
+//! A legacy Modbus PLC behind the gateway becomes a named, unit-scaled
+//! point in the unified namespace:
+//!
+//! ```
+//! use iiot_crdt::ReplicaId;
+//! use iiot_gateway::modbus::{ModbusAdapter, ModbusDevice, RegisterMap};
+//! use iiot_gateway::{Gateway, Unit};
+//!
+//! let mut plc = ModbusDevice::new(1, 4);
+//! plc.set_register(0, 215); // raw tenths of a degree
+//! let mut gw = Gateway::new(ReplicaId(1));
+//! gw.add_adapter(Box::new(ModbusAdapter::new("plc-1", plc, vec![RegisterMap {
+//!     addr: 0,
+//!     point: "plant/boiler/temp".into(),
+//!     unit: Unit::Celsius,
+//!     scale: 0.1,
+//!     offset: 0.0,
+//!     writable: false,
+//! }])));
+//! gw.poll_all(0);
+//! let m = gw.last("plant/boiler/temp").expect("polled");
+//! assert!((m.value - 21.5).abs() < 1e-9);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

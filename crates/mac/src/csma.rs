@@ -4,6 +4,7 @@
 
 use crate::header::{decode, encode, MacHeader, MacKind, SeqCache, MAC_HEADER_LEN};
 use crate::{mac_tag, Mac, MacError, MacEvent, SendHandle};
+use iiot_sim::obs::EventKind;
 use iiot_sim::{Ctx, Dst, Frame, RxInfo, SimDuration, Timer, TimerId, TxOutcome};
 use rand::Rng;
 use std::collections::VecDeque;
@@ -74,6 +75,18 @@ enum TxState {
     WaitAck,
 }
 
+impl TxState {
+    fn name(self) -> &'static str {
+        match self {
+            TxState::Idle => "idle",
+            TxState::Backoff => "backoff",
+            TxState::SendingData => "send_data",
+            TxState::SendingAck => "send_ack",
+            TxState::WaitAck => "wait_ack",
+        }
+    }
+}
+
 /// Always-on CSMA/CA MAC (unslotted 802.15.4 flavour).
 ///
 /// See [`CsmaConfig`] for the knobs. Unicast frames are acknowledged
@@ -118,12 +131,22 @@ impl CsmaMac {
         self.queue.len()
     }
 
+    fn set_state(&mut self, ctx: &mut Ctx<'_>, state: TxState) {
+        if self.state != state {
+            ctx.emit(EventKind::MacState {
+                mac: "csma",
+                state: state.name(),
+            });
+        }
+        self.state = state;
+    }
+
     fn start_backoff(&mut self, ctx: &mut Ctx<'_>) {
         let head = self.queue.front().expect("backoff without head");
         let window = 1u64 << head.be;
         let units = ctx.rng().gen_range(0..window);
         self.timer = ctx.set_timer(self.config.backoff_unit * units, TAG_BACKOFF);
-        self.state = TxState::Backoff;
+        self.set_state(ctx, TxState::Backoff);
     }
 
     fn try_begin(&mut self, ctx: &mut Ctx<'_>) {
@@ -144,7 +167,7 @@ impl CsmaMac {
                 .transmit(Dst::Unicast(dst), self.config.radio_port, bytes)
                 .is_ok()
             {
-                self.state = TxState::SendingAck;
+                self.set_state(ctx, TxState::SendingAck);
                 return;
             }
         }
@@ -165,7 +188,7 @@ impl CsmaMac {
         );
         match ctx.transmit(head.dst, self.config.radio_port, bytes) {
             Ok(()) => {
-                self.state = TxState::SendingData;
+                self.set_state(ctx, TxState::SendingData);
                 ctx.count_node("mac_tx_data", 1.0);
             }
             Err(_) => {
@@ -181,7 +204,7 @@ impl CsmaMac {
             handle: head.handle,
             acked,
         });
-        self.state = TxState::Idle;
+        self.set_state(ctx, TxState::Idle);
         self.try_begin(ctx);
     }
 
@@ -194,7 +217,7 @@ impl CsmaMac {
         } else {
             head.backoffs = 0;
             head.be = self.config.min_be;
-            self.state = TxState::Idle;
+            self.set_state(ctx, TxState::Idle);
             self.try_begin(ctx);
         }
     }
@@ -232,6 +255,12 @@ impl Mac for CsmaMac {
             backoffs: 0,
             be: self.config.min_be,
         });
+        if ctx.obs_enabled() {
+            ctx.emit(EventKind::QueueDepth {
+                queue: "mac",
+                depth: self.queue.len() as u32,
+            });
+        }
         self.try_begin(ctx);
         Ok(handle)
     }
@@ -248,7 +277,7 @@ impl Mac for CsmaMac {
                     head.be = (head.be + 1).min(self.config.max_be);
                     if head.backoffs > self.config.max_backoffs {
                         ctx.count_node("mac_cca_fail", 1.0);
-                        self.state = TxState::Idle;
+                        self.set_state(ctx, TxState::Idle);
                         // Channel-access failure counts as one retry.
                         self.fail_head(ctx, out);
                     } else {
@@ -318,7 +347,7 @@ impl Mac for CsmaMac {
     fn on_tx_done(&mut self, ctx: &mut Ctx<'_>, _outcome: TxOutcome, out: &mut Vec<MacEvent>) {
         match self.state {
             TxState::SendingAck => {
-                self.state = TxState::Idle;
+                self.set_state(ctx, TxState::Idle);
                 self.try_begin(ctx);
             }
             TxState::SendingData => {
@@ -326,7 +355,7 @@ impl Mac for CsmaMac {
                 match head.dst {
                     Dst::Broadcast => self.complete_head(ctx, out, true),
                     Dst::Unicast(_) => {
-                        self.state = TxState::WaitAck;
+                        self.set_state(ctx, TxState::WaitAck);
                         self.timer = ctx.set_timer(self.config.ack_timeout, TAG_ACK_TIMEOUT);
                     }
                 }

@@ -22,6 +22,24 @@
 //! Every MAC implements the [`Mac`] trait so upper layers (routing,
 //! aggregation) are generic over the link layer. The [`driver`] module
 //! provides a scriptable host used by tests and experiments.
+//!
+//! # Examples
+//!
+//! Administrative scalability (§IV-C): two co-located networks on a
+//! per-tenant channel plan never interfere, while channel hopping
+//! collides on a predictable fraction of epochs.
+//!
+//! ```
+//! use iiot_mac::coex::{ChannelPlan, TenantId};
+//!
+//! let plan = ChannelPlan::PerTenant { base: 11, num_channels: 16 };
+//! let (a, b) = (TenantId(0), TenantId(1));
+//! assert_ne!(plan.channel_for(a, 0), plan.channel_for(b, 0));
+//! assert_eq!(plan.expected_overlap(a, b), 0.0);
+//!
+//! let hopping = ChannelPlan::Hopping { base: 11, num_channels: 16 };
+//! assert_eq!(hopping.expected_overlap(a, b), 1.0 / 16.0);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

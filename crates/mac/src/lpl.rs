@@ -11,6 +11,7 @@
 
 use crate::header::{decode, encode, MacHeader, MacKind, SeqCache, MAC_HEADER_LEN};
 use crate::{mac_tag, Mac, MacError, MacEvent, SendHandle};
+use iiot_sim::obs::EventKind;
 use iiot_sim::{Ctx, Dst, Frame, NodeId, RxInfo, SimDuration, SimTime, Timer, TxOutcome};
 use rand::Rng;
 use std::collections::VecDeque;
@@ -109,6 +110,10 @@ impl LplMac {
 
     fn maybe_sleep(&mut self, ctx: &mut Ctx<'_>) {
         if !self.sampling && self.strobe_deadline.is_none() && self.tx == TxKind::None {
+            ctx.emit(EventKind::MacState {
+                mac: "lpl",
+                state: "sleep",
+            });
             let _ = ctx.radio_off();
         }
     }
@@ -118,6 +123,10 @@ impl LplMac {
             return;
         }
         ctx.radio_on().expect("lpl: radio on for strobe");
+        ctx.emit(EventKind::MacState {
+            mac: "lpl",
+            state: "strobe",
+        });
         // Strobe a little longer than one wake interval so a receiver
         // that sampled just before we started still gets a copy.
         let margin = self.config.sample * 4;
@@ -190,6 +199,10 @@ impl LplMac {
                 .is_ok()
             {
                 self.tx = TxKind::Ack;
+                ctx.emit(EventKind::MacState {
+                    mac: "lpl",
+                    state: "send_ack",
+                });
             }
         }
     }
@@ -228,6 +241,12 @@ impl Mac for LplMac {
             seq: self.seq,
             strobes: 0,
         });
+        if ctx.obs_enabled() {
+            ctx.emit(EventKind::QueueDepth {
+                queue: "mac",
+                depth: self.queue.len() as u32,
+            });
+        }
         self.begin_strobe(ctx);
         Ok(handle)
     }
@@ -239,6 +258,10 @@ impl Mac for LplMac {
                 if self.strobe_deadline.is_none() && self.tx == TxKind::None {
                     ctx.radio_on().expect("lpl: radio on for sample");
                     self.sampling = true;
+                    ctx.emit(EventKind::MacState {
+                        mac: "lpl",
+                        state: "sample",
+                    });
                     ctx.set_timer(self.config.sample, TAG_SAMPLE_END);
                 }
                 true

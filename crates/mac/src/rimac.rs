@@ -9,6 +9,7 @@
 
 use crate::header::{decode, encode, MacHeader, MacKind, SeqCache, MAC_HEADER_LEN};
 use crate::{mac_tag, Mac, MacError, MacEvent, SendHandle};
+use iiot_sim::obs::EventKind;
 use iiot_sim::{Ctx, Dst, Frame, NodeId, RxInfo, SimDuration, SimTime, Timer, TxOutcome};
 use rand::Rng;
 use std::collections::VecDeque;
@@ -115,6 +116,10 @@ impl RimacMac {
 
     fn maybe_sleep(&mut self, ctx: &mut Ctx<'_>) {
         if !self.hunting && !self.dwelling && self.tx == TxKind::None {
+            ctx.emit(EventKind::MacState {
+                mac: "rimac",
+                state: "sleep",
+            });
             let _ = ctx.radio_off();
         }
     }
@@ -124,6 +129,10 @@ impl RimacMac {
             return;
         }
         self.hunting = true;
+        ctx.emit(EventKind::MacState {
+            mac: "rimac",
+            state: "hunt",
+        });
         ctx.radio_on().expect("rimac: radio on to hunt");
         let head = self.queue.front().expect("hunt without head");
         ctx.set_timer_at(head.deadline, TAG_SEND_TIMEOUT);
@@ -209,6 +218,12 @@ impl Mac for RimacMac {
             seq: self.seq,
             deadline,
         });
+        if ctx.obs_enabled() {
+            ctx.emit(EventKind::QueueDepth {
+                queue: "mac",
+                depth: self.queue.len() as u32,
+            });
+        }
         self.begin_hunt(ctx);
         Ok(handle)
     }
@@ -230,6 +245,10 @@ impl Mac for RimacMac {
                     );
                     if ctx.transmit(Dst::Broadcast, self.config.radio_port, bytes).is_ok() {
                         self.tx = TxKind::Probe;
+                        ctx.emit(EventKind::MacState {
+                            mac: "rimac",
+                            state: "probe",
+                        });
                         ctx.count_node("mac_tx_probe", 1.0);
                     } else {
                         self.maybe_sleep(ctx);
@@ -344,6 +363,10 @@ impl Mac for RimacMac {
             TxKind::Probe => {
                 self.tx = TxKind::None;
                 self.dwelling = true;
+                ctx.emit(EventKind::MacState {
+                    mac: "rimac",
+                    state: "dwell",
+                });
                 ctx.set_timer(self.config.dwell, TAG_DWELL_END);
             }
             TxKind::Data => {

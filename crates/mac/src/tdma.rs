@@ -15,6 +15,7 @@
 
 use crate::header::{decode, encode, MacHeader, MacKind, SeqCache, MAC_HEADER_LEN};
 use crate::{mac_tag, Mac, MacError, MacEvent, SendHandle};
+use iiot_sim::obs::EventKind;
 use iiot_sim::{Ctx, Dst, Frame, NodeId, RxInfo, SimDuration, SimTime, Timer, TxOutcome};
 use std::collections::VecDeque;
 
@@ -313,6 +314,12 @@ impl Mac for TdmaMac {
             seq: self.seq,
             attempts: 0,
         });
+        if ctx.obs_enabled() {
+            ctx.emit(EventKind::QueueDepth {
+                queue: "mac",
+                depth: self.queue.len() as u32,
+            });
+        }
         Ok(handle)
     }
 
@@ -331,6 +338,13 @@ impl Mac for TdmaMac {
                 self.active_slot = Some((idx, role));
                 self.head_acked = false;
                 self.head_sent = false;
+                ctx.emit(EventKind::MacState {
+                    mac: "tdma",
+                    state: match role {
+                        Role::Tx => "slot_tx",
+                        Role::Rx => "slot_rx",
+                    },
+                });
                 ctx.radio_on().expect("tdma: radio on for slot");
                 if role == Role::Tx {
                     ctx.set_timer(self.schedule.guard, TAG_TX_GO);
@@ -390,6 +404,10 @@ impl Mac for TdmaMac {
                         }
                     }
                     if self.tx == TxKind::None {
+                        ctx.emit(EventKind::MacState {
+                            mac: "tdma",
+                            state: "sleep",
+                        });
                         let _ = ctx.radio_off();
                     }
                 }

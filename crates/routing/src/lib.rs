@@ -16,6 +16,27 @@
 //!
 //! All protocols are generic over the [`Mac`](iiot_mac::Mac), so the
 //! same routing code runs over CSMA, LPL, RI-MAC or TDMA.
+//!
+//! # Examples
+//!
+//! The Trickle timer backs off exponentially while the network is
+//! consistent and snaps back to `Imin` on an inconsistency:
+//!
+//! ```
+//! use iiot_routing::trickle::{Trickle, TrickleConfig};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let mut t = Trickle::new(TrickleConfig::default());
+//! let first = t.begin_interval(&mut rng);
+//! t.interval_expired(); // quiet interval: I doubles
+//! let second = t.begin_interval(&mut rng);
+//! assert_eq!(second.end, first.end * 2);
+//! assert!(t.inconsistent()); // snap back to Imin
+//! let reset = t.begin_interval(&mut rng);
+//! assert_eq!(reset.end, first.end);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

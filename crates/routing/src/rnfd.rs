@@ -18,6 +18,7 @@
 //! solo-detector baseline the experiment compares against.
 
 use iiot_mac::{Mac, MacEvent};
+use iiot_sim::obs::EventKind;
 use iiot_sim::{
     Ctx, Dst, Frame, NodeId, Proto, RxInfo, SimDuration, SimTime, Timer, TxOutcome,
 };
@@ -133,6 +134,10 @@ impl<M: Mac> RnfdNode<M> {
             .all(|s| self.votes.get(s).copied() == Some(true));
         if unanimous {
             self.verdict_at = Some(ctx.now());
+            ctx.emit(EventKind::RnfdVerdict {
+                target: self.config.root,
+                verdict: "dead",
+            });
             ctx.count("rnfd_verdicts", 1.0);
             ctx.record("rnfd_verdict_time_s", ctx.now().as_secs_f64());
             let _ = self.mac.send(ctx, Dst::Broadcast, PORT_VERDICT, vec![]);
@@ -157,6 +162,10 @@ impl<M: Mac> RnfdNode<M> {
                     if self.suspected {
                         // The router is alive after all: retract.
                         self.suspected = false;
+                        ctx.emit(EventKind::RnfdVerdict {
+                            target: self.config.root,
+                            verdict: "alive",
+                        });
                         ctx.count_node("rnfd_retract", 1.0);
                         self.broadcast_vote(ctx, false);
                     }

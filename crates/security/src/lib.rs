@@ -17,6 +17,25 @@
 //! * [`join`] — a three-message secure-admission handshake delivering
 //!   the network key under a commissioning secret;
 //! * [`cost`] — CPU/byte/energy overhead accounting per level.
+//!
+//! # Examples
+//!
+//! Protect a reading with encryption + a 64-bit MIC and recover it at a
+//! receiver enforcing replay protection:
+//!
+//! ```
+//! use iiot_security::{protect, unprotect, Key, ReplayGuard, SecLevel};
+//!
+//! let key = Key(*b"plant-ntwrk-key!");
+//! let frame = protect(&key, SecLevel::EncMic64, 7, 1, b"temp=21.5");
+//! assert_ne!(&frame[5..14], b"temp=21.5"); // payload is encrypted
+//!
+//! let mut replay = ReplayGuard::new();
+//! let clear = unprotect(&key, SecLevel::Mic32, 7, &frame, &mut replay).unwrap();
+//! assert_eq!(clear, b"temp=21.5");
+//! // The same counter a second time is a replay.
+//! assert!(unprotect(&key, SecLevel::Mic32, 7, &frame, &mut replay).is_err());
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

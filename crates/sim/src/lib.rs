@@ -19,7 +19,9 @@
 //!   dictates (lines, grids, uniform scatters, machine clusters);
 //! * fault injection (node crash/recovery, link failures, partitions)
 //!   via [`World::kill`](world::World::kill) and friends;
-//! * [`trace`] counters and sample series for experiment reporting.
+//! * [`trace`] counters and sample series for experiment reporting;
+//! * structured [`obs`] events, spans and recorders: zero-cost when
+//!   disabled, and the substrate of `--trace` dumps and `trace_report`.
 //!
 //! Protocols implement [`node::Proto`] and act through [`world::Ctx`].
 //!
@@ -63,6 +65,7 @@
 pub mod energy;
 pub mod ids;
 pub mod node;
+pub mod obs;
 pub mod radio;
 pub mod seed;
 pub mod time;
@@ -82,6 +85,7 @@ pub mod prelude {
     pub use crate::energy::{EnergyModel, EnergyUsage};
     pub use crate::ids::{NodeId, TimerId};
     pub use crate::node::{AsAny, Idle, Proto, Timer};
+    pub use crate::obs::{Event, EventKind, Recorder, SpanId};
     pub use crate::radio::{
         Dst, Frame, LinkModel, RadioConfig, RadioError, RadioState, RxInfo, TxOutcome,
     };

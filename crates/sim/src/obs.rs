@@ -1,0 +1,1324 @@
+//! Structured observability: typed events, causal spans, recorders and
+//! metric rollups (paper §V-D, diagnosability).
+//!
+//! Every hot path in the simulator and the protocol crates emits typed
+//! [`Event`]s through [`Ctx::emit`](crate::world::Ctx::emit). Emission
+//! is **zero-cost when disabled**: the kernel holds an
+//! `Option<Box<dyn Recorder>>` and skips everything but one branch when
+//! no recorder is installed. Events carry the simulation time, the node
+//! they are attributed to and a [`SpanId`], so multi-hop deliveries and
+//! repair episodes can be stitched into causal traces after the fact.
+//!
+//! Three recorders ship with the crate:
+//!
+//! * [`RingRecorder`] — keeps the last `cap` events in memory;
+//! * [`CountingRecorder`] — per-kind counters only, no event storage;
+//! * [`JsonlRecorder`] — streams one JSON object per event to a writer.
+//!
+//! On top of raw events, [`Rollup`] computes per-node/per-cause metric
+//! summaries (drop causes, top talkers, latency/hop/queue-depth
+//! [`Histogram`]s), and [`report`] renders a human-readable summary —
+//! the engine behind the `trace_report` binary of `iiot-bench`.
+//!
+//! The module also owns the *global trace sink* used by `--trace` on the
+//! experiments binary: worker threads tag themselves with a scope
+//! ([`set_scope`]) before running a trial, every
+//! [`World`](crate::world::World) created under
+//! an active scope captures its events, and [`drain_traces`] returns all
+//! captured traces in a canonical order that does not depend on thread
+//! scheduling — which is what makes `--trace` output byte-identical for
+//! any `--jobs` count.
+//!
+//! # Examples
+//!
+//! ```
+//! use iiot_sim::prelude::*;
+//! use iiot_sim::obs::{Event, EventKind, RingRecorder, SpanId};
+//!
+//! struct Chirp;
+//! impl Proto for Chirp {
+//!     fn start(&mut self, ctx: &mut Ctx<'_>) {
+//!         ctx.radio_on().unwrap();
+//!         ctx.emit(EventKind::Custom { name: "boot", value: 1.0 });
+//!         ctx.transmit(Dst::Broadcast, 7, vec![1, 2, 3]).unwrap();
+//!     }
+//! }
+//!
+//! let mut w = World::new(WorldConfig::default());
+//! w.set_recorder(Box::new(RingRecorder::new(64)));
+//! w.add_node(Pos::new(0.0, 0.0), Box::new(Chirp));
+//! w.run_for(SimDuration::from_secs(1));
+//!
+//! let ring = w.recorder_as::<RingRecorder>().unwrap();
+//! let kinds: Vec<&str> = ring.events().map(|e| e.kind.name()).collect();
+//! assert_eq!(kinds, ["custom", "tx_start", "tx_end"]);
+//! ```
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Mutex;
+
+/// Identifier stitching related events into one causal trace.
+///
+/// A span id packs a tag and two 31-bit fields into a `u64`, so events
+/// can reference a span without any allocation or global registry:
+///
+/// * [`SpanId::packet`] — one end-to-end delivery, keyed by the packet's
+///   origin node and origin sequence number (which collection protocols
+///   already carry in their headers, so no wire-format change is
+///   needed);
+/// * [`SpanId::episode`] — one repair/maintenance episode at a node
+///   (e.g. an RNFD suspicion or a global DODAG repair).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SpanId(pub u64);
+
+const SPAN_FIELD: u64 = 0x7FFF_FFFF;
+
+impl SpanId {
+    /// "Not part of any span."
+    pub const NONE: SpanId = SpanId(0);
+
+    fn make(tag: u64, a: u32, b: u32) -> SpanId {
+        SpanId((tag << 62) | ((a as u64 & SPAN_FIELD) << 31) | (b as u64 & SPAN_FIELD))
+    }
+
+    /// The span of one end-to-end packet delivery, identified by its
+    /// origin node and origin-assigned sequence number.
+    pub fn packet(origin: NodeId, seq: u32) -> SpanId {
+        SpanId::make(1, origin.0, seq)
+    }
+
+    /// The span of one repair/maintenance episode at `node`.
+    pub fn episode(node: NodeId, n: u32) -> SpanId {
+        SpanId::make(2, node.0, n)
+    }
+
+    /// Whether this is [`SpanId::NONE`].
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this is a packet-delivery span.
+    pub fn is_packet(self) -> bool {
+        self.0 >> 62 == 1
+    }
+
+    /// Whether this is a repair-episode span.
+    pub fn is_episode(self) -> bool {
+        self.0 >> 62 == 2
+    }
+
+    /// First packed field: the origin node (packet) or the episode's
+    /// node.
+    pub fn node(self) -> NodeId {
+        NodeId(((self.0 >> 31) & SPAN_FIELD) as u32)
+    }
+
+    /// Second packed field: the sequence/episode number.
+    pub fn seq(self) -> u32 {
+        (self.0 & SPAN_FIELD) as u32
+    }
+}
+
+impl std::fmt::Display for SpanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_packet() {
+            write!(f, "pkt({},{})", self.node().0, self.seq())
+        } else if self.is_episode() {
+            write!(f, "ep({},{})", self.node().0, self.seq())
+        } else {
+            write!(f, "-")
+        }
+    }
+}
+
+/// What happened. Every variant is `Copy` and allocation-free so that
+/// constructing one on a hot path costs a few register moves even when
+/// no recorder is installed.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum EventKind {
+    /// A transmission left a node's radio (kernel-level, every frame).
+    TxStart {
+        /// Unicast destination, `None` for broadcast.
+        dst: Option<NodeId>,
+        /// Radio demux port.
+        port: u8,
+        /// Payload length in bytes.
+        bytes: u32,
+    },
+    /// A transmission finished at the sender.
+    TxEnd {
+        /// Oracle count of candidates that actually received the frame.
+        receivers: u32,
+    },
+    /// A frame was delivered to the node's protocol stack.
+    RxDeliver {
+        /// Link-layer source of the frame.
+        src: NodeId,
+        /// Radio demux port.
+        port: u8,
+    },
+    /// A candidate reception was lost, with the medium's drop cause.
+    RxDrop {
+        /// Drop cause name (see [`crate::radio::DropReason`]).
+        cause: &'static str,
+        /// Link-layer source, when the medium still knows it.
+        src: Option<NodeId>,
+    },
+    /// A MAC transmit pipeline changed state.
+    MacState {
+        /// Which MAC (`"csma"`, `"lpl"`, `"rimac"`, `"tdma"`).
+        mac: &'static str,
+        /// The state entered.
+        state: &'static str,
+    },
+    /// A Trickle timer was reset to its minimum interval.
+    TrickleReset {
+        /// Why (`"inconsistent"`, `"new_version"`, ...).
+        cause: &'static str,
+    },
+    /// A DIO control message was sent.
+    DioSent {
+        /// The advertised rank.
+        rank: u16,
+    },
+    /// The node's rank and/or preferred parent changed.
+    RankChange {
+        /// Rank before the change.
+        old: u16,
+        /// Rank after the change.
+        new: u16,
+        /// The new preferred parent, if any.
+        parent: Option<NodeId>,
+    },
+    /// An RNFD node-failure-detection verdict was reached.
+    RnfdVerdict {
+        /// The node being judged.
+        target: NodeId,
+        /// The verdict (`"dead"` or `"alive"`).
+        verdict: &'static str,
+    },
+    /// A confirmable CoAP message was retransmitted.
+    CoapRetx {
+        /// Retransmission attempt number (1-based).
+        attempt: u32,
+    },
+    /// Two CRDT replicas merged state.
+    CrdtMerge {
+        /// Number of keys in the merged-in state.
+        keys: u32,
+    },
+    /// A fault was injected (or healed) by the harness.
+    Fault {
+        /// `"crash"`, `"recover"`, `"link_down"`, `"link_up"`,
+        /// `"partition"`, `"heal"`.
+        kind: &'static str,
+        /// The peer node for link faults.
+        peer: Option<NodeId>,
+    },
+    /// A data packet was created at its origin (span anchor).
+    DataOrigin {
+        /// Origin-assigned sequence number.
+        seq: u32,
+    },
+    /// A data packet was forwarded one hop closer to the sink.
+    DataHop {
+        /// The previous hop.
+        from: NodeId,
+        /// Hop count so far.
+        hops: u8,
+    },
+    /// A data packet arrived at the sink (span end).
+    DataArrive {
+        /// Total hop count.
+        hops: u8,
+    },
+    /// A queue depth sample (taken on enqueue).
+    QueueDepth {
+        /// Which queue (`"mac"`, `"dodag"`).
+        queue: &'static str,
+        /// Depth after the enqueue.
+        depth: u32,
+    },
+    /// Escape hatch for one-off instrumentation.
+    Custom {
+        /// Metric name.
+        name: &'static str,
+        /// Metric value.
+        value: f64,
+    },
+}
+
+impl EventKind {
+    /// Stable kind name used in JSONL dumps and counters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::TxStart { .. } => "tx_start",
+            EventKind::TxEnd { .. } => "tx_end",
+            EventKind::RxDeliver { .. } => "rx_deliver",
+            EventKind::RxDrop { .. } => "rx_drop",
+            EventKind::MacState { .. } => "mac_state",
+            EventKind::TrickleReset { .. } => "trickle_reset",
+            EventKind::DioSent { .. } => "dio",
+            EventKind::RankChange { .. } => "rank_change",
+            EventKind::RnfdVerdict { .. } => "rnfd_verdict",
+            EventKind::CoapRetx { .. } => "coap_retx",
+            EventKind::CrdtMerge { .. } => "crdt_merge",
+            EventKind::Fault { .. } => "fault",
+            EventKind::DataOrigin { .. } => "data_origin",
+            EventKind::DataHop { .. } => "data_hop",
+            EventKind::DataArrive { .. } => "data_arrive",
+            EventKind::QueueDepth { .. } => "queue_depth",
+            EventKind::Custom { .. } => "custom",
+        }
+    }
+}
+
+/// One structured event: when, where, which span, what.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Event {
+    /// Simulation time of the event.
+    pub t: SimTime,
+    /// The node the event is attributed to.
+    pub node: NodeId,
+    /// The causal span this event belongs to ([`SpanId::NONE`] if none).
+    pub span: SpanId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+fn json_opt_node(n: Option<NodeId>) -> i64 {
+    n.map(|n| n.0 as i64).unwrap_or(-1)
+}
+
+impl Event {
+    /// Serializes the event as one flat JSON object (no external JSON
+    /// dependency; the workspace vendors no `serde_json`).
+    pub fn to_json(&self) -> String {
+        let head = format!(
+            "{{\"t_us\":{},\"node\":{},\"span\":{},\"kind\":\"{}\"",
+            self.t.as_micros(),
+            self.node.0,
+            self.span.0,
+            self.kind.name()
+        );
+        let tail = match self.kind {
+            EventKind::TxStart { dst, port, bytes } => {
+                format!(",\"dst\":{},\"port\":{},\"bytes\":{}", json_opt_node(dst), port, bytes)
+            }
+            EventKind::TxEnd { receivers } => format!(",\"receivers\":{receivers}"),
+            EventKind::RxDeliver { src, port } => {
+                format!(",\"src\":{},\"port\":{}", src.0, port)
+            }
+            EventKind::RxDrop { cause, src } => {
+                format!(",\"cause\":\"{}\",\"src\":{}", cause, json_opt_node(src))
+            }
+            EventKind::MacState { mac, state } => {
+                format!(",\"mac\":\"{mac}\",\"state\":\"{state}\"")
+            }
+            EventKind::TrickleReset { cause } => format!(",\"cause\":\"{cause}\""),
+            EventKind::DioSent { rank } => format!(",\"rank\":{rank}"),
+            EventKind::RankChange { old, new, parent } => {
+                format!(",\"old\":{},\"new\":{},\"parent\":{}", old, new, json_opt_node(parent))
+            }
+            EventKind::RnfdVerdict { target, verdict } => {
+                format!(",\"target\":{},\"verdict\":\"{}\"", target.0, verdict)
+            }
+            EventKind::CoapRetx { attempt } => format!(",\"attempt\":{attempt}"),
+            EventKind::CrdtMerge { keys } => format!(",\"keys\":{keys}"),
+            EventKind::Fault { kind, peer } => {
+                format!(",\"fault\":\"{}\",\"peer\":{}", kind, json_opt_node(peer))
+            }
+            EventKind::DataOrigin { seq } => format!(",\"seq\":{seq}"),
+            EventKind::DataHop { from, hops } => {
+                format!(",\"from\":{},\"hops\":{}", from.0, hops)
+            }
+            EventKind::DataArrive { hops } => format!(",\"hops\":{hops}"),
+            EventKind::QueueDepth { queue, depth } => {
+                format!(",\"queue\":\"{queue}\",\"depth\":{depth}")
+            }
+            EventKind::Custom { name, value } => {
+                format!(",\"name\":\"{name}\",\"value\":{value}")
+            }
+        };
+        format!("{head}{tail}}}")
+    }
+
+    /// Parses an event back from its [`Event::to_json`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_json(line: &str) -> Result<Event, String> {
+        let num = |key: &str| -> Result<i64, String> {
+            json_num(line, key).ok_or_else(|| format!("missing numeric field '{key}': {line}"))
+        };
+        let fnum = |key: &str| -> Result<f64, String> {
+            json_f64(line, key).ok_or_else(|| format!("missing numeric field '{key}': {line}"))
+        };
+        let s = |key: &str| -> Result<&str, String> {
+            json_str(line, key).ok_or_else(|| format!("missing string field '{key}': {line}"))
+        };
+        let opt_node = |key: &str| -> Result<Option<NodeId>, String> {
+            let v = num(key)?;
+            Ok(if v < 0 { None } else { Some(NodeId(v as u32)) })
+        };
+        let kind = match s("kind")? {
+            "tx_start" => EventKind::TxStart {
+                dst: opt_node("dst")?,
+                port: num("port")? as u8,
+                bytes: num("bytes")? as u32,
+            },
+            "tx_end" => EventKind::TxEnd {
+                receivers: num("receivers")? as u32,
+            },
+            "rx_deliver" => EventKind::RxDeliver {
+                src: NodeId(num("src")? as u32),
+                port: num("port")? as u8,
+            },
+            "rx_drop" => EventKind::RxDrop {
+                cause: intern(s("cause")?),
+                src: opt_node("src")?,
+            },
+            "mac_state" => EventKind::MacState {
+                mac: intern(s("mac")?),
+                state: intern(s("state")?),
+            },
+            "trickle_reset" => EventKind::TrickleReset {
+                cause: intern(s("cause")?),
+            },
+            "dio" => EventKind::DioSent {
+                rank: num("rank")? as u16,
+            },
+            "rank_change" => EventKind::RankChange {
+                old: num("old")? as u16,
+                new: num("new")? as u16,
+                parent: opt_node("parent")?,
+            },
+            "rnfd_verdict" => EventKind::RnfdVerdict {
+                target: NodeId(num("target")? as u32),
+                verdict: intern(s("verdict")?),
+            },
+            "coap_retx" => EventKind::CoapRetx {
+                attempt: num("attempt")? as u32,
+            },
+            "crdt_merge" => EventKind::CrdtMerge {
+                keys: num("keys")? as u32,
+            },
+            "fault" => EventKind::Fault {
+                kind: intern(s("fault")?),
+                peer: opt_node("peer")?,
+            },
+            "data_origin" => EventKind::DataOrigin {
+                seq: num("seq")? as u32,
+            },
+            "data_hop" => EventKind::DataHop {
+                from: NodeId(num("from")? as u32),
+                hops: num("hops")? as u8,
+            },
+            "data_arrive" => EventKind::DataArrive {
+                hops: num("hops")? as u8,
+            },
+            "queue_depth" => EventKind::QueueDepth {
+                queue: intern(s("queue")?),
+                depth: num("depth")? as u32,
+            },
+            "custom" => EventKind::Custom {
+                name: intern(s("name")?),
+                value: fnum("value")?,
+            },
+            other => return Err(format!("unknown event kind '{other}'")),
+        };
+        Ok(Event {
+            t: SimTime::from_micros(num("t_us")? as u64),
+            node: NodeId(num("node")? as u32),
+            span: SpanId(num("span")? as u64),
+            kind,
+        })
+    }
+}
+
+/// Finds `"key":` in a flat JSON object and returns the raw value text.
+/// Values emitted by this module never contain escaped quotes or nested
+/// objects, so a linear scan suffices.
+fn json_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(q) = rest.strip_prefix('"') {
+        let end = q.find('"')?;
+        Some(&q[..end])
+    } else {
+        let end = rest
+            .find(|c| c == ',' || c == '}')
+            .unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn json_num(line: &str, key: &str) -> Option<i64> {
+    json_raw(line, key)?.parse().ok()
+}
+
+/// Full-range unsigned parse: seeds are arbitrary `u64`s, which `i64`
+/// would reject above `2^63`.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    json_raw(line, key)?.parse().ok()
+}
+
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    json_raw(line, key)?.parse().ok()
+}
+
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    json_raw(line, key)
+}
+
+/// Maps a parsed string back to the `&'static str` the emitters used.
+/// Unknown strings (hand-edited dumps) fall back to a generic marker
+/// rather than leaking memory per call.
+fn intern(s: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        // drop causes
+        "prr", "collision", "radio_moved", "filtered", "dead",
+        // MAC names and states
+        "csma", "lpl", "rimac", "tdma", "idle", "backoff", "send_data", "send_ack", "wait_ack",
+        "strobe", "sample", "sleep", "hunt", "dwell", "probe", "slot_tx", "slot_rx",
+        // trickle causes
+        "inconsistent", "new_version", "parent_lost", "repair",
+        // verdicts and fault kinds
+        "alive", "crash", "recover", "link_down", "link_up", "partition", "heal",
+        // queues and common custom metric names
+        "mac", "dodag", "boot", "duty_cycle", "merge_round",
+    ];
+    KNOWN
+        .iter()
+        .find(|k| **k == s)
+        .copied()
+        .unwrap_or("other")
+}
+
+/// Receives every emitted [`Event`]. Installed into a
+/// [`World`](crate::world::World) via
+/// [`set_recorder`](crate::world::World::set_recorder); when no recorder
+/// is installed, emission is a no-op.
+pub trait Recorder: Send + 'static {
+    /// Called once per emitted event, in simulation order.
+    fn record(&mut self, ev: &Event);
+    /// Downcasting support (see
+    /// [`World::recorder_as`](crate::world::World::recorder_as)).
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Keeps the most recent `cap` events in memory; older events are
+/// dropped (and counted). The cheap always-on flight recorder.
+#[derive(Debug)]
+pub struct RingRecorder {
+    cap: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// A ring buffer holding at most `cap` events (at least 1).
+    pub fn new(cap: usize) -> Self {
+        RingRecorder {
+            cap: cap.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&mut self, ev: &Event) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(*ev);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Counts events per kind without storing them: the cheapest recorder,
+/// for long runs where only totals matter.
+#[derive(Debug, Default)]
+pub struct CountingRecorder {
+    by_kind: BTreeMap<&'static str, u64>,
+    total: u64,
+}
+
+impl CountingRecorder {
+    /// An empty counting recorder.
+    pub fn new() -> Self {
+        CountingRecorder::default()
+    }
+
+    /// Events seen with kind name `kind`.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total events seen.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// All per-kind counters, sorted by kind name.
+    pub fn counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.by_kind.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+impl Recorder for CountingRecorder {
+    fn record(&mut self, ev: &Event) {
+        *self.by_kind.entry(ev.kind.name()).or_insert(0) += 1;
+        self.total += 1;
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Streams every event as one JSON line to a writer.
+pub struct JsonlRecorder<W: Write + Send + 'static> {
+    w: W,
+    lines: u64,
+}
+
+impl<W: Write + Send + 'static> JsonlRecorder<W> {
+    /// Wraps `w`; each recorded event becomes one line.
+    pub fn new(w: W) -> Self {
+        JsonlRecorder { w, lines: 0 }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Unwraps the writer (flushing is the caller's concern).
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write + Send + 'static> Recorder for JsonlRecorder<W> {
+    fn record(&mut self, ev: &Event) {
+        // An I/O error aborts recording, not the simulation.
+        if writeln!(self.w, "{}", ev.to_json()).is_ok() {
+            self.lines += 1;
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A fixed-size log-scale histogram (quarter-decade buckets covering
+/// roughly `1e-7 ..= 1e6`), with exact count/sum/min/max. Deterministic
+/// and allocation-free, so protocols can feed it from hot paths.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; 64],
+        }
+    }
+
+    fn bucket(v: f64) -> usize {
+        if v <= 0.0 {
+            return 0;
+        }
+        let idx = (v.log10() * 5.0).floor() as i64 + 36;
+        idx.clamp(1, 63) as usize
+    }
+
+    /// Representative value of bucket `i` (geometric bucket center).
+    fn bucket_value(i: usize) -> f64 {
+        if i == 0 {
+            return 0.0;
+        }
+        10f64.powf((i as f64 - 36.0 + 0.5) / 5.0)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket(v)] += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`), accurate to one
+    /// quarter-decade bucket; exact at the extremes.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max();
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+/// Per-node / per-cause metric rollup computed from a slice of events:
+/// the structured replacement for eyeballing ad-hoc counters.
+#[derive(Clone, Debug, Default)]
+pub struct Rollup {
+    /// Total events rolled up.
+    pub events: u64,
+    /// Events per kind name.
+    pub by_kind: BTreeMap<&'static str, u64>,
+    /// Transmissions started per node ("top talkers").
+    pub tx_by_node: BTreeMap<u32, u64>,
+    /// Reception drops per cause.
+    pub drops: BTreeMap<&'static str, u64>,
+    /// End-to-end latency of completed packet spans, in seconds
+    /// (origin → sink arrival).
+    pub latency: Histogram,
+    /// Hop counts of completed packet spans.
+    pub hops: Histogram,
+    /// Queue-depth samples per queue name.
+    pub queue_depth: BTreeMap<&'static str, Histogram>,
+    /// Packet spans that saw a `DataOrigin` but no `DataArrive`.
+    pub lost_spans: u64,
+    /// Packet spans completed end to end.
+    pub delivered_spans: u64,
+}
+
+impl Rollup {
+    /// Rolls up `events` (which must be in time order, as recorders
+    /// deliver them).
+    pub fn from_events(events: &[Event]) -> Rollup {
+        let mut r = Rollup::default();
+        let mut origins: BTreeMap<u64, SimTime> = BTreeMap::new();
+        for ev in events {
+            r.events += 1;
+            *r.by_kind.entry(ev.kind.name()).or_insert(0) += 1;
+            match ev.kind {
+                EventKind::TxStart { .. } => {
+                    *r.tx_by_node.entry(ev.node.0).or_insert(0) += 1;
+                }
+                EventKind::RxDrop { cause, .. } => {
+                    *r.drops.entry(cause).or_insert(0) += 1;
+                }
+                EventKind::DataOrigin { .. } => {
+                    origins.insert(ev.span.0, ev.t);
+                }
+                EventKind::DataArrive { hops } => {
+                    if let Some(t0) = origins.remove(&ev.span.0) {
+                        r.latency.observe(ev.t.duration_since(t0).as_secs_f64());
+                        r.hops.observe(hops as f64);
+                        r.delivered_spans += 1;
+                    }
+                }
+                EventKind::QueueDepth { queue, depth } => {
+                    r.queue_depth
+                        .entry(queue)
+                        .or_default()
+                        .observe(depth as f64);
+                }
+                _ => {}
+            }
+        }
+        r.lost_spans = origins.len() as u64;
+        r
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global trace sink: deterministic `--trace` capture across worker threads.
+// ---------------------------------------------------------------------------
+
+/// One captured per-world trace plus the scope key that orders it.
+#[derive(Clone, Debug)]
+pub struct ScopeTrace {
+    /// Section counter (bumped per experiment / per runner batch on the
+    /// main thread, so it is scheduling-independent).
+    pub section: u32,
+    /// Trial index within the section.
+    pub trial: u32,
+    /// Replica index within the trial.
+    pub replica: u32,
+    /// Index of the world within the job (a trial may build several).
+    pub world: u32,
+    /// Human-readable label (trial label or experiment id).
+    pub label: String,
+    /// The world's master seed.
+    pub seed: u64,
+    /// The captured events, in simulation order.
+    pub events: Vec<Event>,
+}
+
+impl ScopeTrace {
+    fn key(&self) -> (u32, u32, u32, u32) {
+        (self.section, self.trial, self.replica, self.world)
+    }
+}
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static SECTION: AtomicU32 = AtomicU32::new(0);
+static SINK: Mutex<Vec<ScopeTrace>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static SCOPE: RefCell<Option<(u32, u32, u32, String)>> = const { RefCell::new(None) };
+    static WORLD_SEQ: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Turns on global trace capture (the `--trace` flag). Worlds created
+/// afterwards *under an active thread scope* record their events into
+/// the global sink.
+pub fn enable_tracing() {
+    TRACING.store(true, Ordering::SeqCst);
+}
+
+/// Turns capture off and empties the sink (test hygiene).
+pub fn disable_tracing() {
+    TRACING.store(false, Ordering::SeqCst);
+    SINK.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Whether global trace capture is on.
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Allocates the next section id. Call only from deterministic,
+/// single-threaded control flow (the experiments binary between
+/// experiments; the runner at batch entry) so section numbering never
+/// depends on scheduling.
+pub fn begin_section() -> u32 {
+    SECTION.fetch_add(1, Ordering::SeqCst)
+}
+
+/// Tags the current thread: worlds created until the next
+/// [`set_scope`]/[`clear_scope`] belong to `(section, trial, replica)`
+/// with display label `label`.
+pub fn set_scope(section: u32, trial: u32, replica: u32, label: &str) {
+    SCOPE.with(|s| *s.borrow_mut() = Some((section, trial, replica, label.to_string())));
+    WORLD_SEQ.with(|w| w.set(0));
+}
+
+/// Clears the current thread's scope; worlds created afterwards are not
+/// captured.
+pub fn clear_scope() {
+    SCOPE.with(|s| *s.borrow_mut() = None);
+}
+
+/// Built by `World::new` when tracing is on and the thread has a scope.
+struct TrialCapture {
+    section: u32,
+    trial: u32,
+    replica: u32,
+    world: u32,
+    label: String,
+    seed: u64,
+    events: Vec<Event>,
+}
+
+impl Recorder for TrialCapture {
+    fn record(&mut self, ev: &Event) {
+        self.events.push(*ev);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl Drop for TrialCapture {
+    fn drop(&mut self) {
+        SINK.lock().unwrap_or_else(|e| e.into_inner()).push(ScopeTrace {
+            section: self.section,
+            trial: self.trial,
+            replica: self.replica,
+            world: self.world,
+            label: std::mem::take(&mut self.label),
+            seed: self.seed,
+            events: std::mem::take(&mut self.events),
+        });
+    }
+}
+
+/// The recorder a new world should install: a capture buffer when
+/// tracing is enabled and this thread has an active scope, else `None`.
+pub(crate) fn capture_recorder(seed: u64) -> Option<Box<dyn Recorder>> {
+    if !tracing_enabled() {
+        return None;
+    }
+    SCOPE.with(|s| {
+        s.borrow().as_ref().map(|(section, trial, replica, label)| {
+            let world = WORLD_SEQ.with(|w| {
+                let n = w.get();
+                w.set(n + 1);
+                n
+            });
+            Box::new(TrialCapture {
+                section: *section,
+                trial: *trial,
+                replica: *replica,
+                world,
+                label: label.clone(),
+                seed,
+                events: Vec::new(),
+            }) as Box<dyn Recorder>
+        })
+    })
+}
+
+/// Drains every captured trace from the sink, sorted by scope key —
+/// byte-identical output regardless of which worker thread captured
+/// what, when.
+pub fn drain_traces() -> Vec<ScopeTrace> {
+    let mut traces = std::mem::take(&mut *SINK.lock().unwrap_or_else(|e| e.into_inner()));
+    traces.sort_by_key(|t| t.key());
+    traces
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders traces as JSONL: one header object per trace (scope key,
+/// label, seed, event count) followed by one object per event.
+pub fn traces_to_jsonl(traces: &[ScopeTrace]) -> String {
+    let mut out = String::new();
+    for tr in traces {
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"section\":{},\"trial\":{},\"replica\":{},\"world\":{},\
+             \"seed\":{},\"events\":{}}}\n",
+            json_escape(&tr.label),
+            tr.section,
+            tr.trial,
+            tr.replica,
+            tr.world,
+            tr.seed,
+            tr.events.len()
+        ));
+        for ev in &tr.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses a dump produced by [`traces_to_jsonl`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_jsonl(s: &str) -> Result<Vec<ScopeTrace>, String> {
+    let mut traces: Vec<ScopeTrace> = Vec::new();
+    for (i, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("{\"label\"") {
+            traces.push(ScopeTrace {
+                section: json_num(line, "section").ok_or("header missing 'section'")? as u32,
+                trial: json_num(line, "trial").ok_or("header missing 'trial'")? as u32,
+                replica: json_num(line, "replica").ok_or("header missing 'replica'")? as u32,
+                world: json_num(line, "world").ok_or("header missing 'world'")? as u32,
+                label: json_str(line, "label")
+                    .ok_or("header missing 'label'")?
+                    .replace("\\\"", "\"")
+                    .replace("\\\\", "\\"),
+                seed: json_u64(line, "seed").ok_or("header missing 'seed'")?,
+                events: Vec::new(),
+            });
+        } else {
+            let ev = Event::from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            traces
+                .last_mut()
+                .ok_or_else(|| format!("line {}: event before any trace header", i + 1))?
+                .events
+                .push(ev);
+        }
+    }
+    Ok(traces)
+}
+
+/// Renders a deterministic human-readable summary of a set of traces:
+/// per-scope totals, top talkers, drop causes, span latency and the
+/// repair timeline. This is the engine of the `trace_report` binary.
+pub fn report(traces: &[ScopeTrace]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let total_events: usize = traces.iter().map(|t| t.events.len()).sum();
+    let _ = writeln!(out, "traces: {}   events: {}", traces.len(), total_events);
+    let all: Vec<Event> = traces.iter().flat_map(|t| t.events.iter().copied()).collect();
+    let r = Rollup::from_events(&all);
+
+    let _ = writeln!(out, "\n== event kinds ==");
+    for (k, n) in &r.by_kind {
+        let _ = writeln!(out, "  {k:<14} {n}");
+    }
+
+    let _ = writeln!(out, "\n== top talkers (tx_start per node) ==");
+    let mut talkers: Vec<(u32, u64)> = r.tx_by_node.iter().map(|(n, c)| (*n, *c)).collect();
+    talkers.sort_by_key(|&(n, c)| (std::cmp::Reverse(c), n));
+    for (n, c) in talkers.iter().take(10) {
+        let _ = writeln!(out, "  node {n:<5} {c}");
+    }
+
+    let _ = writeln!(out, "\n== drop causes ==");
+    if r.drops.is_empty() {
+        let _ = writeln!(out, "  (none)");
+    }
+    for (cause, n) in &r.drops {
+        let _ = writeln!(out, "  {cause:<14} {n}");
+    }
+
+    let _ = writeln!(out, "\n== packet spans ==");
+    let _ = writeln!(
+        out,
+        "  delivered {}   lost {}   latency mean {:.3}s p95 {:.3}s max {:.3}s   hops mean {:.1}",
+        r.delivered_spans,
+        r.lost_spans,
+        r.latency.mean(),
+        r.latency.quantile(0.95),
+        r.latency.max(),
+        r.hops.mean()
+    );
+
+    for (q, h) in &r.queue_depth {
+        let _ = writeln!(
+            out,
+            "  queue '{}': {} samples, mean depth {:.2}, max {:.0}",
+            q,
+            h.count(),
+            h.mean(),
+            h.max()
+        );
+    }
+
+    let _ = writeln!(out, "\n== repair timeline ==");
+    let mut lines = 0;
+    for tr in traces {
+        for ev in &tr.events {
+            let desc = match ev.kind {
+                EventKind::TrickleReset { cause } => format!("trickle reset ({cause})"),
+                EventKind::RankChange { old, new, parent } => format!(
+                    "rank {} -> {} (parent {})",
+                    old,
+                    new,
+                    parent.map(|p| p.0 as i64).unwrap_or(-1)
+                ),
+                EventKind::RnfdVerdict { target, verdict } => {
+                    format!("rnfd: node {} judged {}", target.0, verdict)
+                }
+                EventKind::Fault { kind, peer } => match peer {
+                    Some(p) => format!("fault: {} (peer {})", kind, p.0),
+                    None => format!("fault: {kind}"),
+                },
+                _ => continue,
+            };
+            if lines < 40 {
+                let _ = writeln!(
+                    out,
+                    "  [{}] t={:.3}s node {}: {}",
+                    tr.label,
+                    ev.t.as_secs_f64(),
+                    ev.node.0,
+                    desc
+                );
+            }
+            lines += 1;
+        }
+    }
+    if lines == 0 {
+        let _ = writeln!(out, "  (no repair activity)");
+    } else if lines > 40 {
+        let _ = writeln!(out, "  ... {} more repair events", lines - 40);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_us: u64, node: u32, kind: EventKind) -> Event {
+        Event {
+            t: SimTime::from_micros(t_us),
+            node: NodeId(node),
+            span: SpanId::NONE,
+            kind,
+        }
+    }
+
+    #[test]
+    fn span_id_packs_and_unpacks() {
+        let s = SpanId::packet(NodeId(12345), 0x7FFF_0001);
+        assert!(s.is_packet() && !s.is_episode() && !s.is_none());
+        assert_eq!(s.node(), NodeId(12345));
+        assert_eq!(s.seq(), 0x7FFF_0001);
+        let e = SpanId::episode(NodeId(7), 3);
+        assert!(e.is_episode());
+        assert_eq!((e.node(), e.seq()), (NodeId(7), 3));
+        assert_eq!(format!("{s}"), "pkt(12345,2147418113)");
+        assert!(SpanId::NONE.is_none());
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_json() {
+        let kinds = vec![
+            EventKind::TxStart { dst: Some(NodeId(3)), port: 1, bytes: 40 },
+            EventKind::TxStart { dst: None, port: 2, bytes: 0 },
+            EventKind::TxEnd { receivers: 4 },
+            EventKind::RxDeliver { src: NodeId(9), port: 7 },
+            EventKind::RxDrop { cause: "collision", src: Some(NodeId(1)) },
+            EventKind::RxDrop { cause: "prr", src: None },
+            EventKind::MacState { mac: "csma", state: "backoff" },
+            EventKind::TrickleReset { cause: "inconsistent" },
+            EventKind::DioSent { rank: 512 },
+            EventKind::RankChange { old: 65535, new: 768, parent: Some(NodeId(2)) },
+            EventKind::RnfdVerdict { target: NodeId(5), verdict: "dead" },
+            EventKind::CoapRetx { attempt: 2 },
+            EventKind::CrdtMerge { keys: 17 },
+            EventKind::Fault { kind: "link_down", peer: Some(NodeId(8)) },
+            EventKind::Fault { kind: "partition", peer: None },
+            EventKind::DataOrigin { seq: 11 },
+            EventKind::DataHop { from: NodeId(4), hops: 2 },
+            EventKind::DataArrive { hops: 3 },
+            EventKind::QueueDepth { queue: "dodag", depth: 6 },
+            EventKind::Custom { name: "boot", value: 1.5 },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let e = Event {
+                t: SimTime::from_micros(1000 + i as u64),
+                node: NodeId(i as u32),
+                span: SpanId::packet(NodeId(i as u32), 42),
+                kind,
+            };
+            let back = Event::from_json(&e.to_json()).expect("parse");
+            assert_eq!(e, back, "json: {}", e.to_json());
+        }
+    }
+
+    #[test]
+    fn ring_recorder_caps_and_counts_drops() {
+        let mut r = RingRecorder::new(3);
+        for i in 0..5 {
+            r.record(&ev(i, 0, EventKind::TxEnd { receivers: i as u32 }));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let first = r.events().next().unwrap();
+        assert_eq!(first.t, SimTime::from_micros(2));
+    }
+
+    #[test]
+    fn counting_recorder_counts_by_kind() {
+        let mut c = CountingRecorder::new();
+        c.record(&ev(0, 0, EventKind::TxEnd { receivers: 1 }));
+        c.record(&ev(1, 0, EventKind::TxEnd { receivers: 0 }));
+        c.record(&ev(2, 1, EventKind::RxDrop { cause: "prr", src: None }));
+        assert_eq!(c.count("tx_end"), 2);
+        assert_eq!(c.count("rx_drop"), 1);
+        assert_eq!(c.count("dio"), 0);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn jsonl_recorder_streams_lines() {
+        let mut j = JsonlRecorder::new(Vec::new());
+        j.record(&ev(5, 2, EventKind::DioSent { rank: 256 }));
+        j.record(&ev(6, 2, EventKind::TrickleReset { cause: "inconsistent" }));
+        assert_eq!(j.lines(), 2);
+        let text = String::from_utf8(j.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"kind\":\"dio\""));
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.observe(i as f64 / 100.0); // 0.01 ..= 1.00
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 0.505).abs() < 1e-9);
+        assert_eq!(h.min(), 0.01);
+        assert_eq!(h.max(), 1.0);
+        let p50 = h.quantile(0.5);
+        assert!(p50 > 0.2 && p50 < 0.9, "p50 {p50}");
+        let p95 = h.quantile(0.95);
+        assert!(p95 >= p50 && p95 <= 1.0, "p95 {p95}");
+        let mut other = Histogram::new();
+        other.observe(10.0);
+        h.merge(&other);
+        assert_eq!(h.count(), 101);
+        assert_eq!(h.max(), 10.0);
+    }
+
+    #[test]
+    fn rollup_stitches_packet_spans() {
+        let s1 = SpanId::packet(NodeId(4), 1);
+        let s2 = SpanId::packet(NodeId(5), 1);
+        let events = vec![
+            Event { t: SimTime::from_secs(1), node: NodeId(4), span: s1, kind: EventKind::DataOrigin { seq: 1 } },
+            Event { t: SimTime::from_secs(1), node: NodeId(5), span: s2, kind: EventKind::DataOrigin { seq: 1 } },
+            Event { t: SimTime::from_micros(1_500_000), node: NodeId(2), span: s1, kind: EventKind::DataHop { from: NodeId(4), hops: 1 } },
+            Event { t: SimTime::from_secs(2), node: NodeId(0), span: s1, kind: EventKind::DataArrive { hops: 2 } },
+        ];
+        let r = Rollup::from_events(&events);
+        assert_eq!(r.delivered_spans, 1);
+        assert_eq!(r.lost_spans, 1);
+        assert_eq!(r.latency.count(), 1);
+        assert!((r.latency.mean() - 1.0).abs() < 1e-9);
+        assert!((r.hops.mean() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jsonl_dump_round_trips_and_reports_stably() {
+        let traces = vec![ScopeTrace {
+            section: 0,
+            trial: 1,
+            replica: 0,
+            world: 0,
+            label: "3x3".into(),
+            seed: 99,
+            events: vec![
+                ev(10, 0, EventKind::TxStart { dst: None, port: 1, bytes: 12 }),
+                ev(20, 1, EventKind::RxDrop { cause: "collision", src: Some(NodeId(0)) }),
+                ev(30, 1, EventKind::TrickleReset { cause: "inconsistent" }),
+            ],
+        }];
+        let dump = traces_to_jsonl(&traces);
+        let back = parse_jsonl(&dump).expect("parse");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].label, "3x3");
+        assert_eq!(back[0].seed, 99);
+        assert_eq!(back[0].events, traces[0].events);
+        // Rendering the parsed dump must equal rendering the original:
+        // the stability trace_report relies on.
+        assert_eq!(report(&back), report(&traces));
+        assert!(report(&back).contains("collision"));
+        assert!(report(&back).contains("trickle reset"));
+    }
+}

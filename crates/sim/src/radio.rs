@@ -313,8 +313,10 @@ struct TxRecord {
 pub(crate) enum RxEval {
     /// Frame delivered to the node's protocol stack.
     Deliver(Frame, RxInfo),
-    /// Frame lost (PRR draw, collision, radio moved, address filter).
-    Dropped(DropReason),
+    /// Frame lost (PRR draw, collision, radio moved, address filter),
+    /// with the link-layer source when the medium still knows it —
+    /// observability needs the drop *and* who caused it.
+    Dropped(DropReason, Option<NodeId>),
 }
 
 /// Why a candidate reception failed; recorded in medium statistics.
@@ -330,6 +332,19 @@ pub enum DropReason {
     Filtered,
     /// The receiver died mid-frame.
     Dead,
+}
+
+impl DropReason {
+    /// Stable cause name used by structured observability events.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::Prr => "prr",
+            DropReason::Collision => "collision",
+            DropReason::RadioMoved => "radio_moved",
+            DropReason::Filtered => "filtered",
+            DropReason::Dead => "dead",
+        }
+    }
 }
 
 /// Aggregate medium statistics, for experiment reporting.
@@ -645,19 +660,21 @@ impl Medium {
     /// Evaluates the candidate reception of `tx` at `node`, at the end of
     /// the transmission.
     pub(crate) fn eval_rx(&mut self, tx: TxId, node: NodeId, _now: SimTime) -> RxEval {
-        let Some(rec) = self.txs.iter().find(|t| t.id == tx) else {
-            return RxEval::Dropped(DropReason::RadioMoved);
+        let Some(rec_idx) = self.txs.iter().position(|t| t.id == tx) else {
+            return RxEval::Dropped(DropReason::RadioMoved, None);
         };
+        let rec = &self.txs[rec_idx];
         let rec_start = rec.start;
         let rec_end = rec.end;
         let rec_channel = rec.channel;
+        let rec_src = rec.src;
         let Some(&(_, rssi, prr_ok)) = rec.candidates.iter().find(|c| c.0 == node) else {
-            return RxEval::Dropped(DropReason::RadioMoved);
+            return RxEval::Dropped(DropReason::RadioMoved, Some(rec_src));
         };
         let n = &self.nodes[node.index()];
         if !n.alive {
             self.stats.lost_radio_moved += 1;
-            return RxEval::Dropped(DropReason::Dead);
+            return RxEval::Dropped(DropReason::Dead, Some(rec_src));
         }
         // The radio must have been listening on this channel for the
         // whole frame.
@@ -666,11 +683,11 @@ impl Medium {
             || n.channel != rec_channel
         {
             self.stats.lost_radio_moved += 1;
-            return RxEval::Dropped(DropReason::RadioMoved);
+            return RxEval::Dropped(DropReason::RadioMoved, Some(rec_src));
         }
         if !prr_ok {
             self.stats.lost_prr += 1;
-            return RxEval::Dropped(DropReason::Prr);
+            return RxEval::Dropped(DropReason::Prr, Some(rec_src));
         }
         // Collision check: any other overlapping audible transmission
         // strong enough to defeat capture destroys the frame.
@@ -690,14 +707,14 @@ impl Medium {
             if let Some(int_rssi) = self.config.rssi_at(d) {
                 if rssi < int_rssi + self.config.capture_db {
                     self.stats.lost_collision += 1;
-                    return RxEval::Dropped(DropReason::Collision);
+                    return RxEval::Dropped(DropReason::Collision, Some(rec_src));
                 }
             }
         }
-        let rec = self.txs.iter().find(|t| t.id == tx).expect("checked above");
+        let rec = &self.txs[rec_idx];
         if !rec.frame.dst.accepts(node) && !n.promiscuous {
             self.stats.filtered += 1;
-            return RxEval::Dropped(DropReason::Filtered);
+            return RxEval::Dropped(DropReason::Filtered, Some(rec_src));
         }
         self.stats.delivered += 1;
         RxEval::Deliver(
@@ -816,7 +833,7 @@ mod tests {
         m.end_tx(tx, end);
         assert!(matches!(
             m.eval_rx(tx, NodeId(2), end),
-            RxEval::Dropped(DropReason::Filtered)
+            RxEval::Dropped(DropReason::Filtered, _)
         ));
         assert!(matches!(m.eval_rx(tx, NodeId(1), end), RxEval::Deliver(..)));
     }
@@ -849,7 +866,7 @@ mod tests {
         m.end_tx(tx, end);
         assert!(matches!(
             m.eval_rx(tx, NodeId(1), end),
-            RxEval::Dropped(DropReason::RadioMoved)
+            RxEval::Dropped(DropReason::RadioMoved, _)
         ));
     }
 
@@ -870,7 +887,7 @@ mod tests {
         m.end_tx(tx0, end0);
         assert!(matches!(
             m.eval_rx(tx0, NodeId(1), end0),
-            RxEval::Dropped(DropReason::Collision)
+            RxEval::Dropped(DropReason::Collision, _)
         ));
         assert_eq!(m.stats().lost_collision, 1);
     }

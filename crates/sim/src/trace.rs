@@ -1,6 +1,8 @@
-//! Metric collection: counters and sample series for experiments.
+//! Metric collection: counters, sample series and bounded histograms
+//! for experiments.
 
 use crate::ids::NodeId;
+use crate::obs::Histogram;
 use std::collections::BTreeMap;
 
 /// Summary statistics over one sample series.
@@ -46,6 +48,7 @@ pub struct Stats {
     counters: BTreeMap<String, f64>,
     node_counters: BTreeMap<(String, NodeId), f64>,
     series: BTreeMap<String, Vec<f64>>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 impl Stats {
@@ -113,6 +116,43 @@ impl Stats {
         summarize(self.samples(name))
     }
 
+    /// Records `v` into the bounded log-scale histogram `name`. Unlike
+    /// [`Stats::record`], memory stays constant no matter how many
+    /// samples arrive — the right choice for hot-path metrics such as
+    /// queue depths and per-packet latencies.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iiot_sim::trace::Stats;
+    ///
+    /// let mut s = Stats::new();
+    /// for depth in [1.0, 2.0, 4.0] {
+    ///     s.observe("queue_depth", depth);
+    /// }
+    /// let h = s.histogram("queue_depth").unwrap();
+    /// assert_eq!(h.count(), 3);
+    /// assert_eq!(h.max(), 4.0);
+    /// ```
+    pub fn observe(&mut self, name: &str, v: f64) {
+        // Allocate the key only on first use; steady state is a lookup.
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(v);
+        } else {
+            self.histograms.entry(name.to_owned()).or_default().observe(v);
+        }
+    }
+
+    /// The histogram `name`, if any sample was observed into it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Names of all histograms, in name order.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
+    }
+
     /// Names of all global counters, for debugging dumps.
     pub fn counter_names(&self) -> impl Iterator<Item = &str> {
         self.counters.keys().map(String::as_str)
@@ -161,6 +201,9 @@ impl Stats {
         }
         for (k, v) in &other.series {
             self.series.entry(k.clone()).or_default().extend(v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
         }
     }
 }

@@ -3,6 +3,7 @@
 use crate::energy::{EnergyMeter, EnergyModel, EnergyUsage};
 use crate::ids::{NodeId, TimerId};
 use crate::node::{Proto, Timer};
+use crate::obs::{self, Event, EventKind, Recorder, SpanId};
 use crate::radio::{
     Dst, Frame, LinkModel, Medium, RadioConfig, RadioError, RadioState, RxEval, TxId,
 };
@@ -146,10 +147,17 @@ impl Ord for QEntry {
 /// Everything the engine owns besides the protocol objects. Split out so
 /// a node's protocol can be borrowed mutably at the same time as the
 /// kernel (via [`Ctx`]).
+// `repr(C)` pins the field order so `obs_on` shares a cache line with
+// `now` and `seq`, which every dispatched event touches anyway: the
+// per-event "is a recorder installed?" test must never miss in L1.
+#[repr(C)]
 pub(crate) struct Kernel {
     now: SimTime,
-    queue: BinaryHeap<Reverse<QEntry>>,
     seq: u64,
+    /// Mirror of `recorder.is_some()`, kept hot; the recorder box
+    /// itself lives with the cold fields below.
+    obs_on: bool,
+    queue: BinaryHeap<Reverse<QEntry>>,
     medium: Medium,
     energy_model: EnergyModel,
     meters: Vec<EnergyMeter>,
@@ -159,6 +167,9 @@ pub(crate) struct Kernel {
     next_timer: u64,
     wire_latency: SimDuration,
     seed: u64,
+    /// Structured-event sink; `None` (the default) makes every
+    /// emission a single branch on `obs_on`.
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 impl Kernel {
@@ -172,6 +183,29 @@ impl Kernel {
     fn sync_meter(&mut self, node: NodeId) {
         let state = self.medium.state(node);
         self.meters[node.index()].transition(self.now, state);
+    }
+
+    /// Hot-path wrapper: a pointer test when no recorder is installed,
+    /// with all event construction kept out of line so instrumented
+    /// loops stay tight in the common (disabled) case.
+    #[inline]
+    fn emit(&mut self, node: NodeId, span: SpanId, kind: EventKind) {
+        if self.obs_on {
+            self.emit_slow(node, span, kind);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn emit_slow(&mut self, node: NodeId, span: SpanId, kind: EventKind) {
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(&Event {
+                t: self.now,
+                node,
+                span,
+                kind,
+            });
+        }
     }
 }
 
@@ -200,7 +234,7 @@ pub struct World {
 impl World {
     /// Creates an empty world.
     pub fn new(config: WorldConfig) -> Self {
-        World {
+        let mut w = World {
             kernel: Kernel {
                 now: SimTime::ZERO,
                 queue: BinaryHeap::new(),
@@ -214,11 +248,18 @@ impl World {
                 next_timer: 0,
                 wire_latency: config.wire_latency,
                 seed: config.seed,
+                // Under `--trace` (global capture enabled + an active
+                // worker scope on this thread) new worlds record into
+                // the global sink; otherwise emission stays disabled.
+                recorder: obs::capture_recorder(config.seed),
+                obs_on: false, // synced below from `recorder`
             },
             protos: Vec::new(),
             alive: Vec::new(),
             actions: Vec::new(),
-        }
+        };
+        w.kernel.obs_on = w.kernel.recorder.is_some();
+        w
     }
 
     /// Adds a node at `pos` running `proto`. Its [`Proto::start`] runs at
@@ -280,6 +321,40 @@ impl World {
     /// Mutable statistics (for experiment bookkeeping outside protocols).
     pub fn stats_mut(&mut self) -> &mut Stats {
         &mut self.kernel.stats
+    }
+
+    /// Installs `recorder` as the structured-event sink. Replaces any
+    /// previous recorder (the old one is dropped).
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.kernel.recorder = Some(recorder);
+        self.kernel.obs_on = true;
+    }
+
+    /// Removes and returns the installed recorder, disabling emission.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.kernel.obs_on = false;
+        self.kernel.recorder.take()
+    }
+
+    /// Whether a recorder is installed.
+    pub fn has_recorder(&self) -> bool {
+        self.kernel.recorder.is_some()
+    }
+
+    /// The installed recorder downcast to `T`, if its type matches.
+    pub fn recorder_as<T: Recorder>(&self) -> Option<&T> {
+        self.kernel
+            .recorder
+            .as_deref()
+            .and_then(|r| r.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable access to the installed recorder downcast to `T`.
+    pub fn recorder_as_mut<T: Recorder>(&mut self) -> Option<&mut T> {
+        self.kernel
+            .recorder
+            .as_deref_mut()
+            .and_then(|r| r.as_any_mut().downcast_mut::<T>())
     }
 
     /// Energy usage of `node` as of the current time.
@@ -349,6 +424,14 @@ impl World {
             return;
         }
         self.alive[node.index()] = false;
+        self.kernel.emit(
+            node,
+            SpanId::NONE,
+            EventKind::Fault {
+                kind: "crash",
+                peer: None,
+            },
+        );
         self.kernel.medium.set_alive(node, false);
         self.kernel.sync_meter(node);
         self.protos[node.index()].crashed();
@@ -360,6 +443,14 @@ impl World {
             return;
         }
         self.alive[node.index()] = true;
+        self.kernel.emit(
+            node,
+            SpanId::NONE,
+            EventKind::Fault {
+                kind: "recover",
+                peer: None,
+            },
+        );
         self.kernel.medium.set_alive(node, true);
         self.kernel.sync_meter(node);
         let now = self.kernel.now;
@@ -374,6 +465,52 @@ impl World {
     /// Schedules a revive at `at`.
     pub fn revive_at(&mut self, at: SimTime, node: NodeId) {
         self.schedule(at, move |w| w.revive(node));
+    }
+
+    /// Administratively severs the link between `a` and `b` (both
+    /// ways), emitting a `link_down` fault event. Prefer this over
+    /// [`Medium::block_link`] via [`World::medium_mut`] so the fault
+    /// shows up in traces.
+    pub fn block_link(&mut self, a: NodeId, b: NodeId) {
+        self.kernel.emit(
+            a,
+            SpanId::NONE,
+            EventKind::Fault {
+                kind: "link_down",
+                peer: Some(b),
+            },
+        );
+        self.kernel.medium.block_link(a, b);
+    }
+
+    /// Restores a previously severed link, emitting a `link_up` fault
+    /// event.
+    pub fn unblock_link(&mut self, a: NodeId, b: NodeId) {
+        self.kernel.emit(
+            a,
+            SpanId::NONE,
+            EventKind::Fault {
+                kind: "link_up",
+                peer: Some(b),
+            },
+        );
+        self.kernel.medium.unblock_link(a, b);
+    }
+
+    /// Enables or disables the network partition (see
+    /// [`Medium::set_partitioned`]), emitting a `partition`/`heal`
+    /// fault event. The event is attributed to node 0 because the
+    /// partition is a global condition.
+    pub fn set_partitioned(&mut self, on: bool) {
+        self.kernel.emit(
+            NodeId(0),
+            SpanId::NONE,
+            EventKind::Fault {
+                kind: if on { "partition" } else { "heal" },
+                peer: None,
+            },
+        );
+        self.kernel.medium.set_partitioned(on);
     }
 
     /// Runs the simulation until `deadline` (inclusive of events at the
@@ -448,15 +585,42 @@ impl World {
             Ev::TxEnd { node, tx } => {
                 let outcome = self.kernel.medium.end_tx(tx, self.kernel.now);
                 self.kernel.sync_meter(node);
+                self.kernel.emit(
+                    node,
+                    SpanId::NONE,
+                    EventKind::TxEnd {
+                        receivers: outcome.oracle_receivers as u32,
+                    },
+                );
                 if self.alive[node.index()] {
                     self.call(node, |p, ctx| p.tx_done(ctx, outcome));
                 }
             }
             Ev::RxEnd { node, tx } => {
                 let eval = self.kernel.medium.eval_rx(tx, node, self.kernel.now);
-                if let RxEval::Deliver(frame, info) = eval {
-                    if self.alive[node.index()] {
-                        self.call(node, |p, ctx| p.frame(ctx, &frame, info));
+                match eval {
+                    RxEval::Deliver(frame, info) => {
+                        self.kernel.emit(
+                            node,
+                            SpanId::NONE,
+                            EventKind::RxDeliver {
+                                src: frame.src,
+                                port: frame.port,
+                            },
+                        );
+                        if self.alive[node.index()] {
+                            self.call(node, |p, ctx| p.frame(ctx, &frame, info));
+                        }
+                    }
+                    RxEval::Dropped(reason, src) => {
+                        self.kernel.emit(
+                            node,
+                            SpanId::NONE,
+                            EventKind::RxDrop {
+                                cause: reason.name(),
+                                src,
+                            },
+                        );
                     }
                 }
             }
@@ -621,6 +785,7 @@ impl Ctx<'_> {
     /// Returns [`RadioError::Off`] if the radio is off, [`RadioError::Busy`]
     /// if a transmission is in progress, or [`RadioError::FrameTooLarge`].
     pub fn transmit(&mut self, dst: Dst, port: u8, payload: Vec<u8>) -> Result<(), RadioError> {
+        let bytes = payload.len() as u32;
         let frame = Frame::new(self.node, dst, port, payload);
         let node = self.node;
         // Borrow dance: rng and medium are both in the kernel.
@@ -631,6 +796,18 @@ impl Ctx<'_> {
             medium.start_tx(frame, *now, &mut rngs[node.index()])?
         };
         self.kernel.sync_meter(node);
+        self.kernel.emit(
+            node,
+            SpanId::NONE,
+            EventKind::TxStart {
+                dst: match dst {
+                    Dst::Unicast(n) => Some(n),
+                    Dst::Broadcast => None,
+                },
+                port,
+                bytes,
+            },
+        );
         self.kernel.push(end, Ev::TxEnd { node, tx });
         for r in schedule {
             self.kernel.push(end, Ev::RxEnd { node: r, tx });
@@ -663,9 +840,37 @@ impl Ctx<'_> {
         self.kernel.stats.record(name, v);
     }
 
+    /// Records `v` into the bounded histogram `name` (see
+    /// [`Stats::observe`]).
+    #[inline]
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.kernel.stats.observe(name, v);
+    }
+
     /// Read access to all statistics.
     pub fn stats(&self) -> &Stats {
         &self.kernel.stats
+    }
+
+    /// Whether a structured-event recorder is installed. Protocols may
+    /// use this to skip *computing* expensive event payloads; plain
+    /// [`Ctx::emit`] calls are already a single branch when disabled.
+    #[inline]
+    pub fn obs_enabled(&self) -> bool {
+        self.kernel.obs_on
+    }
+
+    /// Emits a structured event attributed to this node, outside any
+    /// span. A no-op unless a recorder is installed.
+    #[inline]
+    pub fn emit(&mut self, kind: EventKind) {
+        self.kernel.emit(self.node, SpanId::NONE, kind);
+    }
+
+    /// Emits a structured event stitched into `span` (see [`SpanId`]).
+    #[inline]
+    pub fn emit_span(&mut self, span: SpanId, kind: EventKind) {
+        self.kernel.emit(self.node, span, kind);
     }
 }
 
@@ -741,6 +946,40 @@ mod tests {
             (w.medium().stats(), w.proto::<Ping>(a).rtts.clone())
         };
         assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn absent_recorder_is_a_no_op() {
+        // The same simulation with and without a recorder: identical
+        // protocol outcomes and identical Stats — emission must never
+        // leak into counters or perturb the run.
+        let run = |record: bool| {
+            let mut w = World::new(WorldConfig::default().seed(3));
+            let a = w.add_node(Pos::new(0.0, 0.0), Box::new(Ping::new(NodeId(1), true)));
+            w.add_node(Pos::new(10.0, 0.0), Box::new(Ping::new(NodeId(0), false)));
+            if record {
+                w.set_recorder(Box::new(obs::RingRecorder::new(256)));
+            }
+            w.kill_at(SimTime::from_millis(500), NodeId(1));
+            w.run_for(SimDuration::from_secs(1));
+            let events = w
+                .take_recorder()
+                .map(|r| r.as_any().downcast_ref::<obs::RingRecorder>().expect("ring").len())
+                .unwrap_or(0);
+            let mut counters: Vec<(String, f64)> = w
+                .stats()
+                .counter_names()
+                .map(|k| (k.to_string(), w.stats().get(k)))
+                .collect();
+            counters.sort_by(|x, y| x.0.cmp(&y.0));
+            (w.proto::<Ping>(a).rtts.clone(), counters, events)
+        };
+        let (rtts_off, counters_off, events_off) = run(false);
+        let (rtts_on, counters_on, events_on) = run(true);
+        assert_eq!(events_off, 0, "no recorder, no events");
+        assert!(events_on > 0, "recorder sees tx/rx/fault events");
+        assert_eq!(rtts_off, rtts_on, "recording must not change the run");
+        assert_eq!(counters_off, counters_on, "counters untouched by emission");
     }
 
     #[test]

@@ -1,8 +1,13 @@
 #!/usr/bin/env sh
-# Tier-2 smoke check for the parallel trial runner: the E5 sweep must
-# produce byte-identical tables (and JSON dumps) at --jobs 1 and
-# --jobs 2. Catches scheduling-dependent output before it reaches
-# EXPERIMENTS.md.
+# Tier-2 smoke checks:
+#   1. the parallel trial runner must produce byte-identical E5 tables
+#      (and JSON dumps) at --jobs 1 and --jobs 2;
+#   2. the --trace JSONL event dump must be byte-identical too, and
+#      must round-trip through trace_report deterministically;
+#   3. the public API docs must build without rustdoc warnings and
+#      every doc example must pass.
+# Catches scheduling-dependent output and doc rot before they reach
+# EXPERIMENTS.md / the published API.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -10,14 +15,24 @@ out="${TMPDIR:-/tmp}/iiot-bench-smoke.$$"
 mkdir -p "$out"
 trap 'rm -rf "$out"' EXIT
 
-cargo build -p iiot-bench --release --offline --bin experiments
+cargo build -p iiot-bench --release --offline --bins
 bin=target/release/experiments
 
-"$bin" e5 --jobs 1 --json "$out/e5-j1.json" > "$out/e5-j1.txt" 2> /dev/null
-"$bin" e5 --jobs 2 --json "$out/e5-j2.json" > "$out/e5-j2.txt" 2> /dev/null
+"$bin" e5 --jobs 1 --json "$out/e5-j1.json" --trace "$out/e5-j1.jsonl" \
+    > "$out/e5-j1.txt" 2> /dev/null
+"$bin" e5 --jobs 2 --json "$out/e5-j2.json" --trace "$out/e5-j2.jsonl" \
+    > "$out/e5-j2.txt" 2> /dev/null
 
 diff -u "$out/e5-j1.txt" "$out/e5-j2.txt"
 diff -u "$out/e5-j1.json" "$out/e5-j2.json"
+
+# The structured event dump is scheduling-independent as well, and the
+# summary of identical dumps is identical.
+cmp "$out/e5-j1.jsonl" "$out/e5-j2.jsonl"
+target/release/trace_report "$out/e5-j1.jsonl" > "$out/report-j1.txt"
+target/release/trace_report "$out/e5-j2.jsonl" > "$out/report-j2.txt"
+diff -u "$out/report-j1.txt" "$out/report-j2.txt"
+grep -q "== drop causes ==" "$out/report-j1.txt"
 
 # The dump must be machine-readable JSON of the expected shape.
 python3 - "$out/e5-j1.json" <<'EOF'
@@ -30,4 +45,8 @@ for t in tables:
         assert len(row) == len(t["headers"]), (t["title"], row)
 EOF
 
-echo "bench smoke OK: e5 tables byte-identical at --jobs 1 and --jobs 2"
+# Docs: deny rustdoc warnings, run every crate-level doc example.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+cargo test -q --doc --offline --workspace
+
+echo "bench smoke OK: e5 tables + traces byte-identical at --jobs 1/2, docs clean"

@@ -19,6 +19,26 @@
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! DESIGN.md for the experiment index.
+//!
+//! # Examples
+//!
+//! A minimal end-to-end run: a simulated deployment self-organizes into
+//! a DODAG and collects periodic readings at the border router.
+//!
+//! ```
+//! use iiot::sim::{SimDuration, Topology};
+//! use iiot::{Deployment, MacChoice};
+//!
+//! let mut d = Deployment::builder(Topology::grid(3, 2, 20.0))
+//!     .mac(MacChoice::Csma)
+//!     .seed(7)
+//!     .traffic(SimDuration::from_secs(10), 4, SimDuration::from_secs(15))
+//!     .build();
+//! d.run_for(SimDuration::from_secs(90));
+//! let report = d.report();
+//! assert!(report.generated > 0, "nodes emitted readings");
+//! assert!(report.delivered > 0, "the root collected some of them");
+//! ```
 
 pub use iiot_core::{
     audit, deployment, layer, Actuation, CollectionReport, Deployment, DeploymentBuilder,

@@ -34,6 +34,9 @@ impl CoapWireNode {
     }
 
     fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        for attempt in self.ep.take_retransmissions() {
+            ctx.emit(EventKind::CoapRetx { attempt });
+        }
         for (peer, dgram) in self.ep.take_outbox() {
             // Injected backhaul loss.
             if ctx.rng().gen::<f64>() < self.loss {
