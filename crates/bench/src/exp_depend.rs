@@ -19,7 +19,7 @@ use iiot_dependability::redundancy::{
 };
 use iiot_dependability::safety::{RevenueModel, SafetyEnvelope};
 use iiot_dependability::{
-    simulate_replicas, Design, FaultPlan, PartitionWindow,
+    simulate_replicas_with, Design, FaultPlan, PartitionWindow,
 };
 use iiot_mac::csma::CsmaMac;
 use iiot_routing::rnfd::{RnfdConfig, RnfdNode};
@@ -158,7 +158,12 @@ pub fn e7_partition(rc: &RunConfig) -> Table {
                             groups: vec![0, 0, 1, 1, 1],
                         }]
                     };
-                    let r = simulate_replicas(design, 5, 100, &windows, 4);
+                    // Under --trace, stream one CrdtMerge event per
+                    // anti-entropy merge (episode spans) into the dump;
+                    // the engine itself ignores the seed.
+                    let mut cap = iiot_sim::obs::scope_capture(0);
+                    let r = simulate_replicas_with(design, 5, 100, &windows, 4, cap.as_deref_mut());
+                    drop(cap);
                     vec![vec![
                         Cell::label(dur.to_string()),
                         Cell::label(format!("{design:?}")),

@@ -53,5 +53,8 @@ pub use detector::{FixedTimeoutDetector, PhiAccrualDetector};
 pub use diagnosis::{diagnose, diagnose_fleet, Cause, Finding, Symptoms};
 pub use fault::{Fault, FaultPlan};
 pub use metrics::{steady_state_availability, LifeReport, LifeTracker};
-pub use replica::{simulate as simulate_replicas, AvailabilityReport, Design, PartitionWindow};
+pub use replica::{
+    simulate as simulate_replicas, simulate_with as simulate_replicas_with, AvailabilityReport,
+    Design, PartitionWindow,
+};
 pub use safety::{RevenueModel, SafetyEnvelope, SafetyMonitor, SafetyState};

@@ -437,22 +437,37 @@ impl Event {
         Ok(Event {
             t: SimTime::from_micros(num("t_us")? as u64),
             node: NodeId(num("node")? as u32),
-            span: SpanId(num("span")? as u64),
+            // Episode spans set bit 63, so the value exceeds `i64::MAX`
+            // and must be parsed as an unsigned integer.
+            span: SpanId(
+                json_u64(line, "span")
+                    .ok_or_else(|| format!("missing numeric field 'span': {line}"))?,
+            ),
             kind,
         })
     }
 }
 
 /// Finds `"key":` in a flat JSON object and returns the raw value text.
-/// Values emitted by this module never contain escaped quotes or nested
-/// objects, so a linear scan suffices.
+/// Values emitted by this module never contain nested objects, so a
+/// linear scan suffices; string values may contain backslash-escaped
+/// quotes (trace labels go through [`json_escape`]), which the scan
+/// skips. The returned slice is still escaped — see [`json_unescape`].
 fn json_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
     if let Some(q) = rest.strip_prefix('"') {
-        let end = q.find('"')?;
-        Some(&q[..end])
+        let b = q.as_bytes();
+        let mut i = 0;
+        while i < b.len() {
+            match b[i] {
+                b'"' => return Some(&q[..i]),
+                b'\\' => i += 2,
+                _ => i += 1,
+            }
+        }
+        None
     } else {
         let end = rest
             .find(|c| c == ',' || c == '}')
@@ -479,9 +494,30 @@ fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     json_raw(line, key)
 }
 
+/// Reverses [`json_escape`] in a single left-to-right pass, so a literal
+/// backslash followed by a quote (`\\\"` on the wire) is decoded
+/// correctly — sequential `str::replace` calls would mangle it.
+fn json_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(n) = chars.next() {
+                out.push(n);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
 /// Maps a parsed string back to the `&'static str` the emitters used.
-/// Unknown strings (hand-edited dumps) fall back to a generic marker
-/// rather than leaking memory per call.
+/// Strings outside the common hardcoded set (e.g. a `Custom` metric name
+/// introduced after this list was written) are interned by leaking, via a
+/// bounded side table so parsing stays lossless without unbounded memory
+/// growth on adversarial dumps; only past that cap does a string collapse
+/// to the `"other"` marker.
 fn intern(s: &str) -> &'static str {
     const KNOWN: &[&str] = &[
         // drop causes
@@ -496,11 +532,21 @@ fn intern(s: &str) -> &'static str {
         // queues and common custom metric names
         "mac", "dodag", "boot", "duty_cycle", "merge_round",
     ];
-    KNOWN
-        .iter()
-        .find(|k| **k == s)
-        .copied()
-        .unwrap_or("other")
+    if let Some(k) = KNOWN.iter().find(|k| **k == s) {
+        return k;
+    }
+    const CAP: usize = 1024;
+    static EXTRA: std::sync::Mutex<Vec<&'static str>> = std::sync::Mutex::new(Vec::new());
+    let mut extra = EXTRA.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(k) = extra.iter().find(|k| **k == s) {
+        return k;
+    }
+    if extra.len() >= CAP {
+        return "other";
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    extra.push(leaked);
+    leaked
 }
 
 /// Receives every emitted [`Event`]. Installed into a
@@ -654,9 +700,10 @@ impl<W: Write + Send + 'static> Recorder for JsonlRecorder<W> {
     }
 }
 
-/// A fixed-size log-scale histogram (quarter-decade buckets covering
-/// roughly `1e-7 ..= 1e6`), with exact count/sum/min/max. Deterministic
-/// and allocation-free, so protocols can feed it from hot paths.
+/// A fixed-size log-scale histogram (five buckets per decade, covering
+/// roughly `1e-7 ..= 2.5e5`; values outside saturate into the edge
+/// buckets), with exact count/sum/min/max. Deterministic and
+/// allocation-free, so protocols can feed it from hot paths.
 #[derive(Clone, Debug)]
 pub struct Histogram {
     count: u64,
@@ -988,6 +1035,16 @@ pub(crate) fn capture_recorder(seed: u64) -> Option<Box<dyn Recorder>> {
     })
 }
 
+/// Builds a capture recorder for a trial that records events without
+/// constructing a [`World`](crate::world::World) (e.g. the replicated-
+/// store engine): when tracing is on and the thread has an active scope,
+/// returns a recorder whose events land in the global sink on drop,
+/// under the same deterministic scope key a world would get. Returns
+/// `None` otherwise, so callers pay nothing when `--trace` is off.
+pub fn scope_capture(seed: u64) -> Option<Box<dyn Recorder>> {
+    capture_recorder(seed)
+}
+
 /// Drains every captured trace from the sink, sorted by scope key —
 /// byte-identical output regardless of which worker thread captured
 /// what, when.
@@ -1043,10 +1100,7 @@ pub fn parse_jsonl(s: &str) -> Result<Vec<ScopeTrace>, String> {
                 trial: json_num(line, "trial").ok_or("header missing 'trial'")? as u32,
                 replica: json_num(line, "replica").ok_or("header missing 'replica'")? as u32,
                 world: json_num(line, "world").ok_or("header missing 'world'")? as u32,
-                label: json_str(line, "label")
-                    .ok_or("header missing 'label'")?
-                    .replace("\\\"", "\"")
-                    .replace("\\\\", "\\"),
+                label: json_unescape(json_str(line, "label").ok_or("header missing 'label'")?),
                 seed: json_u64(line, "seed").ok_or("header missing 'seed'")?,
                 events: Vec::new(),
             });
@@ -1209,15 +1263,36 @@ mod tests {
             EventKind::Custom { name: "boot", value: 1.5 },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
+            // Alternate packet and episode spans: episode ids set bit 63,
+            // so they exercise the full-u64 parse path.
+            let span = if i % 2 == 0 {
+                SpanId::packet(NodeId(i as u32), 42)
+            } else {
+                SpanId::episode(NodeId(i as u32), 42)
+            };
             let e = Event {
                 t: SimTime::from_micros(1000 + i as u64),
                 node: NodeId(i as u32),
-                span: SpanId::packet(NodeId(i as u32), 42),
+                span,
                 kind,
             };
             let back = Event::from_json(&e.to_json()).expect("parse");
             assert_eq!(e, back, "json: {}", e.to_json());
         }
+    }
+
+    #[test]
+    fn unknown_interned_strings_round_trip() {
+        let e = ev(
+            1,
+            2,
+            EventKind::Custom { name: "a_metric_not_in_the_known_list", value: 2.0 },
+        );
+        let back = Event::from_json(&e.to_json()).expect("parse");
+        assert_eq!(e, back);
+        // A second parse returns the same leaked pointer, not a new one.
+        let again = Event::from_json(&e.to_json()).expect("parse");
+        assert_eq!(back, again);
     }
 
     #[test]
@@ -1320,5 +1395,23 @@ mod tests {
         assert_eq!(report(&back), report(&traces));
         assert!(report(&back).contains("collision"));
         assert!(report(&back).contains("trickle reset"));
+    }
+
+    #[test]
+    fn header_labels_with_quotes_and_backslashes_round_trip() {
+        for label in [r#"grid "3x3""#, r"a\b", r#"tricky\"#, r#"end\""#] {
+            let traces = vec![ScopeTrace {
+                section: 0,
+                trial: 0,
+                replica: 0,
+                world: 0,
+                label: label.into(),
+                seed: 7,
+                events: vec![ev(1, 0, EventKind::TxEnd { receivers: 0 })],
+            }];
+            let back = parse_jsonl(&traces_to_jsonl(&traces)).expect("parse");
+            assert_eq!(back[0].label, label);
+            assert_eq!(back[0].events, traces[0].events);
+        }
     }
 }
