@@ -308,27 +308,23 @@ impl<M: Mac> AggregationNode<M> {
                     payload,
                     ..
                 } => match upper_port {
-                    PORT_QUERY => {
-                        if payload.len() >= Query::WIRE_LEN + 8 {
-                            if let Some(q) = Query::decode(&payload) {
-                                let e0 = u64::from_be_bytes(
-                                    payload[Query::WIRE_LEN..Query::WIRE_LEN + 8]
-                                        .try_into()
-                                        .expect("checked len"),
-                                );
-                                self.adopt_query(ctx, q, SimTime::from_micros(e0));
-                            }
+                    PORT_QUERY if payload.len() >= Query::WIRE_LEN + 8 => {
+                        if let Some(q) = Query::decode(&payload) {
+                            let e0 = u64::from_be_bytes(
+                                payload[Query::WIRE_LEN..Query::WIRE_LEN + 8]
+                                    .try_into()
+                                    .expect("checked len"),
+                            );
+                            self.adopt_query(ctx, q, SimTime::from_micros(e0));
                         }
                     }
-                    PORT_PARTIAL => {
-                        if payload.len() >= 3 + Partial::WIRE_LEN {
-                            let epoch = u16::from_be_bytes([payload[1], payload[2]]);
-                            if let Some(p) = Partial::decode(&payload[3..]) {
-                                if epoch == self.acc_epoch {
-                                    self.acc.merge(&p);
-                                } else {
-                                    ctx.count_node("partial_late", 1.0);
-                                }
+                    PORT_PARTIAL if payload.len() >= 3 + Partial::WIRE_LEN => {
+                        let epoch = u16::from_be_bytes([payload[1], payload[2]]);
+                        if let Some(p) = Partial::decode(&payload[3..]) {
+                            if epoch == self.acc_epoch {
+                                self.acc.merge(&p);
+                            } else {
+                                ctx.count_node("partial_late", 1.0);
                             }
                         }
                     }

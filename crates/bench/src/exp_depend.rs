@@ -2,9 +2,9 @@
 //! under partitions), E8 (redundancy types), E9 (soft safety / HVAC)
 //! and E11 (maintainability under churn + automated diagnosis).
 //!
-//! E7 and E11's churn sweep run on the [`Trial`] runner; the rest stay
-//! sequential (E4's seed loop is the measurement, E8/E9 and the
-//! diagnosis case are sub-second).
+//! E4, E7, E8 and E11's churn sweep run on the [`Trial`] runner, so
+//! `--jobs`/`--trials`/`--trace` cover them; E9 and the diagnosis case
+//! stay sequential (each is a sub-second closed-form sweep).
 
 use crate::runner::{Cell, Trial};
 use crate::table::{f1, f3, pct, Table};
@@ -87,44 +87,60 @@ fn rnfd_star(
 ///
 /// Paper claim (§IV-B): "by exploiting parallelism, one can improve the
 /// efficiency of border router failure detection by orders of
-/// magnitude". The quorum keeps aggressive thresholds false-alarm-free,
-/// so it detects real crashes much faster at equal reliability.
-pub fn e4_rnfd() -> Table {
-    let seeds: Vec<u64> = (1..=8).collect();
-    let mut t = Table::new(
-        "E4: failure detection at PRR 0.7 (6 sentinels, heartbeat 1 s, 8 seeds)",
-        &["detector", "miss threshold", "false alarms", "detections", "mean latency (s)"],
-    );
-    for (solo, name) in [(true, "solo"), (false, "quorum-6")] {
-        for m in [2u32, 4, 8] {
-            let mut fps = 0;
-            let mut detected = 0;
-            let mut lat_sum = 0.0;
-            for &seed in &seeds {
-                let (fp, _) = rnfd_star(6, 0.7, m, solo, None, seed);
-                if fp {
-                    fps += 1;
-                }
-                let (ok, lat) = rnfd_star(6, 0.7, m, solo, Some(SimTime::from_secs(60)), seed);
-                if ok {
-                    if let Some(l) = lat {
-                        detected += 1;
-                        lat_sum += l;
+/// magnitude". The quorum suppresses nearly all false alarms at
+/// aggressive thresholds, so it detects real crashes much faster at
+/// comparable reliability.
+pub fn e4_rnfd(rc: &RunConfig) -> Table {
+    // One trial per (detector, threshold) cell; the 8-seed loop inside
+    // IS the measurement, so each trial derives its seeds from the
+    // replica seed it is handed.
+    let trials: Vec<Trial> = [(true, "solo"), (false, "quorum-6")]
+        .into_iter()
+        .flat_map(|(solo, name)| {
+            [2u32, 4, 8].into_iter().map(move |m| {
+                Trial::new(format!("e4/{name}/m{m}"), 0xE4, move |seed| {
+                    let mut fps = 0u32;
+                    let mut detected = 0u32;
+                    let mut lat_sum = 0.0;
+                    for k in 1..=8u64 {
+                        let s = iiot_sim::seed::derive(seed, k);
+                        let (fp, _) = rnfd_star(6, 0.7, m, solo, None, s);
+                        if fp {
+                            fps += 1;
+                        }
+                        let (ok, lat) =
+                            rnfd_star(6, 0.7, m, solo, Some(SimTime::from_secs(60)), s);
+                        if ok {
+                            if let Some(l) = lat {
+                                detected += 1;
+                                lat_sum += l;
+                            }
+                        }
                     }
-                }
-            }
-            t.row(vec![
-                name.into(),
-                m.to_string(),
-                format!("{fps}/8"),
-                format!("{detected}/8"),
-                if detected > 0 {
-                    f3(lat_sum / detected as f64)
-                } else {
-                    "-".into()
-                },
-            ]);
-        }
+                    let mean_lat = if detected > 0 {
+                        lat_sum / detected as f64
+                    } else {
+                        0.0
+                    };
+                    vec![vec![
+                        Cell::label(name),
+                        Cell::label(m.to_string()),
+                        Cell::int(fps as f64),
+                        Cell::int(detected as f64),
+                        Cell::f3(mean_lat),
+                    ]]
+                })
+            })
+        })
+        .collect();
+    let out = rc.runner.run(trials, rc.trials);
+
+    let mut t = Table::new(
+        "E4: failure detection at PRR 0.7 (6 sentinels, heartbeat 1 s, 8 seeds per cell)",
+        &["detector", "miss threshold", "false alarms (of 8)", "detections (of 8)", "mean latency (s)"],
+    );
+    for o in &out {
+        t.row(o.rows[0].clone());
     }
     t
 }
@@ -230,56 +246,68 @@ pub fn e7_delta_ablation() -> Table {
 
 /// E8: the three redundancy types of §V-A — measured success rates
 /// (Monte Carlo over the actual mechanisms) against the analytic models.
-pub fn e8_redundancy() -> Table {
-    let trials = 2000;
-    let mut rng = SmallRng::seed_from_u64(0xE8);
+pub fn e8_redundancy(rc: &RunConfig) -> Table {
+    const MC: usize = 2000;
+    let trials: Vec<Trial> = [0.05f64, 0.1, 0.2, 0.3, 0.5]
+        .into_iter()
+        .map(|p| {
+            Trial::new(format!("e8/p{p}"), 0xE8, move |seed| {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut parity_ok = 0;
+                let mut retry_ok = 0;
+                let mut vote_ok = 0;
+                for _ in 0..MC {
+                    // Information: 4 data + 1 parity shards, each lost
+                    // with p.
+                    let data = b"28 bytes of sensor payload!!".to_vec();
+                    let shards = parity_encode(&data, 4);
+                    let got: Vec<Option<Vec<u8>>> = shards
+                        .into_iter()
+                        .map(|s| if rng.gen::<f64>() < p { None } else { Some(s) })
+                        .collect();
+                    if parity_decode(&got, data.len()).as_deref() == Some(data.as_slice()) {
+                        parity_ok += 1;
+                    }
+                    // Time: up to 3 attempts.
+                    if (0..3).any(|_| rng.gen::<f64>() >= p) {
+                        retry_ok += 1;
+                    }
+                    // Physical: 3 replicated sensors, each failed-silent
+                    // with p.
+                    let readings: Vec<Option<f64>> = (0..3)
+                        .map(|_| {
+                            if rng.gen::<f64>() < p {
+                                None
+                            } else {
+                                Some(21.0 + rng.gen::<f64>() * 0.1)
+                            }
+                        })
+                        .collect();
+                    if matches!(vote(&readings, 0.5), Vote::Agreed(_)) {
+                        vote_ok += 1;
+                    }
+                }
+                vec![vec![
+                    Cell::label(f3(p)),
+                    Cell::pct(1.0 - p),
+                    Cell::pct(parity_ok as f64 / MC as f64),
+                    Cell::pct(parity_success_prob(4, p)),
+                    Cell::pct(retry_ok as f64 / MC as f64),
+                    Cell::pct(retry_success_prob(p, 3)),
+                    Cell::pct(vote_ok as f64 / MC as f64),
+                    Cell::pct(k_of_n_prob(3, 2, 1.0 - p)),
+                ]]
+            })
+        })
+        .collect();
+    let out = rc.runner.run(trials, rc.trials);
+
     let mut t = Table::new(
         "E8: task success under loss p (2000 trials): none vs information (4+1 parity) vs time (3 tries) vs physical (2-of-3)",
         &["loss p", "none", "parity mc", "parity model", "retry mc", "retry model", "vote mc", "vote model"],
     );
-    for p in [0.05f64, 0.1, 0.2, 0.3, 0.5] {
-        let mut parity_ok = 0;
-        let mut retry_ok = 0;
-        let mut vote_ok = 0;
-        for _ in 0..trials {
-            // Information: 4 data + 1 parity shards, each lost with p.
-            let data = b"28 bytes of sensor payload!!".to_vec();
-            let shards = parity_encode(&data, 4);
-            let got: Vec<Option<Vec<u8>>> = shards
-                .into_iter()
-                .map(|s| if rng.gen::<f64>() < p { None } else { Some(s) })
-                .collect();
-            if parity_decode(&got, data.len()).as_deref() == Some(data.as_slice()) {
-                parity_ok += 1;
-            }
-            // Time: up to 3 attempts.
-            if (0..3).any(|_| rng.gen::<f64>() >= p) {
-                retry_ok += 1;
-            }
-            // Physical: 3 replicated sensors, each failed-silent with p.
-            let readings: Vec<Option<f64>> = (0..3)
-                .map(|_| {
-                    if rng.gen::<f64>() < p {
-                        None
-                    } else {
-                        Some(21.0 + rng.gen::<f64>() * 0.1)
-                    }
-                })
-                .collect();
-            if matches!(vote(&readings, 0.5), Vote::Agreed(_)) {
-                vote_ok += 1;
-            }
-        }
-        t.row(vec![
-            f3(p),
-            pct(1.0 - p),
-            pct(parity_ok as f64 / trials as f64),
-            pct(parity_success_prob(4, p)),
-            pct(retry_ok as f64 / trials as f64),
-            pct(retry_success_prob(p, 3)),
-            pct(vote_ok as f64 / trials as f64),
-            pct(k_of_n_prob(3, 2, 1.0 - p)),
-        ]);
+    for o in &out {
+        t.row(o.rows[0].clone());
     }
     t
 }

@@ -1,6 +1,6 @@
 //! # iiot-bench — the experiment harness
 //!
-//! One function per experiment of DESIGN.md §2 (E1-E12), each returning
+//! One function per experiment of DESIGN.md §2 (E1-E13), each returning
 //! [`Table`]s that the `experiments` binary prints (and EXPERIMENTS.md
 //! records). The hot experiments fan their trials out over the
 //! [`runner`] worker pool; every experiment takes the shared
@@ -33,6 +33,7 @@
 pub mod exp_depend;
 pub mod exp_interop;
 pub mod exp_scale;
+pub mod exp_sync;
 pub mod runner;
 pub mod table;
 
@@ -61,8 +62,12 @@ impl Default for RunConfig {
     }
 }
 
+/// An experiment registry entry: the experiment id and the function
+/// that produces its tables under a given [`RunConfig`].
+pub type Experiment = (&'static str, fn(&RunConfig) -> Vec<Table>);
+
 /// Every experiment, in DESIGN.md order: `(id, runner)`.
-pub fn all_experiments() -> Vec<(&'static str, fn(&RunConfig) -> Vec<Table>)> {
+pub fn all_experiments() -> Vec<Experiment> {
     vec![
         ("e1", |_| vec![exp_interop::e1_layering()]),
         ("e2", |rc| {
@@ -77,7 +82,7 @@ pub fn all_experiments() -> Vec<(&'static str, fn(&RunConfig) -> Vec<Table>)> {
                 exp_scale::e3_epoch_ablation(rc),
             ]
         }),
-        ("e4", |_| vec![exp_depend::e4_rnfd()]),
+        ("e4", |rc| vec![exp_depend::e4_rnfd(rc)]),
         ("e5", |rc| vec![exp_scale::e5_size_scaling(rc)]),
         ("e6", |rc| vec![exp_scale::e6_admin_scaling(rc)]),
         ("e7", |rc| {
@@ -86,7 +91,7 @@ pub fn all_experiments() -> Vec<(&'static str, fn(&RunConfig) -> Vec<Table>)> {
                 exp_depend::e7_delta_ablation(),
             ]
         }),
-        ("e8", |_| vec![exp_depend::e8_redundancy()]),
+        ("e8", |rc| vec![exp_depend::e8_redundancy(rc)]),
         ("e9", |_| vec![exp_depend::e9_safety_hvac()]),
         ("e10", |_| vec![exp_interop::e10_security_overhead()]),
         ("e11", |rc| {
@@ -97,5 +102,12 @@ pub fn all_experiments() -> Vec<(&'static str, fn(&RunConfig) -> Vec<Table>)> {
             ]
         }),
         ("e12", |_| vec![exp_interop::e12_interop()]),
+        ("e13", |rc| {
+            vec![
+                exp_sync::e13_drift_sweep(rc),
+                exp_sync::e13_sync_error(rc),
+                exp_sync::e13_guard_ablation(rc),
+            ]
+        }),
     ]
 }

@@ -45,6 +45,30 @@ fn e5_replicated_tables_are_identical_across_jobs() {
     );
 }
 
+/// E13's tables — whose trials themselves step worlds mid-run to
+/// sample sync error — must also be byte-identical at `--jobs 1` and
+/// `--jobs 2`.
+#[test]
+fn e13_jobs1_and_jobs2_tables_are_identical() {
+    let run = |jobs: usize| {
+        let rc = RunConfig {
+            runner: Runner::new(jobs),
+            trials: 1,
+        };
+        (
+            iiot_bench::exp_sync::e13_drift_sweep_with(&rc, &[0, 300], 60),
+            iiot_bench::exp_sync::e13_sync_error_with(&rc, 4, 60),
+            iiot_bench::exp_sync::e13_guard_ablation_with(&rc, &[0, 2000], 60),
+        )
+    };
+    let seq = run(1);
+    let par = run(2);
+    assert_eq!(seq, par);
+    assert_eq!(seq.0.to_json(), par.0.to_json());
+    assert_eq!(seq.1.to_json(), par.1.to_json());
+    assert_eq!(seq.2.to_json(), par.2.to_json());
+}
+
 /// Distinct trials (streams) get distinct seeds, and derivation is a
 /// pure function — stable across calls and processes.
 #[test]

@@ -2,9 +2,10 @@
 //! about each table — who wins, which way curves bend, where crossovers
 //! fall — asserted programmatically so a protocol regression cannot
 //! silently invert a paper claim. Only the fast experiments run here;
-//! the slow sweeps (E2, E4) are covered by their substrates' own tests.
+//! the slow sweeps (E2, E4) are covered by their substrates' own tests,
+//! and E13 runs reduced axes of the same sweeps.
 
-use iiot_bench::{exp_depend, exp_interop, exp_scale, RunConfig};
+use iiot_bench::{exp_depend, exp_interop, exp_scale, exp_sync, RunConfig};
 
 fn cell(t: &iiot_bench::table::Table, row: usize, col: usize) -> f64 {
     t.rows[row][col]
@@ -73,7 +74,7 @@ fn e7_shape_delta_scaling() {
 
 #[test]
 fn e8_shape_redundancy_crossovers() {
-    let t = exp_depend::e8_redundancy();
+    let t = exp_depend::e8_redundancy(&RunConfig::default());
     for r in 0..t.rows.len() {
         // Monte Carlo within 3 points of the analytic model, per scheme.
         assert!((cell(&t, r, 2) - cell(&t, r, 3)).abs() < 3.0, "parity row {r}");
@@ -141,6 +142,64 @@ fn e12_shape_integration_fidelity() {
     let throughput: f64 = t.rows[1][1].parse().expect("num");
     assert!(throughput > 10_000.0, "bridge throughput {throughput}/s");
     assert_eq!(t.rows[3][1], "2.05 Content");
+}
+
+#[test]
+fn e13_shape_unsynced_collapses_ftsp_holds() {
+    // Reduced drift sweep: free-running TDMA collapses under drift,
+    // the FTSP arm stays near the perfect-clock baseline and pays a
+    // visible beacon duty tax (the three-regime claim of §IV-B).
+    let t = exp_sync::e13_drift_sweep_with(&RunConfig::default(), &[0, 300], 90);
+    // Rows: (0, unsynced), (0, ftsp), (300, unsynced), (300, ftsp).
+    // The tail of the run leaves a frame or two in flight, so the
+    // ideal-clock baseline sits just under 100%.
+    let base = cell(&t, 0, 2);
+    assert!(base > 95.0, "ideal clocks deliver everything: {base}");
+    let unsynced = cell(&t, 2, 2);
+    assert!(
+        unsynced < base / 2.0,
+        "free-running clocks must collapse: {unsynced} vs {base}"
+    );
+    let ftsp = cell(&t, 3, 2);
+    assert!(
+        ftsp > base - 5.0,
+        "FTSP must hold near the baseline: {ftsp} vs {base}"
+    );
+    assert!(cell(&t, 3, 4) > 0.0, "the synced arm sends beacons");
+    assert!(
+        cell(&t, 3, 5) > cell(&t, 2, 5),
+        "sync costs duty cycle over free-running"
+    );
+}
+
+#[test]
+fn e13_shape_sync_error_grows_with_hops() {
+    let t = exp_sync::e13_sync_error_with(&RunConfig::default(), 6, 120);
+    // Depth mirrors hop distance on a one-hop-per-link line.
+    for r in 0..t.rows.len() {
+        assert_eq!(cell(&t, r, 1), (r + 1) as f64, "depth == hops");
+        assert!(cell(&t, r, 2) < 1000.0, "hop {} out of sync", r + 1);
+    }
+    let first = cell(&t, 0, 2);
+    let last = cell(&t, t.rows.len() - 1, 2);
+    assert!(last > first, "error accumulates per hop: {first} -> {last}");
+}
+
+#[test]
+fn e13_shape_guard_buys_back_delivery() {
+    // Weakened sync + no guard loses frames; a generous guard absorbs
+    // the residual error.
+    let t = exp_sync::e13_guard_ablation_with(&RunConfig::default(), &[0, 2000], 90);
+    assert!(
+        cell(&t, 1, 1) > cell(&t, 0, 1) + 20.0,
+        "guard must buy delivery: {} -> {}",
+        cell(&t, 0, 1),
+        cell(&t, 1, 1)
+    );
+    assert!(
+        cell(&t, 1, 3) > cell(&t, 0, 3),
+        "a wider guard costs listen duty"
+    );
 }
 
 #[test]

@@ -148,8 +148,12 @@ impl<P: Copy + Eq + Hash> ConTracker<P> {
 #[derive(Clone, Debug)]
 pub struct DedupCache<P> {
     cap: usize,
-    entries: Vec<((P, u16), Option<Vec<u8>>)>,
+    entries: Vec<DedupEntry<P>>,
 }
+
+/// One remembered exchange: the `(peer, message_id)` key and the cached
+/// response payload (`None` for requests still being executed).
+type DedupEntry<P> = ((P, u16), Option<Vec<u8>>);
 
 impl<P: Copy + Eq> DedupCache<P> {
     /// A cache remembering the last `cap` exchanges.

@@ -105,9 +105,9 @@ impl DeploymentBuilder {
     /// Panics if the topology is empty.
     pub fn build(self) -> Deployment {
         assert!(!self.topology.is_empty(), "deployment needs nodes");
-        let mut wc = WorldConfig::default();
-        wc.seed = self.seed;
-        wc.radio = self.radio.clone();
+        let wc = WorldConfig::default()
+            .seed(self.seed)
+            .radio(self.radio.clone());
 
         // For TDMA we must know the collection tree up front: compute
         // BFS parents on a throwaway world with the same geometry. The

@@ -166,8 +166,10 @@ mod tests {
 
     #[test]
     fn zone_drifts_toward_outdoor() {
-        let mut z = Zone::default();
-        z.temp_c = 21.0;
+        let mut z = Zone {
+            temp_c: 21.0,
+            ..Zone::default()
+        };
         for _ in 0..1000 {
             z.step(SimDuration::from_secs(60), 0.0, 0.0);
         }
@@ -176,8 +178,10 @@ mod tests {
 
     #[test]
     fn heater_raises_temperature() {
-        let mut z = Zone::default();
-        z.temp_c = 15.0;
+        let mut z = Zone {
+            temp_c: 15.0,
+            ..Zone::default()
+        };
         let e = z.step(SimDuration::from_secs(3600), 15.0, 1.0);
         assert!(z.temp_c > 18.0, "one hour of heating: {}", z.temp_c);
         assert!((e - 6.0).abs() < 1e-9, "6 kW for an hour");

@@ -110,7 +110,7 @@ pub fn simulate_with(
 
     for round in 0..rounds {
         // Writes.
-        for r in 0..replicas {
+        for (r, store) in stores.iter_mut().enumerate() {
             attempted += 1;
             let my_group = group_of(round, r);
             let group_size = (0..replicas).filter(|&x| group_of(round, x) == my_group).count();
@@ -123,7 +123,7 @@ pub fn simulate_with(
                 let key = (round % keys as u64) as u8;
                 // Timestamp = round, writer breaks ties: the LWW
                 // precondition holds (one write per replica per round).
-                stores[r].insert(round, ReplicaId(r as u64), key, round * 1000 + r as u64);
+                store.insert(round, ReplicaId(r as u64), key, round * 1000 + r as u64);
             }
         }
         // Anti-entropy within groups (full mesh per group, one round).

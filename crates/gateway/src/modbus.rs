@@ -174,7 +174,7 @@ pub mod client {
             return Err(ModbusError::BadFrame);
         }
         let n = payload[2] as usize;
-        if payload.len() != 3 + n || n % 2 != 0 {
+        if payload.len() != 3 + n || !n.is_multiple_of(2) {
             return Err(ModbusError::BadFrame);
         }
         Ok(payload[3..]

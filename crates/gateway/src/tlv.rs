@@ -124,7 +124,7 @@ pub struct TlvAdapter {
 impl TlvAdapter {
     /// Wraps `sensor`; points are named `<prefix>/temp` etc.
     pub fn new(id: impl Into<String>, sensor: TlvSensor, prefix: impl Into<String>) -> Self {
-        let security = sensor.security.clone();
+        let security = sensor.security;
         TlvAdapter {
             id: id.into(),
             sensor,

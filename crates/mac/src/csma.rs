@@ -526,7 +526,7 @@ mod tests {
         w.run_for(SimDuration::from_secs(5));
         let drv_a = w.proto::<MacDriver<CsmaMac>>(a);
         assert!(
-            drv_a.send_errors.iter().any(|e| *e == MacError::QueueFull),
+            drv_a.send_errors.contains(&MacError::QueueFull),
             "expected queue-full backpressure"
         );
         // Everything accepted was eventually acked.

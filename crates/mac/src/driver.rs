@@ -81,7 +81,7 @@ impl<M: Mac> MacDriver<M> {
     /// order.
     pub fn push_send(&mut self, at: SimTime, dst: Dst, upper_port: u8, payload: Vec<u8>) {
         debug_assert!(
-            self.script.last().map_or(true, |s| s.at <= at),
+            self.script.last().is_none_or(|s| s.at <= at),
             "script must be time-ordered"
         );
         self.script.push(Scripted {

@@ -8,6 +8,11 @@
 //! This is the MAC behind the paper's §IV-B observation that "since the
 //! devices sleep most of the time to conserve energy, a packet may take
 //! seconds to be transmitted over few wireless hops".
+//!
+//! All timing (wake schedule, strobe deadline, gaps) counts ticks of
+//! the node's local oscillator ([`Ctx::local_time`]): LPL needs no time
+//! synchronization, so clock drift merely shifts the unsynchronized
+//! wake phases it already tolerates by design.
 
 use crate::header::{decode, encode, MacHeader, MacKind, SeqCache, MAC_HEADER_LEN};
 use crate::{mac_tag, Mac, MacError, MacEvent, SendHandle};
@@ -130,7 +135,7 @@ impl LplMac {
         // Strobe a little longer than one wake interval so a receiver
         // that sampled just before we started still gets a copy.
         let margin = self.config.sample * 4;
-        self.strobe_deadline = Some(ctx.now() + self.config.wake_interval + margin);
+        self.strobe_deadline = Some(ctx.local_time() + self.config.wake_interval + margin);
         self.transmit_copy(ctx);
     }
 
@@ -151,7 +156,7 @@ impl LplMac {
             ctx.count_node("mac_tx_data", 1.0);
         } else {
             // Radio busy (e.g. ACK in flight): retry after a gap.
-            ctx.set_timer(self.config.strobe_gap, TAG_GAP);
+            ctx.set_timer_local(self.config.strobe_gap, TAG_GAP);
         }
     }
 
@@ -214,7 +219,7 @@ impl Mac for LplMac {
         let phase_us = ctx
             .rng()
             .gen_range(0..self.config.wake_interval.as_micros().max(1));
-        ctx.set_timer(SimDuration::from_micros(phase_us), TAG_WAKE);
+        ctx.set_timer_local(SimDuration::from_micros(phase_us), TAG_WAKE);
     }
 
     fn send(
@@ -254,7 +259,7 @@ impl Mac for LplMac {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: Timer, out: &mut Vec<MacEvent>) -> bool {
         match timer.tag {
             TAG_WAKE => {
-                ctx.set_timer(self.config.wake_interval, TAG_WAKE);
+                ctx.set_timer_local(self.config.wake_interval, TAG_WAKE);
                 if self.strobe_deadline.is_none() && self.tx == TxKind::None {
                     ctx.radio_on().expect("lpl: radio on for sample");
                     self.sampling = true;
@@ -262,7 +267,7 @@ impl Mac for LplMac {
                         mac: "lpl",
                         state: "sample",
                     });
-                    ctx.set_timer(self.config.sample, TAG_SAMPLE_END);
+                    ctx.set_timer_local(self.config.sample, TAG_SAMPLE_END);
                 }
                 true
             }
@@ -270,7 +275,7 @@ impl Mac for LplMac {
                 if self.sampling {
                     if ctx.cca_busy() {
                         // Traffic in the air: keep listening for it.
-                        ctx.set_timer(self.config.sample, TAG_SAMPLE_END);
+                        ctx.set_timer_local(self.config.sample, TAG_SAMPLE_END);
                     } else {
                         self.sampling = false;
                         self.maybe_sleep(ctx);
@@ -280,7 +285,7 @@ impl Mac for LplMac {
             }
             TAG_GAP => {
                 if let Some(deadline) = self.strobe_deadline {
-                    if ctx.now() >= deadline {
+                    if ctx.local_time() >= deadline {
                         self.finish_strobe(ctx, out, false);
                     } else if self.tx == TxKind::None {
                         self.transmit_copy(ctx);
@@ -339,13 +344,13 @@ impl Mac for LplMac {
                 self.send_ack_if_due(ctx);
                 if self.tx == TxKind::None {
                     // Listen for an ACK during the inter-copy gap.
-                    ctx.set_timer(self.config.strobe_gap, TAG_GAP);
+                    ctx.set_timer_local(self.config.strobe_gap, TAG_GAP);
                 }
             }
             TxKind::Ack => {
                 self.tx = TxKind::None;
                 if self.strobe_deadline.is_some() {
-                    ctx.set_timer(self.config.strobe_gap, TAG_GAP);
+                    ctx.set_timer_local(self.config.strobe_gap, TAG_GAP);
                 } else {
                     self.maybe_sleep(ctx);
                 }

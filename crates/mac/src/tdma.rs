@@ -8,20 +8,39 @@
 //! router within a single schedule frame — per-hop latency is one slot
 //! (milliseconds) instead of one wake interval (hundreds of ms).
 //!
-//! Time synchronization is assumed (the real protocols piggyback sync on
-//! their beacons and keep it within a guard interval); the simulator's
-//! global clock plays that role. Clock drift is outside the model; the
-//! guard time in the config represents the sync budget.
+//! Slot boundaries are tracked on each node's **local oscillator**
+//! ([`Ctx::local_time`]): under the simulator's default ideal clock
+//! model that is indistinguishable from a global clock, but under a
+//! drifting [`ClockModel`](iiot_sim::ClockModel) the schedule only
+//! holds together if something keeps the nodes synchronized. The MAC
+//! offers three operating points:
+//!
+//! * [`TdmaMac::new`] — the classic perfect-sync idealization;
+//! * [`TdmaMac::with_local_clock`] — free-running oscillators, no sync:
+//!   slots drift apart and delivery collapses (the strawman);
+//! * [`TdmaMac::with_sync`] — FTSP-style flooding synchronization
+//!   (crate `iiot-timesync`) embedded into dedicated sync slots at the
+//!   head of each frame; the guard time buys margin against the
+//!   *residual* sync error.
+//!
+//! The guard time is therefore not a hand-wave but a measurable sync
+//! tax: experiment E13 sweeps drift and guard to price it.
 
 use crate::header::{decode, encode, MacHeader, MacKind, SeqCache, MAC_HEADER_LEN};
 use crate::{mac_tag, Mac, MacError, MacEvent, SendHandle};
 use iiot_sim::obs::EventKind;
-use iiot_sim::{Ctx, Dst, Frame, NodeId, RxInfo, SimDuration, SimTime, Timer, TxOutcome};
+use iiot_sim::{
+    Ctx, Dst, Frame, NodeId, RxInfo, SimDuration, SimTime, Timer, TimerId, TxOutcome,
+};
+use iiot_timesync::{FtspConfig, FtspEngine, SyncedClock};
 use std::collections::VecDeque;
 
 const TAG_SLOT: u64 = mac_tag(0x40);
 const TAG_TX_GO: u64 = mac_tag(0x41);
 const TAG_SLOT_END: u64 = mac_tag(0x42);
+const TAG_SYNC_SLOT: u64 = mac_tag(0x43);
+const TAG_SYNC_TX: u64 = mac_tag(0x44);
+const TAG_SYNC_END: u64 = mac_tag(0x45);
 
 /// One slot of the global schedule: `sender` may transmit to `receiver`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -42,7 +61,8 @@ pub struct Slot {
 ///
 /// // A 4-node line 3->2->1->0: data cascades to node 0 in one frame.
 /// let parents = vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))];
-/// let sched = TdmaSchedule::pipeline_to_root(&parents, SimDuration::from_millis(10));
+/// let sched = TdmaSchedule::pipeline_to_root(&parents, SimDuration::from_millis(10))
+///     .with_guard(SimDuration::from_micros(500));
 /// assert_eq!(sched.num_slots(), 3);
 /// assert_eq!(sched.frame_len(), SimDuration::from_millis(30));
 /// ```
@@ -54,6 +74,8 @@ pub struct TdmaSchedule {
     /// Trailing slots each frame in which everyone sleeps (superframe
     /// padding: the duty-cycle knob of synchronous MACs).
     idle_slots: usize,
+    /// Leading slots each frame reserved for time-sync beacons.
+    sync_slots: usize,
 }
 
 impl TdmaSchedule {
@@ -70,6 +92,7 @@ impl TdmaSchedule {
             guard: SimDuration::from_micros(500),
             slots,
             idle_slots: 0,
+            sync_slots: 0,
         }
     }
 
@@ -78,6 +101,23 @@ impl TdmaSchedule {
     /// beacon-interval knob of Dozer/Koala does.
     pub fn with_idle(mut self, idle_slots: usize) -> Self {
         self.idle_slots = idle_slots;
+        self
+    }
+
+    /// Sets the guard time: a sender holds back this long after its
+    /// slot boundary before transmitting, buying margin against the
+    /// residual clock error between it and its receiver.
+    pub fn with_guard(mut self, guard: SimDuration) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Prepends `sync_slots` synchronization slots to every frame (slot
+    /// indices of data slots are unaffected; sync slots sit before slot
+    /// 0). Nodes built with [`TdmaMac::with_sync`] exchange FTSP
+    /// beacons there; everyone else sleeps through them.
+    pub fn with_sync_slots(mut self, sync_slots: usize) -> Self {
+        self.sync_slots = sync_slots;
         self
     }
 
@@ -119,12 +159,12 @@ impl TdmaSchedule {
         self.slots.len()
     }
 
-    /// Total slots per frame including idle padding.
+    /// Total slots per frame including sync and idle padding.
     pub fn total_slots(&self) -> usize {
-        self.slots.len() + self.idle_slots
+        self.sync_slots + self.slots.len() + self.idle_slots
     }
 
-    /// Duration of one whole frame (active + idle slots).
+    /// Duration of one whole frame (sync + active + idle slots).
     pub fn frame_len(&self) -> SimDuration {
         self.slot_len * self.total_slots() as u64
     }
@@ -132,6 +172,16 @@ impl TdmaSchedule {
     /// Duration of one slot.
     pub fn slot_len(&self) -> SimDuration {
         self.slot_len
+    }
+
+    /// The configured guard time.
+    pub fn guard(&self) -> SimDuration {
+        self.guard
+    }
+
+    /// Sync slots at the head of each frame.
+    pub fn sync_slots(&self) -> usize {
+        self.sync_slots
     }
 
     /// The slot definitions.
@@ -156,11 +206,11 @@ impl TdmaSchedule {
             .collect()
     }
 
-    /// The next absolute start time of slot `idx` strictly after `now`
-    /// (or exactly at `now`).
+    /// The next absolute start time of data slot `idx` at or after
+    /// `now`, on the schedule's time base.
     fn next_occurrence(&self, idx: usize, now: SimTime) -> SimTime {
         let frame = self.frame_len().as_micros();
-        let offset = self.slot_len.as_micros() * idx as u64;
+        let offset = self.slot_len.as_micros() * (self.sync_slots + idx) as u64;
         let now_us = now.as_micros();
         let base = now_us.saturating_sub(offset) / frame * frame + offset;
         if base >= now_us {
@@ -193,6 +243,7 @@ enum TxKind {
     None,
     Data,
     Ack,
+    Beacon,
 }
 
 /// Configuration of [`TdmaMac`].
@@ -216,11 +267,53 @@ impl Default for TdmaConfig {
     }
 }
 
+/// Configuration of the embedded FTSP synchronization
+/// ([`TdmaMac::with_sync`]).
+#[derive(Clone, Debug)]
+pub struct TdmaSync {
+    /// The FTSP engine configuration. Pin the reference
+    /// ([`FtspConfig::with_reference`]) for a fixed sync root, or leave
+    /// election on and let the lowest live id win.
+    pub ftsp: FtspConfig,
+    /// Beacon in the sync slot of every `every`-th frame only; the
+    /// other frames' sync slots are slept through. This is the sync
+    /// duty-cycle knob: larger values cut the beacon tax but let more
+    /// drift accumulate between resyncs.
+    pub every: u32,
+    /// Intra-slot beacon stagger: a node at hop depth `d` beacons
+    /// `stride * (d + 1)` into the sync slot, so the flood cascades
+    /// down the tree collision-free within one slot. Must exceed one
+    /// beacon airtime.
+    pub stride: SimDuration,
+}
+
+impl Default for TdmaSync {
+    fn default() -> Self {
+        TdmaSync {
+            ftsp: FtspConfig::default(),
+            every: 1,
+            stride: SimDuration::from_micros(1200),
+        }
+    }
+}
+
+/// Runtime state of the embedded synchronization.
+#[derive(Debug)]
+struct SyncState {
+    engine: FtspEngine,
+    every: u32,
+    stride: SimDuration,
+}
+
 /// Synchronous pipelined TDMA MAC.
 ///
 /// All nodes share one [`TdmaSchedule`]; each wakes only for the slots
 /// it participates in, giving duty cycles of
 /// `participating_slots / total_slots` and per-hop latency of one slot.
+///
+/// All slot timing runs on the node's local oscillator, mapped onto the
+/// schedule's global time base through a [`SyncedClock`] — an identity
+/// mapping unless [`TdmaMac::with_sync`] keeps it estimated.
 #[derive(Debug)]
 pub struct TdmaMac {
     config: TdmaConfig,
@@ -237,6 +330,27 @@ pub struct TdmaMac {
     seq: u8,
     next_handle: u64,
     dedup: SeqCache,
+    /// Local-to-global mapping (identity until synced).
+    clock: SyncedClock,
+    /// Enables drift instrumentation (guard-violation events/counters);
+    /// false for the perfect-sync idealization so its traces and stats
+    /// stay byte-identical to the historical behaviour.
+    clock_aware: bool,
+    sync: Option<SyncState>,
+    /// Whether this node is on the slot schedule yet (false while a
+    /// cold-starting synced node listens for its first beacon).
+    joined: bool,
+    /// Outstanding slot wake timer and the slot it targets
+    /// `(idx, role, slot start on the schedule time base)`.
+    slot_timer: TimerId,
+    pending_slot: Option<(usize, Role, SimTime)>,
+    /// Outstanding slot-end timer and the slot end it targets.
+    end_timer: TimerId,
+    active_end: SimTime,
+    /// Outstanding sync-slot wake timer and its frame start.
+    sync_timer: TimerId,
+    pending_sync: SimTime,
+    in_sync_slot: bool,
 }
 
 impl TdmaMac {
@@ -254,7 +368,54 @@ impl TdmaMac {
             seq: 0,
             next_handle: 0,
             dedup: SeqCache::new(),
+            clock: SyncedClock::new(),
+            clock_aware: false,
+            sync: None,
+            joined: true,
+            slot_timer: TimerId::NONE,
+            pending_slot: None,
+            end_timer: TimerId::NONE,
+            active_end: SimTime::ZERO,
+            sync_timer: TimerId::NONE,
+            pending_sync: SimTime::ZERO,
+            in_sync_slot: false,
         }
+    }
+
+    /// Runs the schedule on the free-running local oscillator with no
+    /// synchronization at all: each node treats its own clock as the
+    /// schedule time base. Under an ideal clock model this changes
+    /// nothing; under drift the slots slide apart and delivery
+    /// collapses — the strawman experiment E13 measures.
+    #[must_use]
+    pub fn with_local_clock(mut self) -> Self {
+        self.clock_aware = true;
+        self
+    }
+
+    /// Embeds FTSP-style synchronization: beacons flood through the
+    /// schedule's sync slots and every node maps its oscillator onto
+    /// the reference's time base through the estimated [`SyncedClock`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule has no sync slots
+    /// ([`TdmaSchedule::with_sync_slots`]).
+    #[must_use]
+    pub fn with_sync(mut self, sync: TdmaSync) -> Self {
+        assert!(
+            self.schedule.sync_slots() >= 1,
+            "with_sync requires a schedule with sync slots"
+        );
+        let engine = FtspEngine::new(sync.ftsp);
+        self.clock = engine.clock();
+        self.sync = Some(SyncState {
+            engine,
+            every: sync.every.max(1),
+            stride: sync.stride,
+        });
+        self.clock_aware = true;
+        self
     }
 
     /// The schedule this MAC follows.
@@ -262,23 +423,73 @@ impl TdmaMac {
         &self.schedule
     }
 
+    /// The embedded sync engine, when running [`TdmaMac::with_sync`].
+    pub fn sync_engine(&self) -> Option<&FtspEngine> {
+        self.sync.as_ref().map(|s| &s.engine)
+    }
+
+    /// This node's estimate of the schedule time base "now".
+    fn global_now(&self, ctx: &mut Ctx<'_>) -> SimTime {
+        self.clock.global(ctx.local_time())
+    }
+
+    /// Arms a timer at schedule-time `at` by converting it to a local
+    /// oscillator delay (exactly `at - now` under ideal clocks).
+    fn set_timer_global(&self, ctx: &mut Ctx<'_>, at: SimTime, tag: u64) -> TimerId {
+        let target = self.clock.local(at);
+        let lnow = ctx.local_time();
+        let delay = if target > lnow {
+            target - lnow
+        } else {
+            SimDuration::ZERO
+        };
+        ctx.set_timer_local(delay, tag)
+    }
+
+    fn sync_len(&self) -> SimDuration {
+        self.schedule.slot_len * self.schedule.sync_slots as u64
+    }
+
     /// Arms the timer for the earliest participating slot starting at
-    /// or after `after`. A slot beginning exactly when the previous one
-    /// ends must not be skipped, so `after` is inclusive.
+    /// or after `after` (schedule time). A slot beginning exactly when
+    /// the previous one ends must not be skipped, so `after` is
+    /// inclusive. Receivers of a synced MAC wake one guard time early
+    /// to cover residual clock error in either direction.
     fn arm_next_slot(&mut self, ctx: &mut Ctx<'_>, after: SimTime) {
         let next = self
             .my_roles
             .iter()
             .map(|&(idx, role)| (self.schedule.next_occurrence(idx, after), idx, role))
             .min();
-        if let Some((at, _idx, _role)) = next {
-            ctx.set_timer_at(at, TAG_SLOT);
+        if let Some((s, idx, role)) = next {
+            let wake = if self.sync.is_some() && role == Role::Rx {
+                SimTime::from_micros(
+                    s.as_micros()
+                        .saturating_sub(self.schedule.guard.as_micros()),
+                )
+            } else {
+                s
+            };
+            self.slot_timer = self.set_timer_global(ctx, wake, TAG_SLOT);
+            self.pending_slot = Some((idx, role, s));
         }
     }
 
-    fn slot_at(&self, now: SimTime) -> usize {
-        (now.as_micros() / self.schedule.slot_len.as_micros()) as usize
-            % self.schedule.total_slots()
+    /// Arms the wake for the next *beaconing* sync slot at or after
+    /// `after` (frames whose index is a multiple of `every`).
+    fn arm_next_sync(&mut self, ctx: &mut Ctx<'_>, after: SimTime) {
+        let Some(st) = &self.sync else { return };
+        let period = self.schedule.frame_len().as_micros() * st.every as u64;
+        let t = SimTime::from_micros(after.as_micros().saturating_add(period - 1) / period * period);
+        self.sync_timer = self.set_timer_global(ctx, t, TAG_SYNC_SLOT);
+        self.pending_sync = t;
+    }
+
+    fn guard_violation(&mut self, ctx: &mut Ctx<'_>, cause: &'static str) {
+        if self.clock_aware {
+            ctx.emit(EventKind::GuardViolation { cause });
+            ctx.count_node("tdma_guard_violation", 1.0);
+        }
     }
 }
 
@@ -286,8 +497,28 @@ impl Mac for TdmaMac {
     fn start(&mut self, ctx: &mut Ctx<'_>) {
         self.my_roles = self.schedule.roles_of(ctx.id());
         self.active_slot = None;
-        let now = ctx.now();
-        self.arm_next_slot(ctx, now);
+        self.slot_timer = TimerId::NONE;
+        self.pending_slot = None;
+        self.end_timer = TimerId::NONE;
+        self.sync_timer = TimerId::NONE;
+        self.in_sync_slot = false;
+        if let Some(st) = &mut self.sync {
+            st.engine.start(ctx.id());
+            if !st.engine.is_reference() {
+                // Cold start: keep the radio listening until the first
+                // sync flood provides a time base; only then join the
+                // slot schedule and start duty cycling.
+                self.joined = false;
+                ctx.radio_on().expect("tdma: radio on (cold start)");
+                return;
+            }
+        }
+        self.joined = true;
+        let g = self.global_now(ctx);
+        self.arm_next_slot(ctx, g);
+        if self.sync.is_some() {
+            self.arm_next_sync(ctx, g);
+        }
     }
 
     fn send(
@@ -326,14 +557,40 @@ impl Mac for TdmaMac {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: Timer, out: &mut Vec<MacEvent>) -> bool {
         match timer.tag {
             TAG_SLOT => {
-                let idx = self.slot_at(ctx.now());
-                let Some(&(_, role)) = self.my_roles.iter().find(|&&(i, _)| i == idx) else {
-                    // A slot timer for a slot we no longer own (e.g.
-                    // after a crash-restart); re-arm strictly later to
-                    // avoid rescheduling the same instant forever.
-                    let after = ctx.now() + SimDuration::from_micros(1);
-                    self.arm_next_slot(ctx, after);
-                    return true;
+                let pend = if timer.id == self.slot_timer {
+                    self.slot_timer = TimerId::NONE;
+                    self.pending_slot.take()
+                } else {
+                    None
+                };
+                let (idx, role, s) = match pend {
+                    Some(p) => p,
+                    None => {
+                        // A stale slot timer (e.g. from before a
+                        // crash-restart): re-derive the slot from the
+                        // schedule lattice, or re-arm strictly later if
+                        // this instant is not ours.
+                        let g = self.global_now(ctx);
+                        let slot_us = self.schedule.slot_len.as_micros();
+                        let pos =
+                            (g.as_micros() / slot_us) as usize % self.schedule.total_slots();
+                        let owned = pos.checked_sub(self.schedule.sync_slots).and_then(|i| {
+                            self.my_roles
+                                .iter()
+                                .find(|&&(j, _)| j == i)
+                                .map(|&(_, r)| (i, r))
+                        });
+                        match owned {
+                            Some((i, r)) => {
+                                (i, r, SimTime::from_micros(g.as_micros() / slot_us * slot_us))
+                            }
+                            None => {
+                                let after = g + SimDuration::from_micros(1);
+                                self.arm_next_slot(ctx, after);
+                                return true;
+                            }
+                        }
+                    }
                 };
                 self.active_slot = Some((idx, role));
                 self.head_acked = false;
@@ -347,13 +604,20 @@ impl Mac for TdmaMac {
                 });
                 ctx.radio_on().expect("tdma: radio on for slot");
                 if role == Role::Tx {
-                    ctx.set_timer(self.schedule.guard, TAG_TX_GO);
+                    self.set_timer_global(ctx, s + self.schedule.guard, TAG_TX_GO);
                 }
-                ctx.set_timer(self.schedule.slot_len, TAG_SLOT_END);
+                self.active_end = s + self.schedule.slot_len;
+                self.end_timer = self.set_timer_global(ctx, self.active_end, TAG_SLOT_END);
                 true
             }
             TAG_TX_GO => {
                 if let Some((idx, Role::Tx)) = self.active_slot {
+                    if self.tx != TxKind::None {
+                        // The previous transmission is still on the
+                        // air past the guard point: the guard is too
+                        // small for the drift in play.
+                        self.guard_violation(ctx, "tx_busy");
+                    }
                     if let Some(head) = self.queue.front() {
                         let bytes = encode(
                             MacHeader {
@@ -381,6 +645,10 @@ impl Mac for TdmaMac {
                 true
             }
             TAG_SLOT_END => {
+                let matched = timer.id == self.end_timer;
+                if matched {
+                    self.end_timer = TimerId::NONE;
+                }
                 if let Some((_, role)) = self.active_slot.take() {
                     if role == Role::Tx && self.head_sent && !self.head_acked {
                         if let Some(head) = self.queue.front_mut() {
@@ -403,7 +671,7 @@ impl Mac for TdmaMac {
                             }
                         }
                     }
-                    if self.tx == TxKind::None {
+                    if self.tx == TxKind::None && !self.in_sync_slot {
                         ctx.emit(EventKind::MacState {
                             mac: "tdma",
                             state: "sleep",
@@ -413,9 +681,70 @@ impl Mac for TdmaMac {
                 }
                 // Inclusive of a slot starting exactly now (back-to-back
                 // participation); our own slot's next occurrence is a
-                // full frame away, so no self-loop.
-                let now = ctx.now();
-                self.arm_next_slot(ctx, now);
+                // full frame away, so no self-loop. The matched timer
+                // re-arms from the exact lattice point, keeping the
+                // schedule phase free of local-clock rounding.
+                let after = if matched {
+                    self.active_end
+                } else {
+                    self.global_now(ctx)
+                };
+                self.arm_next_slot(ctx, after);
+                true
+            }
+            TAG_SYNC_SLOT => {
+                if timer.id != self.sync_timer {
+                    return true;
+                }
+                self.sync_timer = TimerId::NONE;
+                let s0 = self.pending_sync;
+                self.in_sync_slot = true;
+                ctx.radio_on().expect("tdma: radio on for sync slot");
+                let beat_at = self.sync.as_ref().and_then(|st| {
+                    if st.engine.is_synced() {
+                        Some(s0 + st.stride * (st.engine.depth() as u64 + 1))
+                    } else {
+                        None
+                    }
+                });
+                if let Some(at) = beat_at {
+                    self.set_timer_global(ctx, at, TAG_SYNC_TX);
+                }
+                let end = s0 + self.sync_len();
+                self.set_timer_global(ctx, end, TAG_SYNC_END);
+                true
+            }
+            TAG_SYNC_TX => {
+                if self.in_sync_slot && self.tx == TxKind::None {
+                    let payload = self.sync.as_mut().and_then(|st| st.engine.beat(ctx));
+                    if let Some(p) = payload {
+                        let bytes = encode(
+                            MacHeader {
+                                kind: MacKind::Probe,
+                                seq: 0,
+                                upper_port: 0,
+                            },
+                            &p,
+                        );
+                        if ctx
+                            .transmit(Dst::Broadcast, self.config.radio_port, bytes)
+                            .is_ok()
+                        {
+                            self.tx = TxKind::Beacon;
+                        }
+                    }
+                }
+                true
+            }
+            TAG_SYNC_END => {
+                if self.in_sync_slot {
+                    self.in_sync_slot = false;
+                    if self.tx == TxKind::None && self.active_slot.is_none() {
+                        let _ = ctx.radio_off();
+                    }
+                }
+                let after = self.global_now(ctx);
+                self.arm_next_sync(ctx, after);
                 true
             }
             _ => false,
@@ -437,6 +766,12 @@ impl Mac for TdmaMac {
         };
         match header.kind {
             MacKind::Data => {
+                if !matches!(self.active_slot, Some((_, Role::Rx))) {
+                    // A data frame heard outside any receive slot of
+                    // ours: the sender's clock has slid off the
+                    // schedule (or ours has).
+                    self.guard_violation(ctx, "late_frame");
+                }
                 if frame.dst == Dst::Unicast(ctx.id()) && self.tx == TxKind::None {
                     let bytes = encode(
                         MacHeader {
@@ -474,14 +809,46 @@ impl Mac for TdmaMac {
                     }
                 }
             }
-            MacKind::Probe => {}
+            MacKind::Probe => {
+                let Some(st) = &mut self.sync else { return };
+                let accepted = st.engine.on_beacon(ctx, payload, frame.payload.len());
+                let (synced, depth, stride) =
+                    (st.engine.is_synced(), st.engine.depth(), st.stride);
+                if accepted && !self.joined && synced {
+                    // First fix: join the schedule mid-flood. If the
+                    // sync slot is still running, re-broadcast our
+                    // fresh estimate one stagger step further out so
+                    // the flood keeps cascading this very slot.
+                    self.joined = true;
+                    let g = self.global_now(ctx);
+                    let frame_us = self.schedule.frame_len().as_micros();
+                    let s0 = SimTime::from_micros(g.as_micros() / frame_us * frame_us);
+                    if g < s0 + self.sync_len() {
+                        self.in_sync_slot = true;
+                        let at = s0 + stride * (depth as u64 + 1);
+                        let at = if at > g { at } else { g };
+                        self.set_timer_global(ctx, at, TAG_SYNC_TX);
+                        // The sync-end handler arms the recurring chain.
+                        self.set_timer_global(ctx, s0 + self.sync_len(), TAG_SYNC_END);
+                    } else {
+                        self.arm_next_sync(ctx, g);
+                        let _ = ctx.radio_off();
+                    }
+                    self.arm_next_slot(ctx, g);
+                }
+            }
         }
     }
 
     fn on_tx_done(&mut self, ctx: &mut Ctx<'_>, _outcome: TxOutcome, _out: &mut Vec<MacEvent>) {
+        let was = self.tx;
         self.tx = TxKind::None;
+        if was == TxKind::Data && self.active_slot.is_none() {
+            // The data frame was still on the air when the slot ended.
+            self.guard_violation(ctx, "tx_overrun");
+        }
         // If the slot already ended while we were transmitting, sleep.
-        if self.active_slot.is_none() {
+        if self.active_slot.is_none() && !self.in_sync_slot {
             let _ = ctx.radio_off();
         }
     }
@@ -491,6 +858,14 @@ impl Mac for TdmaMac {
         self.tx = TxKind::None;
         self.active_slot = None;
         self.dedup.clear();
+        self.pending_slot = None;
+        self.slot_timer = TimerId::NONE;
+        self.end_timer = TimerId::NONE;
+        self.sync_timer = TimerId::NONE;
+        self.in_sync_slot = false;
+        if let Some(st) = &mut self.sync {
+            st.engine.crashed();
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -562,6 +937,26 @@ mod tests {
         assert_eq!(
             s.next_occurrence(1, SimTime::from_millis(15)),
             SimTime::from_millis(30)
+        );
+    }
+
+    #[test]
+    fn sync_slots_shift_the_frame() {
+        let s = TdmaSchedule::new(
+            vec![
+                Slot { sender: NodeId(0), receiver: NodeId(1) },
+                Slot { sender: NodeId(1), receiver: NodeId(0) },
+            ],
+            SimDuration::from_millis(10),
+        )
+        .with_sync_slots(1);
+        assert_eq!(s.total_slots(), 3);
+        assert_eq!(s.frame_len(), SimDuration::from_millis(30));
+        // Data slot 0 now starts one slot into the frame.
+        assert_eq!(s.next_occurrence(0, SimTime::ZERO), SimTime::from_millis(10));
+        assert_eq!(
+            s.next_occurrence(1, SimTime::from_millis(21)),
+            SimTime::from_millis(50)
         );
     }
 
@@ -651,5 +1046,88 @@ mod tests {
     fn cyclic_parents_rejected() {
         let parents = vec![Some(NodeId(1)), Some(NodeId(0))];
         let _ = TdmaSchedule::pipeline_to_root(&parents, SimDuration::from_millis(10));
+    }
+
+    /// Shared setup for the drift arms: an n-node line under drifting
+    /// clocks, one unicast pushed per second from the line's far end.
+    fn drifting_world(
+        n: usize,
+        ppm: f64,
+        seed: u64,
+        sends: u64,
+        build: impl Fn(TdmaSchedule) -> TdmaMac + 'static,
+    ) -> (World, Vec<NodeId>) {
+        let parents: Vec<Option<NodeId>> = (0..n)
+            .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
+            .collect();
+        let sched = TdmaSchedule::pipeline_to_root(&parents, SimDuration::from_millis(10))
+            .with_sync_slots(1)
+            .with_guard(SimDuration::from_micros(500));
+        let cfg = WorldConfig::default()
+            .seed(seed)
+            .clock(ClockModel::drifting(ppm));
+        let mut w = World::new(cfg);
+        let ids = w.add_nodes(&Topology::line(n, 10.0), move |_| {
+            Box::new(MacDriver::new(build(sched.clone()))) as Box<dyn Proto>
+        });
+        for k in 0..sends {
+            w.proto_mut::<Drv>(ids[1]).push_send(
+                SimTime::from_secs(10 + k),
+                Dst::Unicast(ids[0]),
+                0,
+                vec![k as u8],
+            );
+        }
+        (w, ids)
+    }
+
+    #[test]
+    fn unsynced_drift_collapses_delivery() {
+        // Badly drifting free-running clocks slide a 10 ms slot apart
+        // within tens of seconds; later unicasts miss their receiver.
+        let (mut w, ids) = drifting_world(3, 500.0, 31, 60, |s| {
+            TdmaMac::new(TdmaConfig::default(), s).with_local_clock()
+        });
+        w.run_for(SimDuration::from_secs(80));
+        let got = w.proto::<Drv>(ids[0]).delivered.len();
+        assert!(got < 30, "drifted TDMA still delivered {got}/60");
+    }
+
+    #[test]
+    fn ftsp_synced_tdma_survives_drift() {
+        let (mut w, ids) = drifting_world(3, 200.0, 31, 20, |s| {
+            TdmaMac::new(TdmaConfig::default(), s).with_sync(TdmaSync {
+                ftsp: FtspConfig::default().with_reference(NodeId(0)),
+                ..TdmaSync::default()
+            })
+        });
+        w.run_for(SimDuration::from_secs(40));
+        for &id in &ids[1..] {
+            let drv = w.proto::<Drv>(id);
+            let eng = drv.mac().sync_engine().expect("sync engine");
+            assert!(eng.is_synced(), "node {id} never synced");
+            assert_eq!(eng.root(), ids[0]);
+        }
+        let got = w.proto::<Drv>(ids[0]).delivered.len();
+        assert_eq!(got, 20, "synced TDMA dropped {} of 20", 20 - got);
+    }
+
+    #[test]
+    fn ideal_clocks_ignore_sync_machinery_costs() {
+        // A synced MAC under ideal clocks still delivers everything and
+        // reports zero guard violations.
+        let (mut w, ids) = drifting_world(3, 0.0, 33, 10, |s| {
+            TdmaMac::new(TdmaConfig::default(), s).with_sync(TdmaSync {
+                ftsp: FtspConfig::default().with_reference(NodeId(0)),
+                ..TdmaSync::default()
+            })
+        });
+        w.run_for(SimDuration::from_secs(25));
+        assert_eq!(w.proto::<Drv>(ids[0]).delivered.len(), 10);
+        let viol: f64 = ids
+            .iter()
+            .map(|&id| w.stats().get_node(id, "tdma_guard_violation"))
+            .sum();
+        assert_eq!(viol, 0.0, "guard violations under ideal clocks");
     }
 }

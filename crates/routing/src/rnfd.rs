@@ -170,16 +170,12 @@ impl<M: Mac> RnfdNode<M> {
                         self.broadcast_vote(ctx, false);
                     }
                 }
-                PORT_VOTE => {
-                    if self.config.sentinels.contains(&src) && !payload.is_empty() {
-                        self.votes.insert(src, payload[0] != 0);
-                        self.check_quorum(ctx);
-                    }
+                PORT_VOTE if self.config.sentinels.contains(&src) && !payload.is_empty() => {
+                    self.votes.insert(src, payload[0] != 0);
+                    self.check_quorum(ctx);
                 }
-                PORT_VERDICT => {
-                    if self.verdict_at.is_none() {
-                        self.verdict_at = Some(ctx.now());
-                    }
+                PORT_VERDICT if self.verdict_at.is_none() => {
+                    self.verdict_at = Some(ctx.now());
                 }
                 _ => {}
             }

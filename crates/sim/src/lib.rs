@@ -15,6 +15,9 @@
 //!   administrative partitions;
 //! * per-node [`energy`] accounting (sleep/listen/transmit residency,
 //!   charge, projected battery lifetime);
+//! * per-node drifting oscillators ([`clock`]): protocols read
+//!   [`Ctx::local_time`](world::Ctx::local_time) instead of perfect
+//!   global time, making clock drift a first-class fault model;
 //! * [`topology`] generators for the deployment shapes industrial IoT
 //!   dictates (lines, grids, uniform scatters, machine clusters);
 //! * fault injection (node crash/recovery, link failures, partitions)
@@ -62,6 +65,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod clock;
 pub mod energy;
 pub mod ids;
 pub mod node;
@@ -73,6 +77,7 @@ pub mod topology;
 pub mod trace;
 pub mod world;
 
+pub use clock::ClockModel;
 pub use ids::{NodeId, TimerId};
 pub use node::{AsAny, Idle, Proto, Timer};
 pub use radio::{Dst, Frame, RadioConfig, RadioError, RadioState, RxInfo, TxOutcome};
@@ -82,6 +87,7 @@ pub use world::{Ctx, World, WorldConfig};
 
 /// Convenient glob import for building simulations.
 pub mod prelude {
+    pub use crate::clock::ClockModel;
     pub use crate::energy::{EnergyModel, EnergyUsage};
     pub use crate::ids::{NodeId, TimerId};
     pub use crate::node::{AsAny, Idle, Proto, Timer};

@@ -245,6 +245,31 @@ pub enum EventKind {
         /// Depth after the enqueue.
         depth: u32,
     },
+    /// A time-synchronization beacon was transmitted (FTSP-style
+    /// flooding).
+    SyncBeacon {
+        /// The reference (root) node whose timebase the beacon carries.
+        root: NodeId,
+        /// Flood sequence number of the beacon.
+        seq: u32,
+        /// Hop distance of the sender from the reference.
+        hops: u8,
+    },
+    /// A node re-estimated its offset/skew against the global timebase.
+    OffsetEstimate {
+        /// Estimated local-to-global offset, in microseconds.
+        offset_us: i64,
+        /// Estimated skew relative to the global timebase, in ppm.
+        skew_ppm: f64,
+    },
+    /// Slot timing discipline was violated (TDMA under clock drift):
+    /// a transmission overran its slot or a frame arrived outside the
+    /// receiver's slot.
+    GuardViolation {
+        /// What went wrong (`"tx_overrun"`, `"late_frame"`,
+        /// `"tx_busy"`).
+        cause: &'static str,
+    },
     /// Escape hatch for one-off instrumentation.
     Custom {
         /// Metric name.
@@ -274,6 +299,9 @@ impl EventKind {
             EventKind::DataHop { .. } => "data_hop",
             EventKind::DataArrive { .. } => "data_arrive",
             EventKind::QueueDepth { .. } => "queue_depth",
+            EventKind::SyncBeacon { .. } => "sync_beacon",
+            EventKind::OffsetEstimate { .. } => "offset_estimate",
+            EventKind::GuardViolation { .. } => "guard_violation",
             EventKind::Custom { .. } => "custom",
         }
     }
@@ -342,6 +370,13 @@ impl Event {
             EventKind::QueueDepth { queue, depth } => {
                 format!(",\"queue\":\"{queue}\",\"depth\":{depth}")
             }
+            EventKind::SyncBeacon { root, seq, hops } => {
+                format!(",\"root\":{},\"seq\":{},\"hops\":{}", root.0, seq, hops)
+            }
+            EventKind::OffsetEstimate { offset_us, skew_ppm } => {
+                format!(",\"offset_us\":{offset_us},\"skew_ppm\":{skew_ppm}")
+            }
+            EventKind::GuardViolation { cause } => format!(",\"cause\":\"{cause}\""),
             EventKind::Custom { name, value } => {
                 format!(",\"name\":\"{name}\",\"value\":{value}")
             }
@@ -428,6 +463,18 @@ impl Event {
                 queue: intern(s("queue")?),
                 depth: num("depth")? as u32,
             },
+            "sync_beacon" => EventKind::SyncBeacon {
+                root: NodeId(num("root")? as u32),
+                seq: num("seq")? as u32,
+                hops: num("hops")? as u8,
+            },
+            "offset_estimate" => EventKind::OffsetEstimate {
+                offset_us: num("offset_us")?,
+                skew_ppm: fnum("skew_ppm")?,
+            },
+            "guard_violation" => EventKind::GuardViolation {
+                cause: intern(s("cause")?),
+            },
             "custom" => EventKind::Custom {
                 name: intern(s("name")?),
                 value: fnum("value")?,
@@ -469,9 +516,7 @@ fn json_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
         }
         None
     } else {
-        let end = rest
-            .find(|c| c == ',' || c == '}')
-            .unwrap_or(rest.len());
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
         Some(rest[..end].trim())
     }
 }
@@ -529,6 +574,8 @@ fn intern(s: &str) -> &'static str {
         "inconsistent", "new_version", "parent_lost", "repair",
         // verdicts and fault kinds
         "alive", "crash", "recover", "link_down", "link_up", "partition", "heal",
+        // guard-violation causes
+        "tx_overrun", "late_frame", "tx_busy",
         // queues and common custom metric names
         "mac", "dodag", "boot", "duty_cycle", "merge_round",
     ];
@@ -1260,6 +1307,9 @@ mod tests {
             EventKind::DataHop { from: NodeId(4), hops: 2 },
             EventKind::DataArrive { hops: 3 },
             EventKind::QueueDepth { queue: "dodag", depth: 6 },
+            EventKind::SyncBeacon { root: NodeId(0), seq: 99, hops: 4 },
+            EventKind::OffsetEstimate { offset_us: -1234, skew_ppm: -12.5 },
+            EventKind::GuardViolation { cause: "tx_overrun" },
             EventKind::Custom { name: "boot", value: 1.5 },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {

@@ -1,5 +1,6 @@
 //! The simulation engine: event queue, node lifecycle, fault injection.
 
+use crate::clock::{ClockModel, LocalClock};
 use crate::energy::{EnergyMeter, EnergyModel, EnergyUsage};
 use crate::ids::{NodeId, TimerId};
 use crate::node::{Proto, Timer};
@@ -27,6 +28,9 @@ pub struct WorldConfig {
     /// One-way latency of the backhaul "wire" between nodes
     /// (models the IP network between border routers and servers).
     pub wire_latency: SimDuration,
+    /// Oscillator fault model shared by all nodes (each node draws its
+    /// own parameters from it). Ideal by default.
+    pub clock: ClockModel,
 }
 
 impl Default for WorldConfig {
@@ -36,6 +40,7 @@ impl Default for WorldConfig {
             radio: RadioConfig::default(),
             energy: EnergyModel::default(),
             wire_latency: SimDuration::from_millis(20),
+            clock: ClockModel::default(),
         }
     }
 }
@@ -109,6 +114,13 @@ impl WorldConfig {
         self.wire_latency = latency;
         self
     }
+
+    /// Replaces the oscillator fault model.
+    #[must_use]
+    pub fn clock(mut self, clock: ClockModel) -> Self {
+        self.clock = clock;
+        self
+    }
 }
 
 #[derive(Debug)]
@@ -167,6 +179,10 @@ pub(crate) struct Kernel {
     next_timer: u64,
     wire_latency: SimDuration,
     seed: u64,
+    clock_model: ClockModel,
+    /// Per-node oscillators. Clock state survives crashes: hardware
+    /// oscillators keep ticking while the MCU reboots.
+    clocks: Vec<LocalClock>,
     /// Structured-event sink; `None` (the default) makes every
     /// emission a single branch on `obs_on`.
     recorder: Option<Box<dyn Recorder>>,
@@ -228,8 +244,11 @@ pub struct World {
     kernel: Kernel,
     protos: Vec<Box<dyn Proto>>,
     alive: Vec<bool>,
-    actions: Vec<Option<Box<dyn FnOnce(&mut World)>>>,
+    actions: Vec<DeferredAction>,
 }
+
+/// A deferred world mutation scheduled from inside the event loop.
+type DeferredAction = Option<Box<dyn FnOnce(&mut World)>>;
 
 impl World {
     /// Creates an empty world.
@@ -248,6 +267,8 @@ impl World {
                 next_timer: 0,
                 wire_latency: config.wire_latency,
                 seed: config.seed,
+                clock_model: config.clock,
+                clocks: Vec::new(),
                 // Under `--trace` (global capture enabled + an active
                 // worker scope on this thread) new worlds record into
                 // the global sink; otherwise emission stays disabled.
@@ -277,6 +298,17 @@ impl World {
             .seed
             .wrapping_add((id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         self.kernel.rngs.push(SmallRng::seed_from_u64(node_seed));
+        // The oscillator draws from its own seed stream so enabling
+        // drift never perturbs protocol RNG sequences (and an ideal
+        // model reproduces pre-clock-model runs bit for bit).
+        let clock_seed = crate::seed::derive(
+            crate::seed::derive_labeled(self.kernel.seed, "clock"),
+            id.0 as u64,
+        );
+        let born_at = self.kernel.now;
+        self.kernel
+            .clocks
+            .push(LocalClock::new(&self.kernel.clock_model, clock_seed, born_at));
         let now = self.kernel.now;
         self.kernel.push(now, Ev::Start { node: id });
         id
@@ -394,6 +426,14 @@ impl World {
             .as_any_mut()
             .downcast_mut::<T>()
             .expect("protocol type mismatch")
+    }
+
+    /// The local (drifting) clock reading of `node` at the current
+    /// simulation time — the oracle view of what [`Ctx::local_time`]
+    /// would return, for measuring synchronization error from outside.
+    pub fn local_time_of(&mut self, node: NodeId) -> SimTime {
+        let now = self.kernel.now;
+        self.kernel.clocks[node.index()].read(now)
     }
 
     /// Runs a closure with a [`Ctx`] for `node`, e.g. to inject an
@@ -516,10 +556,7 @@ impl World {
     /// Runs the simulation until `deadline` (inclusive of events at the
     /// deadline); afterwards `now() == deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        loop {
-            let Some(Reverse(front)) = self.kernel.queue.peek() else {
-                break;
-            };
+        while let Some(Reverse(front)) = self.kernel.queue.peek() {
             if front.time > deadline {
                 break;
             }
@@ -688,6 +725,28 @@ impl Ctx<'_> {
     /// This node's deterministic random source.
     pub fn rng(&mut self) -> &mut SmallRng {
         &mut self.kernel.rngs[self.node.index()]
+    }
+
+    /// This node's local clock reading: what the node's own (possibly
+    /// drifting) oscillator shows right now. Under the default ideal
+    /// [`crate::clock::ClockModel`] this equals [`Ctx::now`] exactly.
+    ///
+    /// Protocols that claim realistic timing must schedule off this
+    /// clock (via [`Ctx::set_timer_local`]), never off [`Ctx::now`] —
+    /// real motes have no access to perfect global time.
+    pub fn local_time(&mut self) -> SimTime {
+        let now = self.kernel.now;
+        self.kernel.clocks[self.node.index()].read(now)
+    }
+
+    /// Arms a one-shot timer that fires after `delay` *as measured by
+    /// this node's local clock*, like a hardware timer counting local
+    /// oscillator ticks. Under an ideal clock model this is exactly
+    /// [`Ctx::set_timer`].
+    pub fn set_timer_local(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let now = self.kernel.now;
+        let world_delay = self.kernel.clocks[self.node.index()].world_delay(now, delay);
+        self.set_timer(world_delay, tag)
     }
 
     /// Arms a one-shot timer firing after `delay`, carrying `tag`.

@@ -5,7 +5,9 @@
 #   2. the --trace JSONL event dump must be byte-identical too, and
 #      must round-trip through trace_report deterministically;
 #   3. the public API docs must build without rustdoc warnings and
-#      every doc example must pass.
+#      every doc example must pass;
+#   4. clippy must be clean (warnings denied) across every iiot crate
+#      and target.
 # Catches scheduling-dependent output and doc rot before they reach
 # EXPERIMENTS.md / the published API.
 set -eu
@@ -49,4 +51,11 @@ EOF
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 cargo test -q --doc --offline --workspace
 
-echo "bench smoke OK: e5 tables + traces byte-identical at --jobs 1/2, docs clean"
+# Lints: clippy-clean across the iiot crates (vendored stand-ins are
+# exempt — they mirror upstream APIs, warts and all).
+# shellcheck disable=SC2046
+cargo clippy --offline --all-targets \
+    $(for d in vendor/*/; do printf -- '--exclude %s ' "$(basename "$d")"; done) \
+    --workspace -- -D warnings
+
+echo "bench smoke OK: e5 tables + traces byte-identical at --jobs 1/2, docs + lints clean"
