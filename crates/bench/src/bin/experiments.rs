@@ -23,7 +23,7 @@ use iiot_sim::obs;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [e1..e13]... [--markdown] [--jobs N] [--trials N] [--json [PATH]] \
+        "usage: experiments [e1..e14]... [--markdown] [--jobs N] [--trials N] [--json [PATH]] \
          [--trace PATH]"
     );
     std::process::exit(2);

@@ -1,6 +1,6 @@
 //! # iiot-bench — the experiment harness
 //!
-//! One function per experiment of DESIGN.md §2 (E1-E13), each returning
+//! One function per experiment of DESIGN.md §2 (E1-E14), each returning
 //! [`Table`]s that the `experiments` binary prints (and EXPERIMENTS.md
 //! records). The hot experiments fan their trials out over the
 //! [`runner`] worker pool; every experiment takes the shared
@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod exp_depend;
+pub mod exp_dissem;
 pub mod exp_interop;
 pub mod exp_scale;
 pub mod exp_sync;
@@ -107,6 +108,13 @@ pub fn all_experiments() -> Vec<Experiment> {
                 exp_sync::e13_drift_sweep(rc),
                 exp_sync::e13_sync_error(rc),
                 exp_sync::e13_guard_ablation(rc),
+            ]
+        }),
+        ("e14", |rc| {
+            vec![
+                exp_dissem::e14_completion(rc),
+                exp_dissem::e14_resume(rc),
+                exp_dissem::e14_rollout(rc),
             ]
         }),
     ]

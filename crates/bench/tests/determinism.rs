@@ -69,6 +69,30 @@ fn e13_jobs1_and_jobs2_tables_are_identical() {
     assert_eq!(seq.2.to_json(), par.2.to_json());
 }
 
+/// E14's tables — whose trials interleave world stepping with oracle
+/// sampling (mid-campaign flash inspection, rollout polling) — must be
+/// byte-identical at `--jobs 1` and `--jobs 2`.
+#[test]
+fn e14_jobs1_and_jobs2_tables_are_identical() {
+    let run = |jobs: usize| {
+        let rc = RunConfig {
+            runner: Runner::new(jobs),
+            trials: 1,
+        };
+        (
+            iiot_bench::exp_dissem::e14_completion_with(&rc, &[3], 600),
+            iiot_bench::exp_dissem::e14_resume_with(&rc, 3, 4800, 3, 240),
+            iiot_bench::exp_dissem::e14_rollout_with(&rc, 3, 240),
+        )
+    };
+    let seq = run(1);
+    let par = run(2);
+    assert_eq!(seq, par);
+    assert_eq!(seq.0.to_json(), par.0.to_json());
+    assert_eq!(seq.1.to_json(), par.1.to_json());
+    assert_eq!(seq.2.to_json(), par.2.to_json());
+}
+
 /// Distinct trials (streams) get distinct seeds, and derivation is a
 /// pure function — stable across calls and processes.
 #[test]

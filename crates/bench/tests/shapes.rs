@@ -5,7 +5,7 @@
 //! the slow sweeps (E2, E4) are covered by their substrates' own tests,
 //! and E13 runs reduced axes of the same sweeps.
 
-use iiot_bench::{exp_depend, exp_interop, exp_scale, exp_sync, RunConfig};
+use iiot_bench::{exp_depend, exp_dissem, exp_interop, exp_scale, exp_sync, RunConfig};
 
 fn cell(t: &iiot_bench::table::Table, row: usize, col: usize) -> f64 {
     t.rows[row][col]
@@ -207,4 +207,52 @@ fn e11_shape_diagnosis_finds_the_victim() {
     let t = exp_depend::e11_diagnosis();
     assert_eq!(t.rows.len(), 1, "exactly one non-healthy finding");
     assert_eq!(t.rows[0][0], "n7");
+}
+
+#[test]
+fn e14_shape_dissemination_covers_everyone() {
+    let t = exp_dissem::e14_completion_with(&RunConfig::default(), &[3], 900);
+    // Rows: csma, lpl, tdma on a 3x3 grid; every arm reaches the
+    // whole fleet within the cap.
+    assert_eq!(t.rows.len(), 3);
+    for r in 0..t.rows.len() {
+        assert_eq!(cell(&t, r, 3), 100.0, "coverage in row {r}");
+        assert!(cell(&t, r, 5) > 0.0, "no chunks moved in row {r}");
+    }
+    // An always-on CSMA radio completes fastest; LPL trades latency
+    // for idle energy.
+    assert!(cell(&t, 0, 2) < cell(&t, 1, 2), "csma beats lpl on latency");
+}
+
+#[test]
+fn e14_shape_flash_resume_beats_reimage() {
+    let t = exp_dissem::e14_resume_with(&RunConfig::default(), 3, 4800, 3, 300);
+    // Row 0 resumes from flash, row 1 was wiped. The crash bites
+    // mid-download (pages kept > 0 only in the resume arm) and the
+    // resumed victim finishes strictly earlier.
+    assert!(cell(&t, 0, 1) > 0.0, "crash must land mid-download");
+    assert_eq!(cell(&t, 1, 1), 0.0, "a wiped node keeps nothing");
+    assert!(
+        cell(&t, 0, 2) < cell(&t, 1, 2),
+        "resume must beat restart: {} vs {}",
+        cell(&t, 0, 2),
+        cell(&t, 1, 2)
+    );
+    assert_eq!(cell(&t, 0, 4), 100.0);
+    assert_eq!(cell(&t, 1, 4), 100.0);
+}
+
+#[test]
+fn e14_shape_canary_contains_the_blast() {
+    let t = exp_dissem::e14_rollout_with(&RunConfig::default(), 3, 300);
+    // Row 0 staged, row 1 flat: the canary cohort absorbs the poisoned
+    // build, the flat rollout spreads it fleet-wide.
+    assert!(
+        cell(&t, 0, 1) < cell(&t, 1, 1),
+        "staged blast {} must undercut flat {}",
+        cell(&t, 0, 1),
+        cell(&t, 1, 1)
+    );
+    assert_eq!(t.rows[0][3], "halted at canary");
+    assert_eq!(t.rows[1][3], "fleet-wide");
 }

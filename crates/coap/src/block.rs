@@ -1,5 +1,62 @@
 //! Block-wise transfers (RFC 7959): moving representations larger than
 //! a frame across constrained links, block by block.
+//!
+//! # Examples
+//!
+//! A complete Block1 round-trip: the client slices a large
+//! representation into 64-byte blocks and PUTs them one request at a
+//! time; the server reassembles and acknowledges each block (this
+//! CoAP subset answers intermediate blocks with 2.04 Changed rather
+//! than 2.31 Continue). This is the transfer `iiot-dissem` uses to
+//! move firmware images from the backend to a gateway.
+//!
+//! ```
+//! use iiot_coap::block::{slice_block, BlockAssembler, BlockOpt, BlockProgress};
+//! use iiot_coap::message::{option, Code, Message};
+//!
+//! let image: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+//! let szx = BlockOpt::szx_for_size(64);
+//!
+//! let mut server = BlockAssembler::new();
+//! let mut received = None;
+//! let mut num = 0;
+//! loop {
+//!     // Client: slice the next block and wrap it in a PUT.
+//!     let (bytes, more) = slice_block(&image, BlockOpt::new(num, false, szx)).unwrap();
+//!     let block = BlockOpt::new(num, more, szx);
+//!     let put = Message::request(Code::Put, num as u16, vec![0x42])
+//!         .with_path("fw")
+//!         .with_option(option::BLOCK1, block.to_bytes())
+//!         .with_payload(bytes);
+//!
+//!     // Server: decode, feed the assembler, acknowledge.
+//!     let req = Message::decode(&put.encode()).unwrap();
+//!     let blk = BlockOpt::from_bytes(req.option(option::BLOCK1).unwrap()).unwrap();
+//!     let ack = match server.push(blk, &req.payload) {
+//!         BlockProgress::Continue(next) => {
+//!             num = next;
+//!             Message::response_to(&req, Code::Changed)
+//!                 .with_option(option::BLOCK1, blk.to_bytes())
+//!         }
+//!         BlockProgress::Done(full) => {
+//!             received = Some(full);
+//!             Message::response_to(&req, Code::Changed)
+//!                 .with_option(option::BLOCK1, blk.to_bytes())
+//!         }
+//!         BlockProgress::Mismatch => {
+//!             Message::response_to(&req, Code::RequestEntityIncomplete)
+//!         }
+//!     };
+//!
+//!     // Client: a Changed ACK for the final block ends the transfer.
+//!     let resp = Message::decode(&ack.encode()).unwrap();
+//!     assert_eq!(resp.code, Code::Changed);
+//!     if !more {
+//!         break;
+//!     }
+//! }
+//! assert_eq!(received.as_deref(), Some(&image[..]));
+//! ```
 
 use crate::message::{uint_bytes, uint_value};
 use serde::{Deserialize, Serialize};

@@ -1,7 +1,7 @@
 //! Fault injection plans: declarative schedules of crashes, recoveries,
 //! link failures and partitions applied to a simulated world.
 
-use iiot_sim::{NodeId, SimDuration, SimTime, World};
+use iiot_sim::{NodeId, SimDuration, SimTime, StateLoss, World};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -117,6 +117,20 @@ impl FaultPlan {
         self.faults.is_empty()
     }
 
+    /// Like [`apply`](FaultPlan::apply), but first sets the world's
+    /// crash [`StateLoss`] policy: `StateLoss::Ram` (the default) means
+    /// a [`Fault::CrashRecover`]'d node keeps whatever its protocol
+    /// treats as flash-persisted; `StateLoss::Full` makes every crash
+    /// in this plan a full reimage ([`iiot_sim::Proto::wiped`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault is scheduled before the world's current time.
+    pub fn apply_with_state_loss(&self, world: &mut World, loss: StateLoss) {
+        world.set_state_loss(loss);
+        self.apply(world);
+    }
+
     /// Installs every fault into the world's event queue.
     ///
     /// # Panics
@@ -179,6 +193,41 @@ mod tests {
         assert!(!w.is_alive(NodeId(1)));
         w.run_until(SimTime::from_secs(4));
         assert!(w.is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn state_loss_policy_reaches_the_protocol() {
+        /// Records which crash callback ran.
+        #[derive(Default)]
+        struct Probe {
+            crashes: u32,
+            wipes: u32,
+        }
+        impl Proto for Probe {
+            fn start(&mut self, _ctx: &mut Ctx<'_>) {}
+            fn crashed(&mut self) {
+                self.crashes += 1;
+            }
+            fn wiped(&mut self) {
+                self.wipes += 1;
+            }
+        }
+        let run = |loss| {
+            let mut w = World::new(WorldConfig::default());
+            let n = w.add_node(Pos::new(0.0, 0.0), Box::new(Probe::default()));
+            let mut plan = FaultPlan::new();
+            plan.push(Fault::CrashRecover {
+                node: n,
+                at: SimTime::from_secs(1),
+                down_for: SimDuration::from_secs(1),
+            });
+            plan.apply_with_state_loss(&mut w, loss);
+            w.run_until(SimTime::from_secs(3));
+            let p = w.proto::<Probe>(n);
+            (p.crashes, p.wipes)
+        };
+        assert_eq!(run(StateLoss::Ram), (1, 0));
+        assert_eq!(run(StateLoss::Full), (0, 1));
     }
 
     #[test]

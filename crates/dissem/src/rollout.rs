@@ -1,0 +1,108 @@
+//! Staged rollout: activating download cohorts one wave at a time,
+//! with a fleet-wide halt the moment any node quarantines the image.
+//!
+//! The controller models the *backend* side of reprogramming: it is
+//! driven from outside the radio network (scheduled world actions, the
+//! way a management plane acts over the backbone), not as an in-network
+//! protocol. Cohorts must respect the radio topology — a disabled node
+//! holds no pages and therefore cannot relay the image past itself —
+//! so waves are normally ordered by distance from the gateway.
+
+use crate::node::DissemNode;
+use iiot_mac::Mac;
+use iiot_sim::obs::EventKind;
+use iiot_sim::{NodeId, SimDuration, SimTime, World};
+
+/// A staged-rollout schedule: cohorts are enabled in order, each wave
+/// gated on the previous one completing cleanly.
+#[derive(Clone, Debug)]
+pub struct RolloutPlan {
+    /// Activation waves, first is the canary. Nodes not listed anywhere
+    /// never download (they keep running the old image).
+    pub cohorts: Vec<Vec<NodeId>>,
+    /// How often the controller re-examines the fleet.
+    pub check_period: SimDuration,
+}
+
+impl RolloutPlan {
+    /// A plan over `cohorts` checked every `check_period`.
+    pub fn new(cohorts: Vec<Vec<NodeId>>, check_period: SimDuration) -> Self {
+        RolloutPlan { cohorts, check_period }
+    }
+
+    /// A single-wave ("flat") plan: everyone at once, no canary.
+    pub fn flat(nodes: Vec<NodeId>, check_period: SimDuration) -> Self {
+        RolloutPlan { cohorts: vec![nodes], check_period }
+    }
+}
+
+struct RolloutState {
+    plan: RolloutPlan,
+    gateway: NodeId,
+    /// Index of the next cohort to activate.
+    next: usize,
+    /// Everything activated so far.
+    active: Vec<NodeId>,
+}
+
+/// Installs the rollout controller into `world`, starting at `at`.
+/// The gateway (which already holds the image) is the observer the
+/// controller's stage events are attributed to.
+///
+/// Stages emitted: `canary` on the first wave, `wave` on each further
+/// one, `done` when every cohort completed, `halted` (with the number
+/// of activated nodes as the cohort payload — the blast radius) when
+/// any activated node quarantines the image.
+pub fn drive<M: Mac>(world: &mut World, gateway: NodeId, plan: RolloutPlan, at: SimTime) {
+    let st = RolloutState { plan, gateway, next: 0, active: Vec::new() };
+    world.schedule(at, move |w| step::<M>(w, st));
+}
+
+fn step<M: Mac>(w: &mut World, mut st: RolloutState) {
+    // Halt check: any activated node that finalized a bad image stops
+    // the rollout fleet-wide. The blast radius is everything activated.
+    let blast = st
+        .active
+        .iter()
+        .filter(|&&n| w.is_alive(n) && w.proto::<DissemNode<M>>(n).poisoned())
+        .count();
+    if blast > 0 {
+        let radius = st.active.len() as u32;
+        w.with_ctx(st.gateway, |_, ctx| {
+            ctx.emit(EventKind::RolloutStage { stage: "halted", cohort: radius });
+        });
+        return;
+    }
+    let wave_done = st
+        .active
+        .iter()
+        .all(|&n| !w.is_alive(n) || w.proto::<DissemNode<M>>(n).complete_ok());
+    if wave_done {
+        if st.next >= st.plan.cohorts.len() {
+            w.with_ctx(st.gateway, |_, ctx| {
+                ctx.emit(EventKind::RolloutStage { stage: "done", cohort: st.next as u32 });
+            });
+            return;
+        }
+        let cohort = st.plan.cohorts[st.next].clone();
+        let stage = if st.next == 0 { "canary" } else { "wave" };
+        let num = st.next as u32;
+        w.with_ctx(st.gateway, |_, ctx| {
+            ctx.emit(EventKind::RolloutStage { stage, cohort: num });
+        });
+        for &n in &cohort {
+            if w.is_alive(n) {
+                w.with_ctx(n, |p, ctx| {
+                    p.as_any_mut()
+                        .downcast_mut::<DissemNode<M>>()
+                        .expect("dissem node")
+                        .enable(ctx);
+                });
+            }
+        }
+        st.active.extend(cohort);
+        st.next += 1;
+    }
+    let again = w.now() + st.plan.check_period;
+    w.schedule(again, move |w| step::<M>(w, st));
+}

@@ -154,6 +154,56 @@ impl TdmaSchedule {
         TdmaSchedule::new(slots, slot_len)
     }
 
+    /// Builds a bidirectional tree schedule from a parent vector: one
+    /// slot per *direction* of every tree edge. Upward slots
+    /// (child→parent) come first, ordered deepest-first so collection
+    /// still pipelines to the root in one frame; downward slots
+    /// (parent→child) follow, ordered shallowest-first so a
+    /// dissemination page cascades root→leaf within the same frame.
+    ///
+    /// Use this instead of
+    /// [`pipeline_to_root`](TdmaSchedule::pipeline_to_root) when
+    /// traffic also flows *down* the tree (bulk reprogramming,
+    /// actuation): the MAC transmits a queued unicast only in a slot
+    /// whose designated receiver matches the packet's destination, so
+    /// both directions coexist without misrouting. A unicast to a node
+    /// that is never this sender's slot receiver stays queued
+    /// indefinitely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parent vector contains a cycle or describes no
+    /// edges.
+    pub fn tree_edges(parents: &[Option<NodeId>], slot_len: SimDuration) -> Self {
+        let depth_of = |mut i: usize| -> usize {
+            let mut d = 0;
+            let mut steps = 0;
+            while let Some(p) = parents[i] {
+                i = p.index();
+                d += 1;
+                steps += 1;
+                assert!(steps <= parents.len(), "cycle in parent vector");
+            }
+            d
+        };
+        let mut up: Vec<usize> = (0..parents.len()).filter(|&i| parents[i].is_some()).collect();
+        up.sort_by_key(|&i| (std::cmp::Reverse(depth_of(i)), i));
+        let mut down = up.clone();
+        down.sort_by_key(|&i| (depth_of(i), i));
+        let slots = up
+            .into_iter()
+            .map(|i| Slot {
+                sender: NodeId(i as u32),
+                receiver: parents[i].expect("filtered"),
+            })
+            .chain(down.into_iter().map(|i| Slot {
+                sender: parents[i].expect("filtered"),
+                receiver: NodeId(i as u32),
+            }))
+            .collect();
+        TdmaSchedule::new(slots, slot_len)
+    }
+
     /// Number of active (sender/receiver) slots per frame.
     pub fn num_slots(&self) -> usize {
         self.slots.len()
@@ -618,7 +668,30 @@ impl Mac for TdmaMac {
                         // small for the drift in play.
                         self.guard_violation(ctx, "tx_busy");
                     }
+                    // Pick the first queued packet this slot can carry:
+                    // broadcasts go in any slot, unicasts only where
+                    // the slot receiver matches (tree_edges schedules
+                    // mix up- and down-slots, so the head may belong
+                    // to a later slot). Move it to the front so the
+                    // per-head ack/retry bookkeeping applies to it.
+                    let receiver = self.schedule.slots()[idx].receiver;
+                    if let Some(j) = self.queue.iter().position(|p| match p.dst {
+                        Dst::Broadcast => true,
+                        Dst::Unicast(d) => d == receiver,
+                    }) {
+                        if j != 0 {
+                            let p = self.queue.remove(j).expect("indexed");
+                            self.queue.push_front(p);
+                        }
+                    }
                     if let Some(head) = self.queue.front() {
+                        let eligible = match head.dst {
+                            Dst::Broadcast => true,
+                            Dst::Unicast(d) => d == receiver,
+                        };
+                        if !eligible {
+                            return true;
+                        }
                         let bytes = encode(
                             MacHeader {
                                 kind: MacKind::Data,
@@ -913,6 +986,60 @@ mod tests {
                 Slot { sender: NodeId(2), receiver: NodeId(1) },
                 Slot { sender: NodeId(1), receiver: NodeId(0) },
             ]
+        );
+    }
+
+    #[test]
+    fn tree_edges_schedule_construction() {
+        let parents = vec![None, Some(NodeId(0)), Some(NodeId(1))];
+        let s = TdmaSchedule::tree_edges(&parents, SimDuration::from_millis(10));
+        // Up-slots deepest-first (collection pipelines to the root),
+        // then down-slots shallowest-first (a page cascades to leaves).
+        assert_eq!(
+            s.slots(),
+            &[
+                Slot { sender: NodeId(2), receiver: NodeId(1) },
+                Slot { sender: NodeId(1), receiver: NodeId(0) },
+                Slot { sender: NodeId(0), receiver: NodeId(1) },
+                Slot { sender: NodeId(1), receiver: NodeId(2) },
+            ]
+        );
+    }
+
+    #[test]
+    fn tree_edges_carries_traffic_both_ways() {
+        let parents: Vec<Option<NodeId>> =
+            vec![None, Some(NodeId(0)), Some(NodeId(1))];
+        let sched = TdmaSchedule::tree_edges(&parents, SimDuration::from_millis(10));
+        let mut w = World::new(WorldConfig::default().seed(31));
+        let s2 = sched.clone();
+        let ids = w.add_nodes(&Topology::line(3, 10.0), move |_| {
+            Box::new(MacDriver::new(TdmaMac::new(TdmaConfig::default(), s2.clone())))
+                as Box<dyn Proto>
+        });
+        // The relay queues an upward packet first, then a downward one:
+        // slot-aware selection must dispatch each in its matching slot
+        // even though the head doesn't fit the first-owned slot.
+        w.proto_mut::<Drv>(ids[1]).push_send(
+            SimTime::from_millis(5),
+            Dst::Unicast(ids[0]),
+            6,
+            b"up".to_vec(),
+        );
+        w.proto_mut::<Drv>(ids[1]).push_send(
+            SimTime::from_millis(6),
+            Dst::Unicast(ids[2]),
+            6,
+            b"down".to_vec(),
+        );
+        w.run_for(SimDuration::from_secs(2));
+        let up = &w.proto::<Drv>(ids[0]).delivered;
+        assert_eq!(up.len(), 1, "parent missed the upward unicast");
+        let down = &w.proto::<Drv>(ids[2]).delivered;
+        assert_eq!(down.len(), 1, "child missed the downward unicast");
+        assert_eq!(
+            w.proto::<Drv>(ids[1]).send_done,
+            vec![(SendHandle(0), true), (SendHandle(1), true)]
         );
     }
 

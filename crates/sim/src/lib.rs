@@ -79,7 +79,7 @@ pub mod world;
 
 pub use clock::ClockModel;
 pub use ids::{NodeId, TimerId};
-pub use node::{AsAny, Idle, Proto, Timer};
+pub use node::{AsAny, Idle, Proto, StateLoss, Timer};
 pub use radio::{Dst, Frame, RadioConfig, RadioError, RadioState, RxInfo, TxOutcome};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Pos, Topology};
@@ -90,7 +90,7 @@ pub mod prelude {
     pub use crate::clock::ClockModel;
     pub use crate::energy::{EnergyModel, EnergyUsage};
     pub use crate::ids::{NodeId, TimerId};
-    pub use crate::node::{AsAny, Idle, Proto, Timer};
+    pub use crate::node::{AsAny, Idle, Proto, StateLoss, Timer};
     pub use crate::obs::{Event, EventKind, Recorder, SpanId};
     pub use crate::radio::{
         Dst, Frame, LinkModel, RadioConfig, RadioError, RadioState, RxInfo, TxOutcome,

@@ -109,6 +109,36 @@ pub trait Proto: AsAny {
     /// flash" may be kept. After a later revive, [`start`](Proto::start)
     /// runs again.
     fn crashed(&mut self) {}
+
+    /// The node crashed *and lost its non-volatile storage* (flash
+    /// corruption, full reimage). Everything must go — implementations
+    /// that persist state across [`crashed`](Proto::crashed) (e.g. a
+    /// dissemination page store) must discard it here too. The default
+    /// delegates to `crashed`, which is correct for protocols that keep
+    /// nothing in "flash". Selected per-world with
+    /// [`World::set_state_loss`](crate::world::World::set_state_loss).
+    fn wiped(&mut self) {
+        self.crashed();
+    }
+}
+
+/// What a crashed node retains, applied by
+/// [`World::kill`](crate::world::World::kill) when dispatching to the
+/// protocol.
+///
+/// Real motes lose RAM on every reboot but keep external flash; a
+/// repair-by-reflash or storage fault loses both. The default — RAM
+/// loss only — matches how fielded crash-recovery behaves and how this
+/// simulator has always behaved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StateLoss {
+    /// RAM is lost, "flash" survives: the crash calls
+    /// [`Proto::crashed`]. This is the default.
+    #[default]
+    Ram,
+    /// RAM *and* flash are lost: the crash calls [`Proto::wiped`], so a
+    /// revived node restarts truly from zero.
+    Full,
 }
 
 /// A protocol that does nothing; useful as a placeholder (e.g. for nodes

@@ -270,6 +270,47 @@ pub enum EventKind {
         /// `"tx_busy"`).
         cause: &'static str,
     },
+    /// A dissemination summary advertisement (Deluge-style `ADV`) was
+    /// broadcast.
+    DissemAdv {
+        /// The advertised image version.
+        version: u32,
+        /// Number of complete pages the advertiser holds.
+        have: u32,
+    },
+    /// A dissemination page request (`REQ`) was sent to a neighbor that
+    /// advertised more pages.
+    DissemReq {
+        /// The image version being fetched.
+        version: u32,
+        /// The page index requested.
+        page: u32,
+    },
+    /// A node completed reassembling one image page (all chunks held,
+    /// page CRC verified).
+    DissemPage {
+        /// The page index completed.
+        page: u32,
+        /// Number of complete pages held after this one.
+        have: u32,
+    },
+    /// A node finished (or rejected) a whole image: every page held and
+    /// the image CRC checked.
+    DissemComplete {
+        /// The image version.
+        version: u32,
+        /// Whether the whole-image CRC verified (`false` quarantines
+        /// the version).
+        ok: bool,
+    },
+    /// A staged-rollout controller changed stage.
+    RolloutStage {
+        /// The stage entered (`"canary"`, `"wave"`, `"fleet"`,
+        /// `"done"`, `"halted"`).
+        stage: &'static str,
+        /// Number of nodes enabled by (or implicated in) this stage.
+        cohort: u32,
+    },
     /// Escape hatch for one-off instrumentation.
     Custom {
         /// Metric name.
@@ -302,6 +343,11 @@ impl EventKind {
             EventKind::SyncBeacon { .. } => "sync_beacon",
             EventKind::OffsetEstimate { .. } => "offset_estimate",
             EventKind::GuardViolation { .. } => "guard_violation",
+            EventKind::DissemAdv { .. } => "dissem_adv",
+            EventKind::DissemReq { .. } => "dissem_req",
+            EventKind::DissemPage { .. } => "dissem_page",
+            EventKind::DissemComplete { .. } => "dissem_complete",
+            EventKind::RolloutStage { .. } => "rollout_stage",
             EventKind::Custom { .. } => "custom",
         }
     }
@@ -377,6 +423,21 @@ impl Event {
                 format!(",\"offset_us\":{offset_us},\"skew_ppm\":{skew_ppm}")
             }
             EventKind::GuardViolation { cause } => format!(",\"cause\":\"{cause}\""),
+            EventKind::DissemAdv { version, have } => {
+                format!(",\"version\":{version},\"have\":{have}")
+            }
+            EventKind::DissemReq { version, page } => {
+                format!(",\"version\":{version},\"page\":{page}")
+            }
+            EventKind::DissemPage { page, have } => {
+                format!(",\"page\":{page},\"have\":{have}")
+            }
+            EventKind::DissemComplete { version, ok } => {
+                format!(",\"version\":{},\"ok\":{}", version, ok as u8)
+            }
+            EventKind::RolloutStage { stage, cohort } => {
+                format!(",\"stage\":\"{stage}\",\"cohort\":{cohort}")
+            }
             EventKind::Custom { name, value } => {
                 format!(",\"name\":\"{name}\",\"value\":{value}")
             }
@@ -474,6 +535,26 @@ impl Event {
             },
             "guard_violation" => EventKind::GuardViolation {
                 cause: intern(s("cause")?),
+            },
+            "dissem_adv" => EventKind::DissemAdv {
+                version: num("version")? as u32,
+                have: num("have")? as u32,
+            },
+            "dissem_req" => EventKind::DissemReq {
+                version: num("version")? as u32,
+                page: num("page")? as u32,
+            },
+            "dissem_page" => EventKind::DissemPage {
+                page: num("page")? as u32,
+                have: num("have")? as u32,
+            },
+            "dissem_complete" => EventKind::DissemComplete {
+                version: num("version")? as u32,
+                ok: num("ok")? != 0,
+            },
+            "rollout_stage" => EventKind::RolloutStage {
+                stage: intern(s("stage")?),
+                cohort: num("cohort")? as u32,
             },
             "custom" => EventKind::Custom {
                 name: intern(s("name")?),
@@ -576,6 +657,8 @@ fn intern(s: &str) -> &'static str {
         "alive", "crash", "recover", "link_down", "link_up", "partition", "heal",
         // guard-violation causes
         "tx_overrun", "late_frame", "tx_busy",
+        // rollout stages and wipe crashes
+        "inject", "canary", "wave", "fleet", "done", "halted", "crash_wipe",
         // queues and common custom metric names
         "mac", "dodag", "boot", "duty_cycle", "merge_round",
     ];
@@ -1217,6 +1300,71 @@ pub fn report(traces: &[ScopeTrace]) -> String {
         );
     }
 
+    // Dissemination campaign summary: only rendered when a campaign ran.
+    let has_dissem = all.iter().any(|e| {
+        matches!(
+            e.kind,
+            EventKind::DissemAdv { .. }
+                | EventKind::DissemReq { .. }
+                | EventKind::DissemPage { .. }
+                | EventKind::DissemComplete { .. }
+                | EventKind::RolloutStage { .. }
+        )
+    });
+    if has_dissem {
+        let _ = writeln!(out, "\n== dissemination campaign ==");
+        let (mut advs, mut reqs, mut pages) = (0u64, 0u64, 0u64);
+        // version -> (nodes completed ok, nodes rejected, first ok, last ok)
+        let mut by_version: BTreeMap<u32, (u64, u64, Option<SimTime>, Option<SimTime>)> =
+            BTreeMap::new();
+        for ev in &all {
+            match ev.kind {
+                EventKind::DissemAdv { .. } => advs += 1,
+                EventKind::DissemReq { .. } => reqs += 1,
+                EventKind::DissemPage { .. } => pages += 1,
+                EventKind::DissemComplete { version, ok } => {
+                    let e = by_version.entry(version).or_insert((0, 0, None, None));
+                    if ok {
+                        e.0 += 1;
+                        if e.2.is_none() {
+                            e.2 = Some(ev.t);
+                        }
+                        e.3 = Some(ev.t);
+                    } else {
+                        e.1 += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let _ = writeln!(out, "  adv {advs}   req {reqs}   pages {pages}");
+        for (v, (ok, bad, first, last)) in &by_version {
+            let _ = writeln!(
+                out,
+                "  image v{}: {} nodes complete, {} rejected (bad CRC), first {:.3}s last {:.3}s",
+                v,
+                ok,
+                bad,
+                first.map(|t| t.as_secs_f64()).unwrap_or(0.0),
+                last.map(|t| t.as_secs_f64()).unwrap_or(0.0)
+            );
+        }
+        for tr in traces {
+            for ev in &tr.events {
+                if let EventKind::RolloutStage { stage, cohort } = ev.kind {
+                    let _ = writeln!(
+                        out,
+                        "  [{}] t={:.3}s rollout: {} (cohort {})",
+                        tr.label,
+                        ev.t.as_secs_f64(),
+                        stage,
+                        cohort
+                    );
+                }
+            }
+        }
+    }
+
     let _ = writeln!(out, "\n== repair timeline ==");
     let mut lines = 0;
     for tr in traces {
@@ -1310,6 +1458,12 @@ mod tests {
             EventKind::SyncBeacon { root: NodeId(0), seq: 99, hops: 4 },
             EventKind::OffsetEstimate { offset_us: -1234, skew_ppm: -12.5 },
             EventKind::GuardViolation { cause: "tx_overrun" },
+            EventKind::DissemAdv { version: 3, have: 7 },
+            EventKind::DissemReq { version: 3, page: 2 },
+            EventKind::DissemPage { page: 2, have: 3 },
+            EventKind::DissemComplete { version: 3, ok: true },
+            EventKind::DissemComplete { version: 4, ok: false },
+            EventKind::RolloutStage { stage: "canary", cohort: 5 },
             EventKind::Custom { name: "boot", value: 1.5 },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {

@@ -3,7 +3,7 @@
 use crate::clock::{ClockModel, LocalClock};
 use crate::energy::{EnergyMeter, EnergyModel, EnergyUsage};
 use crate::ids::{NodeId, TimerId};
-use crate::node::{Proto, Timer};
+use crate::node::{Proto, StateLoss, Timer};
 use crate::obs::{self, Event, EventKind, Recorder, SpanId};
 use crate::radio::{
     Dst, Frame, LinkModel, Medium, RadioConfig, RadioError, RadioState, RxEval, TxId,
@@ -245,6 +245,7 @@ pub struct World {
     protos: Vec<Box<dyn Proto>>,
     alive: Vec<bool>,
     actions: Vec<DeferredAction>,
+    state_loss: StateLoss,
 }
 
 /// A deferred world mutation scheduled from inside the event loop.
@@ -278,6 +279,7 @@ impl World {
             protos: Vec::new(),
             alive: Vec::new(),
             actions: Vec::new(),
+            state_loss: StateLoss::default(),
         };
         w.kernel.obs_on = w.kernel.recorder.is_some();
         w
@@ -457,8 +459,20 @@ impl World {
         self.kernel.push(at, Ev::Action(idx));
     }
 
+    /// What crashed nodes retain: RAM loss only (the default) or a full
+    /// wipe including "flash". See [`StateLoss`].
+    pub fn set_state_loss(&mut self, loss: StateLoss) {
+        self.state_loss = loss;
+    }
+
+    /// The current crash [`StateLoss`] policy.
+    pub fn state_loss(&self) -> StateLoss {
+        self.state_loss
+    }
+
     /// Kills `node` now: radio off, pending behaviour stops, volatile
-    /// protocol state is cleared via [`Proto::crashed`].
+    /// protocol state is cleared via [`Proto::crashed`] (or, under
+    /// [`StateLoss::Full`], everything via [`Proto::wiped`]).
     pub fn kill(&mut self, node: NodeId) {
         if !self.alive[node.index()] {
             return;
@@ -468,13 +482,20 @@ impl World {
             node,
             SpanId::NONE,
             EventKind::Fault {
-                kind: "crash",
+                kind: if self.state_loss == StateLoss::Full {
+                    "crash_wipe"
+                } else {
+                    "crash"
+                },
                 peer: None,
             },
         );
         self.kernel.medium.set_alive(node, false);
         self.kernel.sync_meter(node);
-        self.protos[node.index()].crashed();
+        match self.state_loss {
+            StateLoss::Ram => self.protos[node.index()].crashed(),
+            StateLoss::Full => self.protos[node.index()].wiped(),
+        }
     }
 
     /// Revives a dead node: it boots again through [`Proto::start`].
@@ -1070,6 +1091,44 @@ mod tests {
         assert!(w.is_alive(n));
         let fired = w.proto::<Beacons>(n).fired;
         assert!((9..=11).contains(&fired), "fired {fired} after revive");
+    }
+
+    #[test]
+    fn state_loss_knob_selects_crashed_or_wiped() {
+        /// Keeps a volatile counter and a "flash" checkpoint of it.
+        struct Flashy {
+            ram: u32,
+            flash: u32,
+        }
+        impl Proto for Flashy {
+            fn start(&mut self, _ctx: &mut Ctx<'_>) {
+                self.ram = self.flash; // resume from the checkpoint
+                self.ram += 1;
+                self.flash = self.ram;
+            }
+            fn crashed(&mut self) {
+                self.ram = 0; // RAM lost, flash kept
+            }
+            fn wiped(&mut self) {
+                self.ram = 0;
+                self.flash = 0; // flash lost too
+            }
+        }
+        let mk = |loss: StateLoss| {
+            let mut w = World::new(WorldConfig::default());
+            let n = w.add_node(Pos::new(0.0, 0.0), Box::new(Flashy { ram: 0, flash: 0 }));
+            w.set_state_loss(loss);
+            assert_eq!(w.state_loss(), loss);
+            w.kill_at(SimTime::from_millis(100), n);
+            w.revive_at(SimTime::from_millis(200), n);
+            w.run_for(SimDuration::from_secs(1));
+            w.proto::<Flashy>(n).flash
+        };
+        // Default RAM-only loss: the flash checkpoint survives the
+        // reboot, so the second boot increments it to 2.
+        assert_eq!(mk(StateLoss::Ram), 2);
+        // Full wipe: the second boot starts from zero again.
+        assert_eq!(mk(StateLoss::Full), 1);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Tier-2 smoke checks:
-#   1. the parallel trial runner must produce byte-identical E5 tables
-#      (and JSON dumps) at --jobs 1 and --jobs 2;
+#   1. the parallel trial runner must produce byte-identical E5 and E14
+#      tables (and JSON dumps) at --jobs 1 and --jobs 2;
 #   2. the --trace JSONL event dump must be byte-identical too, and
 #      must round-trip through trace_report deterministically;
 #   3. the public API docs must build without rustdoc warnings and
@@ -47,6 +47,23 @@ for t in tables:
         assert len(row) == len(t["headers"]), (t["title"], row)
 EOF
 
+# E14 interleaves world stepping with oracle sampling (mid-campaign
+# flash inspection, rollout polling) inside its trials — the dirtiest
+# determinism surface the harness has. Same contract: byte-identical
+# tables, dumps and traces at any worker count.
+"$bin" e14 --jobs 1 --json "$out/e14-j1.json" --trace "$out/e14-j1.jsonl" \
+    > "$out/e14-j1.txt" 2> /dev/null
+"$bin" e14 --jobs 2 --json "$out/e14-j2.json" --trace "$out/e14-j2.jsonl" \
+    > "$out/e14-j2.txt" 2> /dev/null
+
+diff -u "$out/e14-j1.txt" "$out/e14-j2.txt"
+diff -u "$out/e14-j1.json" "$out/e14-j2.json"
+cmp "$out/e14-j1.jsonl" "$out/e14-j2.jsonl"
+target/release/trace_report "$out/e14-j1.jsonl" > "$out/report-e14-j1.txt"
+target/release/trace_report "$out/e14-j2.jsonl" > "$out/report-e14-j2.txt"
+diff -u "$out/report-e14-j1.txt" "$out/report-e14-j2.txt"
+grep -q "== dissemination campaign ==" "$out/report-e14-j1.txt"
+
 # Docs: deny rustdoc warnings, run every crate-level doc example.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 cargo test -q --doc --offline --workspace
@@ -58,4 +75,4 @@ cargo clippy --offline --all-targets \
     $(for d in vendor/*/; do printf -- '--exclude %s ' "$(basename "$d")"; done) \
     --workspace -- -D warnings
 
-echo "bench smoke OK: e5 tables + traces byte-identical at --jobs 1/2, docs + lints clean"
+echo "bench smoke OK: e5 + e14 tables + traces byte-identical at --jobs 1/2, docs + lints clean"

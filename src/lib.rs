@@ -10,6 +10,7 @@
 //! | [`mac`] | `iiot-mac` | §IV-B/§IV-C — CSMA, LPL, RI-MAC, TDMA, coexistence |
 //! | [`routing`] | `iiot-routing` | §IV/§V-D — Trickle, DODAG, RNFD, static trees |
 //! | [`coap`] | `iiot-coap` | §III-B — CoAP middleware (RFC 7252/7641/7959) |
+//! | [`dissem`] | `iiot-dissem` | §V-D — Deluge-style OTA dissemination, staged reprogramming |
 //! | [`crdt`] | `iiot-crdt` | §IV-B/§V-C — eventual consistency |
 //! | [`aggregate`] | `iiot-aggregate` | §IV-B — TinyDB-style in-network aggregation |
 //! | [`security`] | `iiot-security` | §V-E — frame security, secure join |
@@ -50,6 +51,7 @@ pub use iiot_coap as coap;
 pub use iiot_core as core;
 pub use iiot_crdt as crdt;
 pub use iiot_dependability as dependability;
+pub use iiot_dissem as dissem;
 pub use iiot_gateway as gateway;
 pub use iiot_mac as mac;
 pub use iiot_routing as routing;
