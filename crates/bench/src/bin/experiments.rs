@@ -8,6 +8,7 @@
 //!   cargo run -p iiot-bench --release --bin experiments -- --trials 5
 //!   cargo run -p iiot-bench --release --bin experiments -- --json out.json
 //!   cargo run -p iiot-bench --release --bin experiments -- e5 --trace e5.jsonl
+//!   cargo run -p iiot-bench --release --bin experiments -- e14 --quick
 //!
 //! `--jobs N` sizes the trial worker pool (default: available cores;
 //! tables are byte-identical for any N). `--trials N` replicates every
@@ -16,15 +17,17 @@
 //! array (default path `BENCH_experiments.json`). `--trace PATH` turns
 //! on structured event capture ([`iiot_sim::obs`]) and dumps every
 //! simulated world's events as JSONL — byte-identical for any `--jobs`
-//! — which `trace_report` summarizes.
+//! — which `trace_report` summarizes. `--quick` swaps the heavyweight
+//! experiments (E5, E14) for reduced-scale variants through the same
+//! code paths — what CI's smoke script traces.
 
-use iiot_bench::{all_experiments, RunConfig, Runner};
+use iiot_bench::{all_experiments, quick_experiments, RunConfig, Runner};
 use iiot_sim::obs;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [e1..e14]... [--markdown] [--jobs N] [--trials N] [--json [PATH]] \
-         [--trace PATH]"
+        "usage: experiments [e1..e14]... [--markdown] [--quick] [--jobs N] [--trials N] \
+         [--json [PATH]] [--trace PATH]"
     );
     std::process::exit(2);
 }
@@ -32,6 +35,7 @@ fn usage() -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut markdown = false;
+    let mut quick = false;
     let mut jobs: Option<usize> = None;
     let mut trials: u32 = 1;
     let mut json: Option<String> = None;
@@ -42,6 +46,7 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--markdown" => markdown = true,
+            "--quick" => quick = true,
             "--jobs" => {
                 let n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
                 jobs = Some(n);
@@ -87,9 +92,10 @@ fn main() {
         obs::enable_tracing();
     }
 
+    let registry = if quick { quick_experiments() } else { all_experiments() };
     let mut json_tables: Vec<String> = Vec::new();
     let total = std::time::Instant::now();
-    for (id, run) in all_experiments() {
+    for (id, run) in registry {
         if !selected.is_empty() && !selected.iter().any(|s| s == id) {
             continue;
         }
@@ -121,10 +127,17 @@ fn main() {
     if let Some(path) = trace {
         let traces = obs::drain_traces();
         let events: usize = traces.iter().map(|t| t.events.len()).sum();
-        std::fs::write(&path, obs::traces_to_jsonl(&traces)).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        });
+        // Full-scale dumps run to gigabytes: stream, never materialize.
+        std::fs::File::create(&path)
+            .map(std::io::BufWriter::new)
+            .and_then(|mut w| {
+                obs::write_traces_jsonl(&mut w, &traces)?;
+                std::io::Write::flush(&mut w)
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
         eprintln!("[wrote {path}: {} traces, {events} events]", traces.len());
     }
 }

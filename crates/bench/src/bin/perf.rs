@@ -1,0 +1,90 @@
+//! The kernel perf harness: spatial index vs exhaustive scan on
+//! growing CSMA/LPL grids (see [`iiot_bench::exp_perf`]).
+//!
+//! Usage:
+//!   cargo run -p iiot-bench --release --bin perf                    # full matrix, 10x10..40x40
+//!   cargo run -p iiot-bench --release --bin perf -- --quick         # small grids, for CI smoke
+//!   cargo run -p iiot-bench --release --bin perf -- --json          # also write BENCH_perf.json
+//!   cargo run -p iiot-bench --release --bin perf -- --jobs 2 --sides 10,20 --secs 5
+//!
+//! The printed table and the JSON's `timing` blocks vary run to run;
+//! the JSON's `deterministic` blocks (workload shape + dispatched
+//! event counts) are byte-stable across worker counts and machines —
+//! that subset is what `scripts/perf_gate.sh` gates on.
+
+use iiot_bench::{exp_perf, RunConfig, Runner};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf [--quick] [--sides S1,S2,...] [--secs N] [--jobs N] [--json [PATH]] \
+         [--markdown]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut markdown = false;
+    let mut quick = false;
+    let mut jobs: Option<usize> = None;
+    let mut sides: Option<Vec<u32>> = None;
+    let mut secs: Option<u64> = None;
+    let mut json: Option<String> = None;
+
+    let mut it = args.into_iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--markdown" => markdown = true,
+            "--quick" => quick = true,
+            "--jobs" => {
+                jobs = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--secs" => {
+                secs = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--sides" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let parsed: Option<Vec<u32>> =
+                    spec.split(',').map(|s| s.parse().ok().filter(|&n| n > 0)).collect();
+                sides = Some(parsed.unwrap_or_else(|| usage()));
+            }
+            "--json" => {
+                let path = match it.peek() {
+                    Some(p) if !p.starts_with("--") => it.next().unwrap(),
+                    _ => "BENCH_perf.json".to_string(),
+                };
+                json = Some(path);
+            }
+            _ => usage(),
+        }
+    }
+
+    // Full mode is the committed-artifact run (10x10 to 40x40);
+    // --quick bounds CI smoke to a few seconds.
+    let sides = sides.unwrap_or_else(|| if quick { vec![4, 8] } else { vec![10, 20, 40] });
+    let secs = secs.unwrap_or(if quick { 2 } else { 5 });
+    let rc = RunConfig {
+        runner: jobs.map(Runner::new).unwrap_or_else(Runner::available_parallelism),
+        trials: 1,
+    };
+    eprintln!("[jobs={} sides={sides:?} secs={secs}]", rc.runner.jobs());
+
+    let t0 = std::time::Instant::now();
+    let points = exp_perf::perf_matrix(&rc, &sides, secs);
+    eprintln!("[measured {} points in {:.1}s]", points.len(), t0.elapsed().as_secs_f64());
+
+    let table = exp_perf::table(&points);
+    if markdown {
+        println!("{}", table.to_markdown());
+    } else {
+        println!("{table}");
+    }
+
+    if let Some(path) = json {
+        std::fs::write(&path, exp_perf::to_json(&points)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[wrote {path}]");
+    }
+}

@@ -1,0 +1,303 @@
+//! Perf workload: kernel throughput on growing CSMA/LPL grids.
+//!
+//! Unlike E1-E14 this harness measures the *simulator*, not the
+//! simulated protocols: square grids of broadcast-chatty nodes
+//! (10x10 up to 40x40) are run once with the radio medium's spatial
+//! candidate index and once with the exhaustive O(nodes) scan, timing
+//! wall clock and counting dispatched events. Two quantities come out
+//! of every point, with very different contracts:
+//!
+//! * **`events`** — how many kernel events the workload dispatches.
+//!   A pure function of the workload and seed: byte-stable across
+//!   worker counts, machines and index on/off. This is what CI
+//!   *gates* on (`scripts/perf_gate.sh`).
+//! * **wall-clock / events-per-second** — recorded into
+//!   `BENCH_perf.json` for trajectory tracking, never gated (CI
+//!   machines are noisy; timing thresholds make flaky gates).
+//!
+//! The harness also asserts, per point, that the indexed and
+//! exhaustive runs dispatch the *same* event count — the scaled-up
+//! version of the per-call equivalence property test in
+//! `iiot_sim::radio`.
+
+use crate::{RunConfig, Table};
+use iiot_mac::csma::CsmaMac;
+use iiot_mac::driver::MacDriver;
+use iiot_mac::lpl::{LplConfig, LplMac};
+use iiot_sim::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Grid spacing in meters (default unit-disk range 30 m: 4-neighbour
+/// connectivity, 8 audible neighbours within interference range).
+pub const SPACING_M: f64 = 20.0;
+
+/// The workload flavours: `bcast` is a raw periodic broadcaster (no
+/// MAC — the purest transmit-heavy stress of the begin-tx path, where
+/// the candidate scan dominates), `csma` and `lpl` run the real MACs.
+pub const MACS: [&str; 3] = ["bcast", "csma", "lpl"];
+
+/// Bare periodic broadcaster: transmit as often as the radio allows,
+/// with no MAC machinery diluting the medium hot path.
+struct Blaster {
+    period: SimDuration,
+}
+
+impl Proto for Blaster {
+    fn start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.radio_on().expect("radio");
+        let stagger = SimDuration::from_micros(1 + ctx.id().0 as u64 * 37 % self.period.as_micros());
+        ctx.set_timer(stagger, 0);
+    }
+    fn timer(&mut self, ctx: &mut Ctx<'_>, _t: Timer) {
+        ctx.transmit(Dst::Broadcast, 1, vec![0xEE; 24]).ok();
+        ctx.set_timer(self.period, 0);
+    }
+}
+
+/// One measured point of the perf matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfPoint {
+    /// Grid side (the deployment has `side * side` nodes).
+    pub side: u32,
+    /// Node count (`side * side`).
+    pub nodes: u32,
+    /// MAC flavour: `"csma"` or `"lpl"`.
+    pub mac: &'static str,
+    /// Simulated seconds of the workload.
+    pub secs: u64,
+    /// Events dispatched (identical for indexed and exhaustive runs —
+    /// asserted by the harness; byte-stable across worker counts).
+    pub events: u64,
+    /// Wall-clock time of the indexed run, microseconds.
+    pub wall_indexed_us: u64,
+    /// Wall-clock time of the exhaustive-scan run, microseconds.
+    pub wall_exhaustive_us: u64,
+}
+
+impl PerfPoint {
+    /// Exhaustive wall time over indexed wall time.
+    pub fn speedup(&self) -> f64 {
+        self.wall_exhaustive_us as f64 / (self.wall_indexed_us as f64).max(1.0)
+    }
+
+    /// Dispatched events per wall-clock second, indexed run.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / (self.wall_indexed_us as f64 / 1e6).max(1e-9)
+    }
+}
+
+/// Builds the transmit-heavy workload: a `side x side` grid where every
+/// node broadcasts periodically (staggered by node index so the medium
+/// always has traffic in the air).
+fn build(side: u32, mac: &str, secs: u64, seed: u64) -> World {
+    // Log-distance pathloss with a sigmoid gray zone: the realistic —
+    // and computationally heaviest — link model, where every node the
+    // candidate scan visits costs a sqrt and a log10. This is the
+    // regime the spatial index exists for; an exhaustive scan pays
+    // that price for all N nodes on every transmission.
+    let link = LinkModel::LogDistance {
+        path_loss_exp: 3.5,
+        ref_loss_db: 45.0,
+        rssi50_dbm: -88.0,
+        spread_db: 3.0,
+    };
+    let mut w = World::new(WorldConfig::default().seed(seed).link(link));
+    let topo = Topology::grid(side as usize, side as usize, SPACING_M);
+    match mac {
+        "bcast" => {
+            // 20 broadcasts per node-second, staggered at microsecond
+            // granularity: the medium is never idle.
+            w.add_nodes(&topo, |_| {
+                Box::new(Blaster {
+                    period: SimDuration::from_millis(50),
+                }) as Box<dyn Proto>
+            });
+        }
+        "csma" => {
+            let ids = w.add_nodes(&topo, |_| {
+                Box::new(MacDriver::new(CsmaMac::default())) as Box<dyn Proto>
+            });
+            // Every node broadcasts 24 B four times per second.
+            for (k, &n) in ids.iter().enumerate() {
+                let d = w.proto_mut::<MacDriver<CsmaMac>>(n);
+                for s in 0..secs * 4 {
+                    d.push_send(
+                        SimTime::from_millis(s * 250 + (k as u64 % 250)),
+                        Dst::Broadcast,
+                        1,
+                        vec![0xAB; 24],
+                    );
+                }
+            }
+        }
+        "lpl" => {
+            // A short wake interval keeps the strobe trains (and the
+            // full-matrix wall time) bounded while still exercising
+            // the strobed-preamble path.
+            let cfg = LplConfig {
+                wake_interval: SimDuration::from_millis(128),
+                ..LplConfig::default()
+            };
+            let ids = w.add_nodes(&topo, |_| {
+                Box::new(MacDriver::new(LplMac::new(cfg.clone()))) as Box<dyn Proto>
+            });
+            // One strobed broadcast per node every two seconds.
+            for (k, &n) in ids.iter().enumerate() {
+                let d = w.proto_mut::<MacDriver<LplMac>>(n);
+                for s in 0..secs.div_ceil(2) {
+                    d.push_send(
+                        SimTime::from_millis(s * 2000 + (k as u64 % 2000)),
+                        Dst::Broadcast,
+                        1,
+                        vec![0xCD; 24],
+                    );
+                }
+            }
+        }
+        other => panic!("unknown mac flavour {other:?}"),
+    }
+    w
+}
+
+/// Runs one workload in one medium mode; returns (events, wall).
+fn measure(side: u32, mac: &str, secs: u64, seed: u64, indexed: bool) -> (u64, Duration) {
+    let mut w = build(side, mac, secs, seed);
+    w.set_spatial_index(indexed);
+    let started = Instant::now();
+    w.run_for(SimDuration::from_secs(secs));
+    let wall = started.elapsed();
+    (w.events_dispatched(), wall)
+}
+
+/// Measures the full matrix: `sides` x [`MACS`], each point indexed and
+/// exhaustive. Points fan out over the runner's worker pool (results
+/// come back in matrix order regardless of `--jobs`); the two modes of
+/// one point run back to back on one worker so their timing ratio is
+/// meaningful.
+///
+/// # Panics
+///
+/// Panics if any point's indexed and exhaustive runs dispatch a
+/// different number of events — that would mean the spatial index is
+/// *not* equivalent to the exhaustive scan.
+pub fn perf_matrix(rc: &RunConfig, sides: &[u32], secs: u64) -> Vec<PerfPoint> {
+    let points: Vec<(u32, &'static str)> = sides
+        .iter()
+        .flat_map(|&s| MACS.iter().map(move |&m| (s, m)))
+        .collect();
+    rc.runner.run_indexed(points.len(), |i| {
+        let (side, mac) = points[i];
+        let seed = 0xBE2C_0000 + i as u64;
+        let (ev_idx, wall_idx) = measure(side, mac, secs, seed, true);
+        let (ev_ex, wall_ex) = measure(side, mac, secs, seed, false);
+        assert_eq!(
+            ev_idx, ev_ex,
+            "{side}x{side}/{mac}: indexed and exhaustive runs diverged"
+        );
+        PerfPoint {
+            side,
+            nodes: side * side,
+            mac,
+            secs,
+            events: ev_idx,
+            wall_indexed_us: wall_idx.as_micros() as u64,
+            wall_exhaustive_us: wall_ex.as_micros() as u64,
+        }
+    })
+}
+
+/// Renders the matrix as a human-readable table. Timing cells vary run
+/// to run; only `events` is deterministic.
+pub fn table(points: &[PerfPoint]) -> Table {
+    let mut t = Table::new(
+        "PERF: kernel throughput, spatial index vs exhaustive scan (20 m grid, broadcast-heavy)",
+        &[
+            "nodes", "mac", "events", "indexed (ms)", "exhaustive (ms)", "speedup", "Mev/s",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            p.nodes.to_string(),
+            p.mac.to_string(),
+            p.events.to_string(),
+            format!("{:.1}", p.wall_indexed_us as f64 / 1e3),
+            format!("{:.1}", p.wall_exhaustive_us as f64 / 1e3),
+            format!("{:.1}x", p.speedup()),
+            format!("{:.2}", p.events_per_sec() / 1e6),
+        ]);
+    }
+    t
+}
+
+/// Serializes the matrix as the `BENCH_perf.json` document. The
+/// `deterministic` block of each point (side, mac, nodes, secs,
+/// events) is byte-stable across worker counts and machines — CI's
+/// perf gate compares exactly that subset; `timing` is informational.
+pub fn to_json(points: &[PerfPoint]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"iiot-bench/perf/v1\",\n");
+    out.push_str(&format!("  \"spacing_m\": {SPACING_M},\n  \"points\": [\n"));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"deterministic\": {{\"side\": {}, \"mac\": \"{}\", \"nodes\": {}, \
+             \"secs\": {}, \"events\": {}}}, \
+             \"timing\": {{\"wall_indexed_us\": {}, \"wall_exhaustive_us\": {}, \
+             \"speedup\": {:.2}, \"events_per_sec\": {:.0}}}}}{}\n",
+            p.side,
+            p.mac,
+            p.nodes,
+            p.secs,
+            p.events,
+            p.wall_indexed_us,
+            p.wall_exhaustive_us,
+            p.speedup(),
+            p.events_per_sec(),
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_counts_are_jobs_invariant_and_modes_agree() {
+        let one = RunConfig {
+            runner: crate::Runner::new(1),
+            trials: 1,
+        };
+        let two = RunConfig {
+            runner: crate::Runner::new(2),
+            trials: 1,
+        };
+        let a = perf_matrix(&one, &[3, 4], 2);
+        let b = perf_matrix(&two, &[3, 4], 2);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.side, x.mac, x.nodes, x.events), (y.side, y.mac, y.nodes, y.events));
+            assert!(x.events > 0);
+        }
+    }
+
+    #[test]
+    fn json_has_schema_and_deterministic_block() {
+        let p = PerfPoint {
+            side: 10,
+            nodes: 100,
+            mac: "csma",
+            secs: 5,
+            events: 1234,
+            wall_indexed_us: 1000,
+            wall_exhaustive_us: 5000,
+        };
+        let j = to_json(&[p]);
+        assert!(j.contains("\"schema\": \"iiot-bench/perf/v1\""));
+        assert!(j.contains("\"events\": 1234"));
+        assert!(j.contains("\"speedup\": 5.00"));
+        let t = table(&[p]);
+        assert_eq!(t.rows().len(), 1);
+        assert_eq!(t.rows()[0][5], "5.0x");
+    }
+}

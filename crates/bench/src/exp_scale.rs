@@ -28,6 +28,13 @@ use rand::SeedableRng;
 /// coordination (TDMA) minimizes latency; always-on CSMA is the
 /// baseline that buys latency with energy.
 pub fn e2_latency_vs_hops(rc: &RunConfig) -> Table {
+    e2_latency_vs_hops_with(rc, 460)
+}
+
+/// E2 core, parameterized over simulated length so the determinism and
+/// golden tests can run a cheap sweep; [`e2_latency_vs_hops`] passes
+/// the full experiment horizon.
+pub fn e2_latency_vs_hops_with(rc: &RunConfig, secs: u64) -> Table {
     let macs = [
         ("csma", MacChoice::Csma),
         ("lpl-512ms", MacChoice::Lpl(SimDuration::from_millis(512))),
@@ -48,7 +55,7 @@ pub fn e2_latency_vs_hops(rc: &RunConfig) -> Table {
                     .seed(seed)
                     .traffic(SimDuration::from_secs(30), 10, SimDuration::from_secs(60))
                     .build();
-                d.run_for(SimDuration::from_secs(460));
+                d.run_for(SimDuration::from_secs(secs));
                 let lats = d.world.stats().samples("collect_latency_s").to_vec();
                 let hops = d.world.stats().samples("collect_hops").to_vec();
                 let mean_for = |h: u32| -> f64 {

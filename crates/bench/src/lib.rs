@@ -33,6 +33,7 @@
 pub mod exp_depend;
 pub mod exp_dissem;
 pub mod exp_interop;
+pub mod exp_perf;
 pub mod exp_scale;
 pub mod exp_sync;
 pub mod runner;
@@ -118,4 +119,34 @@ pub fn all_experiments() -> Vec<Experiment> {
             ]
         }),
     ]
+}
+
+/// Reduced-scale registry for smoke runs (`experiments --quick`): the
+/// heavyweight experiments (E5, E14) run shrunken matrices through the
+/// same code paths — trial fan-out, oracle sampling mid-campaign,
+/// trace capture — so the determinism contract is exercised end to end
+/// while the full-scale tables (and their multi-gigabyte traces) stay
+/// out of CI. Every other experiment is unchanged.
+pub fn quick_experiments() -> Vec<Experiment> {
+    all_experiments()
+        .into_iter()
+        .map(|(id, run)| match id {
+            "e5" => (
+                id,
+                (|rc| vec![exp_scale::e5_size_scaling_with(rc, &[2, 3], 60)])
+                    as fn(&RunConfig) -> Vec<Table>,
+            ),
+            "e14" => (
+                id,
+                (|rc| {
+                    vec![
+                        exp_dissem::e14_completion_with(rc, &[3], 600),
+                        exp_dissem::e14_resume_with(rc, 4, 1920, 6, 300),
+                        exp_dissem::e14_rollout_with(rc, 4, 300),
+                    ]
+                }) as fn(&RunConfig) -> Vec<Table>,
+            ),
+            _ => (id, run),
+        })
+        .collect()
 }

@@ -93,6 +93,52 @@ fn e14_jobs1_and_jobs2_tables_are_identical() {
     assert_eq!(seq.2.to_json(), par.2.to_json());
 }
 
+/// Pinned pre-optimization goldens: these exact bytes were captured
+/// from the exhaustive-scan, linear-lookup radio medium before the
+/// spatial index / slab / buffer-reuse rework. The reworked kernel
+/// must reproduce them bit for bit, at any worker count — the rework
+/// is an optimization, not a behaviour change.
+#[test]
+fn e2_e5_e14_tables_match_pre_optimization_goldens() {
+    const GOLDEN_E2: &str = "\
+== E2: mean collection latency (s) vs hop distance, per MAC ==
+hops |   csma | lpl-512ms | rimac-512ms | tdma-20ms
+-----+--------+-----------+-------------+----------
+   2 |  0.006 |     4.451 |       0.921 |     0.701
+   4 |  0.013 |    12.255 |       1.841 |     0.371
+   8 |  0.026 |     7.519 |       2.268 |     0.324
+  12 |  0.037 |     9.146 |       3.859 |     0.950
+duty | 100.0% |     29.3% |       16.2% |      4.0%
+";
+    const GOLDEN_E5: &str = "\
+== E5: delivery vs deployment size (20 m grid), decentralized DODAG vs direct-to-sink ==
+nodes | dodag delivery | dodag lat p95 (s) | dio/node/min | direct delivery
+------+----------------+-------------------+--------------+----------------
+    4 |         100.0% |             0.000 |          5.2 |          100.0%
+    9 |         100.0% |             0.000 |          5.1 |          100.0%
+";
+    const GOLDEN_E14: &str = "\
+== E14: image dissemination vs network size (960 B image, 3 pages, 20 m grid), CSMA vs LPL vs TDMA tree schedule ==
+nodes |  mac | completion (s) | coverage | energy (mJ/node) | data tx
+------+------+----------------+----------+------------------+--------
+    9 | csma |            2.1 |   100.0% |            281.9 |      80
+    9 |  lpl |          199.7 |   100.0% |           4467.8 |     465
+    9 | tdma |           14.6 |   100.0% |            187.8 |     448
+";
+    for jobs in [1, 2] {
+        let rc = RunConfig {
+            runner: Runner::new(jobs),
+            trials: 1,
+        };
+        let e2 = iiot_bench::exp_scale::e2_latency_vs_hops_with(&rc, 160);
+        let e5 = e5_size_scaling_with(&rc, &[2, 3], 60);
+        let e14 = iiot_bench::exp_dissem::e14_completion_with(&rc, &[3], 600);
+        assert_eq!(format!("{e2}"), GOLDEN_E2, "E2 drifted at jobs={jobs}");
+        assert_eq!(format!("{e5}"), GOLDEN_E5, "E5 drifted at jobs={jobs}");
+        assert_eq!(format!("{e14}"), GOLDEN_E14, "E14 drifted at jobs={jobs}");
+    }
+}
+
 /// Distinct trials (streams) get distinct seeds, and derivation is a
 /// pure function — stable across calls and processes.
 #[test]

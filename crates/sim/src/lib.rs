@@ -12,7 +12,9 @@
 //!   per-node seeded RNG — runs are bit-for-bit reproducible per seed;
 //! * a [`radio`] medium with unit-disk, lossy-disk and log-distance/
 //!   sigmoid-PRR link models, collisions with capture, CCA, channels and
-//!   administrative partitions;
+//!   administrative partitions — candidate receivers are found through a
+//!   [`spatial`] grid index, so per-transmission cost is O(neighbours)
+//!   rather than O(nodes);
 //! * per-node [`energy`] accounting (sleep/listen/transmit residency,
 //!   charge, projected battery lifetime);
 //! * per-node drifting oscillators ([`clock`]): protocols read
@@ -72,6 +74,7 @@ pub mod node;
 pub mod obs;
 pub mod radio;
 pub mod seed;
+pub mod spatial;
 pub mod time;
 pub mod topology;
 pub mod trace;

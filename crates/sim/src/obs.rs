@@ -1190,12 +1190,33 @@ fn json_escape(s: &str) -> String {
 
 /// Renders traces as JSONL: one header object per trace (scope key,
 /// label, seed, event count) followed by one object per event.
+///
+/// Convenience wrapper over [`write_traces_jsonl`] for dumps known to
+/// be small (tests, single worlds). Full experiment traces run to
+/// gigabytes — stream those through a buffered writer instead of
+/// materializing the dump.
 pub fn traces_to_jsonl(traces: &[ScopeTrace]) -> String {
-    let mut out = String::new();
+    let mut out = Vec::new();
+    write_traces_jsonl(&mut out, traces).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("JSONL rendering is UTF-8")
+}
+
+/// Streams the [`traces_to_jsonl`] rendering into a writer, one line
+/// per syscall-free buffered write — the `experiments --trace` path,
+/// where a full-scale run's dump does not fit comfortably in memory.
+///
+/// # Errors
+///
+/// Propagates the first writer error.
+pub fn write_traces_jsonl<W: std::io::Write>(
+    w: &mut W,
+    traces: &[ScopeTrace],
+) -> std::io::Result<()> {
     for tr in traces {
-        out.push_str(&format!(
+        writeln!(
+            w,
             "{{\"label\":\"{}\",\"section\":{},\"trial\":{},\"replica\":{},\"world\":{},\
-             \"seed\":{},\"events\":{}}}\n",
+             \"seed\":{},\"events\":{}}}",
             json_escape(&tr.label),
             tr.section,
             tr.trial,
@@ -1203,13 +1224,12 @@ pub fn traces_to_jsonl(traces: &[ScopeTrace]) -> String {
             tr.world,
             tr.seed,
             tr.events.len()
-        ));
+        )?;
         for ev in &tr.events {
-            out.push_str(&ev.to_json());
-            out.push('\n');
+            writeln!(w, "{}", ev.to_json())?;
         }
     }
-    out
+    Ok(())
 }
 
 /// Parses a dump produced by [`traces_to_jsonl`].

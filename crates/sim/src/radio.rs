@@ -9,6 +9,7 @@
 //! PRR curves (for experiments).
 
 use crate::ids::NodeId;
+use crate::spatial::SpatialGrid;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Pos;
 use rand::Rng;
@@ -247,6 +248,40 @@ impl RadioConfig {
         }
     }
 
+    /// The distance in meters beyond which [`RadioConfig::rssi_at`] is
+    /// guaranteed to return `None` — the radius the medium's spatial
+    /// index must cover. `None` if the link model has no finite cutoff
+    /// (the medium then falls back to exhaustive candidate scans).
+    pub fn max_range(&self) -> Option<f64> {
+        match &self.link {
+            LinkModel::UnitDisk {
+                interference_range_m,
+                ..
+            }
+            | LinkModel::LossyDisk {
+                interference_range_m,
+                ..
+            } => Some(*interference_range_m),
+            LinkModel::LogDistance {
+                path_loss_exp,
+                ref_loss_db,
+                ..
+            } => {
+                if *path_loss_exp <= 0.0 {
+                    return None;
+                }
+                // rssi_at yields Some while
+                //   tx_power - ref_loss - 10*ple*log10(max(d,1)) >= sens - 10;
+                // solve for d at equality. `rssi_at` clamps d below 1 m,
+                // so the cutoff is at least 1 m.
+                let exp = (self.tx_power_dbm - ref_loss_db - (self.sensitivity_dbm - 10.0))
+                    / (10.0 * path_loss_exp);
+                let d = 10f64.powf(exp).max(1.0);
+                d.is_finite().then_some(d)
+            }
+        }
+    }
+
     /// Packet reception ratio on a link of length `d` meters with
     /// received power `rssi` dBm, ignoring collisions.
     pub fn prr(&self, d: f64, rssi: f64) -> f64 {
@@ -281,8 +316,26 @@ impl RadioConfig {
 }
 
 /// Identifier of a transmission on the medium.
+///
+/// Encodes a slot index in the medium's transmission slab plus a
+/// generation counter, so a stale id held after its record was pruned
+/// resolves to "unknown transmission" instead of aliasing a newer one.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TxId(pub(crate) u64);
+
+impl TxId {
+    fn compose(slot: u32, generation: u32) -> Self {
+        TxId(((generation as u64) << 32) | slot as u64)
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 #[derive(Clone, Debug)]
 struct NodeRadio {
@@ -298,7 +351,6 @@ struct NodeRadio {
 
 #[derive(Clone, Debug)]
 struct TxRecord {
-    id: TxId,
     src: NodeId,
     channel: u8,
     start: SimTime,
@@ -306,6 +358,35 @@ struct TxRecord {
     frame: Frame,
     /// (receiver, rssi, passed-PRR-draw)
     candidates: Vec<(NodeId, f64, bool)>,
+}
+
+impl Default for TxRecord {
+    fn default() -> Self {
+        TxRecord {
+            src: NodeId(0),
+            channel: 0,
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+            frame: Frame::new(NodeId(0), Dst::Broadcast, 0, Vec::new()),
+            candidates: Vec::new(),
+        }
+    }
+}
+
+/// One slab slot of the medium's transmission store. Slots are reused
+/// (bumping `generation`) once their record is both fully evaluated
+/// (`pending == 0`) and old enough to never matter for collision
+/// checks again; the candidate and payload buffers inside are recycled
+/// across transmissions.
+#[derive(Clone, Debug, Default)]
+struct TxSlot {
+    generation: u32,
+    live: bool,
+    /// Outstanding kernel events referencing this record: one `TxEnd`
+    /// plus one `RxEnd` per scheduled candidate. A record with pending
+    /// events is never evicted, whatever its age.
+    pending: u32,
+    rec: TxRecord,
 }
 
 /// Result of evaluating one candidate reception at transmission end.
@@ -332,6 +413,11 @@ pub enum DropReason {
     Filtered,
     /// The receiver died mid-frame.
     Dead,
+    /// The medium no longer knows the transmission (its record aged out
+    /// of the history slab). Structurally unreachable for scheduled
+    /// receptions — records with pending evaluations are never evicted —
+    /// but stale [`TxId`]s resolve here instead of panicking.
+    Expired,
 }
 
 impl DropReason {
@@ -343,6 +429,7 @@ impl DropReason {
             DropReason::RadioMoved => "radio_moved",
             DropReason::Filtered => "filtered",
             DropReason::Dead => "dead",
+            DropReason::Expired => "expired",
         }
     }
 }
@@ -362,6 +449,9 @@ pub struct MediumStats {
     pub lost_radio_moved: u64,
     /// Unicast frames dropped by the address filter.
     pub filtered: u64,
+    /// Evaluations of transmissions the medium no longer knew
+    /// (see [`DropReason::Expired`]); nonzero only for stale ids.
+    pub lost_expired: u64,
 }
 
 /// The shared wireless medium.
@@ -372,8 +462,40 @@ pub struct MediumStats {
 pub struct Medium {
     config: RadioConfig,
     nodes: Vec<NodeRadio>,
-    txs: Vec<TxRecord>,
-    next_tx_id: u64,
+    /// Transmission slab: records addressed by [`TxId`] slot index in
+    /// O(1), slots recycled once evaluated and aged out.
+    slots: Vec<TxSlot>,
+    /// Free slot indices available for reuse.
+    free: Vec<u32>,
+    /// Live slot indices, for the (small) scans that genuinely need
+    /// every in-flight/recent transmission: CCA and collision checks.
+    active: Vec<u32>,
+    /// Spatial index over node positions with cell size =
+    /// [`RadioConfig::max_range`]; `None` when the link model has no
+    /// finite cutoff.
+    grid: Option<SpatialGrid>,
+    /// When `false`, candidate enumeration falls back to the exhaustive
+    /// O(nodes) scan (the pre-index baseline, kept for benchmarking and
+    /// equivalence tests).
+    use_index: bool,
+    /// Reused candidate-id gather buffer for `start_tx`.
+    scratch: Vec<u32>,
+    /// Per-source cached neighbour lists (sorted ascending), built
+    /// lazily from the grid on a node's first transmission. Positions
+    /// are static, so a node's 3x3-cell gather never changes — caching
+    /// it turns the per-transmission cost into a straight copy.
+    neigh: Vec<Vec<u32>>,
+    /// Which `neigh` entries are built; all invalidated by `add_node`.
+    neigh_built: Vec<bool>,
+    /// Recycled payload buffers backing delivered frame clones.
+    payload_pool: Vec<Vec<u8>>,
+    /// How long a fully evaluated record can still matter: a record
+    /// whose end is older than this can no longer overlap any
+    /// transmission evaluated now or later (every evaluation happens
+    /// at most one max-size airtime after its frame started), so the
+    /// collision scan never misses it. Twice the max airtime, for
+    /// slack.
+    history: SimDuration,
     /// Symmetric pairs of node indices whose link is administratively
     /// severed (fault injection).
     blocked_links: HashSet<(u32, u32)>,
@@ -382,18 +504,51 @@ pub struct Medium {
     stats: MediumStats,
 }
 
+/// Most payload buffers the delivery pool will hold on to.
+const PAYLOAD_POOL_CAP: usize = 64;
+
 impl Medium {
     /// Creates a medium with the given radio configuration.
     pub fn new(config: RadioConfig) -> Self {
+        let grid = config
+            .max_range()
+            .filter(|r| r.is_finite() && *r > 0.0)
+            .map(|r| SpatialGrid::new(r.max(1.0)));
+        let history = config.airtime(config.max_payload) * 2;
         Medium {
             config,
             nodes: Vec::new(),
-            txs: Vec::new(),
-            next_tx_id: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            active: Vec::new(),
+            grid,
+            use_index: true,
+            scratch: Vec::new(),
+            neigh: Vec::new(),
+            neigh_built: Vec::new(),
+            payload_pool: Vec::new(),
+            history,
             blocked_links: HashSet::new(),
             partitioned: false,
             stats: MediumStats::default(),
         }
+    }
+
+    /// Enables or disables the spatial candidate index (enabled by
+    /// default). Disabling falls back to the exhaustive O(nodes) scan;
+    /// both modes produce byte-identical simulations — the index only
+    /// changes how candidates are *found*, never which candidates are
+    /// found or in which order the per-candidate RNG draws happen. The
+    /// switch exists for benchmarking the win and property-testing the
+    /// equivalence.
+    pub fn set_spatial_index(&mut self, on: bool) {
+        self.use_index = on;
+    }
+
+    /// Whether the spatial candidate index is in use (it may be
+    /// unavailable if the link model has no finite range cutoff).
+    pub fn spatial_index_active(&self) -> bool {
+        self.use_index && self.grid.is_some()
     }
 
     /// The radio configuration.
@@ -408,6 +563,14 @@ impl Medium {
 
     pub(crate) fn add_node(&mut self, pos: Pos) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
+        if let Some(grid) = &mut self.grid {
+            grid.insert(id.0, pos);
+        }
+        // A new node may be in range of any existing one: every cached
+        // neighbour list is stale.
+        self.neigh_built.iter_mut().for_each(|b| *b = false);
+        self.neigh.push(Vec::new());
+        self.neigh_built.push(false);
         self.nodes.push(NodeRadio {
             pos,
             alive: true,
@@ -547,7 +710,7 @@ impl Medium {
     /// above the CCA threshold)?
     pub(crate) fn cca_busy(&self, node: NodeId, now: SimTime) -> bool {
         let me = &self.nodes[node.index()];
-        self.txs.iter().any(|tx| {
+        self.active.iter().map(|&s| &self.slots[s as usize].rec).any(|tx| {
             tx.start <= now
                 && now < tx.end
                 && tx.channel == me.channel
@@ -560,15 +723,90 @@ impl Medium {
         })
     }
 
-    /// Starts a transmission. Returns the tx id, its end time and the
-    /// list of candidate receivers for which `RxEnd` events must be
-    /// scheduled.
-    pub(crate) fn start_tx<R: Rng>(
+    /// Resolves `tx` to its slab slot, if the record is still known.
+    fn lookup(&self, tx: TxId) -> Option<usize> {
+        let slot = tx.slot();
+        let s = self.slots.get(slot)?;
+        (s.live && s.generation == tx.generation()).then_some(slot)
+    }
+
+    /// Drops every record that can no longer matter: fully evaluated
+    /// (no pending `TxEnd`/`RxEnd` events) *and* past the collision
+    /// horizon. The retain rule is explicit: any record still in
+    /// flight (`end >= now`) or with pending evaluations survives,
+    /// regardless of its age — eviction can never turn a scheduled
+    /// reception into a dangling [`TxId`].
+    fn prune(&mut self, now: SimTime) {
+        // `history` (two max-size airtimes) bounds how long a fully
+        // evaluated record can still overlap a future evaluation; see
+        // the field doc for the argument.
+        let cutoff = if now.as_micros() > self.history.as_micros() {
+            now - self.history
+        } else {
+            SimTime::ZERO
+        };
+        let mut i = 0;
+        while i < self.active.len() {
+            let slot = self.active[i] as usize;
+            let s = &mut self.slots[slot];
+            if s.pending == 0 && s.rec.end < cutoff && s.rec.end < now {
+                s.live = false;
+                s.generation = s.generation.wrapping_add(1);
+                s.rec.candidates.clear();
+                // Recycle the payload allocation into the delivery pool.
+                let mut payload = std::mem::take(&mut s.rec.frame.payload);
+                if self.payload_pool.len() < PAYLOAD_POOL_CAP && payload.capacity() > 0 {
+                    payload.clear();
+                    self.payload_pool.push(payload);
+                }
+                self.free.push(slot as u32);
+                self.active.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Hands a payload buffer back to the delivery pool (called by the
+    /// kernel once a delivered frame clone has been consumed).
+    pub(crate) fn recycle_payload(&mut self, mut payload: Vec<u8>) {
+        if self.payload_pool.len() < PAYLOAD_POOL_CAP && payload.capacity() > 0 {
+            payload.clear();
+            self.payload_pool.push(payload);
+        }
+    }
+
+    /// Test/compat convenience around [`Medium::start_tx_into`] that
+    /// allocates a fresh schedule vector.
+    #[cfg(test)]
+    fn start_tx<R: Rng>(
         &mut self,
         frame: Frame,
         now: SimTime,
         rng: &mut R,
     ) -> Result<(TxId, SimTime, Vec<NodeId>), RadioError> {
+        let mut schedule = Vec::new();
+        let (id, end) = self.start_tx_into(frame, now, rng, &mut schedule)?;
+        Ok((id, end, schedule))
+    }
+
+    /// Starts a transmission. Returns the tx id and its end time, and
+    /// fills `schedule` (cleared first) with the candidate receivers for
+    /// which `RxEnd` events must be scheduled.
+    ///
+    /// Candidates are visited in ascending node-id order and the
+    /// per-candidate PRR draw happens only for nodes passing the
+    /// sensitivity check — with or without the spatial index, so both
+    /// paths consume the RNG identically and simulations are
+    /// byte-identical by construction.
+    pub(crate) fn start_tx_into<R: Rng>(
+        &mut self,
+        frame: Frame,
+        now: SimTime,
+        rng: &mut R,
+        schedule: &mut Vec<NodeId>,
+    ) -> Result<(TxId, SimTime), RadioError> {
+        schedule.clear();
         let src = frame.src;
         {
             let n = &self.nodes[src.index()];
@@ -588,20 +826,53 @@ impl Medium {
         let channel = self.nodes[src.index()].channel;
         let src_pos = self.nodes[src.index()].pos;
 
-        // Prune records old enough to never matter again (frames are
-        // milliseconds long; one second of history is generous).
-        let horizon = SimDuration::from_secs(1);
-        let cutoff = if now.as_micros() > horizon.as_micros() {
-            now - horizon
-        } else {
-            SimTime::ZERO
-        };
-        self.txs.retain(|t| t.end >= cutoff);
+        self.prune(now);
 
-        let mut candidates = Vec::new();
-        let mut schedule = Vec::new();
-        for (i, n) in self.nodes.iter().enumerate() {
-            let r = NodeId(i as u32);
+        // Allocate (or recycle) the record slot up front so its
+        // candidate buffer can be filled in place.
+        let slot = match self.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                self.slots.push(TxSlot::default());
+                self.slots.len() - 1
+            }
+        };
+        let id = TxId::compose(slot as u32, self.slots[slot].generation);
+        let mut candidates = std::mem::take(&mut self.slots[slot].rec.candidates);
+        candidates.clear();
+
+        // Candidate enumeration: the spatial grid confines the scan to
+        // the 3x3 cell neighbourhood that covers max_range; the
+        // exhaustive fallback visits every node. Both yield ascending
+        // ids into the same filter.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        match &self.grid {
+            Some(grid) if self.use_index => {
+                if !self.neigh_built[src.index()] {
+                    let mut list = std::mem::take(&mut self.neigh[src.index()]);
+                    grid.gather(src_pos, &mut list);
+                    // Tighten the 3x3-cell superset to the exact
+                    // audibility disk: beyond `cell_size` (= max
+                    // range) `rssi_at` is guaranteed `None`, so these
+                    // nodes can never become candidates or draw RNG —
+                    // dropping them here is invisible to simulations.
+                    let cutoff = grid.cell_size();
+                    let nodes = &self.nodes;
+                    list.retain(|&i| src_pos.distance(nodes[i as usize].pos) <= cutoff);
+                    self.neigh[src.index()] = list;
+                    self.neigh_built[src.index()] = true;
+                }
+                scratch.clear();
+                scratch.extend_from_slice(&self.neigh[src.index()]);
+            }
+            _ => {
+                scratch.clear();
+                scratch.extend(0..self.nodes.len() as u32);
+            }
+        }
+        for &i in &scratch {
+            let n = &self.nodes[i as usize];
+            let r = NodeId(i);
             if r == src
                 || !n.alive
                 || n.state != RadioState::Listening
@@ -621,32 +892,39 @@ impl Medium {
             candidates.push((r, rssi, ok));
             schedule.push(r);
         }
+        self.scratch = scratch;
 
         self.nodes[src.index()].state = RadioState::Transmitting;
-        let id = TxId(self.next_tx_id);
-        self.next_tx_id += 1;
-        self.txs.push(TxRecord {
-            id,
-            src,
-            channel,
-            start: now,
-            end,
-            frame,
-            candidates,
-        });
+        let s = &mut self.slots[slot];
+        s.live = true;
+        s.pending = 1 + schedule.len() as u32; // TxEnd + one RxEnd each
+        s.rec.src = src;
+        s.rec.channel = channel;
+        s.rec.start = now;
+        s.rec.end = end;
+        s.rec.frame = frame;
+        s.rec.candidates = candidates;
+        self.active.push(slot as u32);
         self.stats.tx_started += 1;
-        Ok((id, end, schedule))
+        Ok((id, end))
     }
 
     /// Finishes a transmission at the sender side; returns the outcome.
+    ///
+    /// A stale or unknown `tx` yields a zero-receiver outcome instead
+    /// of panicking; by construction the kernel's `TxEnd` event always
+    /// finds its record (pending events pin records in the slab).
     pub(crate) fn end_tx(&mut self, tx: TxId, now: SimTime) -> TxOutcome {
-        let rec = self
-            .txs
-            .iter()
-            .find(|t| t.id == tx)
-            .expect("end_tx: unknown transmission");
-        let src = rec.src;
-        let oracle = rec.candidates.iter().filter(|c| c.2).count();
+        let Some(slot) = self.lookup(tx) else {
+            self.stats.lost_expired += 1;
+            return TxOutcome {
+                oracle_receivers: 0,
+            };
+        };
+        let s = &mut self.slots[slot];
+        s.pending = s.pending.saturating_sub(1);
+        let src = s.rec.src;
+        let oracle = s.rec.candidates.iter().filter(|c| c.2).count();
         let n = &mut self.nodes[src.index()];
         if n.alive && n.state == RadioState::Transmitting {
             n.state = RadioState::Listening;
@@ -660,10 +938,12 @@ impl Medium {
     /// Evaluates the candidate reception of `tx` at `node`, at the end of
     /// the transmission.
     pub(crate) fn eval_rx(&mut self, tx: TxId, node: NodeId, _now: SimTime) -> RxEval {
-        let Some(rec_idx) = self.txs.iter().position(|t| t.id == tx) else {
-            return RxEval::Dropped(DropReason::RadioMoved, None);
+        let Some(rec_idx) = self.lookup(tx) else {
+            self.stats.lost_expired += 1;
+            return RxEval::Dropped(DropReason::Expired, None);
         };
-        let rec = &self.txs[rec_idx];
+        self.slots[rec_idx].pending = self.slots[rec_idx].pending.saturating_sub(1);
+        let rec = &self.slots[rec_idx].rec;
         let rec_start = rec.start;
         let rec_end = rec.end;
         let rec_channel = rec.channel;
@@ -690,16 +970,19 @@ impl Medium {
             return RxEval::Dropped(DropReason::Prr, Some(rec_src));
         }
         // Collision check: any other overlapping audible transmission
-        // strong enough to defeat capture destroys the frame.
+        // strong enough to defeat capture destroys the frame. Only the
+        // (few) live records can overlap, so this scan is O(active).
         let my_pos = n.pos;
-        let src_of = |t: &TxRecord| t.src;
-        for other in &self.txs {
-            if other.id == tx
-                || other.channel != rec_channel
+        for &other_slot in &self.active {
+            if other_slot as usize == rec_idx {
+                continue;
+            }
+            let other = &self.slots[other_slot as usize].rec;
+            if other.channel != rec_channel
                 || other.end <= rec_start
                 || other.start >= rec_end
-                || src_of(other) == node
-                || !self.link_open(src_of(other), node)
+                || other.src == node
+                || !self.link_open(other.src, node)
             {
                 continue;
             }
@@ -711,14 +994,24 @@ impl Medium {
                 }
             }
         }
-        let rec = &self.txs[rec_idx];
+        let rec = &self.slots[rec_idx].rec;
         if !rec.frame.dst.accepts(node) && !n.promiscuous {
             self.stats.filtered += 1;
             return RxEval::Dropped(DropReason::Filtered, Some(rec_src));
         }
         self.stats.delivered += 1;
+        // Clone the frame for delivery, backing the payload with a
+        // pooled buffer so steady-state delivery allocates nothing.
+        let mut payload = self.payload_pool.pop().unwrap_or_default();
+        payload.clear();
+        payload.extend_from_slice(&rec.frame.payload);
         RxEval::Deliver(
-            rec.frame.clone(),
+            Frame {
+                src: rec.frame.src,
+                dst: rec.frame.dst,
+                port: rec.frame.port,
+                payload,
+            },
             RxInfo {
                 rssi_dbm: rssi,
                 channel: rec_channel,
@@ -984,5 +1277,122 @@ mod tests {
             m.start_tx(f, SimTime::ZERO, &mut rng).unwrap_err(),
             RadioError::FrameTooLarge
         );
+    }
+
+    #[test]
+    fn stale_tx_id_is_expired_not_a_panic() {
+        // Once a fully evaluated record ages past the history horizon
+        // it is pruned and its slot recycled; the old id must resolve
+        // to a structured drop, never a panic (regression: end_tx used
+        // to `expect` the record).
+        let mut m = medium_with_line(2, 10.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t0 = SimTime::ZERO;
+        m.radio_on(NodeId(0), t0).unwrap();
+        m.radio_on(NodeId(1), t0).unwrap();
+        let f = Frame::new(NodeId(0), Dst::Broadcast, 0, vec![1]);
+        let (tx, end, sched) = m.start_tx(f.clone(), t0, &mut rng).unwrap();
+        assert_eq!(sched, vec![NodeId(1)]);
+        m.end_tx(tx, end);
+        assert!(matches!(m.eval_rx(tx, NodeId(1), end), RxEval::Deliver(..)));
+        // All pending evaluations drained; a transmission far past the
+        // horizon triggers pruning and recycles the slot.
+        let later = SimTime::from_secs(3);
+        let (tx2, end2, _) = m.start_tx(f, later, &mut rng).unwrap();
+        assert_ne!(tx, tx2, "recycled slot must carry a new generation");
+        assert_eq!(m.end_tx(tx, later).oracle_receivers, 0);
+        match m.eval_rx(tx, NodeId(1), later) {
+            RxEval::Dropped(DropReason::Expired, None) => {}
+            other => panic!("expected Expired drop, got {other:?}"),
+        }
+        assert_eq!(m.stats().lost_expired, 2);
+        m.end_tx(tx2, end2);
+    }
+
+    #[test]
+    fn pending_evaluations_pin_records_past_horizon() {
+        // A record with an un-dispatched RxEnd must survive pruning no
+        // matter how old it is: eviction may never turn a scheduled
+        // reception into a dangling id.
+        let mut m = medium_with_line(2, 10.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let t0 = SimTime::ZERO;
+        m.radio_on(NodeId(0), t0).unwrap();
+        m.radio_on(NodeId(1), t0).unwrap();
+        let f = Frame::new(NodeId(0), Dst::Broadcast, 0, vec![7]);
+        let (tx, end, _) = m.start_tx(f.clone(), t0, &mut rng).unwrap();
+        m.end_tx(tx, end);
+        // Deliberately do NOT eval_rx yet. 10 s later a new
+        // transmission prunes history — the pinned record survives.
+        let later = SimTime::from_secs(10);
+        let (tx2, end2, _) = m.start_tx(f, later, &mut rng).unwrap();
+        match m.eval_rx(tx, NodeId(1), later) {
+            RxEval::Deliver(got, _) => assert_eq!(got.payload, vec![7]),
+            other => panic!("pinned record must still deliver, got {other:?}"),
+        }
+        m.end_tx(tx2, end2);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(96))]
+
+        /// The spatial index must be invisible: on any topology —
+        /// including cell-boundary-straddling and co-located nodes —
+        /// the indexed medium yields the exact candidate set, in the
+        /// same order, consuming the RNG identically, as the
+        /// exhaustive O(nodes) scan.
+        #[test]
+        fn grid_index_matches_exhaustive_scan(
+            raw in proptest::collection::vec((-45.0f64..95.0, -45.0f64..95.0), 2..24),
+            dup in proptest::any::<bool>(),
+            off_mask in proptest::any::<u64>(),
+        ) {
+            use proptest::{prop_assert, prop_assert_eq};
+            let mut pts: Vec<Pos> = raw.iter().map(|&(x, y)| Pos::new(x, y)).collect();
+            if dup {
+                // Co-located pair (same cell, same distance).
+                let p = pts[0];
+                pts.push(p);
+            }
+            // Drop one node exactly on a cell boundary of the default
+            // 37.5 m grid.
+            pts.push(Pos::new(37.5, 75.0));
+            let build = |indexed: bool| {
+                let mut m = Medium::new(RadioConfig::default());
+                m.set_spatial_index(indexed);
+                for (i, &p) in pts.iter().enumerate() {
+                    let id = m.add_node(p);
+                    if off_mask >> (i % 64) & 1 == 0 {
+                        m.radio_on(id, SimTime::ZERO).unwrap();
+                    }
+                }
+                m
+            };
+            let mut with_index = build(true);
+            let mut exhaustive = build(false);
+            prop_assert!(with_index.spatial_index_active());
+            prop_assert!(!exhaustive.spatial_index_active());
+            for i in 0..pts.len() {
+                let src = NodeId(i as u32);
+                let mut rng_a = SmallRng::seed_from_u64(0xC0FFEE ^ i as u64);
+                let mut rng_b = rng_a.clone();
+                let f = Frame::new(src, Dst::Broadcast, 0, vec![i as u8]);
+                let res_a = with_index.start_tx(f.clone(), SimTime::ZERO, &mut rng_a);
+                let res_b = exhaustive.start_tx(f, SimTime::ZERO, &mut rng_b);
+                match (res_a, res_b) {
+                    (Ok((tx_a, end_a, sched_a)), Ok((tx_b, end_b, sched_b))) => {
+                        prop_assert_eq!(&sched_a, &sched_b);
+                        prop_assert_eq!(end_a, end_b);
+                        // Identical RNG consumption — the invariant
+                        // byte-identical simulations rest on.
+                        prop_assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+                        with_index.end_tx(tx_a, end_a);
+                        exhaustive.end_tx(tx_b, end_b);
+                    }
+                    (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                    (a, b) => panic!("diverged: indexed={a:?} exhaustive={b:?}"),
+                }
+            }
+        }
     }
 }

@@ -186,6 +186,12 @@ pub(crate) struct Kernel {
     /// Structured-event sink; `None` (the default) makes every
     /// emission a single branch on `obs_on`.
     recorder: Option<Box<dyn Recorder>>,
+    /// Reused scratch for per-transmission receiver schedules, so the
+    /// hot transmit path allocates nothing in steady state.
+    tx_schedule: Vec<NodeId>,
+    /// Total events dispatched since construction (the simulator's
+    /// natural unit of work, reported by perf harnesses).
+    dispatched: u64,
 }
 
 impl Kernel {
@@ -275,6 +281,8 @@ impl World {
                 // the global sink; otherwise emission stays disabled.
                 recorder: obs::capture_recorder(config.seed),
                 obs_on: false, // synced below from `recorder`
+                tx_schedule: Vec::new(),
+                dispatched: 0,
             },
             protos: Vec::new(),
             alive: Vec::new(),
@@ -335,6 +343,29 @@ impl World {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.protos.len()
+    }
+
+    /// Total events dispatched so far — the simulator's natural unit of
+    /// work. Deterministic per seed and workload, independent of wall
+    /// clock, which makes it the right quantity for perf *gates* (the
+    /// count must not drift) as opposed to perf *tracking* (timings).
+    pub fn events_dispatched(&self) -> u64 {
+        self.kernel.dispatched
+    }
+
+    /// Enables or disables the radio medium's spatial candidate index
+    /// (on by default when the link model has a finite range).
+    ///
+    /// Both settings produce byte-identical simulations; the switch
+    /// exists so benchmarks can measure the exhaustive O(nodes) scan
+    /// against the O(neighbours) grid on the same workload.
+    pub fn set_spatial_index(&mut self, on: bool) {
+        self.kernel.medium.set_spatial_index(on);
+    }
+
+    /// Whether the spatial candidate index is currently in use.
+    pub fn spatial_index_active(&self) -> bool {
+        self.kernel.medium.spatial_index_active()
     }
 
     /// Shared medium (read access: stats, radio states, positions).
@@ -613,6 +644,7 @@ impl World {
     }
 
     fn dispatch(&mut self, ev: Ev) {
+        self.kernel.dispatched += 1;
         match ev {
             Ev::Action(idx) => {
                 if let Some(f) = self.actions[idx].take() {
@@ -669,6 +701,9 @@ impl World {
                         if self.alive[node.index()] {
                             self.call(node, |p, ctx| p.frame(ctx, &frame, info));
                         }
+                        // The delivered clone is dead now; hand its
+                        // payload buffer back to the medium's pool.
+                        self.kernel.medium.recycle_payload(frame.payload);
                     }
                     RxEval::Dropped(reason, src) => {
                         self.kernel.emit(
@@ -869,11 +904,22 @@ impl Ctx<'_> {
         let frame = Frame::new(self.node, dst, port, payload);
         let node = self.node;
         // Borrow dance: rng and medium are both in the kernel.
-        let (tx, end, schedule) = {
+        // The schedule lands in a kernel-owned scratch vector that is
+        // reused across transmissions (taken while the medium borrow is
+        // live, put back after the events are queued).
+        let mut schedule = std::mem::take(&mut self.kernel.tx_schedule);
+        let res = {
             let Kernel {
                 medium, rngs, now, ..
             } = &mut *self.kernel;
-            medium.start_tx(frame, *now, &mut rngs[node.index()])?
+            medium.start_tx_into(frame, *now, &mut rngs[node.index()], &mut schedule)
+        };
+        let (tx, end) = match res {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.kernel.tx_schedule = schedule;
+                return Err(e);
+            }
         };
         self.kernel.sync_meter(node);
         self.kernel.emit(
@@ -889,9 +935,10 @@ impl Ctx<'_> {
             },
         );
         self.kernel.push(end, Ev::TxEnd { node, tx });
-        for r in schedule {
+        for &r in &schedule {
             self.kernel.push(end, Ev::RxEnd { node: r, tx });
         }
+        self.kernel.tx_schedule = schedule;
         Ok(())
     }
 

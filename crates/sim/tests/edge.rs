@@ -142,3 +142,37 @@ fn lossy_disk_drops_roughly_at_rate() {
     assert!((rate - 0.7).abs() < 0.05, "measured PRR {rate}");
     assert!(s.lost_prr > 0);
 }
+
+#[test]
+fn spatial_index_is_invisible_to_simulations() {
+    // Two identical worlds, one with the spatial candidate index
+    // disabled (the exhaustive O(nodes) baseline): every observable —
+    // medium stats, dispatched event count, per-node counters — must
+    // agree exactly. This is the world-level face of the per-call
+    // equivalence property test in the radio module.
+    struct Gossip;
+    impl Proto for Gossip {
+        fn start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.radio_on().expect("on");
+            let stagger = 5 + ctx.id().0 as u64 * 7;
+            ctx.set_timer(SimDuration::from_millis(stagger), 0);
+        }
+        fn timer(&mut self, ctx: &mut Ctx<'_>, _t: Timer) {
+            ctx.transmit(Dst::Broadcast, 0, vec![ctx.id().0 as u8; 12]).ok();
+            ctx.set_timer(SimDuration::from_millis(40), 0);
+        }
+        fn frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame, _info: RxInfo) {
+            ctx.count("heard", 1.0);
+            ctx.count_node("heard", frame.payload.len() as f64);
+        }
+    }
+    let run = |indexed: bool| {
+        let mut w = World::new(WorldConfig::default().seed(7));
+        w.add_nodes(&Topology::grid(6, 6, 20.0), |_| Box::new(Gossip) as Box<dyn Proto>);
+        w.set_spatial_index(indexed);
+        assert_eq!(w.spatial_index_active(), indexed);
+        w.run_for(SimDuration::from_secs(5));
+        (w.medium().stats(), w.events_dispatched(), w.stats().get("heard"))
+    };
+    assert_eq!(run(true), run(false));
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# Timing-free perf gate.
+#
+# Runs the perf harness's quick matrix twice (--jobs 1 and --jobs 2)
+# and requires the *deterministic* blocks of the two BENCH_perf.json
+# documents — workload shape and simulated-event counts — to be
+# identical. Event counts are a pure function of workload and seed, so
+# any drift means the kernel's behaviour changed (e.g. the spatial
+# index diverging from the exhaustive scan, which the harness itself
+# also asserts per point).
+#
+# Deliberately NOT gated: wall-clock numbers and speedups. CI machines
+# are noisy and shared; timing thresholds make flaky gates. Timings are
+# recorded in the JSON for trajectory tracking only.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${TMPDIR:-/tmp}/iiot-perf-gate.$$"
+mkdir -p "$out"
+trap 'rm -rf "$out"' EXIT
+
+cargo build -p iiot-bench --release --offline --bin perf
+bin=target/release/perf
+
+"$bin" --quick --jobs 1 --json "$out/perf-j1.json" > /dev/null 2> /dev/null
+"$bin" --quick --jobs 2 --json "$out/perf-j2.json" > /dev/null 2> /dev/null
+
+python3 - "$out/perf-j1.json" "$out/perf-j2.json" <<'EOF'
+import json, sys
+
+def deterministic(path):
+    doc = json.load(open(path))
+    assert doc["schema"] == "iiot-bench/perf/v1", doc.get("schema")
+    points = doc["points"]
+    assert points, "no points measured"
+    for p in points:
+        d, t = p["deterministic"], p["timing"]
+        assert set(d) == {"side", "mac", "nodes", "secs", "events"}, d.keys()
+        assert set(t) == {
+            "wall_indexed_us", "wall_exhaustive_us", "speedup", "events_per_sec",
+        }, t.keys()
+        assert d["nodes"] == d["side"] ** 2, d
+        assert d["events"] > 0, d
+    return [p["deterministic"] for p in points]
+
+j1, j2 = deterministic(sys.argv[1]), deterministic(sys.argv[2])
+assert j1 == j2, "simulated-event counts drifted between --jobs 1 and --jobs 2"
+print(f"perf gate: {len(j1)} points, event counts identical at --jobs 1/2")
+EOF
+
+echo "perf gate OK: deterministic event counts byte-stable across worker counts"

@@ -6,6 +6,11 @@
 //! reports median ns/iteration over a few short measurement rounds —
 //! enough to track regressions in CI logs, with none of upstream's
 //! statistics machinery.
+//!
+//! Like upstream, `cargo bench -- --test` runs every benchmark body
+//! exactly once and reports `ok` instead of timing it: a fast,
+//! non-flaky smoke that the benchmarks still compile and run, suitable
+//! for CI.
 
 #![warn(missing_docs)]
 
@@ -27,6 +32,9 @@ pub enum BatchSize {
 pub struct Bencher {
     /// Collected per-iteration times of the current measurement.
     samples: Vec<Duration>,
+    /// When set, run the routine exactly once and skip timing
+    /// (`--test` smoke mode).
+    test_mode: bool,
 }
 
 const TARGET_TIME: Duration = Duration::from_millis(300);
@@ -35,6 +43,10 @@ const MAX_ITERS: u64 = 10_000;
 impl Bencher {
     /// Measures `routine` repeatedly.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
         let started = Instant::now();
         let mut iters = 0u64;
         while iters < MAX_ITERS && started.elapsed() < TARGET_TIME {
@@ -52,6 +64,10 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
         let started = Instant::now();
         let mut iters = 0u64;
         while iters < MAX_ITERS && started.elapsed() < TARGET_TIME {
@@ -65,16 +81,34 @@ impl Bencher {
 }
 
 /// The benchmark registry/driver.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Builds the driver, honouring a `--test` argument (as passed by
+    /// `cargo bench -- --test`): in that mode each benchmark runs its
+    /// body once, unmeasured.
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().skip(1).any(|a| a == "--test"),
+        }
+    }
+}
 
 impl Criterion {
-    /// Runs one named benchmark and prints its median time.
+    /// Runs one named benchmark and prints its median time (or just
+    /// `ok` after a single iteration in `--test` mode).
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
             samples: Vec::new(),
+            test_mode: self.test_mode,
         };
         f(&mut b);
+        if self.test_mode {
+            println!("{id:<44} ok (--test: 1 iteration, unmeasured)");
+            return self;
+        }
         let mut ns: Vec<u128> = b.samples.iter().map(Duration::as_nanos).collect();
         ns.sort_unstable();
         if ns.is_empty() {
