@@ -454,7 +454,7 @@ mod tests {
         rounds: u16,
         seed: u64,
     ) -> (World, Vec<NodeId>) {
-        let wc = WorldConfig::default().seed(seed);
+        let wc = SimConfig::default().seed(seed);
         let mut w = World::new(wc);
         let cfg = AggConfig::new(line_parents(n), mode, epoch_ms, rounds);
         let ids = w.add_nodes(&Topology::line(n, 20.0), move |_| {
@@ -530,7 +530,7 @@ mod tests {
             (Agg::Sum, 2),
             (Agg::Count, 3),
         ] {
-            let wc = WorldConfig::default().seed(10 + check as u64);
+            let wc = SimConfig::default().seed(10 + check as u64);
             let mut w = World::new(wc);
             let mut cfg = AggConfig::new(line_parents(4), Mode::Aggregate, 4_000, 2);
             cfg.query.agg = agg;
@@ -561,7 +561,7 @@ mod tests {
 
     #[test]
     fn dead_subtree_undercounts_gracefully() {
-        let wc = WorldConfig::default().seed(20);
+        let wc = SimConfig::default().seed(20);
         let mut w = World::new(wc);
         let cfg = AggConfig::new(line_parents(5), Mode::Aggregate, 4_000, 4);
         let ids = w.add_nodes(&Topology::line(5, 20.0), move |_| {

@@ -15,7 +15,7 @@ fn aggregation_over_lpl_delivers_and_sleeps() {
     let parents: Vec<Option<NodeId>> = (0..n)
         .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
         .collect();
-    let wc = WorldConfig::default().seed(0xA99);
+    let wc = SimConfig::default().seed(0xA99);
     let mut w = World::new(wc);
     let mut cfg = AggConfig::new(parents, Mode::Aggregate, 20_000, 5);
     cfg.dissemination_delay = SimDuration::from_secs(3);

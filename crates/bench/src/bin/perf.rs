@@ -1,25 +1,33 @@
 //! The kernel perf harness: spatial index vs exhaustive scan on
-//! growing CSMA/LPL grids (see [`iiot_bench::exp_perf`]).
+//! growing CSMA/LPL grids, plus the sharded-kernel scaling curves
+//! (see [`iiot_bench::exp_perf`]).
 //!
 //! Usage:
-//!   cargo run -p iiot-bench --release --bin perf                    # full matrix, 10x10..40x40
+//!   cargo run -p iiot-bench --release --bin perf                    # full matrices
 //!   cargo run -p iiot-bench --release --bin perf -- --quick         # small grids, for CI smoke
 //!   cargo run -p iiot-bench --release --bin perf -- --json          # also write BENCH_perf.json
 //!   cargo run -p iiot-bench --release --bin perf -- --jobs 2 --sides 10,20 --secs 5
+//!   cargo run -p iiot-bench --release --bin perf -- --shards 1,2,4 --scale-sides 20,40,80
 //!
-//! The printed table and the JSON's `timing` blocks vary run to run;
+//! The printed tables and the JSON's `timing` blocks vary run to run;
 //! the JSON's `deterministic` blocks (workload shape + dispatched
 //! event counts) are byte-stable across worker counts and machines —
-//! that subset is what `scripts/perf_gate.sh` gates on.
+//! that subset is what `scripts/perf_gate.sh` gates on. Scaling-point
+//! event counts are stable *per shard count* (each shard count is its
+//! own deterministic model).
 
 use iiot_bench::{exp_perf, RunConfig, Runner};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: perf [--quick] [--sides S1,S2,...] [--secs N] [--jobs N] [--json [PATH]] \
-         [--markdown]"
+        "usage: perf [--quick] [--sides S1,S2,...] [--scale-sides S1,S2,...] \
+         [--shards K1,K2,...] [--secs N] [--jobs N] [--json [PATH]] [--markdown]"
     );
     std::process::exit(2);
+}
+
+fn parse_list(spec: &str) -> Option<Vec<u32>> {
+    spec.split(',').map(|s| s.parse().ok().filter(|&n| n > 0)).collect()
 }
 
 fn main() {
@@ -28,6 +36,8 @@ fn main() {
     let mut quick = false;
     let mut jobs: Option<usize> = None;
     let mut sides: Option<Vec<u32>> = None;
+    let mut scale_sides: Option<Vec<u32>> = None;
+    let mut shards: Option<Vec<u32>> = None;
     let mut secs: Option<u64> = None;
     let mut json: Option<String> = None;
 
@@ -44,9 +54,15 @@ fn main() {
             }
             "--sides" => {
                 let spec = it.next().unwrap_or_else(|| usage());
-                let parsed: Option<Vec<u32>> =
-                    spec.split(',').map(|s| s.parse().ok().filter(|&n| n > 0)).collect();
-                sides = Some(parsed.unwrap_or_else(|| usage()));
+                sides = Some(parse_list(&spec).unwrap_or_else(|| usage()));
+            }
+            "--scale-sides" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                scale_sides = Some(parse_list(&spec).unwrap_or_else(|| usage()));
+            }
+            "--shards" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                shards = Some(parse_list(&spec).unwrap_or_else(|| usage()));
             }
             "--json" => {
                 let path = match it.peek() {
@@ -59,29 +75,49 @@ fn main() {
         }
     }
 
-    // Full mode is the committed-artifact run (10x10 to 40x40);
+    // Full mode is the committed-artifact run: index matrix on 10x10
+    // to 40x40 grids, scaling curves at N in {400, 1600, 6400};
     // --quick bounds CI smoke to a few seconds.
     let sides = sides.unwrap_or_else(|| if quick { vec![4, 8] } else { vec![10, 20, 40] });
+    let scale_sides =
+        scale_sides.unwrap_or_else(|| if quick { vec![8] } else { vec![20, 40, 80] });
+    let shards = shards.unwrap_or_else(|| vec![1, 2, 4]);
     let secs = secs.unwrap_or(if quick { 2 } else { 5 });
     let rc = RunConfig {
         runner: jobs.map(Runner::new).unwrap_or_else(Runner::available_parallelism),
         trials: 1,
     };
-    eprintln!("[jobs={} sides={sides:?} secs={secs}]", rc.runner.jobs());
+    eprintln!(
+        "[jobs={} sides={sides:?} scale_sides={scale_sides:?} shards={shards:?} secs={secs}]",
+        rc.runner.jobs()
+    );
 
     let t0 = std::time::Instant::now();
     let points = exp_perf::perf_matrix(&rc, &sides, secs);
-    eprintln!("[measured {} points in {:.1}s]", points.len(), t0.elapsed().as_secs_f64());
+    eprintln!("[measured {} index points in {:.1}s]", points.len(), t0.elapsed().as_secs_f64());
+
+    let t1 = std::time::Instant::now();
+    let scaling = exp_perf::scaling_curves(&scale_sides, secs, &shards);
+    eprintln!(
+        "[measured {} scaling points in {:.1}s]",
+        scaling.len(),
+        t1.elapsed().as_secs_f64()
+    );
 
     let table = exp_perf::table(&points);
+    let stable = exp_perf::scaling_table(&scaling);
     if markdown {
         println!("{}", table.to_markdown());
+        println!();
+        println!("{}", stable.to_markdown());
     } else {
         println!("{table}");
+        println!();
+        println!("{stable}");
     }
 
     if let Some(path) = json {
-        std::fs::write(&path, exp_perf::to_json(&points)).unwrap_or_else(|e| {
+        std::fs::write(&path, exp_perf::to_json(&points, &scaling)).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         });

@@ -39,11 +39,6 @@ fn rnfd_star(
     crash_at: Option<SimTime>,
     seed: u64,
 ) -> (bool, Option<f64>) {
-    let mut w = World::new(WorldConfig::default().seed(seed).link(LinkModel::LossyDisk {
-        range_m: 30.0,
-        interference_range_m: 45.0,
-        prr,
-    }));
     let mut topo = Topology::new();
     topo.push(Pos::new(0.0, 0.0));
     for k in 0..sentinels {
@@ -55,16 +50,24 @@ fn rnfd_star(
     } else {
         (1..=sentinels as u32).map(NodeId).collect()
     };
-    let config = RnfdConfig {
+    let cfg = RnfdConfig {
         root: NodeId(0),
         heartbeat: SimDuration::from_secs(1),
         miss_threshold,
         sentinels: set,
     };
-    let cfg = config.clone();
-    let ids = w.add_nodes(&topo, move |_| {
-        Box::new(RnfdNode::new(CsmaMac::default(), cfg.clone())) as Box<dyn Proto>
-    });
+    let ids: Vec<NodeId> = (0..topo.len() as u32).map(NodeId).collect();
+    let mut w = SimBuilder::new()
+        .seed(seed)
+        .link(LinkModel::LossyDisk {
+            range_m: 30.0,
+            interference_range_m: 45.0,
+            prr,
+        })
+        .nodes(topo, move |_| {
+            Box::new(RnfdNode::new(CsmaMac::default(), cfg.clone())) as Box<dyn Proto>
+        })
+        .build();
     if let Some(at) = crash_at {
         w.kill_at(at, ids[0]);
     }

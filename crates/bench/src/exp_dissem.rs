@@ -100,10 +100,10 @@ struct Campaign {
 
 /// Runs one image through a grid under one MAC, polling in 5 s slices
 /// until every node completes or `cap_s` elapses.
-fn campaign<M: Mac>(mut w: World, ids: &[NodeId], img: &Image, cap_s: u64) -> Campaign {
+fn campaign<M: Mac>(mut w: Sim, ids: &[NodeId], img: &Image, cap_s: u64) -> Campaign {
     let gw = ids[0];
     let img2 = img.clone();
-    w.schedule(SimTime::from_secs(1), move |w| {
+    w.schedule_at(SimTime::from_secs(1), gw, move |w| {
         w.with_ctx(gw, move |p, ctx| {
             p.as_any_mut()
                 .downcast_mut::<DissemNode<M>>()
@@ -148,58 +148,65 @@ fn campaign<M: Mac>(mut w: World, ids: &[NodeId], img: &Image, cap_s: u64) -> Ca
 /// Builds the world + nodes for one arm and runs the campaign.
 fn run_arm(arm: MacArm, cols: usize, rows: usize, img: &Image, seed: u64, cap_s: u64) -> Campaign {
     let topo = Topology::grid(cols, rows, 20.0);
+    let ids: Vec<NodeId> = (0..topo.len() as u32).map(NodeId).collect();
     match arm {
         MacArm::Csma => {
-            let mut w = World::new(WorldConfig::default().seed(seed));
-            let ids = w.add_nodes(&topo, |_| {
-                Box::new(DissemNode::new(
-                    CsmaMac::new(CsmaConfig::default()),
-                    DissemConfig::default(),
-                )) as Box<dyn Proto>
-            });
+            let w = SimBuilder::new()
+                .seed(seed)
+                .nodes(topo, |_| {
+                    Box::new(DissemNode::new(
+                        CsmaMac::new(CsmaConfig::default()),
+                        DissemConfig::default(),
+                    )) as Box<dyn Proto>
+                })
+                .build();
             campaign::<CsmaMac>(w, &ids, img, cap_s)
         }
         MacArm::Lpl => {
-            let mut w = World::new(WorldConfig::default().seed(seed));
             // LPL broadcasts cost a full wake-interval preamble: shorten
             // the wake interval for the reprogramming window and slow the
             // control plane down to match the strobe-bound data path.
-            let ids = w.add_nodes(&topo, |_| {
-                Box::new(DissemNode::new(
-                    LplMac::new(LplConfig {
-                        wake_interval: SimDuration::from_millis(256),
-                        ..LplConfig::default()
-                    }),
-                    DissemConfig {
-                        trickle: TrickleConfig {
-                            imin: SimDuration::from_secs(1),
-                            doublings: 6,
-                            k: 1,
+            let w = SimBuilder::new()
+                .seed(seed)
+                .nodes(topo, |_| {
+                    Box::new(DissemNode::new(
+                        LplMac::new(LplConfig {
+                            wake_interval: SimDuration::from_millis(256),
+                            ..LplConfig::default()
+                        }),
+                        DissemConfig {
+                            trickle: TrickleConfig {
+                                imin: SimDuration::from_secs(1),
+                                doublings: 6,
+                                k: 1,
+                            },
+                            req_backoff: SimDuration::from_millis(500),
+                            ..DissemConfig::default()
                         },
-                        req_backoff: SimDuration::from_millis(500),
-                        ..DissemConfig::default()
-                    },
-                )) as Box<dyn Proto>
-            });
+                    )) as Box<dyn Proto>
+                })
+                .build();
             campaign::<LplMac>(w, &ids, img, cap_s)
         }
         MacArm::Tdma => {
             let parents = grid_parents(cols, rows);
             let sched = TdmaSchedule::tree_edges(&parents, SimDuration::from_millis(10));
             let frame = sched.frame_len();
-            let mut w = World::new(WorldConfig::default().seed(seed));
-            let ids = w.add_nodes(&topo, move |i| {
-                Box::new(DissemNode::new(
-                    TdmaMac::new(TdmaConfig::default(), sched.clone()),
-                    DissemConfig {
-                        trickle: TrickleConfig { imin: frame * 2, doublings: 6, k: 1 },
-                        unicast_data: true,
-                        adv_peers: Some(tree_peers(&parents, i)),
-                        req_backoff: frame / 2,
-                        ..DissemConfig::default()
-                    },
-                )) as Box<dyn Proto>
-            });
+            let w = SimBuilder::new()
+                .seed(seed)
+                .nodes(topo, move |i| {
+                    Box::new(DissemNode::new(
+                        TdmaMac::new(TdmaConfig::default(), sched.clone()),
+                        DissemConfig {
+                            trickle: TrickleConfig { imin: frame * 2, doublings: 6, k: 1 },
+                            unicast_data: true,
+                            adv_peers: Some(tree_peers(&parents, i)),
+                            req_backoff: frame / 2,
+                            ..DissemConfig::default()
+                        },
+                    )) as Box<dyn Proto>
+                })
+                .build();
             campaign::<TdmaMac>(w, &ids, img, cap_s)
         }
     }
@@ -272,16 +279,20 @@ pub fn e14_resume_with(rc: &RunConfig, side: usize, img_len: usize, crash_s: u64
             let img = e14_image(2, img_len);
             let victim = NodeId((side * side - 1) as u32);
             let down = SimDuration::from_secs(5);
-            let mut w = World::new(WorldConfig::default().seed(seed));
-            let ids = w.add_nodes(&Topology::grid(side, side, 20.0), |_| {
-                Box::new(DissemNode::new(
-                    CsmaMac::new(CsmaConfig::default()),
-                    DissemConfig::default(),
-                )) as Box<dyn Proto>
-            });
+            let topo = Topology::grid(side, side, 20.0);
+            let ids: Vec<NodeId> = (0..topo.len() as u32).map(NodeId).collect();
+            let mut w = SimBuilder::new()
+                .seed(seed)
+                .nodes(topo, |_| {
+                    Box::new(DissemNode::new(
+                        CsmaMac::new(CsmaConfig::default()),
+                        DissemConfig::default(),
+                    )) as Box<dyn Proto>
+                })
+                .build();
             let gw = ids[0];
             let img2 = img.clone();
-            w.schedule(SimTime::from_secs(1), move |w| {
+            w.schedule_at(SimTime::from_secs(1), gw, move |w| {
                 w.with_ctx(gw, move |p, ctx| {
                     p.as_any_mut()
                         .downcast_mut::<DissemNode<CsmaMac>>()
@@ -295,7 +306,7 @@ pub fn e14_resume_with(rc: &RunConfig, side: usize, img_len: usize, crash_s: u64
                 at: SimTime::from_secs(crash_s),
                 down_for: down,
             });
-            plan.apply_with_state_loss(&mut w, loss);
+            plan.apply_with_state_loss(w.world_mut(), loss);
             // Sample the victim's flash just before it comes back.
             w.run_until(SimTime::from_secs(crash_s) + down - SimDuration::from_millis(1));
             let kept = w.proto::<DissemNode<CsmaMac>>(victim).store().have_pages();
@@ -356,17 +367,23 @@ pub fn e14_rollout_with(rc: &RunConfig, side: usize, cap_s: u64) -> Table {
         .map(|(name, staged)| {
             Trial::new(format!("e14/rollout/{name}"), 0xE14, move |seed| {
                 let img = e14_image(3, 960).poisoned();
-                let mut w = World::new(WorldConfig::default().seed(seed));
-                let ids = w.add_nodes(&Topology::grid(side, side, 20.0), |_| {
-                    Box::new(DissemNode::new(
-                        CsmaMac::new(CsmaConfig::default()),
-                        DissemConfig { enabled: false, ..DissemConfig::default() },
-                    )) as Box<dyn Proto>
-                });
-                w.add_node(
-                    Pos::new(-100.0, -100.0),
-                    Box::new(BlockInjector::new(ids[0], &img, 64)),
-                );
+                let topo = Topology::grid(side, side, 20.0);
+                let ids: Vec<NodeId> = (0..topo.len() as u32).map(NodeId).collect();
+                let gw = ids[0];
+                let inj_img = img.clone();
+                let mut w = SimBuilder::new()
+                    .seed(seed)
+                    .nodes(topo, |_| {
+                        Box::new(DissemNode::new(
+                            CsmaMac::new(CsmaConfig::default()),
+                            DissemConfig { enabled: false, ..DissemConfig::default() },
+                        )) as Box<dyn Proto>
+                    })
+                    .nodes(
+                        std::iter::once(Pos::new(-100.0, -100.0)).collect::<Topology>(),
+                        move |_| Box::new(BlockInjector::new(gw, &inj_img, 64)),
+                    )
+                    .build();
                 // Wireless cohorts by tree depth from the gateway:
                 // disabled nodes relay nothing, so waves must grow
                 // outward for the image to reach them at all.
@@ -396,7 +413,7 @@ pub fn e14_rollout_with(rc: &RunConfig, side: usize, cap_s: u64) -> Table {
                 };
                 // The gateway itself (cohort zero of any rollout) is
                 // always enabled: it holds the trusted image.
-                rollout::drive::<CsmaMac>(&mut w, ids[0], plan, SimTime::from_secs(2));
+                rollout::drive::<CsmaMac>(w.world_mut(), ids[0], plan, SimTime::from_secs(2));
                 w.run_for(SimDuration::from_secs(cap_s));
                 let poisoned = ids
                     .iter()

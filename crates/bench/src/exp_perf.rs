@@ -1,22 +1,32 @@
-//! Perf workload: kernel throughput on growing CSMA/LPL grids.
+//! Perf workload: kernel throughput on growing CSMA/LPL grids, plus
+//! the sharded-kernel scaling curves.
 //!
 //! Unlike E1-E14 this harness measures the *simulator*, not the
-//! simulated protocols: square grids of broadcast-chatty nodes
-//! (10x10 up to 40x40) are run once with the radio medium's spatial
-//! candidate index and once with the exhaustive O(nodes) scan, timing
-//! wall clock and counting dispatched events. Two quantities come out
-//! of every point, with very different contracts:
+//! simulated protocols. Two matrices come out of it:
+//!
+//! * the **index matrix** — square grids of broadcast-chatty nodes
+//!   (10x10 up to 40x40) run once with the radio medium's spatial
+//!   candidate index and once with the exhaustive O(nodes) scan;
+//! * the **scaling curves** — the transmit-heavy broadcast workload at
+//!   N ∈ {400, 1600, 6400} run at `--shards 1/2/4`, measuring how the
+//!   sharded kernel's per-shard medium (smaller active-record scans,
+//!   one worker thread per shard where cores exist, cooperative serial
+//!   shards on a single core — see [`scaling_curves`]) changes
+//!   aggregate events per second.
+//!
+//! Each point carries two kinds of quantities with very different
+//! contracts:
 //!
 //! * **`events`** — how many kernel events the workload dispatches.
-//!   A pure function of the workload and seed: byte-stable across
-//!   worker counts, machines and index on/off. This is what CI
+//!   A pure function of the workload, seed and shard count: byte-stable
+//!   across worker counts, machines and index on/off. This is what CI
 //!   *gates* on (`scripts/perf_gate.sh`).
 //! * **wall-clock / events-per-second** — recorded into
 //!   `BENCH_perf.json` for trajectory tracking, never gated (CI
 //!   machines are noisy; timing thresholds make flaky gates).
 //!
-//! The harness also asserts, per point, that the indexed and
-//! exhaustive runs dispatch the *same* event count — the scaled-up
+//! The harness also asserts, per index-matrix point, that the indexed
+//! and exhaustive runs dispatch the *same* event count — the scaled-up
 //! version of the per-call equivalence property test in
 //! `iiot_sim::radio`.
 
@@ -25,6 +35,8 @@ use iiot_mac::csma::CsmaMac;
 use iiot_mac::driver::MacDriver;
 use iiot_mac::lpl::{LplConfig, LplMac};
 use iiot_sim::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Grid spacing in meters (default unit-disk range 30 m: 4-neighbour
@@ -54,14 +66,41 @@ impl Proto for Blaster {
     }
 }
 
-/// One measured point of the perf matrix.
+/// Fans `f(0)..f(n-1)` out over `jobs` scoped workers and returns the
+/// results in index order. `f` must be a pure function of its index;
+/// collecting by slot then makes the output independent of the worker
+/// count and of scheduling.
+fn fan_out<T: Send>(jobs: usize, n: usize, f: impl Fn(usize) -> T + Send + Sync) -> Vec<T> {
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..jobs.clamp(1, n.max(1)) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                slots.lock().expect("slots")[i] = Some(v);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("slots")
+        .into_iter()
+        .map(|s| s.expect("job ran"))
+        .collect()
+}
+
+/// One measured point of the index matrix.
 #[derive(Clone, Copy, Debug)]
 pub struct PerfPoint {
     /// Grid side (the deployment has `side * side` nodes).
     pub side: u32,
     /// Node count (`side * side`).
     pub nodes: u32,
-    /// MAC flavour: `"csma"` or `"lpl"`.
+    /// MAC flavour: `"bcast"`, `"csma"` or `"lpl"`.
     pub mac: &'static str,
     /// Simulated seconds of the workload.
     pub secs: u64,
@@ -86,10 +125,45 @@ impl PerfPoint {
     }
 }
 
+/// One measured point of the shard-scaling curves.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    /// Grid side (the deployment has `side * side` nodes).
+    pub side: u32,
+    /// Node count (`side * side`).
+    pub nodes: u32,
+    /// Shard count the point ran at (1 = serial kernel).
+    pub shards: u32,
+    /// Simulated seconds of the workload.
+    pub secs: u64,
+    /// Events dispatched, summed across shards. A pure function of
+    /// (workload, seed, shards): byte-stable across worker counts and
+    /// machines *per shard count* — shard counts are distinct models,
+    /// so counts are not comparable across them.
+    pub events: u64,
+    /// Wall-clock time, microseconds.
+    pub wall_us: u64,
+    /// How the shards executed: `"threaded"` (one worker thread per
+    /// shard — machines with ≥ 2 cores) or `"serial"` (all shards
+    /// driven cooperatively from one thread — single-core machines,
+    /// where extra threads are pure overhead and the measurable win is
+    /// the per-shard medium's smaller scans). Machine-dependent like
+    /// wall clock, so it lives in the `timing` block; the event count
+    /// is identical either way.
+    pub mode: &'static str,
+}
+
+impl ScalePoint {
+    /// Aggregate dispatched events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / (self.wall_us as f64 / 1e6).max(1e-9)
+    }
+}
+
 /// Builds the transmit-heavy workload: a `side x side` grid where every
 /// node broadcasts periodically (staggered by node index so the medium
 /// always has traffic in the air).
-fn build(side: u32, mac: &str, secs: u64, seed: u64) -> World {
+fn build(side: u32, mac: &str, secs: u64, seed: u64, shard: ShardConfig) -> Sim {
     // Log-distance pathloss with a sigmoid gray zone: the realistic —
     // and computationally heaviest — link model, where every node the
     // candidate scan visits costs a sqrt and a log10. This is the
@@ -101,34 +175,37 @@ fn build(side: u32, mac: &str, secs: u64, seed: u64) -> World {
         rssi50_dbm: -88.0,
         spread_db: 3.0,
     };
-    let mut w = World::new(WorldConfig::default().seed(seed).link(link));
     let topo = Topology::grid(side as usize, side as usize, SPACING_M);
-    match mac {
+    let builder = SimBuilder::new().seed(seed).link(link).sharding(shard);
+    let mut sim = match mac {
         "bcast" => {
             // 20 broadcasts per node-second, staggered at microsecond
             // granularity: the medium is never idle.
-            w.add_nodes(&topo, |_| {
-                Box::new(Blaster {
-                    period: SimDuration::from_millis(50),
-                }) as Box<dyn Proto>
-            });
+            builder
+                .nodes(topo, |_| {
+                    Box::new(Blaster {
+                        period: SimDuration::from_millis(50),
+                    })
+                })
+                .build()
         }
         "csma" => {
-            let ids = w.add_nodes(&topo, |_| {
-                Box::new(MacDriver::new(CsmaMac::default())) as Box<dyn Proto>
-            });
+            let mut sim = builder
+                .nodes(topo, |_| Box::new(MacDriver::new(CsmaMac::default())))
+                .build();
             // Every node broadcasts 24 B four times per second.
-            for (k, &n) in ids.iter().enumerate() {
-                let d = w.proto_mut::<MacDriver<CsmaMac>>(n);
+            for k in 0..(side as u64 * side as u64) {
+                let d = sim.proto_mut::<MacDriver<CsmaMac>>(NodeId(k as u32));
                 for s in 0..secs * 4 {
                     d.push_send(
-                        SimTime::from_millis(s * 250 + (k as u64 % 250)),
+                        SimTime::from_millis(s * 250 + (k % 250)),
                         Dst::Broadcast,
                         1,
                         vec![0xAB; 24],
                     );
                 }
             }
+            sim
         }
         "lpl" => {
             // A short wake interval keeps the strobe trains (and the
@@ -138,42 +215,52 @@ fn build(side: u32, mac: &str, secs: u64, seed: u64) -> World {
                 wake_interval: SimDuration::from_millis(128),
                 ..LplConfig::default()
             };
-            let ids = w.add_nodes(&topo, |_| {
-                Box::new(MacDriver::new(LplMac::new(cfg.clone()))) as Box<dyn Proto>
-            });
+            let mut sim = builder
+                .nodes(topo, move |_| Box::new(MacDriver::new(LplMac::new(cfg.clone()))))
+                .build();
             // One strobed broadcast per node every two seconds.
-            for (k, &n) in ids.iter().enumerate() {
-                let d = w.proto_mut::<MacDriver<LplMac>>(n);
+            for k in 0..(side as u64 * side as u64) {
+                let d = sim.proto_mut::<MacDriver<LplMac>>(NodeId(k as u32));
                 for s in 0..secs.div_ceil(2) {
                     d.push_send(
-                        SimTime::from_millis(s * 2000 + (k as u64 % 2000)),
+                        SimTime::from_millis(s * 2000 + (k % 2000)),
                         Dst::Broadcast,
                         1,
                         vec![0xCD; 24],
                     );
                 }
             }
+            sim
         }
         other => panic!("unknown mac flavour {other:?}"),
-    }
-    w
+    };
+    debug_assert_eq!(sim.shards(), shard.shards);
+    let _ = &mut sim;
+    sim
 }
 
 /// Runs one workload in one medium mode; returns (events, wall).
-fn measure(side: u32, mac: &str, secs: u64, seed: u64, indexed: bool) -> (u64, Duration) {
-    let mut w = build(side, mac, secs, seed);
-    w.set_spatial_index(indexed);
+fn measure(
+    side: u32,
+    mac: &str,
+    secs: u64,
+    seed: u64,
+    indexed: bool,
+    shard: ShardConfig,
+) -> (u64, Duration) {
+    let mut sim = build(side, mac, secs, seed, shard);
+    sim.set_spatial_index(indexed);
     let started = Instant::now();
-    w.run_for(SimDuration::from_secs(secs));
+    sim.run(SimDuration::from_secs(secs));
     let wall = started.elapsed();
-    (w.events_dispatched(), wall)
+    (sim.events_dispatched(), wall)
 }
 
-/// Measures the full matrix: `sides` x [`MACS`], each point indexed and
-/// exhaustive. Points fan out over the runner's worker pool (results
-/// come back in matrix order regardless of `--jobs`); the two modes of
-/// one point run back to back on one worker so their timing ratio is
-/// meaningful.
+/// Measures the index matrix: `sides` x [`MACS`], each point indexed
+/// and exhaustive, on the serial kernel. Points fan out over the
+/// runner's worker pool (results come back in matrix order regardless
+/// of `--jobs`); the two modes of one point run back to back on one
+/// worker so their timing ratio is meaningful.
 ///
 /// # Panics
 ///
@@ -185,11 +272,11 @@ pub fn perf_matrix(rc: &RunConfig, sides: &[u32], secs: u64) -> Vec<PerfPoint> {
         .iter()
         .flat_map(|&s| MACS.iter().map(move |&m| (s, m)))
         .collect();
-    rc.runner.run_indexed(points.len(), |i| {
+    fan_out(rc.runner.jobs(), points.len(), |i| {
         let (side, mac) = points[i];
         let seed = 0xBE2C_0000 + i as u64;
-        let (ev_idx, wall_idx) = measure(side, mac, secs, seed, true);
-        let (ev_ex, wall_ex) = measure(side, mac, secs, seed, false);
+        let (ev_idx, wall_idx) = measure(side, mac, secs, seed, true, ShardConfig::default());
+        let (ev_ex, wall_ex) = measure(side, mac, secs, seed, false, ShardConfig::default());
         assert_eq!(
             ev_idx, ev_ex,
             "{side}x{side}/{mac}: indexed and exhaustive runs diverged"
@@ -206,8 +293,46 @@ pub fn perf_matrix(rc: &RunConfig, sides: &[u32], secs: u64) -> Vec<PerfPoint> {
     })
 }
 
-/// Renders the matrix as a human-readable table. Timing cells vary run
-/// to run; only `events` is deterministic.
+/// Measures the shard-scaling curves: the `bcast` workload at every
+/// `sides` x `shard_counts` combination. Points run sequentially —
+/// each one may itself use one worker thread per shard, and sharing
+/// cores between points would corrupt the timing.
+///
+/// On machines with ≥ 2 cores shards run threaded (one worker per
+/// shard); on a single core they run serially from the calling thread,
+/// because spawning threads a core cannot execute in parallel only
+/// adds barrier/context-switch overhead on top of the per-shard
+/// medium's algorithmic win. Event counts are identical either way
+/// (the sharded model is thread-count invariant); the chosen mode is
+/// recorded in each point's `timing` block.
+pub fn scaling_curves(sides: &[u32], secs: u64, shard_counts: &[u32]) -> Vec<ScalePoint> {
+    let serial = std::thread::available_parallelism().map_or(true, |p| p.get() < 2);
+    let mut out = Vec::new();
+    for (i, &side) in sides.iter().enumerate() {
+        for &shards in shard_counts {
+            let seed = 0x5CA1_0000 + i as u64;
+            let shard = if serial {
+                ShardConfig::serial(shards as usize)
+            } else {
+                ShardConfig::threaded(shards as usize)
+            };
+            let (events, wall) = measure(side, "bcast", secs, seed, true, shard);
+            out.push(ScalePoint {
+                side,
+                nodes: side * side,
+                shards,
+                secs,
+                events,
+                wall_us: wall.as_micros() as u64,
+                mode: if serial { "serial" } else { "threaded" },
+            });
+        }
+    }
+    out
+}
+
+/// Renders the index matrix as a human-readable table. Timing cells
+/// vary run to run; only `events` is deterministic.
 pub fn table(points: &[PerfPoint]) -> Table {
     let mut t = Table::new(
         "PERF: kernel throughput, spatial index vs exhaustive scan (20 m grid, broadcast-heavy)",
@@ -229,12 +354,43 @@ pub fn table(points: &[PerfPoint]) -> Table {
     t
 }
 
-/// Serializes the matrix as the `BENCH_perf.json` document. The
-/// `deterministic` block of each point (side, mac, nodes, secs,
-/// events) is byte-stable across worker counts and machines — CI's
+/// Renders the scaling curves as a human-readable table, with each
+/// point's aggregate events/s relative to its `shards = 1` baseline.
+pub fn scaling_table(points: &[ScalePoint]) -> Table {
+    let mut t = Table::new(
+        "PERF: sharded-kernel scaling (bcast workload, conservative-lookahead shards)",
+        &["nodes", "shards", "mode", "events", "wall (ms)", "Mev/s", "vs 1 shard"],
+    );
+    for p in points {
+        let base = points
+            .iter()
+            .find(|q| q.side == p.side && q.shards == 1)
+            .map(|q| q.events_per_sec())
+            .unwrap_or(0.0);
+        let rel = if base > 0.0 {
+            format!("{:.2}x", p.events_per_sec() / base)
+        } else {
+            "-".to_string()
+        };
+        t.row(vec![
+            p.nodes.to_string(),
+            p.shards.to_string(),
+            p.mode.to_string(),
+            p.events.to_string(),
+            format!("{:.1}", p.wall_us as f64 / 1e3),
+            format!("{:.2}", p.events_per_sec() / 1e6),
+            rel,
+        ]);
+    }
+    t
+}
+
+/// Serializes both matrices as the `BENCH_perf.json` document. The
+/// `deterministic` block of each point is byte-stable across worker
+/// counts and machines (per shard count, for scaling points) — CI's
 /// perf gate compares exactly that subset; `timing` is informational.
-pub fn to_json(points: &[PerfPoint]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"iiot-bench/perf/v1\",\n");
+pub fn to_json(points: &[PerfPoint], scaling: &[ScalePoint]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"iiot-bench/perf/v2\",\n");
     out.push_str(&format!("  \"spacing_m\": {SPACING_M},\n  \"points\": [\n"));
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -252,6 +408,23 @@ pub fn to_json(points: &[PerfPoint]) -> String {
             p.speedup(),
             p.events_per_sec(),
             if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"scaling\": [\n");
+    for (i, p) in scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"deterministic\": {{\"side\": {}, \"nodes\": {}, \"shards\": {}, \
+             \"secs\": {}, \"events\": {}}}, \
+             \"timing\": {{\"wall_us\": {}, \"events_per_sec\": {:.0}, \"mode\": \"{}\"}}}}{}\n",
+            p.side,
+            p.nodes,
+            p.shards,
+            p.secs,
+            p.events,
+            p.wall_us,
+            p.events_per_sec(),
+            p.mode,
+            if i + 1 == scaling.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -282,7 +455,18 @@ mod tests {
     }
 
     #[test]
-    fn json_has_schema_and_deterministic_block() {
+    fn scaling_counts_are_stable_per_shard_count() {
+        let a = scaling_curves(&[4], 1, &[1, 2]);
+        let b = scaling_curves(&[4], 1, &[1, 2]);
+        assert_eq!(a.len(), 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.side, x.shards, x.events), (y.side, y.shards, y.events));
+            assert!(x.events > 0);
+        }
+    }
+
+    #[test]
+    fn json_has_schema_and_deterministic_blocks() {
         let p = PerfPoint {
             side: 10,
             nodes: 100,
@@ -292,12 +476,28 @@ mod tests {
             wall_indexed_us: 1000,
             wall_exhaustive_us: 5000,
         };
-        let j = to_json(&[p]);
-        assert!(j.contains("\"schema\": \"iiot-bench/perf/v1\""));
+        let s = ScalePoint {
+            side: 20,
+            nodes: 400,
+            shards: 4,
+            secs: 5,
+            events: 9876,
+            wall_us: 2000,
+            mode: "serial",
+        };
+        let j = to_json(&[p], &[s]);
+        assert!(j.contains("\"schema\": \"iiot-bench/perf/v2\""));
         assert!(j.contains("\"events\": 1234"));
         assert!(j.contains("\"speedup\": 5.00"));
+        assert!(j.contains("\"shards\": 4"));
+        assert!(j.contains("\"events\": 9876"));
+        assert!(j.contains("\"mode\": \"serial\""));
         let t = table(&[p]);
         assert_eq!(t.rows().len(), 1);
         assert_eq!(t.rows()[0][5], "5.0x");
+        let st = scaling_table(&[s]);
+        assert_eq!(st.rows().len(), 1);
+        assert_eq!(st.rows()[0][1], "4");
+        assert_eq!(st.rows()[0][2], "serial");
     }
 }

@@ -98,15 +98,17 @@ pub fn e2_latency_vs_hops_with(rc: &RunConfig, secs: u64) -> Table {
     t
 }
 
-fn run_agg(mode: Mode, epoch_ms: u32, rounds: u16, n: usize, seed: u64) -> World {
+fn run_agg(mode: Mode, epoch_ms: u32, rounds: u16, n: usize, seed: u64) -> Sim {
     let parents: Vec<Option<NodeId>> = (0..n)
         .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
         .collect();
-    let mut w = World::new(WorldConfig::default().seed(seed));
     let cfg = AggConfig::new(parents, mode, epoch_ms, rounds);
-    w.add_nodes(&Topology::line(n, 20.0), move |_| {
-        Box::new(AggregationNode::new(CsmaMac::default(), cfg.clone())) as Box<dyn Proto>
-    });
+    let mut w = SimBuilder::new()
+        .seed(seed)
+        .nodes(Topology::line(n, 20.0), move |_| {
+            Box::new(AggregationNode::new(CsmaMac::default(), cfg.clone())) as Box<dyn Proto>
+        })
+        .build();
     let horizon = 2_000 + epoch_ms as u64 * (rounds as u64 + 2);
     w.run_for(SimDuration::from_millis(horizon));
     w
@@ -129,7 +131,7 @@ pub fn e3_funneling(rc: &RunConfig) -> Table {
         .map(|(name, mode)| {
             Trial::new(format!("e3/{name}"), 0xE3, move |seed| {
                 let counter = if mode == Mode::Raw { "raw_tx" } else { "agg_tx" };
-                let w = run_agg(mode, 5_000, rounds, n, seed);
+                let mut w = run_agg(mode, 5_000, rounds, n, seed);
                 (1..n)
                     .map(|i| {
                         let id = NodeId(i as u32);
@@ -169,7 +171,7 @@ pub fn e3_epoch_ablation(rc: &RunConfig) -> Table {
         .map(|epoch_s| {
             Trial::new(format!("e3a/epoch{epoch_s}"), 0xE3A, move |seed| {
                 let rounds = (60 / epoch_s) as u16;
-                let w = run_agg(Mode::Aggregate, epoch_s * 1000, rounds, 8, seed);
+                let mut w = run_agg(Mode::Aggregate, epoch_s * 1000, rounds, 8, seed);
                 vec![vec![
                     Cell::label(epoch_s.to_string()),
                     Cell::label(rounds.to_string()),
@@ -212,7 +214,6 @@ pub fn e5_size_scaling_with(rc: &RunConfig, sides: &[usize], secs: u64) -> Table
                     d.world.stats().node_total("dio_tx") / n as f64 / (secs as f64 / 60.0);
 
                 // Centralized: everyone unicasts straight to the sink.
-                let mut w = World::new(WorldConfig::default().seed(seed));
                 let parents: Vec<Option<NodeId>> = (0..n)
                     .map(|i| if i == 0 { None } else { Some(NodeId(0)) })
                     .collect();
@@ -222,10 +223,13 @@ pub fn e5_size_scaling_with(rc: &RunConfig, sides: &[usize], secs: u64) -> Table
                     payload_len: 10,
                     start_after: SimDuration::from_secs(60),
                 });
-                w.add_nodes(&Topology::grid(side, side, 20.0), move |_| {
-                    Box::new(StaticCollection::new(CsmaMac::default(), cfg.clone()))
-                        as Box<dyn Proto>
-                });
+                let mut w = SimBuilder::new()
+                    .seed(seed)
+                    .nodes(Topology::grid(side, side, 20.0), move |_| {
+                        Box::new(StaticCollection::new(CsmaMac::default(), cfg.clone()))
+                            as Box<dyn Proto>
+                    })
+                    .build();
                 w.run_for(SimDuration::from_secs(secs));
                 let gen = w.stats().node_total("data_origin");
                 let del = w.stats().get("data_rx_root");
@@ -361,31 +365,33 @@ pub fn e11_trickle_ablation(rc: &RunConfig) -> Table {
 fn run_tenants(plan: ChannelPlan, tenants: usize, seed: u64) -> (usize, usize) {
     let per_tenant = 6usize;
     let frames = 600u64;
-    let mut w = World::new(WorldConfig::default().seed(seed));
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0E);
+    let mut b = SimBuilder::new().seed(seed);
     let mut groups: Vec<Vec<NodeId>> = Vec::new();
-    for t in 0..tenants {
+    let mut next_id = 0u32;
+    for _ in 0..tenants {
         let topo = Topology::clustered(1, per_tenant, 60.0, 60.0, 8.0, &mut rng);
-        let batch: Vec<NodeId> = topo
-            .iter()
-            .map(|pos| w.add_node(pos, Box::new(MacDriver::new(CsmaMac::default()))))
+        let batch: Vec<NodeId> = (0..topo.len())
+            .map(|i| NodeId(next_id + i as u32))
             .collect();
-        // Channel plan: re-tune every 1 s epoch (static plans are
-        // constant; hopping changes channels).
-        for &node in &batch {
+        next_id += topo.len() as u32;
+        b = b.nodes(topo, |_| Box::new(MacDriver::new(CsmaMac::default())));
+        groups.push(batch);
+    }
+    let mut w = b.build();
+    // Channel plan: re-tune every 1 s epoch (static plans are
+    // constant; hopping changes channels).
+    for (t, batch) in groups.iter().enumerate() {
+        for &node in batch {
             for epoch in 0..40u64 {
                 let ch = plan.channel_for(TenantId(t as u16), epoch);
-                w.schedule(
-                    SimTime::from_millis(epoch * 1000 + 1),
-                    move |w2| {
-                        w2.with_ctx(node, |_p, ctx| {
-                            let _ = ctx.set_channel(ch);
-                        });
-                    },
-                );
+                w.schedule_at(SimTime::from_millis(epoch * 1000 + 1), node, move |w2| {
+                    w2.with_ctx(node, |_p, ctx| {
+                        let _ = ctx.set_channel(ch);
+                    });
+                });
             }
         }
-        groups.push(batch);
     }
     for batch in &groups {
         for (k, &node) in batch.iter().enumerate() {

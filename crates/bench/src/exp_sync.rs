@@ -62,28 +62,28 @@ fn tdma_line_run(n: usize, ppm: f64, guard: SimDuration, mode: SyncMode, seed: u
         payload_len: 10,
         start_after: SimDuration::from_secs(30),
     });
-    let mut w = World::new(
-        WorldConfig::default()
-            .seed(seed)
-            .clock(ClockModel::drifting(ppm)),
-    );
-    let ids = w.add_nodes(&Topology::line(n, 10.0), move |_| {
-        let mac = TdmaMac::new(TdmaConfig::default(), sched.clone());
-        let mac = match mode {
-            SyncMode::Unsynced => mac.with_local_clock(),
-            // 2 ms stride: beacon airtime is ~1.2 ms, so cascading
-            // re-floods need headroom for estimate error between
-            // adjacent depths or they collide in the sync slot.
-            SyncMode::Ftsp { window, every } => mac.with_sync(TdmaSync {
-                ftsp: FtspConfig::default()
-                    .with_reference(NodeId(0))
-                    .with_window(window),
-                every,
-                stride: SimDuration::from_micros(2000),
-            }),
-        };
-        Box::new(StaticCollection::new(mac, cfg.clone())) as Box<dyn Proto>
-    });
+    let mut w = SimBuilder::new()
+        .seed(seed)
+        .clock(ClockModel::drifting(ppm))
+        .nodes(Topology::line(n, 10.0), move |_| {
+            let mac = TdmaMac::new(TdmaConfig::default(), sched.clone());
+            let mac = match mode {
+                SyncMode::Unsynced => mac.with_local_clock(),
+                // 2 ms stride: beacon airtime is ~1.2 ms, so cascading
+                // re-floods need headroom for estimate error between
+                // adjacent depths or they collide in the sync slot.
+                SyncMode::Ftsp { window, every } => mac.with_sync(TdmaSync {
+                    ftsp: FtspConfig::default()
+                        .with_reference(NodeId(0))
+                        .with_window(window),
+                    every,
+                    stride: SimDuration::from_micros(2000),
+                }),
+            };
+            Box::new(StaticCollection::new(mac, cfg.clone())) as Box<dyn Proto>
+        })
+        .build();
+    let ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
     w.run_for(SimDuration::from_secs(secs));
     let gen = w.stats().node_total("data_origin");
     let del = w.stats().get("data_rx_root");
@@ -154,14 +154,14 @@ pub fn e13_drift_sweep(rc: &RunConfig) -> Table {
 pub fn e13_sync_error_with(rc: &RunConfig, n: usize, secs: u64) -> Table {
     let trials = vec![Trial::new("e13/hops", 0xE13, move |seed| {
         let cfg = FtspConfig::default().with_period(SimDuration::from_secs(2));
-        let mut w = World::new(
-            WorldConfig::default()
-                .seed(seed)
-                .clock(ClockModel::drifting(50.0)),
-        );
-        let ids = w.add_nodes(&Topology::line(n, 25.0), move |_| {
-            Box::new(FtspNode::new(cfg.clone())) as Box<dyn Proto>
-        });
+        let mut w = SimBuilder::new()
+            .seed(seed)
+            .clock(ClockModel::drifting(50.0))
+            .nodes(Topology::line(n, 25.0), move |_| {
+                Box::new(FtspNode::new(cfg.clone())) as Box<dyn Proto>
+            })
+            .build();
+        let ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
         // Settle, then time-average |error| over the tail: a single
         // snapshot is dominated by where each node sits in its
         // beacon/regression cycle.

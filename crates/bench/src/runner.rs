@@ -190,44 +190,6 @@ impl Runner {
         self.jobs
     }
 
-    /// Fans `f(0)..f(n-1)` out over the worker pool and returns the
-    /// results in index order — the typed sibling of [`Runner::run`]
-    /// for harnesses (like the perf matrix) that want structured
-    /// results rather than formatted table rows. `f` must be a pure
-    /// function of its index; the output is then independent of the
-    /// worker count by the same collect-by-slot argument as `run`.
-    pub fn run_indexed<T: Send>(&self, n: usize, f: impl Fn(usize) -> T + Send + Sync) -> Vec<T> {
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = crossbeam::channel::unbounded();
-        let workers = self.jobs.min(n.max(1));
-        crossbeam::thread::scope(|s| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                let f = &f;
-                s.spawn(move |_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    if tx.send((i, f(i))).is_err() {
-                        unreachable!("collector alive");
-                    }
-                });
-            }
-            drop(tx);
-            let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-            for (i, v) in rx.iter() {
-                slots[i] = Some(v);
-            }
-            slots
-        })
-        .expect("worker panicked")
-        .into_iter()
-        .map(|s| s.expect("job ran"))
-        .collect()
-    }
-
     /// Runs every trial `replicas` times and returns one aggregated
     /// outcome per trial, in the order the trials were passed in.
     ///

@@ -32,10 +32,10 @@ impl Proto for Beacon {
 }
 
 fn trial(seed: u64) -> MetricRows {
-    let mut w = World::new(WorldConfig::default().seed(seed));
-    for i in 0..3 {
-        w.add_node(Pos::new(10.0 * i as f64, 0.0), Box::new(Beacon { sent: 0 }));
-    }
+    let mut w = SimBuilder::new()
+        .seed(seed)
+        .nodes(Topology::line(3, 10.0), |_| Box::new(Beacon { sent: 0 }))
+        .build();
     w.kill_at(SimTime::from_millis(400), NodeId(2));
     w.run_for(SimDuration::from_secs(2));
     vec![vec![Cell::int(f64::from(w.proto::<Beacon>(NodeId(0)).sent))]]

@@ -105,7 +105,7 @@ impl DeploymentBuilder {
     /// Panics if the topology is empty.
     pub fn build(self) -> Deployment {
         assert!(!self.topology.is_empty(), "deployment needs nodes");
-        let wc = WorldConfig::default()
+        let wc = SimConfig::default()
             .seed(self.seed)
             .radio(self.radio.clone());
 
@@ -114,8 +114,11 @@ impl DeploymentBuilder {
         // tree then doubles as the static routing state (Dozer-style:
         // the schedule *is* the route).
         let schedule = if let MacChoice::Tdma(slot) = self.mac {
-            let mut probe = World::new(wc.clone());
-            probe.add_nodes(&self.topology, |_| Box::new(Idle) as Box<dyn Proto>);
+            let probe = SimBuilder::new()
+                .config(wc.clone())
+                .nodes(self.topology.clone(), |_| Box::new(Idle) as Box<dyn Proto>)
+                .build()
+                .into_world();
             let parents = graph::parents_bfs(&probe, NodeId(0));
             // Superframe padding: three idle slots per active slot
             // drops the duty cycle ~4x at ~4x the per-frame latency.
@@ -126,12 +129,19 @@ impl DeploymentBuilder {
             None
         };
 
-        let mut world = World::new(wc);
         let mac = self.mac;
         let dodag = self.dodag.clone();
-        let nodes = world.add_nodes(&self.topology, move |i| {
-            make_node(mac, &dodag, schedule.as_ref(), i == 0)
-        });
+        let nodes: Vec<NodeId> = (0..self.topology.len() as u32).map(NodeId).collect();
+        // `extend` adds nodes to a running world, so the deployment owns
+        // a bare `World` rather than a `Sim`: build through the builder
+        // and unwrap the serial kernel.
+        let world = SimBuilder::new()
+            .config(wc)
+            .nodes(self.topology, move |i| {
+                make_node(mac, &dodag, schedule.as_ref(), i == 0)
+            })
+            .build()
+            .into_world();
         Deployment {
             world,
             root: nodes[0],

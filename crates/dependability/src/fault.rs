@@ -174,7 +174,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn idle_world(n: usize) -> World {
-        let mut w = World::new(WorldConfig::default());
+        let mut w = World::new(SimConfig::default());
         w.add_nodes(&Topology::line(n, 10.0), |_| Box::new(Idle) as Box<dyn Proto>);
         w
     }
@@ -213,7 +213,7 @@ mod tests {
             }
         }
         let run = |loss| {
-            let mut w = World::new(WorldConfig::default());
+            let mut w = World::new(SimConfig::default());
             let n = w.add_node(Pos::new(0.0, 0.0), Box::new(Probe::default()));
             let mut plan = FaultPlan::new();
             plan.push(Fault::CrashRecover {

@@ -53,7 +53,7 @@
 //!
 //! type Node = DissemNode<CsmaMac>;
 //!
-//! let mut w = World::new(WorldConfig::default().seed(5));
+//! let mut w = World::new(SimConfig::default().seed(5));
 //! let ids = w.add_nodes(&Topology::line(3, 20.0), |_| {
 //!     Box::new(DissemNode::new(
 //!         CsmaMac::new(CsmaConfig::default()),

@@ -18,7 +18,7 @@ fn image(version: u32, len: usize) -> Image {
 }
 
 fn csma_line(n: usize, seed: u64, enabled: bool) -> (World, Vec<NodeId>) {
-    let mut w = World::new(WorldConfig::default().seed(seed));
+    let mut w = World::new(SimConfig::default().seed(seed));
     let ids = w.add_nodes(&Topology::line(n, 20.0), move |_| {
         Box::new(DissemNode::new(
             CsmaMac::new(CsmaConfig::default()),
@@ -152,7 +152,7 @@ fn tdma_tree_schedule_carries_the_image() {
         .collect();
     let sched = TdmaSchedule::tree_edges(&parents, SimDuration::from_millis(20));
     let frame = sched.frame_len();
-    let mut w = World::new(WorldConfig::default().seed(17));
+    let mut w = World::new(SimConfig::default().seed(17));
     let p2 = parents.clone();
     let ids = w.add_nodes(&Topology::line(n, 20.0), move |i| {
         // Each node advertises to its tree neighbours by unicast: the

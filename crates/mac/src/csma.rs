@@ -394,7 +394,7 @@ mod tests {
     use iiot_sim::prelude::*;
 
     fn two_node_world() -> (World, NodeId, NodeId) {
-        let mut w = World::new(WorldConfig::default());
+        let mut w = World::new(SimConfig::default());
         let a = w.add_node(
             Pos::new(0.0, 0.0),
             Box::new(MacDriver::new(CsmaMac::default())),
@@ -426,7 +426,7 @@ mod tests {
 
     #[test]
     fn broadcast_reaches_neighbours_without_ack() {
-        let mut w = World::new(WorldConfig::default());
+        let mut w = World::new(SimConfig::default());
         let topo = Topology::line(3, 12.0);
         let ids = w.add_nodes(&topo, |_| {
             Box::new(MacDriver::new(CsmaMac::default())) as Box<dyn Proto>
@@ -466,7 +466,7 @@ mod tests {
 
     #[test]
     fn retransmission_recovers_from_loss() {
-        let cfg = WorldConfig::default().seed(7).link(LinkModel::LossyDisk {
+        let cfg = SimConfig::default().seed(7).link(LinkModel::LossyDisk {
             range_m: 30.0,
             interference_range_m: 45.0,
             prr: 0.6,
@@ -537,7 +537,7 @@ mod tests {
     fn contention_resolved_by_backoff() {
         // Ten nodes all in range broadcast at the same instant; CSMA
         // backoff spreads them out so most frames get through.
-        let mut w = World::new(WorldConfig::default());
+        let mut w = World::new(SimConfig::default());
         let topo = Topology::grid(5, 2, 5.0);
         let ids = w.add_nodes(&topo, |_| {
             Box::new(MacDriver::new(CsmaMac::default())) as Box<dyn Proto>

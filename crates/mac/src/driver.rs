@@ -37,7 +37,7 @@ struct Scripted {
 /// use iiot_mac::driver::MacDriver;
 /// use iiot_sim::prelude::*;
 ///
-/// let mut world = World::new(WorldConfig::default());
+/// let mut world = World::new(SimConfig::default());
 /// let a = world.add_node(Pos::new(0.0, 0.0), Box::new(MacDriver::new(CsmaMac::default())));
 /// let b = world.add_node(Pos::new(10.0, 0.0), Box::new(MacDriver::new(CsmaMac::default())));
 /// world

@@ -125,7 +125,10 @@ pub const fn is_mac_tag(tag: u64) -> bool {
 /// [`MacEvent`]s it pushes into the `out` vector. Timer demultiplexing
 /// uses the tag space: tags `>=` [`MAC_TAG_BASE`] belong to the MAC
 /// ([`Mac::on_timer`] returns `false` for foreign timers).
-pub trait Mac: 'static {
+///
+/// `Send` is required because protocol stacks (and the MACs inside
+/// them) move to worker threads under the sharded kernel.
+pub trait Mac: Send + 'static {
     /// Boots the MAC (asks for the radio, arms periodic timers).
     fn start(&mut self, ctx: &mut Ctx<'_>);
 

@@ -394,7 +394,7 @@ mod tests {
     type Drv = MacDriver<LplMac>;
 
     fn lpl_world(n: usize, spacing: f64, seed: u64) -> (World, Vec<NodeId>) {
-        let cfg = WorldConfig::default().seed(seed);
+        let cfg = SimConfig::default().seed(seed);
         let mut w = World::new(cfg);
         let ids = w.add_nodes(&Topology::line(n, spacing), |_| {
             Box::new(MacDriver::new(LplMac::default())) as Box<dyn Proto>

@@ -419,7 +419,7 @@ mod tests {
     type Drv = MacDriver<RimacMac>;
 
     fn rimac_world(n: usize, spacing: f64, seed: u64) -> (World, Vec<NodeId>) {
-        let cfg = WorldConfig::default().seed(seed);
+        let cfg = SimConfig::default().seed(seed);
         let mut w = World::new(cfg);
         let ids = w.add_nodes(&Topology::line(n, spacing), |_| {
             Box::new(MacDriver::new(RimacMac::default())) as Box<dyn Proto>
@@ -504,7 +504,7 @@ mod tests {
 
     #[test]
     fn two_senders_to_one_receiver_both_succeed() {
-        let cfg = WorldConfig::default().seed(15);
+        let cfg = SimConfig::default().seed(15);
         let mut w = World::new(cfg);
         // Star: receiver in the middle.
         let topo: Topology = [

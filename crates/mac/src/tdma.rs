@@ -964,7 +964,7 @@ mod tests {
             .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
             .collect();
         let sched = TdmaSchedule::pipeline_to_root(&parents, SimDuration::from_millis(slot_ms));
-        let cfg = WorldConfig::default().seed(seed);
+        let cfg = SimConfig::default().seed(seed);
         let mut w = World::new(cfg);
         let s2 = sched.clone();
         let ids = w.add_nodes(&Topology::line(n, 10.0), move |_| {
@@ -1011,7 +1011,7 @@ mod tests {
         let parents: Vec<Option<NodeId>> =
             vec![None, Some(NodeId(0)), Some(NodeId(1))];
         let sched = TdmaSchedule::tree_edges(&parents, SimDuration::from_millis(10));
-        let mut w = World::new(WorldConfig::default().seed(31));
+        let mut w = World::new(SimConfig::default().seed(31));
         let s2 = sched.clone();
         let ids = w.add_nodes(&Topology::line(3, 10.0), move |_| {
             Box::new(MacDriver::new(TdmaMac::new(TdmaConfig::default(), s2.clone())))
@@ -1190,7 +1190,7 @@ mod tests {
         let sched = TdmaSchedule::pipeline_to_root(&parents, SimDuration::from_millis(10))
             .with_sync_slots(1)
             .with_guard(SimDuration::from_micros(500));
-        let cfg = WorldConfig::default()
+        let cfg = SimConfig::default()
             .seed(seed)
             .clock(ClockModel::drifting(ppm));
         let mut w = World::new(cfg);

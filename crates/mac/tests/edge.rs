@@ -49,7 +49,7 @@ fn tdma_idle_padding_lowers_duty_cycle() {
     let padded = tight.clone().with_idle(9);
 
     let duty = |sched: TdmaSchedule| {
-        let mut w = World::new(WorldConfig::default());
+        let mut w = World::new(SimConfig::default());
         let ids = w.add_nodes(&Topology::line(2, 10.0), move |_| {
             Box::new(MacDriver::new(iiot_mac::tdma::TdmaMac::new(
                 iiot_mac::tdma::TdmaConfig::default(),
@@ -70,7 +70,7 @@ fn tdma_idle_padding_lowers_duty_cycle() {
 
 #[test]
 fn oversized_payload_rejected_by_every_mac() {
-    let mut w = World::new(WorldConfig::default());
+    let mut w = World::new(SimConfig::default());
     let a = w.add_node(
         Pos::new(0.0, 0.0),
         Box::new(MacDriver::new(CsmaMac::default())),
@@ -102,7 +102,7 @@ fn oversized_payload_rejected_by_every_mac() {
 
 #[test]
 fn lpl_unicast_out_of_range_reports_failure() {
-    let cfg = WorldConfig::default().seed(77);
+    let cfg = SimConfig::default().seed(77);
     let mut w = World::new(cfg);
     let a = w.add_node(
         Pos::new(0.0, 0.0),
@@ -127,7 +127,7 @@ fn lpl_unicast_out_of_range_reports_failure() {
 
 #[test]
 fn csma_distinct_payloads_not_confused_by_dedup() {
-    let mut w = World::new(WorldConfig::default());
+    let mut w = World::new(SimConfig::default());
     let a = w.add_node(
         Pos::new(0.0, 0.0),
         Box::new(MacDriver::new(CsmaMac::default())),

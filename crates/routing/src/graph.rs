@@ -88,7 +88,7 @@ mod tests {
     use iiot_sim::prelude::*;
 
     fn line_world(n: usize, spacing: f64) -> World {
-        let mut w = World::new(WorldConfig::default());
+        let mut w = World::new(SimConfig::default());
         w.add_nodes(&Topology::line(n, spacing), |_| {
             Box::new(Idle) as Box<dyn Proto>
         });

@@ -273,7 +273,7 @@ mod tests {
     /// Star: root at the center, `s` sentinels around it, all in range
     /// of each other.
     fn star(s: usize, seed: u64, prr: f64, miss_threshold: u32, solo: bool) -> (World, Vec<NodeId>) {
-        let mut wc = WorldConfig::default().seed(seed);
+        let mut wc = SimConfig::default().seed(seed);
         if prr < 1.0 {
             wc.radio.link = LinkModel::LossyDisk {
                 range_m: 30.0,

@@ -263,7 +263,7 @@ mod tests {
             .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
             .collect();
         let sched = TdmaSchedule::pipeline_to_root(&parents, SimDuration::from_millis(20));
-        let wc = WorldConfig::default().seed(8);
+        let wc = SimConfig::default().seed(8);
         let mut w = World::new(wc);
         let mut cfg = StaticConfig::new(parents);
         cfg.traffic = Some(Traffic {

@@ -28,12 +28,15 @@
 //! * structured [`obs`] events, spans and recorders: zero-cost when
 //!   disabled, and the substrate of `--trace` dumps and `trace_report`.
 //!
-//! Protocols implement [`node::Proto`] and act through [`world::Ctx`].
+//! Protocols implement [`node::Proto`] and act through [`world::Ctx`];
+//! experiments assemble worlds through [`sim::SimBuilder`], which also
+//! selects sharded multi-core execution via [`sim::ShardConfig`].
 //!
 //! # Examples
 //!
 //! ```
 //! use iiot_sim::prelude::*;
+//!
 //! /// Broadcast one hello and count how many neighbours answer.
 //! struct Hello { replies: u32 }
 //!
@@ -57,12 +60,19 @@
 //!     }
 //! }
 //!
-//! let mut world = World::new(WorldConfig::default());
-//! let ids = world.add_nodes(&Topology::line(3, 20.0), |_| Box::new(Hello { replies: 0 }) as Box<dyn Proto>);
-//! world.run_for(SimDuration::from_secs(1));
+//! let mut sim = SimBuilder::new()
+//!     .seed(42)
+//!     .nodes(Topology::line(3, 20.0), |_| Box::new(Hello { replies: 0 }))
+//!     .build();
+//! sim.run(SimDuration::from_secs(1));
 //! // Only the immediate neighbour is in the 30 m unit-disk range.
-//! assert_eq!(world.proto::<Hello>(ids[0]).replies, 1);
+//! assert_eq!(sim.proto::<Hello>(NodeId(0)).replies, 1);
 //! ```
+//!
+//! The same build scales out by adding `.sharding(ShardConfig::threaded(4))`:
+//! the deployment is split into four spatial stripes advanced by four
+//! worker threads under conservative-lookahead synchronization, with
+//! results deterministic in `(workload, seed, shard count)`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -74,6 +84,8 @@ pub mod node;
 pub mod obs;
 pub mod radio;
 pub mod seed;
+pub(crate) mod shard;
+pub mod sim;
 pub mod spatial;
 pub mod time;
 pub mod topology;
@@ -84,9 +96,10 @@ pub use clock::ClockModel;
 pub use ids::{NodeId, TimerId};
 pub use node::{AsAny, Idle, Proto, StateLoss, Timer};
 pub use radio::{Dst, Frame, RadioConfig, RadioError, RadioState, RxInfo, TxOutcome};
+pub use sim::{Checkpoint, ShardConfig, Sim, SimBuilder};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Pos, Topology};
-pub use world::{Ctx, World, WorldConfig};
+pub use world::{Ctx, SimConfig, World};
 
 /// Convenient glob import for building simulations.
 pub mod prelude {
@@ -98,8 +111,9 @@ pub mod prelude {
     pub use crate::radio::{
         Dst, Frame, LinkModel, RadioConfig, RadioError, RadioState, RxInfo, TxOutcome,
     };
+    pub use crate::sim::{Checkpoint, ShardConfig, Sim, SimBuilder};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{Pos, Topology};
     pub use crate::trace::{Stats, Summary};
-    pub use crate::world::{Ctx, World, WorldConfig};
+    pub use crate::world::{Ctx, SimConfig, World};
 }

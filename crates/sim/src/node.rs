@@ -75,7 +75,7 @@ impl<T: Any> AsAny for T {
 ///     }
 /// }
 /// ```
-pub trait Proto: AsAny {
+pub trait Proto: AsAny + Send {
     /// Called once when the node boots (time of node creation) and again
     /// after every crash-recovery ([`World::revive`](crate::world::World::revive)).
     fn start(&mut self, ctx: &mut Ctx<'_>);

@@ -44,7 +44,7 @@
 //!     }
 //! }
 //!
-//! let mut w = World::new(WorldConfig::default());
+//! let mut w = World::new(SimConfig::default());
 //! w.set_recorder(Box::new(RingRecorder::new(64)));
 //! w.add_node(Pos::new(0.0, 0.0), Box::new(Chirp));
 //! w.run_for(SimDuration::from_secs(1));

@@ -454,6 +454,46 @@ pub struct MediumStats {
     pub lost_expired: u64,
 }
 
+/// A radio-state snapshot of one node, exchanged between shard
+/// replicas at lookahead barriers. Only the fields that *remote*
+/// evaluations read (candidate filtering in `start_tx_into`, CCA and
+/// collision scans): energy meters and promiscuous flags stay local to
+/// the owning shard, which is the only place receptions evaluate.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct NodeStateSnap {
+    /// Node index.
+    pub(crate) node: u32,
+    /// Liveness under fault injection.
+    pub(crate) alive: bool,
+    /// Radio power/TX state.
+    pub(crate) state: RadioState,
+    /// Tuned channel.
+    pub(crate) channel: u8,
+    /// When the radio last entered `Listening`.
+    pub(crate) listen_since: SimTime,
+}
+
+/// A border transmission's record as shipped to an audible neighbour
+/// shard, which adopts it into its own slab so local CCA and collision
+/// scans see the foreign traffic.
+#[derive(Clone, Debug)]
+pub(crate) struct EchoTx {
+    /// Transmitting node.
+    pub(crate) src: NodeId,
+    /// Channel transmitted on.
+    pub(crate) channel: u8,
+    /// Transmission start time.
+    pub(crate) start: SimTime,
+    /// Transmission end time.
+    pub(crate) end: SimTime,
+    /// The frame on the air.
+    pub(crate) frame: Frame,
+    /// Candidate receivers with their origin-side PRR draws, so the
+    /// adopting shard evaluates its own nodes' receptions against
+    /// exactly the draws the origin's deterministic RNG produced.
+    pub(crate) candidates: Vec<(NodeId, f64, bool)>,
+}
+
 /// The shared wireless medium.
 ///
 /// Owned by the [`World`](crate::world::World); protocols interact with it
@@ -502,6 +542,11 @@ pub struct Medium {
     /// When `true`, nodes in different groups cannot hear each other.
     partitioned: bool,
     stats: MediumStats,
+    /// Indices of nodes whose radio state changed since the last drain.
+    /// `None` (the default, every standalone world) disables tracking so
+    /// the hot paths pay a single branch; the sharded engine enables it
+    /// to ship state deltas to neighbour shards at barriers.
+    dirty: Option<Vec<u32>>,
 }
 
 /// Most payload buffers the delivery pool will hold on to.
@@ -531,7 +576,108 @@ impl Medium {
             blocked_links: HashSet::new(),
             partitioned: false,
             stats: MediumStats::default(),
+            dirty: None,
         }
+    }
+
+    /// Enables dirty-node tracking (sharded engine only).
+    pub(crate) fn enable_dirty_tracking(&mut self) {
+        self.dirty = Some(Vec::new());
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, node: u32) {
+        if let Some(d) = &mut self.dirty {
+            d.push(node);
+        }
+    }
+
+    /// Drains the dirty set, sorted and deduplicated.
+    pub(crate) fn drain_dirty(&mut self) -> Vec<u32> {
+        let Some(d) = &mut self.dirty else {
+            return Vec::new();
+        };
+        let mut out = std::mem::take(d);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Snapshot of `node`'s remotely-visible radio state.
+    pub(crate) fn snap(&self, node: u32) -> NodeStateSnap {
+        let n = &self.nodes[node as usize];
+        NodeStateSnap {
+            node,
+            alive: n.alive,
+            state: n.state,
+            channel: n.channel,
+            listen_since: n.listen_since,
+        }
+    }
+
+    /// Applies a foreign node's state snapshot verbatim. No meter sync,
+    /// no dirty marking: the local copy of a foreign node is a mirror,
+    /// never a source of truth.
+    pub(crate) fn apply_snap(&mut self, s: &NodeStateSnap) {
+        let n = &mut self.nodes[s.node as usize];
+        n.alive = s.alive;
+        n.state = s.state;
+        n.channel = s.channel;
+        n.listen_since = s.listen_since;
+    }
+
+    /// Releases one pending evaluation of `tx` without evaluating it —
+    /// the shard router claims receptions destined for foreign nodes,
+    /// which evaluate against the adopted copy in the owning shard.
+    pub(crate) fn release_pending(&mut self, tx: TxId) {
+        if let Some(slot) = self.lookup(tx) {
+            let s = &mut self.slots[slot];
+            s.pending = s.pending.saturating_sub(1);
+        }
+    }
+
+    /// Clones the record of `tx` for export to an audible neighbour
+    /// shard. `None` only for stale ids (cannot happen for records
+    /// exported in the window they were created).
+    pub(crate) fn export_echo(&self, tx: TxId) -> Option<EchoTx> {
+        let slot = self.lookup(tx)?;
+        let rec = &self.slots[slot].rec;
+        Some(EchoTx {
+            src: rec.src,
+            channel: rec.channel,
+            start: rec.start,
+            end: rec.end,
+            frame: rec.frame.clone(),
+            candidates: rec.candidates.clone(),
+        })
+    }
+
+    /// Adopts a foreign transmission record into the local slab so CCA
+    /// and collision scans see it; returns the local id under which
+    /// `pending` reception evaluations will arrive. Does not touch the
+    /// foreign source's radio state (snapshots carry that) and does not
+    /// count in `tx_started` (the origin shard already did).
+    pub(crate) fn adopt_echo(&mut self, echo: &EchoTx, pending: u32) -> TxId {
+        let slot = match self.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                self.slots.push(TxSlot::default());
+                self.slots.len() - 1
+            }
+        };
+        let id = TxId::compose(slot as u32, self.slots[slot].generation);
+        let s = &mut self.slots[slot];
+        s.live = true;
+        s.pending = pending;
+        s.rec.src = echo.src;
+        s.rec.channel = echo.channel;
+        s.rec.start = echo.start;
+        s.rec.end = echo.end;
+        s.rec.frame = echo.frame.clone();
+        s.rec.candidates.clear();
+        s.rec.candidates.extend_from_slice(&echo.candidates);
+        self.active.push(slot as u32);
+        id
     }
 
     /// Enables or disables the spatial candidate index (enabled by
@@ -609,6 +755,7 @@ impl Medium {
         if !alive {
             n.state = RadioState::Off;
         }
+        self.mark_dirty(node.0);
     }
 
     /// Whether `node` is alive (not killed by fault injection).
@@ -667,6 +814,7 @@ impl Medium {
         if n.state == RadioState::Off {
             n.state = RadioState::Listening;
             n.listen_since = now;
+            self.mark_dirty(node.0);
         }
         Ok(())
     }
@@ -680,6 +828,7 @@ impl Medium {
             return Err(RadioError::Busy);
         }
         n.state = RadioState::Off;
+        self.mark_dirty(node.0);
         Ok(())
     }
 
@@ -702,6 +851,7 @@ impl Medium {
             if n.state == RadioState::Listening {
                 n.listen_since = now;
             }
+            self.mark_dirty(node.0);
         }
         Ok(())
     }
@@ -895,6 +1045,7 @@ impl Medium {
         self.scratch = scratch;
 
         self.nodes[src.index()].state = RadioState::Transmitting;
+        self.mark_dirty(src.0);
         let s = &mut self.slots[slot];
         s.live = true;
         s.pending = 1 + schedule.len() as u32; // TxEnd + one RxEnd each
@@ -929,6 +1080,7 @@ impl Medium {
         if n.alive && n.state == RadioState::Transmitting {
             n.state = RadioState::Listening;
             n.listen_since = now;
+            self.mark_dirty(src.0);
         }
         TxOutcome {
             oracle_receivers: oracle,

@@ -1,0 +1,800 @@
+//! The composable front door of the simulator: [`SimBuilder`] → [`Sim`].
+//!
+//! Earlier revisions of this crate accreted parallel entry points — a
+//! config struct here, an `add_nodes` loop there, fan-out helpers in the
+//! bench crate — and every new kernel capability (spatial index, crash
+//! state-loss policy, now sharding) grew another knob on another
+//! surface. [`SimBuilder`] folds them into one declarative builder:
+//! topology, radio, clocks, faults, observability and
+//! [`ShardConfig`] compose in a single place and [`SimBuilder::build`]
+//! yields a [`Sim`] handle that runs the same API whether the kernel
+//! executes on one thread or on one worker per shard.
+//!
+//! With `shards = 1` (the default) a [`Sim`] *is* the classic serial
+//! [`World`] — byte-identical schedules, RNG streams and traces — and
+//! [`Sim::world`] exposes it for tests that poke kernel internals. With
+//! `shards = k ≥ 2` the nodes are partitioned into `k` spatial stripes
+//! advanced by the conservative-lookahead engine (see the `shard`
+//! module's docs for the synchronization protocol and its semantics).
+//!
+//! [`Sim::checkpoint`] captures a replayable description of the run so
+//! far — the build spec plus the timestamped operation log — and
+//! [`Checkpoint::resume`] replays it into a fresh `Sim`, the enabler
+//! for snapshot/fork experiment designs.
+//!
+//! # Examples
+//!
+//! ```
+//! use iiot_sim::prelude::*;
+//! use iiot_sim::sim::SimBuilder;
+//!
+//! /// Broadcast one hello and count how many neighbours answer.
+//! struct Hello { replies: u32 }
+//!
+//! impl Proto for Hello {
+//!     fn start(&mut self, ctx: &mut Ctx<'_>) {
+//!         ctx.radio_on().expect("radio");
+//!         if ctx.id() == NodeId(0) {
+//!             ctx.set_timer(SimDuration::from_millis(10), 0);
+//!         }
+//!     }
+//!     fn timer(&mut self, ctx: &mut Ctx<'_>, _t: Timer) {
+//!         ctx.transmit(Dst::Broadcast, 0, b"hi".to_vec()).expect("tx");
+//!     }
+//!     fn frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame, _info: RxInfo) {
+//!         if frame.payload == b"hi" {
+//!             ctx.transmit(Dst::Unicast(frame.src), 0, b"yo".to_vec()).ok();
+//!         } else {
+//!             self.replies += 1;
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = SimBuilder::new()
+//!     .seed(7)
+//!     .nodes(Topology::line(3, 20.0), |_| Box::new(Hello { replies: 0 }))
+//!     .build();
+//! sim.run(SimDuration::from_secs(1));
+//! // Only the immediate neighbour is in the 30 m unit-disk range.
+//! assert_eq!(sim.proto::<Hello>(NodeId(0)).replies, 1);
+//! ```
+
+use crate::clock::ClockModel;
+use crate::energy::{EnergyModel, EnergyUsage};
+use crate::ids::NodeId;
+use crate::node::{Proto, StateLoss};
+use crate::obs::Recorder;
+use crate::radio::{LinkModel, MediumStats, RadioConfig};
+use crate::shard::{EngineOp, ShardEngine, MAX_SHARDS};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use crate::trace::Stats;
+use crate::world::{Ctx, SimConfig, World};
+use std::sync::Arc;
+
+pub use crate::shard::ProtoFactory;
+
+/// How a [`Sim`] is split across worker threads.
+///
+/// `shards = 1` (the default) runs the classic serial kernel,
+/// byte-identical to pre-sharding builds. `shards = k ≥ 2` partitions
+/// the deployment into `k` spatial stripes synchronized at
+/// conservative-lookahead barriers; the result is deterministic in
+/// `(workload, seed, k)` and independent of `serial`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of shards (1 = serial kernel, max 64).
+    pub shards: usize,
+    /// Synchronization lookahead. `None` uses the largest safe value,
+    /// `min(minimum frame airtime, wire latency)`; explicit values are
+    /// clamped into `[1 µs, that bound]`.
+    pub lookahead: Option<SimDuration>,
+    /// Drive shard windows from the calling thread instead of one
+    /// worker thread per shard. Same results either way; useful for
+    /// debugging, for the equivalence tests, and on single-core
+    /// machines, where the per-shard medium's smaller scans still pay
+    /// but extra threads would only add scheduling overhead.
+    pub serial: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 1,
+            lookahead: None,
+            serial: false,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// A config running `shards` threaded shards with default lookahead.
+    pub fn threaded(shards: usize) -> Self {
+        ShardConfig {
+            shards,
+            ..Self::default()
+        }
+    }
+
+    /// A config running `shards` shards serially on the calling thread.
+    pub fn serial(shards: usize) -> Self {
+        ShardConfig {
+            shards,
+            serial: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// One node group: a topology plus the factory that builds each node's
+/// protocol stack.
+type Group = (Topology, ProtoFactory);
+
+/// The cloneable description a [`Sim`] is built from; kept by the sim
+/// for [`Sim::checkpoint`].
+#[derive(Clone)]
+struct SimSpec {
+    config: SimConfig,
+    groups: Vec<Group>,
+    shard: ShardConfig,
+    spatial_index: Option<bool>,
+    state_loss: Option<StateLoss>,
+}
+
+/// A replayable operation, logged by [`Sim`] mutators in call order so
+/// [`Checkpoint::resume`] can reproduce the run.
+#[derive(Clone, Debug)]
+enum OpRec {
+    RunUntil(SimTime),
+    Kill(NodeId),
+    Revive(NodeId),
+    KillAt(SimTime, NodeId),
+    ReviveAt(SimTime, NodeId),
+    BlockLink(NodeId, NodeId),
+    UnblockLink(NodeId, NodeId),
+    SetPartitioned(bool),
+    SetGroup(NodeId, u16),
+    SetStateLoss(StateLoss),
+    SetSpatialIndex(bool),
+}
+
+/// Builder for a [`Sim`]: one composable surface for topology, radio,
+/// clocks, energy, faults, observability and sharding. See the
+/// [module docs](self) for a quickstart.
+pub struct SimBuilder {
+    config: SimConfig,
+    groups: Vec<Group>,
+    shard: ShardConfig,
+    spatial_index: Option<bool>,
+    state_loss: Option<StateLoss>,
+    recorder: Option<Box<dyn Recorder>>,
+}
+
+impl Default for SimBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimBuilder {
+    /// A builder with the default [`SimConfig`] and no nodes.
+    pub fn new() -> Self {
+        SimBuilder {
+            config: SimConfig::default(),
+            groups: Vec::new(),
+            shard: ShardConfig::default(),
+            spatial_index: None,
+            state_loss: None,
+            recorder: None,
+        }
+    }
+
+    /// Replaces the whole kernel configuration at once.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the master seed (see [`SimConfig::seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config = self.config.seed(seed);
+        self
+    }
+
+    /// Sets a unit-disk radio range in meters (see [`SimConfig::radius`]).
+    pub fn radius(mut self, range: f64) -> Self {
+        self.config = self.config.radius(range);
+        self
+    }
+
+    /// Sets the link model (see [`SimConfig::link`]).
+    pub fn link(mut self, link: LinkModel) -> Self {
+        self.config = self.config.link(link);
+        self
+    }
+
+    /// Replaces the radio configuration (see [`SimConfig::radio`]).
+    pub fn radio(mut self, radio: RadioConfig) -> Self {
+        self.config = self.config.radio(radio);
+        self
+    }
+
+    /// Replaces the energy model (see [`SimConfig::energy`]).
+    pub fn energy(mut self, energy: EnergyModel) -> Self {
+        self.config = self.config.energy(energy);
+        self
+    }
+
+    /// Sets the backhaul latency (see [`SimConfig::wire_latency`]).
+    pub fn wire_latency(mut self, latency: SimDuration) -> Self {
+        self.config = self.config.wire_latency(latency);
+        self
+    }
+
+    /// Sets the oscillator model (see [`SimConfig::clock`]).
+    pub fn clock(mut self, clock: ClockModel) -> Self {
+        self.config = self.config.clock(clock);
+        self
+    }
+
+    /// Adds a group of nodes: one per position in `topo`, with `make(i)`
+    /// building the protocol stack of the group's `i`-th node. Node ids
+    /// are assigned in position order, groups in the order added.
+    ///
+    /// The factory must be pure (same `i` → same protocol): sharded
+    /// builds call it once per shard replica.
+    pub fn nodes<F>(mut self, topo: Topology, make: F) -> Self
+    where
+        F: Fn(usize) -> Box<dyn Proto> + Send + Sync + 'static,
+    {
+        self.groups.push((topo, Arc::new(make)));
+        self
+    }
+
+    /// Adds a node group with an already-shared factory (useful when one
+    /// factory serves several groups or is reused across trials).
+    pub fn nodes_shared(mut self, topo: Topology, make: ProtoFactory) -> Self {
+        self.groups.push((topo, make));
+        self
+    }
+
+    /// Configures sharded execution (see [`ShardConfig`]).
+    pub fn sharding(mut self, shard: ShardConfig) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Shorthand for [`sharding`](Self::sharding) with `shards` threaded
+    /// shards and default lookahead.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shard.shards = shards;
+        self
+    }
+
+    /// Forces the spatial candidate index on or off (defaults to the
+    /// kernel's own heuristic).
+    pub fn spatial_index(mut self, on: bool) -> Self {
+        self.spatial_index = Some(on);
+        self
+    }
+
+    /// Sets what crashed nodes lose (see [`StateLoss`]).
+    pub fn state_loss(mut self, loss: StateLoss) -> Self {
+        self.state_loss = Some(loss);
+        self
+    }
+
+    /// Installs a structured-event recorder on the built sim.
+    pub fn recorder(mut self, recorder: Box<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Builds the [`Sim`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is 0 or exceeds 64, or when a sharded build
+    /// has a zero minimum frame airtime or wire latency (the lookahead
+    /// would be empty).
+    pub fn build(self) -> Sim {
+        let SimBuilder {
+            config,
+            groups,
+            shard,
+            spatial_index,
+            state_loss,
+            recorder,
+        } = self;
+        assert!(
+            (1..=MAX_SHARDS).contains(&shard.shards),
+            "shard count must be in 1..={MAX_SHARDS}"
+        );
+        let spec = SimSpec {
+            config: config.clone(),
+            groups: groups.clone(),
+            shard,
+            spatial_index,
+            state_loss,
+        };
+        let mut inner = if shard.shards == 1 {
+            let mut world = World::new(config);
+            for (topo, make) in &groups {
+                world.add_nodes(topo, |i| make(i));
+            }
+            Inner::Single(Box::new(world))
+        } else {
+            Inner::Sharded(Box::new(ShardEngine::new(
+                config,
+                &groups,
+                shard.shards,
+                shard.lookahead,
+                shard.serial,
+            )))
+        };
+        if let Some(on) = spatial_index {
+            match &mut inner {
+                Inner::Single(w) => w.set_spatial_index(on),
+                Inner::Sharded(e) => e.set_spatial_index(on),
+            }
+        }
+        if let Some(loss) = state_loss {
+            match &mut inner {
+                Inner::Single(w) => w.set_state_loss(loss),
+                Inner::Sharded(e) => e.set_state_loss(loss),
+            }
+        }
+        let mut sim = Sim {
+            inner,
+            spec,
+            ops: Vec::new(),
+            opaque: false,
+        };
+        if let Some(r) = recorder {
+            sim.set_recorder(r);
+        }
+        sim
+    }
+}
+
+enum Inner {
+    // Both variants boxed: a serial World is ~1 kB and the shard
+    // engine a few hundred bytes, while Sim moves by value through
+    // builders and fan-out closures.
+    Single(Box<World>),
+    Sharded(Box<ShardEngine>),
+}
+
+/// A running simulation built by [`SimBuilder`]: the same control,
+/// inspection and fault-injection API over the serial kernel
+/// (`shards = 1`) and the sharded engine (`shards ≥ 2`).
+pub struct Sim {
+    inner: Inner,
+    spec: SimSpec,
+    ops: Vec<OpRec>,
+    /// Set when a non-replayable mutation happened (closures, direct
+    /// protocol/world access); [`Sim::checkpoint`] then refuses.
+    opaque: bool,
+}
+
+impl Sim {
+    /// Advances the simulation by `d`.
+    pub fn run(&mut self, d: SimDuration) {
+        self.run_until(self.now() + d);
+    }
+
+    /// Alias of [`run`](Self::run), matching [`World::run_for`].
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.run(d);
+    }
+
+    /// Advances the simulation to `deadline` (inclusive of events at
+    /// `deadline`, like [`World::run_until`]).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.ops.push(OpRec::RunUntil(deadline));
+        match &mut self.inner {
+            Inner::Single(w) => w.run_until(deadline),
+            Inner::Sharded(e) => e.run_until(deadline),
+        }
+    }
+
+    /// Runs until the event queue drains or `deadline` passes; `true`
+    /// when the simulation went idle.
+    pub fn run_until_idle(&mut self, deadline: SimTime) -> bool {
+        self.opaque = true; // idle time depends on the queue, not the log
+        match &mut self.inner {
+            Inner::Single(w) => w.run_until_idle(deadline),
+            Inner::Sharded(e) => e.run_until_idle(deadline),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        match &self.inner {
+            Inner::Single(w) => w.now(),
+            Inner::Sharded(e) => e.now(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        match &self.inner {
+            Inner::Single(w) => w.node_count(),
+            Inner::Sharded(e) => e.node_count(),
+        }
+    }
+
+    /// Number of shards (1 for the serial kernel).
+    pub fn shards(&self) -> usize {
+        match &self.inner {
+            Inner::Single(_) => 1,
+            Inner::Sharded(e) => e.shard_count(),
+        }
+    }
+
+    /// The effective synchronization lookahead (`None` when serial).
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        match &self.inner {
+            Inner::Single(_) => None,
+            Inner::Sharded(e) => Some(e.lookahead()),
+        }
+    }
+
+    /// Events dispatched so far (summed across shards).
+    pub fn events_dispatched(&self) -> u64 {
+        match &self.inner {
+            Inner::Single(w) => w.events_dispatched(),
+            Inner::Sharded(e) => e.events_dispatched(),
+        }
+    }
+
+    /// Experiment statistics (merged across shards in shard order).
+    pub fn stats(&mut self) -> &Stats {
+        match &mut self.inner {
+            Inner::Single(w) => w.stats(),
+            Inner::Sharded(e) => e.stats(),
+        }
+    }
+
+    /// Medium-level delivery statistics (summed across shards).
+    pub fn medium_stats(&self) -> MediumStats {
+        match &self.inner {
+            Inner::Single(w) => w.medium().stats(),
+            Inner::Sharded(e) => e.medium_stats(),
+        }
+    }
+
+    /// Energy usage of `node` so far.
+    pub fn energy(&self, node: NodeId) -> EnergyUsage {
+        match &self.inner {
+            Inner::Single(w) => w.energy(node),
+            Inner::Sharded(e) => e.owner_world(node).energy(node),
+        }
+    }
+
+    /// The energy model in force.
+    pub fn energy_model(&self) -> &EnergyModel {
+        match &self.inner {
+            Inner::Single(w) => w.energy_model(),
+            Inner::Sharded(e) => e.owner_world(NodeId(0)).energy_model(),
+        }
+    }
+
+    /// Whether `node` is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        match &self.inner {
+            Inner::Single(w) => w.is_alive(node),
+            Inner::Sharded(e) => e.owner_world(node).is_alive(node),
+        }
+    }
+
+    /// `node`'s protocol downcast to `T`; panics on a type mismatch.
+    pub fn proto<T: Proto>(&self, node: NodeId) -> &T {
+        match &self.inner {
+            Inner::Single(w) => w.proto(node),
+            Inner::Sharded(e) => e.owner_world(node).proto(node),
+        }
+    }
+
+    /// Mutable access to `node`'s protocol. Marks the sim
+    /// non-checkpointable (the mutation cannot be replayed).
+    pub fn proto_mut<T: Proto>(&mut self, node: NodeId) -> &mut T {
+        self.opaque = true;
+        match &mut self.inner {
+            Inner::Single(w) => w.proto_mut(node),
+            Inner::Sharded(e) => e.owner_world_mut(node).proto_mut(node),
+        }
+    }
+
+    /// `node`'s drifting local clock reading at the current time.
+    pub fn local_time_of(&mut self, node: NodeId) -> SimTime {
+        match &mut self.inner {
+            Inner::Single(w) => w.local_time_of(node),
+            Inner::Sharded(e) => e.owner_world_mut(node).local_time_of(node),
+        }
+    }
+
+    /// Runs `f` with `node`'s protocol and a live [`Ctx`], outside any
+    /// event dispatch. Marks the sim non-checkpointable.
+    pub fn with_ctx<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn Proto, &mut Ctx<'_>) -> R,
+    ) -> R {
+        self.opaque = true;
+        match &mut self.inner {
+            Inner::Single(w) => w.with_ctx(node, f),
+            Inner::Sharded(e) => {
+                let r = e.owner_world_mut(node).with_ctx(node, f);
+                e.sync();
+                r
+            }
+        }
+    }
+
+    /// Schedules `f` to run against `node`'s [`World`] at `at`. Under
+    /// sharding the closure sees the owning shard's replica; mutations
+    /// other shards must observe should use the dedicated `Sim` methods.
+    /// Marks the sim non-checkpointable.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        f: impl FnOnce(&mut World) + Send + 'static,
+    ) {
+        self.opaque = true;
+        match &mut self.inner {
+            Inner::Single(w) => w.schedule(at, f),
+            Inner::Sharded(e) => e.schedule_closure(at, node, Box::new(f)),
+        }
+    }
+
+    /// Crashes `node` immediately (see [`World::kill`]).
+    pub fn kill(&mut self, node: NodeId) {
+        self.ops.push(OpRec::Kill(node));
+        match &mut self.inner {
+            Inner::Single(w) => w.kill(node),
+            Inner::Sharded(e) => e.kill_now(node),
+        }
+    }
+
+    /// Revives `node` immediately (see [`World::revive`]).
+    pub fn revive(&mut self, node: NodeId) {
+        self.ops.push(OpRec::Revive(node));
+        match &mut self.inner {
+            Inner::Single(w) => w.revive(node),
+            Inner::Sharded(e) => e.revive_now(node),
+        }
+    }
+
+    /// Schedules a crash of `node` at `at`.
+    pub fn kill_at(&mut self, at: SimTime, node: NodeId) {
+        self.ops.push(OpRec::KillAt(at, node));
+        match &mut self.inner {
+            Inner::Single(w) => w.kill_at(at, node),
+            Inner::Sharded(e) => e.schedule_op(at, EngineOp::Kill(node)),
+        }
+    }
+
+    /// Schedules a revival of `node` at `at`.
+    pub fn revive_at(&mut self, at: SimTime, node: NodeId) {
+        self.ops.push(OpRec::ReviveAt(at, node));
+        match &mut self.inner {
+            Inner::Single(w) => w.revive_at(at, node),
+            Inner::Sharded(e) => e.schedule_op(at, EngineOp::Revive(node)),
+        }
+    }
+
+    /// Severs the bidirectional `a`–`b` link.
+    pub fn block_link(&mut self, a: NodeId, b: NodeId) {
+        self.ops.push(OpRec::BlockLink(a, b));
+        match &mut self.inner {
+            Inner::Single(w) => w.block_link(a, b),
+            Inner::Sharded(e) => e.block_link(a, b),
+        }
+    }
+
+    /// Restores the `a`–`b` link.
+    pub fn unblock_link(&mut self, a: NodeId, b: NodeId) {
+        self.ops.push(OpRec::UnblockLink(a, b));
+        match &mut self.inner {
+            Inner::Single(w) => w.unblock_link(a, b),
+            Inner::Sharded(e) => e.unblock_link(a, b),
+        }
+    }
+
+    /// Enables or disables the administrative partition.
+    pub fn set_partitioned(&mut self, on: bool) {
+        self.ops.push(OpRec::SetPartitioned(on));
+        match &mut self.inner {
+            Inner::Single(w) => w.set_partitioned(on),
+            Inner::Sharded(e) => e.set_partitioned(on),
+        }
+    }
+
+    /// Assigns `node` to partition `group`.
+    pub fn set_group(&mut self, node: NodeId, group: u16) {
+        self.ops.push(OpRec::SetGroup(node, group));
+        match &mut self.inner {
+            Inner::Single(w) => w.medium_mut().set_group(node, group),
+            Inner::Sharded(e) => e.set_group(node, group),
+        }
+    }
+
+    /// Sets what crashed nodes lose (see [`StateLoss`]).
+    pub fn set_state_loss(&mut self, loss: StateLoss) {
+        self.ops.push(OpRec::SetStateLoss(loss));
+        match &mut self.inner {
+            Inner::Single(w) => w.set_state_loss(loss),
+            Inner::Sharded(e) => e.set_state_loss(loss),
+        }
+    }
+
+    /// Forces the spatial candidate index on or off.
+    pub fn set_spatial_index(&mut self, on: bool) {
+        self.ops.push(OpRec::SetSpatialIndex(on));
+        match &mut self.inner {
+            Inner::Single(w) => w.set_spatial_index(on),
+            Inner::Sharded(e) => e.set_spatial_index(on),
+        }
+    }
+
+    /// Whether the spatial candidate index is active.
+    pub fn spatial_index_active(&self) -> bool {
+        match &self.inner {
+            Inner::Single(w) => w.spatial_index_active(),
+            Inner::Sharded(e) => e.spatial_index_active(),
+        }
+    }
+
+    /// Installs a structured-event recorder.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        match &mut self.inner {
+            Inner::Single(w) => w.set_recorder(recorder),
+            Inner::Sharded(e) => e.set_recorder(recorder),
+        }
+    }
+
+    /// Removes and returns the recorder, flushing buffered events.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        match &mut self.inner {
+            Inner::Single(w) => w.take_recorder(),
+            Inner::Sharded(e) => e.take_recorder(),
+        }
+    }
+
+    /// Whether a recorder is installed.
+    pub fn has_recorder(&self) -> bool {
+        match &self.inner {
+            Inner::Single(w) => w.has_recorder(),
+            Inner::Sharded(e) => e.has_recorder(),
+        }
+    }
+
+    /// The recorder downcast to `T`.
+    pub fn recorder_as<T: Recorder>(&self) -> Option<&T> {
+        match &self.inner {
+            Inner::Single(w) => w.recorder_as::<T>(),
+            Inner::Sharded(e) => e.recorder_as::<T>(),
+        }
+    }
+
+    /// The recorder downcast to a mutable `T`.
+    pub fn recorder_as_mut<T: Recorder>(&mut self) -> Option<&mut T> {
+        match &mut self.inner {
+            Inner::Single(w) => w.recorder_as_mut::<T>(),
+            Inner::Sharded(e) => e.recorder_as_mut::<T>(),
+        }
+    }
+
+    /// The underlying serial [`World`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for sharded sims — there is no single world to hand out.
+    /// Kernel-internal tests that need this bridge run at `shards = 1`.
+    pub fn world(&self) -> &World {
+        match &self.inner {
+            Inner::Single(w) => w,
+            Inner::Sharded(_) => panic!("Sim::world: sharded sims have no single World"),
+        }
+    }
+
+    /// Mutable access to the underlying serial [`World`]. Marks the sim
+    /// non-checkpointable.
+    ///
+    /// # Panics
+    ///
+    /// Panics for sharded sims, like [`world`](Self::world).
+    pub fn world_mut(&mut self) -> &mut World {
+        self.opaque = true;
+        match &mut self.inner {
+            Inner::Single(w) => w,
+            Inner::Sharded(_) => panic!("Sim::world_mut: sharded sims have no single World"),
+        }
+    }
+
+    /// Consumes the sim and returns the underlying serial [`World`]
+    /// (the bridge for code that owns a long-lived world, e.g.
+    /// deployments that add nodes at runtime).
+    ///
+    /// # Panics
+    ///
+    /// Panics for sharded sims, like [`world`](Self::world).
+    pub fn into_world(self) -> World {
+        match self.inner {
+            Inner::Single(w) => *w,
+            Inner::Sharded(_) => panic!("Sim::into_world: sharded sims have no single World"),
+        }
+    }
+
+    /// Captures a replayable checkpoint: the build spec plus every
+    /// logged operation. [`Checkpoint::resume`] reruns them into a
+    /// fresh `Sim` in the same state — cheap to store, deterministic to
+    /// restore, and forkable (resume twice, diverge the copies).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run used non-replayable mutations
+    /// ([`proto_mut`](Self::proto_mut), [`with_ctx`](Self::with_ctx),
+    /// [`schedule_at`](Self::schedule_at), [`world_mut`](Self::world_mut),
+    /// [`run_until_idle`](Self::run_until_idle)).
+    pub fn checkpoint(&self) -> Checkpoint {
+        assert!(
+            !self.opaque,
+            "Sim::checkpoint: the run used non-replayable mutations \
+             (closures or direct world/protocol access)"
+        );
+        Checkpoint {
+            spec: self.spec.clone(),
+            ops: self.ops.clone(),
+        }
+    }
+}
+
+/// A replayable snapshot of a [`Sim`], produced by [`Sim::checkpoint`].
+///
+/// Holds the build spec and the operation log, not kernel state: resume
+/// rebuilds the sim and replays the log, which the deterministic kernel
+/// turns into the identical state. Recorders are not part of a
+/// checkpoint; install one on the resumed sim if needed.
+#[derive(Clone)]
+pub struct Checkpoint {
+    spec: SimSpec,
+    ops: Vec<OpRec>,
+}
+
+impl Checkpoint {
+    /// Rebuilds a [`Sim`] and replays the logged operations.
+    pub fn resume(&self) -> Sim {
+        let mut b = SimBuilder::new()
+            .config(self.spec.config.clone())
+            .sharding(self.spec.shard);
+        for (topo, make) in &self.spec.groups {
+            b = b.nodes_shared(topo.clone(), make.clone());
+        }
+        if let Some(on) = self.spec.spatial_index {
+            b = b.spatial_index(on);
+        }
+        if let Some(loss) = self.spec.state_loss {
+            b = b.state_loss(loss);
+        }
+        let mut sim = b.build();
+        for op in &self.ops {
+            match *op {
+                OpRec::RunUntil(t) => sim.run_until(t),
+                OpRec::Kill(n) => sim.kill(n),
+                OpRec::Revive(n) => sim.revive(n),
+                OpRec::KillAt(t, n) => sim.kill_at(t, n),
+                OpRec::ReviveAt(t, n) => sim.revive_at(t, n),
+                OpRec::BlockLink(a, b) => sim.block_link(a, b),
+                OpRec::UnblockLink(a, b) => sim.unblock_link(a, b),
+                OpRec::SetPartitioned(on) => sim.set_partitioned(on),
+                OpRec::SetGroup(n, g) => sim.set_group(n, g),
+                OpRec::SetStateLoss(loss) => sim.set_state_loss(loss),
+                OpRec::SetSpatialIndex(on) => sim.set_spatial_index(on),
+            }
+        }
+        sim
+    }
+}

@@ -18,7 +18,7 @@ use std::collections::{BinaryHeap, HashSet};
 
 /// Static world parameters.
 #[derive(Clone, Debug)]
-pub struct WorldConfig {
+pub struct SimConfig {
     /// Master seed; everything random derives from it.
     pub seed: u64,
     /// Radio configuration shared by all nodes.
@@ -33,9 +33,9 @@ pub struct WorldConfig {
     pub clock: ClockModel,
 }
 
-impl Default for WorldConfig {
+impl Default for SimConfig {
     fn default() -> Self {
-        WorldConfig {
+        SimConfig {
             seed: 0xD15C0,
             radio: RadioConfig::default(),
             energy: EnergyModel::default(),
@@ -45,7 +45,7 @@ impl Default for WorldConfig {
     }
 }
 
-impl WorldConfig {
+impl SimConfig {
     /// Sets the master seed.
     ///
     /// # Examples
@@ -53,7 +53,7 @@ impl WorldConfig {
     /// ```
     /// use iiot_sim::prelude::*;
     ///
-    /// let cfg = WorldConfig::default().seed(7).radius(30.0);
+    /// let cfg = SimConfig::default().seed(7).radius(30.0);
     /// let w = World::new(cfg);
     /// assert_eq!(w.now(), SimTime::ZERO);
     /// ```
@@ -66,7 +66,7 @@ impl WorldConfig {
     /// Sets the communication range of disk-shaped link models,
     /// keeping the interference range at 1.5x the communication range.
     /// A [`LinkModel::LogDistance`] link has no sharp radius and is
-    /// left unchanged; use [`WorldConfig::link`] to replace it.
+    /// left unchanged; use [`SimConfig::link`] to replace it.
     #[must_use]
     pub fn radius(mut self, range: f64) -> Self {
         match &mut self.radio.link {
@@ -133,6 +133,87 @@ enum Ev {
     Action(usize),
 }
 
+/// A cross-shard event captured by the routing hook instead of being
+/// queued locally; delivered to the owning shard at the next lookahead
+/// barrier (see [`crate::shard`]).
+#[derive(Debug)]
+pub(crate) enum StagedEv {
+    /// A scheduled reception at a node owned by another shard. `tx` is
+    /// the *origin* shard's transmission id; the receiving shard
+    /// rewrites it to its adopted copy of the record.
+    RxEnd {
+        /// When the reception evaluates (transmission end).
+        time: SimTime,
+        /// The foreign receiver.
+        node: NodeId,
+        /// Origin-shard transmission id.
+        tx: TxId,
+    },
+    /// A backhaul message to a node owned by another shard.
+    Wire {
+        /// Arrival time (send time + wire latency).
+        time: SimTime,
+        /// The foreign destination.
+        to: NodeId,
+        /// The sender.
+        from: NodeId,
+        /// Message bytes.
+        payload: Vec<u8>,
+    },
+}
+
+/// Per-replica shard routing state, installed by the sharded engine.
+/// When present, [`Kernel::push`] diverts events targeting foreign
+/// nodes into `out_events` and notes border transmissions whose record
+/// must be echoed to audible neighbour shards.
+pub(crate) struct ShardRoute {
+    /// `own[i]` — node `i` is owned (dispatched) by this shard.
+    pub(crate) own: Vec<bool>,
+    /// Per-node bitmask of *other* shards with at least one node within
+    /// the medium's maximum audible range (conservative superset).
+    pub(crate) echo_mask: Vec<u64>,
+    /// Cross-shard events staged during the current window.
+    pub(crate) out_events: Vec<StagedEv>,
+    /// Border transmissions of this window: `(tx, foreign-shard mask)`.
+    /// The engine exports each record once at the barrier.
+    pub(crate) out_echoes: Vec<(TxId, u64)>,
+}
+
+impl ShardRoute {
+    /// Routes `ev`: returns it unchanged when it stays in this shard,
+    /// or stages it (releasing its pending slot in the medium, for
+    /// receptions) and returns `None`.
+    fn route(&mut self, medium: &mut Medium, time: SimTime, ev: Ev) -> Option<Ev> {
+        match ev {
+            Ev::TxEnd { node, tx } => {
+                let mask = self.echo_mask[node.index()];
+                if mask != 0 {
+                    self.out_echoes.push((tx, mask));
+                }
+                Some(Ev::TxEnd { node, tx })
+            }
+            Ev::RxEnd { node, tx } if !self.own[node.index()] => {
+                // The origin record counts one pending RxEnd per
+                // candidate; the foreign reception evaluates against
+                // the *adopted* copy instead.
+                medium.release_pending(tx);
+                self.out_events.push(StagedEv::RxEnd { time, node, tx });
+                None
+            }
+            Ev::Wire { to, from, payload } if !self.own[to.index()] => {
+                self.out_events.push(StagedEv::Wire {
+                    time,
+                    to,
+                    from,
+                    payload,
+                });
+                None
+            }
+            other => Some(other),
+        }
+    }
+}
+
 struct QEntry {
     time: SimTime,
     seq: u64,
@@ -192,11 +273,22 @@ pub(crate) struct Kernel {
     /// Total events dispatched since construction (the simulator's
     /// natural unit of work, reported by perf harnesses).
     dispatched: u64,
+    /// Shard routing table, installed only by the sharded engine.
+    /// `None` in every standalone world: the hot path pays one branch.
+    shard: Option<Box<ShardRoute>>,
 }
 
 impl Kernel {
     fn push(&mut self, time: SimTime, ev: Ev) {
         debug_assert!(time >= self.now, "scheduling into the past");
+        let ev = if let Some(route) = self.shard.as_deref_mut() {
+            match route.route(&mut self.medium, time, ev) {
+                Some(ev) => ev,
+                None => return, // staged for a foreign shard
+            }
+        } else {
+            ev
+        };
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(QEntry { time, seq, ev }));
@@ -239,7 +331,7 @@ impl Kernel {
 /// ```
 /// use iiot_sim::prelude::*;
 ///
-/// let mut world = World::new(WorldConfig::default());
+/// let mut world = World::new(SimConfig::default());
 /// let a = world.add_node(Pos::new(0.0, 0.0), Box::new(Idle));
 /// let b = world.add_node(Pos::new(10.0, 0.0), Box::new(Idle));
 /// world.run_for(SimDuration::from_secs(1));
@@ -255,11 +347,27 @@ pub struct World {
 }
 
 /// A deferred world mutation scheduled from inside the event loop.
-type DeferredAction = Option<Box<dyn FnOnce(&mut World)>>;
+type DeferredAction = Option<Box<dyn FnOnce(&mut World) + Send>>;
 
 impl World {
     /// Creates an empty world.
-    pub fn new(config: WorldConfig) -> Self {
+    pub fn new(config: SimConfig) -> Self {
+        // Under `--trace` (global capture enabled + an active worker
+        // scope on this thread) new worlds record into the global sink;
+        // otherwise emission stays disabled.
+        let recorder = obs::capture_recorder(config.seed);
+        Self::with_recorder(config, recorder)
+    }
+
+    /// Creates an empty world that does *not* register with the global
+    /// trace-capture sink. Shard replicas use this: a sharded `Sim` is
+    /// one logical world and must consume exactly one capture slot,
+    /// which the engine claims itself.
+    pub(crate) fn new_uncaptured(config: SimConfig) -> Self {
+        Self::with_recorder(config, None)
+    }
+
+    fn with_recorder(config: SimConfig, recorder: Option<Box<dyn Recorder>>) -> Self {
         let mut w = World {
             kernel: Kernel {
                 now: SimTime::ZERO,
@@ -276,13 +384,11 @@ impl World {
                 seed: config.seed,
                 clock_model: config.clock,
                 clocks: Vec::new(),
-                // Under `--trace` (global capture enabled + an active
-                // worker scope on this thread) new worlds record into
-                // the global sink; otherwise emission stays disabled.
-                recorder: obs::capture_recorder(config.seed),
+                recorder,
                 obs_on: false, // synced below from `recorder`
                 tx_schedule: Vec::new(),
                 dispatched: 0,
+                shard: None,
             },
             protos: Vec::new(),
             alive: Vec::new(),
@@ -296,6 +402,20 @@ impl World {
     /// Adds a node at `pos` running `proto`. Its [`Proto::start`] runs at
     /// the current simulation time, before any later event.
     pub fn add_node(&mut self, pos: Pos, proto: Box<dyn Proto>) -> NodeId {
+        let id = self.add_node_silent(pos, proto);
+        let now = self.kernel.now;
+        self.kernel.push(now, Ev::Start { node: id });
+        id
+    }
+
+    /// Adds a node without scheduling its [`Proto::start`]. Shard
+    /// replicas register *foreign* nodes this way: their position,
+    /// radio state, RNG and clock must exist (candidate enumeration
+    /// and CCA read them) but their protocol never runs here — the
+    /// owning shard dispatches it. Keeping construction otherwise
+    /// identical to [`World::add_node`] makes per-node seeds and clock
+    /// draws byte-identical across replicas by construction.
+    pub(crate) fn add_node_silent(&mut self, pos: Pos, proto: Box<dyn Proto>) -> NodeId {
         let id = self.kernel.medium.add_node(pos);
         debug_assert_eq!(id.index(), self.protos.len());
         self.protos.push(proto);
@@ -319,8 +439,6 @@ impl World {
         self.kernel
             .clocks
             .push(LocalClock::new(&self.kernel.clock_model, clock_seed, born_at));
-        let now = self.kernel.now;
-        self.kernel.push(now, Ev::Start { node: id });
         id
     }
 
@@ -483,7 +601,7 @@ impl World {
     /// # Panics
     ///
     /// Panics if `at` is in the past.
-    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
+    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut World) + Send + 'static) {
         assert!(at >= self.kernel.now, "cannot schedule into the past");
         let idx = self.actions.len();
         self.actions.push(Some(Box::new(f)));
@@ -643,6 +761,81 @@ impl World {
         }
     }
 
+    // ---- shard-engine surface (crate-private) -------------------------
+    //
+    // The sharded engine in `crate::shard` drives replicas through these
+    // hooks. None of them is reachable from a standalone `World`.
+
+    /// Installs (or removes) the shard routing table.
+    pub(crate) fn set_shard_route(&mut self, route: Option<Box<ShardRoute>>) {
+        self.kernel.shard = route;
+    }
+
+    /// Timestamp of the earliest queued event, if any.
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        self.kernel.queue.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Runs every event strictly *before* `bound`, then advances the
+    /// clock to `bound`. The exclusive counterpart of
+    /// [`World::run_until`], used for lookahead windows: events at the
+    /// window edge belong to the next window, after the barrier has
+    /// delivered any cross-shard events carrying that same timestamp.
+    pub(crate) fn run_until_before(&mut self, bound: SimTime) {
+        while let Some(Reverse(front)) = self.kernel.queue.peek() {
+            if front.time >= bound {
+                break;
+            }
+            let Reverse(entry) = self.kernel.queue.pop().expect("peeked");
+            debug_assert!(entry.time >= self.kernel.now);
+            self.kernel.now = entry.time;
+            self.dispatch(entry.ev);
+        }
+        self.kernel.now = bound;
+    }
+
+    /// Drains the events and border-transmission notes staged by the
+    /// routing hook during the last window.
+    pub(crate) fn take_staged(&mut self) -> (Vec<StagedEv>, Vec<(TxId, u64)>) {
+        let route = self
+            .kernel
+            .shard
+            .as_deref_mut()
+            .expect("take_staged on unsharded world");
+        (
+            std::mem::take(&mut route.out_events),
+            std::mem::take(&mut route.out_echoes),
+        )
+    }
+
+    /// Queues a reception delivered from another shard. `tx` must
+    /// already be rewritten to this replica's adopted record id.
+    pub(crate) fn inject_rx_end(&mut self, time: SimTime, node: NodeId, tx: TxId) {
+        self.kernel.push(time, Ev::RxEnd { node, tx });
+    }
+
+    /// Queues a backhaul message delivered from another shard.
+    pub(crate) fn inject_wire(&mut self, time: SimTime, to: NodeId, from: NodeId, payload: Vec<u8>) {
+        self.kernel.push(time, Ev::Wire { to, from, payload });
+    }
+
+    /// Mirrors a foreign node's liveness without side effects (no fault
+    /// event, no meter transition, no protocol callback — all of that
+    /// happens in the owning shard).
+    pub(crate) fn set_foreign_alive(&mut self, node: NodeId, alive: bool) {
+        self.alive[node.index()] = alive;
+        self.kernel.medium.set_alive(node, alive);
+    }
+
+    /// Applies a foreign node's radio-state snapshot received at a
+    /// shard barrier (see [`crate::radio::NodeStateSnap`]).
+    pub(crate) fn apply_foreign_snap(&mut self, snap: &crate::radio::NodeStateSnap) {
+        self.alive[snap.node as usize] = snap.alive;
+        self.kernel.medium.apply_snap(snap);
+    }
+
+    // -------------------------------------------------------------------
+
     fn dispatch(&mut self, ev: Ev) {
         self.kernel.dispatched += 1;
         match ev {
@@ -673,7 +866,14 @@ impl World {
                 }
             }
             Ev::TxEnd { node, tx } => {
+                let expired_before = self.kernel.medium.stats().lost_expired;
                 let outcome = self.kernel.medium.end_tx(tx, self.kernel.now);
+                if self.kernel.medium.stats().lost_expired != expired_before {
+                    // The record was pruned before its own TxEnd — the
+                    // global `lost_expired` bump alone cannot say *whose*
+                    // transmission aged out.
+                    self.kernel.stats.inc_node(node, "expired_txid", 1.0);
+                }
                 self.kernel.sync_meter(node);
                 self.kernel.emit(
                     node,
@@ -706,6 +906,9 @@ impl World {
                         self.kernel.medium.recycle_payload(frame.payload);
                     }
                     RxEval::Dropped(reason, src) => {
+                        if reason == crate::radio::DropReason::Expired {
+                            self.kernel.stats.inc_node(node, "expired_txid", 1.0);
+                        }
                         self.kernel.emit(
                             node,
                             SpanId::NONE,
@@ -1051,7 +1254,7 @@ mod tests {
 
     #[test]
     fn ping_pong_round_trip() {
-        let mut w = World::new(WorldConfig::default());
+        let mut w = World::new(SimConfig::default());
         let a = w.add_node(Pos::new(0.0, 0.0), Box::new(Ping::new(NodeId(1), true)));
         let b = w.add_node(Pos::new(10.0, 0.0), Box::new(Ping::new(NodeId(0), false)));
         assert_eq!((a, b), (NodeId(0), NodeId(1)));
@@ -1065,7 +1268,7 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_outcome() {
         let run = |seed: u64| {
-            let cfg = WorldConfig::default().seed(seed);
+            let cfg = SimConfig::default().seed(seed);
             let mut w = World::new(cfg);
             let a = w.add_node(Pos::new(0.0, 0.0), Box::new(Ping::new(NodeId(1), true)));
             w.add_node(Pos::new(10.0, 0.0), Box::new(Ping::new(NodeId(0), false)));
@@ -1081,7 +1284,7 @@ mod tests {
         // protocol outcomes and identical Stats — emission must never
         // leak into counters or perturb the run.
         let run = |record: bool| {
-            let mut w = World::new(WorldConfig::default().seed(3));
+            let mut w = World::new(SimConfig::default().seed(3));
             let a = w.add_node(Pos::new(0.0, 0.0), Box::new(Ping::new(NodeId(1), true)));
             w.add_node(Pos::new(10.0, 0.0), Box::new(Ping::new(NodeId(0), false)));
             if record {
@@ -1126,7 +1329,7 @@ mod tests {
                 self.fired = 0; // volatile state lost
             }
         }
-        let mut w = World::new(WorldConfig::default());
+        let mut w = World::new(SimConfig::default());
         let n = w.add_node(Pos::new(0.0, 0.0), Box::new(Beacons { fired: 0 }));
         w.kill_at(SimTime::from_millis(550), n);
         w.revive_at(SimTime::from_secs(2), n);
@@ -1162,7 +1365,7 @@ mod tests {
             }
         }
         let mk = |loss: StateLoss| {
-            let mut w = World::new(WorldConfig::default());
+            let mut w = World::new(SimConfig::default());
             let n = w.add_node(Pos::new(0.0, 0.0), Box::new(Flashy { ram: 0, flash: 0 }));
             w.set_state_loss(loss);
             assert_eq!(w.state_loss(), loss);
@@ -1193,7 +1396,7 @@ mod tests {
                 self.fired = true;
             }
         }
-        let mut w = World::new(WorldConfig::default());
+        let mut w = World::new(SimConfig::default());
         let n = w.add_node(Pos::new(0.0, 0.0), Box::new(C { fired: false }));
         w.run_for(SimDuration::from_secs(1));
         assert!(!w.proto::<C>(n).fired);
@@ -1215,7 +1418,7 @@ mod tests {
                 self.got.push((from, payload.to_vec(), ctx.now()));
             }
         }
-        let mut w = World::new(WorldConfig::default());
+        let mut w = World::new(SimConfig::default());
         let a = w.add_node(
             Pos::new(0.0, 0.0),
             Box::new(W {
@@ -1250,7 +1453,7 @@ mod tests {
                 ctx.radio_off().expect("off");
             }
         }
-        let mut w = World::new(WorldConfig::default());
+        let mut w = World::new(SimConfig::default());
         let n = w.add_node(Pos::new(0.0, 0.0), Box::new(E));
         w.run_for(SimDuration::from_secs(10));
         let u = w.energy(n);
@@ -1260,14 +1463,14 @@ mod tests {
 
     #[test]
     fn run_until_idle_drains() {
-        let mut w = World::new(WorldConfig::default());
+        let mut w = World::new(SimConfig::default());
         w.add_node(Pos::new(0.0, 0.0), Box::new(Idle));
         assert!(w.run_until_idle(SimTime::from_secs(5)));
     }
 
     #[test]
     fn scheduled_actions_run_in_order() {
-        let mut w = World::new(WorldConfig::default());
+        let mut w = World::new(SimConfig::default());
         w.add_node(Pos::new(0.0, 0.0), Box::new(Idle));
         w.schedule(SimTime::from_secs(1), |w| w.stats_mut().record("o", 1.0));
         w.schedule(SimTime::from_secs(2), |w| w.stats_mut().record("o", 2.0));
@@ -1287,11 +1490,28 @@ mod tests {
                 assert_eq!(ctx.stats().get("boots"), 1.0);
             }
         }
-        let mut w = World::new(WorldConfig::default());
+        let mut w = World::new(SimConfig::default());
         let n = w.add_node(Pos::new(0.0, 0.0), Box::new(S));
         w.run_for(SimDuration::from_millis(1));
         assert_eq!(w.stats().get("boots"), 1.0);
         assert_eq!(w.stats().get_node(n, "boots"), 1.0);
         assert_eq!(w.stats().samples("x"), &[7.0]);
+    }
+
+    #[test]
+    fn expired_txid_drop_counts_per_node() {
+        // A reception whose transmission record aged out of the slab is
+        // dropped as Expired — the global medium stat says how many, the
+        // per-node counter says at which receivers.
+        let mut w = World::new(SimConfig::default());
+        let _a = w.add_node(Pos::new(0.0, 0.0), Box::new(Idle));
+        let b = w.add_node(Pos::new(10.0, 0.0), Box::new(Idle));
+        w.run_for(SimDuration::from_millis(1));
+        // A TxId no slab record ever matched (generation 7 of slot 0).
+        let stale = crate::radio::TxId(7u64 << 32);
+        w.inject_rx_end(w.now() + SimDuration::from_millis(1), b, stale);
+        w.run_for(SimDuration::from_millis(2));
+        assert_eq!(w.medium().stats().lost_expired, 1);
+        assert_eq!(w.stats().get_node(b, "expired_txid"), 1.0);
     }
 }

@@ -35,9 +35,9 @@ fn custom_energy_model_changes_projection() {
         tx_ma: 5.0,
         voltage_v: 1.8,
     };
-    let mut w = World::new(WorldConfig {
+    let mut w = World::new(SimConfig {
         energy: stingy,
-        ..WorldConfig::default()
+        ..SimConfig::default()
     });
     let n = w.add_node(Pos::new(0.0, 0.0), Box::new(Idle));
     w.run_for(SimDuration::from_secs(100));
@@ -63,7 +63,7 @@ fn medium_stats_accumulate() {
             ctx.set_timer(SimDuration::from_millis(50), 0);
         }
     }
-    let mut w = World::new(WorldConfig::default());
+    let mut w = World::new(SimConfig::default());
     w.add_nodes(&Topology::line(2, 10.0), |_| Box::new(Chatter) as Box<dyn Proto>);
     w.run_for(SimDuration::from_secs(1));
     let s = w.medium().stats();
@@ -89,13 +89,13 @@ fn run_until_idle_stops_at_quiescence() {
             }
         }
     }
-    let mut w = World::new(WorldConfig::default());
+    let mut w = World::new(SimConfig::default());
     w.add_node(Pos::new(0.0, 0.0), Box::new(Finite { left: 5 }));
     assert!(w.run_until_idle(SimTime::from_secs(10)), "queue drains");
     assert_eq!(w.now(), SimTime::from_millis(60));
 
     // An infinite ticker never drains: deadline wins.
-    let mut w2 = World::new(WorldConfig::default());
+    let mut w2 = World::new(SimConfig::default());
     w2.add_node(Pos::new(0.0, 0.0), Box::new(Finite { left: u32::MAX }));
     assert!(!w2.run_until_idle(SimTime::from_millis(95)));
     assert_eq!(w2.now(), SimTime::from_millis(95));
@@ -103,7 +103,7 @@ fn run_until_idle_stops_at_quiescence() {
 
 #[test]
 fn kill_then_revive_is_idempotent() {
-    let mut w = World::new(WorldConfig::default());
+    let mut w = World::new(SimConfig::default());
     let n = w.add_node(Pos::new(0.0, 0.0), Box::new(Idle));
     w.kill(n);
     w.kill(n); // no-op
@@ -129,7 +129,7 @@ fn lossy_disk_drops_roughly_at_rate() {
             ctx.set_timer(SimDuration::from_millis(10), 0);
         }
     }
-    let cfg = WorldConfig::default().seed(99).link(LinkModel::LossyDisk {
+    let cfg = SimConfig::default().seed(99).link(LinkModel::LossyDisk {
         range_m: 30.0,
         interference_range_m: 45.0,
         prr: 0.7,
@@ -167,7 +167,7 @@ fn spatial_index_is_invisible_to_simulations() {
         }
     }
     let run = |indexed: bool| {
-        let mut w = World::new(WorldConfig::default().seed(7));
+        let mut w = World::new(SimConfig::default().seed(7));
         w.add_nodes(&Topology::grid(6, 6, 20.0), |_| Box::new(Gossip) as Box<dyn Proto>);
         w.set_spatial_index(indexed);
         assert_eq!(w.spatial_index_active(), indexed);

@@ -2,8 +2,7 @@
 //! [`SyncedClock`] facade other protocols consult.
 
 use iiot_sim::SimTime;
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A linear map between this node's local clock and the global (i.e.
 /// the reference node's) timebase: `global ≈ base_global +
@@ -87,7 +86,11 @@ impl ClockEstimate {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SyncedClock {
-    inner: Rc<Cell<Option<ClockEstimate>>>,
+    // An Arc<Mutex> rather than Rc<Cell> only so protocols holding a
+    // handle stay `Send` (the sharded kernel moves nodes to worker
+    // threads); both handles still live on one node, so the lock is
+    // never contended.
+    inner: Arc<Mutex<Option<ClockEstimate>>>,
 }
 
 impl SyncedClock {
@@ -98,29 +101,29 @@ impl SyncedClock {
 
     /// Whether an estimate has been installed.
     pub fn is_synced(&self) -> bool {
-        self.inner.get().is_some()
+        self.estimate().is_some()
     }
 
     /// The current estimate, if synced.
     pub fn estimate(&self) -> Option<ClockEstimate> {
-        self.inner.get()
+        *self.inner.lock().expect("clock estimate")
     }
 
     /// Installs a new estimate (normally only the sync engine does
     /// this).
     pub fn set(&self, est: ClockEstimate) {
-        self.inner.set(Some(est));
+        *self.inner.lock().expect("clock estimate") = Some(est);
     }
 
     /// Drops the estimate, reverting to the identity map (e.g. after a
     /// crash or a reference change).
     pub fn clear(&self) {
-        self.inner.set(None);
+        *self.inner.lock().expect("clock estimate") = None;
     }
 
     /// Local-to-global conversion; identity while unsynced.
     pub fn global(&self, local: SimTime) -> SimTime {
-        match self.inner.get() {
+        match self.estimate() {
             Some(e) => e.global(local),
             None => local,
         }
@@ -128,7 +131,7 @@ impl SyncedClock {
 
     /// Global-to-local conversion; identity while unsynced.
     pub fn local(&self, global: SimTime) -> SimTime {
-        match self.inner.get() {
+        match self.estimate() {
             Some(e) => e.local(global),
             None => global,
         }

@@ -34,7 +34,7 @@
 //! use iiot_sim::prelude::*;
 //! use iiot_timesync::{FtspConfig, FtspNode};
 //!
-//! let cfg = WorldConfig::default()
+//! let cfg = SimConfig::default()
 //!     .seed(7)
 //!     .clock(ClockModel::drifting(50.0)); // ±50 ppm crystals
 //! let mut world = World::new(cfg);

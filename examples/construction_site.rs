@@ -21,27 +21,30 @@ use rand::SeedableRng;
 /// Three tenants, each a small cluster of chatty nodes, dropped into
 /// the same 60x60 m site. Returns per-tenant delivery counts.
 fn run_tenants(plan: ChannelPlan, seed: u64) -> Vec<(usize, usize)> {
-    let wc = WorldConfig::default().seed(seed);
-    let mut w = World::new(wc);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0E);
     let tenants = 3usize;
     let per_tenant = 6usize;
+    let mut b = SimBuilder::new().seed(seed);
     let mut ids: Vec<Vec<NodeId>> = Vec::new();
+    let mut next_id = 0u32;
 
-    for t in 0..tenants {
+    for _ in 0..tenants {
         let topo = Topology::clustered(1, per_tenant, 60.0, 60.0, 8.0, &mut rng);
-        let channel = plan.channel_for(TenantId(t as u16), 0);
-        let batch: Vec<NodeId> = topo
-            .iter()
-            .map(|pos| {
-                let node = w.add_node(pos, Box::new(MacDriver::new(CsmaMac::default())));
-                w.schedule(SimTime::from_millis(1), move |w2| {
-                    w2.with_ctx(node, |_p, ctx| ctx.set_channel(channel).expect("channel"));
-                });
-                node
-            })
+        let batch: Vec<NodeId> = (0..topo.len())
+            .map(|i| NodeId(next_id + i as u32))
             .collect();
+        next_id += topo.len() as u32;
+        b = b.nodes(topo, |_| Box::new(MacDriver::new(CsmaMac::default())));
         ids.push(batch);
+    }
+    let mut w = b.build();
+    for (t, batch) in ids.iter().enumerate() {
+        let channel = plan.channel_for(TenantId(t as u16), 0);
+        for &node in batch {
+            w.schedule_at(SimTime::from_millis(1), node, move |w2| {
+                w2.with_ctx(node, |_p, ctx| ctx.set_channel(channel).expect("channel"));
+            });
+        }
     }
 
     // Every node broadcasts forty frames per second: a saturated site
@@ -110,8 +113,6 @@ fn main() {
     // A star of six sentinels around the border router; random churn
     // kills and revives sentinels, but only the router's real crash
     // must produce a verdict.
-    let wc = WorldConfig::default().seed(9);
-    let mut w = World::new(wc);
     let mut topo = Topology::new();
     topo.push(Pos::new(0.0, 0.0));
     for k in 0..6 {
@@ -124,10 +125,13 @@ fn main() {
         miss_threshold: 2,
         sentinels: (1..=6).map(NodeId).collect(),
     };
-    let cfg2 = config.clone();
-    let ids = w.add_nodes(&topo, move |_| {
-        Box::new(RnfdNode::new(CsmaMac::default(), cfg2.clone())) as Box<dyn Proto>
-    });
+    let ids: Vec<NodeId> = (0..topo.len() as u32).map(NodeId).collect();
+    let mut w = SimBuilder::new()
+        .seed(9)
+        .nodes(topo, move |_| {
+            Box::new(RnfdNode::new(CsmaMac::default(), config.clone())) as Box<dyn Proto>
+        })
+        .build();
 
     // Churn on the sentinels only (the router is excluded), then the
     // router genuinely dies at t=90s.
@@ -142,13 +146,13 @@ fn main() {
         &[],
     );
     println!("  churn plan: {} crash/recovery events on sentinels", plan.len());
-    plan.apply(&mut w);
+    plan.apply(w.world_mut());
     let mut killer = FaultPlan::new();
     killer.push(Fault::Crash {
         node: ids[0],
         at: SimTime::from_secs(90),
     });
-    killer.apply(&mut w);
+    killer.apply(w.world_mut());
     w.run_for(SimDuration::from_secs(150));
 
     let mut detections = 0;

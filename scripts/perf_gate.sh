@@ -1,13 +1,19 @@
 #!/usr/bin/env sh
 # Timing-free perf gate.
 #
-# Runs the perf harness's quick matrix twice (--jobs 1 and --jobs 2)
+# Runs the perf harness's quick matrices twice (--jobs 1 and --jobs 2)
 # and requires the *deterministic* blocks of the two BENCH_perf.json
 # documents — workload shape and simulated-event counts — to be
-# identical. Event counts are a pure function of workload and seed, so
-# any drift means the kernel's behaviour changed (e.g. the spatial
-# index diverging from the exhaustive scan, which the harness itself
-# also asserts per point).
+# identical. That covers both matrices:
+#
+#   * index points: event counts are a pure function of workload and
+#     seed, so any drift means the kernel's behaviour changed (e.g. the
+#     spatial index diverging from the exhaustive scan, which the
+#     harness itself also asserts per point);
+#   * scaling points (--shards 1/2/4): each shard count is its own
+#     deterministic model, so its event count must be byte-stable
+#     across worker counts and machines. Counts are NOT comparable
+#     across shard counts — the gate checks per-shard-count stability.
 #
 # Deliberately NOT gated: wall-clock numbers and speedups. CI machines
 # are noisy and shared; timing thresholds make flaky gates. Timings are
@@ -30,9 +36,10 @@ import json, sys
 
 def deterministic(path):
     doc = json.load(open(path))
-    assert doc["schema"] == "iiot-bench/perf/v1", doc.get("schema")
-    points = doc["points"]
-    assert points, "no points measured"
+    assert doc["schema"] == "iiot-bench/perf/v2", doc.get("schema")
+    points, scaling = doc["points"], doc["scaling"]
+    assert points, "no index points measured"
+    assert scaling, "no scaling points measured"
     for p in points:
         d, t = p["deterministic"], p["timing"]
         assert set(d) == {"side", "mac", "nodes", "secs", "events"}, d.keys()
@@ -41,11 +48,28 @@ def deterministic(path):
         }, t.keys()
         assert d["nodes"] == d["side"] ** 2, d
         assert d["events"] > 0, d
-    return [p["deterministic"] for p in points]
+    for p in scaling:
+        d, t = p["deterministic"], p["timing"]
+        assert set(d) == {"side", "nodes", "shards", "secs", "events"}, d.keys()
+        assert set(t) == {"wall_us", "events_per_sec", "mode"}, t.keys()
+        assert t["mode"] in {"threaded", "serial"}, t
+        assert d["nodes"] == d["side"] ** 2, d
+        assert d["events"] > 0, d
+    shard_counts = {p["deterministic"]["shards"] for p in scaling}
+    assert {1, 2, 4} <= shard_counts, f"scaling must cover shards 1/2/4: {shard_counts}"
+    return (
+        [p["deterministic"] for p in points],
+        [p["deterministic"] for p in scaling],
+    )
 
-j1, j2 = deterministic(sys.argv[1]), deterministic(sys.argv[2])
-assert j1 == j2, "simulated-event counts drifted between --jobs 1 and --jobs 2"
-print(f"perf gate: {len(j1)} points, event counts identical at --jobs 1/2")
+p1, s1 = deterministic(sys.argv[1])
+p2, s2 = deterministic(sys.argv[2])
+assert p1 == p2, "index event counts drifted between --jobs 1 and --jobs 2"
+assert s1 == s2, "per-shard-count event counts drifted between --jobs 1 and --jobs 2"
+print(
+    f"perf gate: {len(p1)} index points + {len(s1)} scaling points "
+    "(shards 1/2/4), event counts identical at --jobs 1/2"
+)
 EOF
 
 echo "perf gate OK: deterministic event counts byte-stable across worker counts"

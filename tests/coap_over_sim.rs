@@ -88,24 +88,35 @@ impl Proto for CoapWireNode {
 }
 
 fn run(loss: f64, seed: u64, gets: usize) -> (usize, usize, f64) {
-    let wc = WorldConfig::default()
+    let server_id = NodeId(0);
+    let client_id = NodeId(1);
+    let mut w = SimBuilder::new()
         .seed(seed)
-        .wire_latency(SimDuration::from_millis(40));
-    let mut w = World::new(wc);
-
-    let mut server = CoapWireNode::new(1, loss);
-    server
-        .ep
-        .add_resource("plant/temp", Box::new(|_| Response::content(b"21.5".to_vec())));
-    let server_id = w.add_node(Pos::new(0.0, 0.0), Box::new(server));
-
-    let mut client = CoapWireNode::new(2, loss);
-    for k in 0..gets {
-        client
-            .gets
-            .push((SimTime::from_secs(1 + 5 * k as u64), server_id, "plant/temp"));
-    }
-    let client_id = w.add_node(Pos::new(1000.0, 0.0), Box::new(client));
+        .wire_latency(SimDuration::from_millis(40))
+        .nodes(
+            std::iter::once(Pos::new(0.0, 0.0)).collect::<Topology>(),
+            move |_| {
+                let mut server = CoapWireNode::new(1, loss);
+                server.ep.add_resource(
+                    "plant/temp",
+                    Box::new(|_| Response::content(b"21.5".to_vec())),
+                );
+                Box::new(server)
+            },
+        )
+        .nodes(
+            std::iter::once(Pos::new(1000.0, 0.0)).collect::<Topology>(),
+            move |_| {
+                let mut client = CoapWireNode::new(2, loss);
+                for k in 0..gets {
+                    client
+                        .gets
+                        .push((SimTime::from_secs(1 + 5 * k as u64), server_id, "plant/temp"));
+                }
+                Box::new(client)
+            },
+        )
+        .build();
 
     w.run_for(SimDuration::from_secs(gets as u64 * 5 + 120));
     let c = w.proto::<CoapWireNode>(client_id);

@@ -14,21 +14,23 @@ type Node = DodagNode<CsmaMac>;
 const NETWORK_KEY: Key = Key(*b"factory-net-key1");
 const LEVEL: SecLevel = SecLevel::EncMic64;
 
-fn build(n: usize, seed: u64) -> (World, Vec<NodeId>) {
-    let wc = WorldConfig::default().seed(seed);
-    let mut w = World::new(wc);
-    let ids = w.add_nodes(&Topology::line(n, 20.0), |i| {
-        Box::new(DodagNode::new(
-            CsmaMac::default(),
-            DodagConfig::default(),
-            i == 0,
-        )) as Box<dyn Proto>
-    });
+fn build(n: usize, seed: u64) -> (Sim, Vec<NodeId>) {
+    let w = SimBuilder::new()
+        .seed(seed)
+        .nodes(Topology::line(n, 20.0), |i| {
+            Box::new(DodagNode::new(
+                CsmaMac::default(),
+                DodagConfig::default(),
+                i == 0,
+            )) as Box<dyn Proto>
+        })
+        .build();
+    let ids = (0..n as u32).map(NodeId).collect();
     (w, ids)
 }
 
 /// Origin `node` sends `reading` protected under the network key.
-fn send_secured(w: &mut World, node: NodeId, counter: u32, reading: &[u8]) {
+fn send_secured(w: &mut Sim, node: NodeId, counter: u32, reading: &[u8]) {
     let frame = protect(&NETWORK_KEY, LEVEL, node.0, counter, reading);
     w.with_ctx(node, |p, ctx| {
         let n = p.as_any_mut().downcast_mut::<Node>().expect("dodag node");
