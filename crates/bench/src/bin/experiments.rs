@@ -18,15 +18,15 @@
 //! on structured event capture ([`iiot_sim::obs`]) and dumps every
 //! simulated world's events as JSONL — byte-identical for any `--jobs`
 //! — which `trace_report` summarizes. `--quick` swaps the heavyweight
-//! experiments (E5, E14) for reduced-scale variants through the same
-//! code paths — what CI's smoke script traces.
+//! experiments (E5, E14, E16) for reduced-scale variants through the
+//! same code paths — what CI's smoke script traces.
 
 use iiot_bench::{all_experiments, quick_experiments, RunConfig, Runner};
 use iiot_sim::obs;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [e1..e14]... [--markdown] [--quick] [--jobs N] [--trials N] \
+        "usage: experiments [e1..e16]... [--markdown] [--quick] [--jobs N] [--trials N] \
          [--json [PATH]] [--trace PATH]"
     );
     std::process::exit(2);

@@ -1,6 +1,7 @@
 //! The kernel perf harness: spatial index vs exhaustive scan on
-//! growing CSMA/LPL grids, plus the sharded-kernel scaling curves
-//! (see [`iiot_bench::exp_perf`]).
+//! growing CSMA/LPL grids, the sharded-kernel scaling curves, and the
+//! cloud ingest load curves (see [`iiot_bench::exp_perf`] and
+//! [`iiot_bench::exp_cloud`]).
 //!
 //! Usage:
 //!   cargo run -p iiot-bench --release --bin perf                    # full matrices
@@ -8,6 +9,7 @@
 //!   cargo run -p iiot-bench --release --bin perf -- --json          # also write BENCH_perf.json
 //!   cargo run -p iiot-bench --release --bin perf -- --jobs 2 --sides 10,20 --secs 5
 //!   cargo run -p iiot-bench --release --bin perf -- --shards 1,2,4 --scale-sides 20,40,80
+//!   cargo run -p iiot-bench --release --bin perf -- --cloud-devices 6250,25000,62500
 //!
 //! The printed tables and the JSON's `timing` blocks vary run to run;
 //! the JSON's `deterministic` blocks (workload shape + dispatched
@@ -16,12 +18,13 @@
 //! event counts are stable *per shard count* (each shard count is its
 //! own deterministic model).
 
-use iiot_bench::{exp_perf, RunConfig, Runner};
+use iiot_bench::{exp_cloud, exp_perf, RunConfig, Runner};
 
 fn usage() -> ! {
     eprintln!(
         "usage: perf [--quick] [--sides S1,S2,...] [--scale-sides S1,S2,...] \
-         [--shards K1,K2,...] [--secs N] [--jobs N] [--json [PATH]] [--markdown]"
+         [--shards K1,K2,...] [--cloud-devices D1,D2,...] [--secs N] [--jobs N] \
+         [--json [PATH]] [--markdown]"
     );
     std::process::exit(2);
 }
@@ -38,6 +41,7 @@ fn main() {
     let mut sides: Option<Vec<u32>> = None;
     let mut scale_sides: Option<Vec<u32>> = None;
     let mut shards: Option<Vec<u32>> = None;
+    let mut cloud_devices: Option<Vec<u32>> = None;
     let mut secs: Option<u64> = None;
     let mut json: Option<String> = None;
 
@@ -64,6 +68,10 @@ fn main() {
                 let spec = it.next().unwrap_or_else(|| usage());
                 shards = Some(parse_list(&spec).unwrap_or_else(|| usage()));
             }
+            "--cloud-devices" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                cloud_devices = Some(parse_list(&spec).unwrap_or_else(|| usage()));
+            }
             "--json" => {
                 let path = match it.peek() {
                     Some(p) if !p.starts_with("--") => it.next().unwrap(),
@@ -76,19 +84,23 @@ fn main() {
     }
 
     // Full mode is the committed-artifact run: index matrix on 10x10
-    // to 40x40 grids, scaling curves at N in {400, 1600, 6400};
+    // to 40x40 grids, scaling curves at N in {400, 1600, 6400}, cloud
+    // load points at 25k/100k/250k sessions (devices x 4 tenants);
     // --quick bounds CI smoke to a few seconds.
     let sides = sides.unwrap_or_else(|| if quick { vec![4, 8] } else { vec![10, 20, 40] });
     let scale_sides =
         scale_sides.unwrap_or_else(|| if quick { vec![8] } else { vec![20, 40, 80] });
     let shards = shards.unwrap_or_else(|| vec![1, 2, 4]);
+    let cloud_devices = cloud_devices
+        .unwrap_or_else(|| if quick { vec![250, 1_000] } else { vec![6_250, 25_000, 62_500] });
     let secs = secs.unwrap_or(if quick { 2 } else { 5 });
     let rc = RunConfig {
         runner: jobs.map(Runner::new).unwrap_or_else(Runner::available_parallelism),
         trials: 1,
     };
     eprintln!(
-        "[jobs={} sides={sides:?} scale_sides={scale_sides:?} shards={shards:?} secs={secs}]",
+        "[jobs={} sides={sides:?} scale_sides={scale_sides:?} shards={shards:?} \
+         cloud_devices={cloud_devices:?} secs={secs}]",
         rc.runner.jobs()
     );
 
@@ -104,20 +116,29 @@ fn main() {
         t1.elapsed().as_secs_f64()
     );
 
+    let t2 = std::time::Instant::now();
+    let cloud = exp_cloud::cloud_matrix(&cloud_devices, true);
+    eprintln!("[measured {} cloud points in {:.1}s]", cloud.len(), t2.elapsed().as_secs_f64());
+
     let table = exp_perf::table(&points);
     let stable = exp_perf::scaling_table(&scaling);
+    let ctable = exp_cloud::cloud_table(&cloud);
     if markdown {
         println!("{}", table.to_markdown());
         println!();
         println!("{}", stable.to_markdown());
+        println!();
+        println!("{}", ctable.to_markdown());
     } else {
         println!("{table}");
         println!();
         println!("{stable}");
+        println!();
+        println!("{ctable}");
     }
 
     if let Some(path) = json {
-        std::fs::write(&path, exp_perf::to_json(&points, &scaling)).unwrap_or_else(|e| {
+        std::fs::write(&path, exp_perf::to_json(&points, &scaling, &cloud)).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         });

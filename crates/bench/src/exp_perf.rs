@@ -385,12 +385,18 @@ pub fn scaling_table(points: &[ScalePoint]) -> Table {
     t
 }
 
-/// Serializes both matrices as the `BENCH_perf.json` document. The
-/// `deterministic` block of each point is byte-stable across worker
-/// counts and machines (per shard count, for scaling points) — CI's
-/// perf gate compares exactly that subset; `timing` is informational.
-pub fn to_json(points: &[PerfPoint], scaling: &[ScalePoint]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"iiot-bench/perf/v2\",\n");
+/// Serializes all three matrices as the `BENCH_perf.json` document.
+/// The `deterministic` block of each point is byte-stable across
+/// worker counts and machines (per shard count, for scaling points) —
+/// CI's perf gate compares exactly that subset; `timing` is
+/// informational. Cloud points come from
+/// [`cloud_matrix`](crate::exp_cloud::cloud_matrix).
+pub fn to_json(
+    points: &[PerfPoint],
+    scaling: &[ScalePoint],
+    cloud: &[crate::exp_cloud::CloudPoint],
+) -> String {
+    let mut out = String::from("{\n  \"schema\": \"iiot-bench/perf/v3\",\n");
     out.push_str(&format!("  \"spacing_m\": {SPACING_M},\n  \"points\": [\n"));
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -425,6 +431,28 @@ pub fn to_json(points: &[PerfPoint], scaling: &[ScalePoint]) -> String {
             p.events_per_sec(),
             p.mode,
             if i + 1 == scaling.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"cloud\": [\n");
+    for (i, p) in cloud.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"deterministic\": {{\"sessions\": {}, \"tenants\": {}, \"shards\": {}, \
+             \"msgs\": {}, \"accepted\": {}, \"shed\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"fairness_milli\": {}}}, \
+             \"timing\": {{\"wall_us\": {}, \"msgs_per_sec\": {:.0}, \"mode\": \"{}\"}}}}{}\n",
+            p.sessions,
+            p.tenants,
+            p.shards,
+            p.msgs,
+            p.accepted,
+            p.shed,
+            p.p50_us,
+            p.p99_us,
+            p.fairness_milli,
+            p.wall_us,
+            p.msgs_per_sec(),
+            p.mode,
+            if i + 1 == cloud.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -485,13 +513,29 @@ mod tests {
             wall_us: 2000,
             mode: "serial",
         };
-        let j = to_json(&[p], &[s]);
-        assert!(j.contains("\"schema\": \"iiot-bench/perf/v2\""));
+        let c = crate::exp_cloud::CloudPoint {
+            sessions: 100_000,
+            tenants: 4,
+            shards: 4,
+            msgs: 400_000,
+            accepted: 390_000,
+            shed: 10_000,
+            p50_us: 5_000,
+            p99_us: 12_000,
+            fairness_milli: 998,
+            wall_us: 250_000,
+            mode: "threaded",
+        };
+        let j = to_json(&[p], &[s], &[c]);
+        assert!(j.contains("\"schema\": \"iiot-bench/perf/v3\""));
         assert!(j.contains("\"events\": 1234"));
         assert!(j.contains("\"speedup\": 5.00"));
         assert!(j.contains("\"shards\": 4"));
         assert!(j.contains("\"events\": 9876"));
         assert!(j.contains("\"mode\": \"serial\""));
+        assert!(j.contains("\"sessions\": 100000"));
+        assert!(j.contains("\"fairness_milli\": 998"));
+        assert!(j.contains("\"msgs_per_sec\": 1600000"));
         let t = table(&[p]);
         assert_eq!(t.rows().len(), 1);
         assert_eq!(t.rows()[0][5], "5.0x");

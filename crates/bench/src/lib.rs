@@ -1,6 +1,6 @@
 //! # iiot-bench — the experiment harness
 //!
-//! One function per experiment of DESIGN.md §2 (E1-E14), each returning
+//! One function per experiment of DESIGN.md §2 (E1-E16), each returning
 //! [`Table`]s that the `experiments` binary prints (and EXPERIMENTS.md
 //! records). The hot experiments fan their trials out over the
 //! [`runner`] worker pool; every experiment takes the shared
@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod exp_cloud;
 pub mod exp_depend;
 pub mod exp_dissem;
 pub mod exp_interop;
@@ -118,11 +119,19 @@ pub fn all_experiments() -> Vec<Experiment> {
                 exp_dissem::e14_rollout(rc),
             ]
         }),
+        ("e16", |rc| {
+            vec![
+                exp_cloud::e16_ingest(rc),
+                exp_cloud::e16_fairness(rc),
+                exp_cloud::e16_overload(rc),
+                exp_cloud::e16_bridge(rc),
+            ]
+        }),
     ]
 }
 
 /// Reduced-scale registry for smoke runs (`experiments --quick`): the
-/// heavyweight experiments (E5, E14) run shrunken matrices through the
+/// heavyweight experiments (E5, E14, E16) run shrunken matrices through the
 /// same code paths — trial fan-out, oracle sampling mid-campaign,
 /// trace capture — so the determinism contract is exercised end to end
 /// while the full-scale tables (and their multi-gigabyte traces) stay
@@ -143,6 +152,17 @@ pub fn quick_experiments() -> Vec<Experiment> {
                         exp_dissem::e14_completion_with(rc, &[3], 600),
                         exp_dissem::e14_resume_with(rc, 4, 1920, 6, 300),
                         exp_dissem::e14_rollout_with(rc, 4, 300),
+                    ]
+                }) as fn(&RunConfig) -> Vec<Table>,
+            ),
+            "e16" => (
+                id,
+                (|rc| {
+                    vec![
+                        exp_cloud::e16_ingest_with(rc, &[125, 500]),
+                        exp_cloud::e16_fairness_with(rc, &[1, 16], 200),
+                        exp_cloud::e16_overload_with(rc, &[0.5, 2.0], 250),
+                        exp_cloud::e16_bridge(rc),
                     ]
                 }) as fn(&RunConfig) -> Vec<Table>,
             ),

@@ -93,6 +93,32 @@ fn e14_jobs1_and_jobs2_tables_are_identical() {
     assert_eq!(seq.2.to_json(), par.2.to_json());
 }
 
+/// E16's tables — whose trials run the cloud pipeline's threaded
+/// per-shard drain *inside* runner worker threads — must be
+/// byte-identical at `--jobs 1` and `--jobs 2`, tables and JSON both.
+#[test]
+fn e16_jobs1_and_jobs2_tables_are_identical() {
+    let run = |jobs: usize| {
+        let rc = RunConfig {
+            runner: Runner::new(jobs),
+            trials: 1,
+        };
+        (
+            iiot_bench::exp_cloud::e16_ingest_with(&rc, &[50, 150]),
+            iiot_bench::exp_cloud::e16_fairness_with(&rc, &[1, 16], 150),
+            iiot_bench::exp_cloud::e16_overload_with(&rc, &[0.5, 2.0], 250),
+            iiot_bench::exp_cloud::e16_bridge(&rc),
+        )
+    };
+    let seq = run(1);
+    let par = run(2);
+    assert_eq!(seq, par);
+    assert_eq!(seq.0.to_json(), par.0.to_json());
+    assert_eq!(seq.1.to_json(), par.1.to_json());
+    assert_eq!(seq.2.to_json(), par.2.to_json());
+    assert_eq!(seq.3.to_json(), par.3.to_json());
+}
+
 /// Pinned pre-optimization goldens: these exact bytes were captured
 /// from the exhaustive-scan, linear-lookup radio medium before the
 /// spatial index / slab / buffer-reuse rework. The reworked kernel

@@ -1,0 +1,196 @@
+//! Downlink command & control: cloud-issued writes routed through a
+//! gateway's northbound CoAP surface.
+//!
+//! Tenants submit [`Command`]s into a bounded downlink queue (same
+//! explicit-backpressure discipline as ingest: `try_send`, shed on
+//! full). [`CommandRouter::flush`] then plays the queue against a
+//! gateway CoAP endpoint as confirmable PUTs, shuttling datagrams both
+//! ways in virtual time and classifying each response: `2.04 Changed`
+//! is an acknowledged command, anything else a failure. The gateway
+//! applies accepted writes to its southbound adapters on its next
+//! poll — the same path a local CoAP client would take, so the cloud
+//! tier adds no second write authority.
+
+use crate::tenant::TenantId;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use iiot_coap::{Code, CoapEndpoint, CoapEvent, EndpointConfig};
+use iiot_sim::SimTime;
+
+/// The router's own peer address on the two-endpoint CoAP link.
+const CLOUD_PEER: u64 = 0xC10D;
+/// The gateway's peer address, from the router's point of view.
+const GATEWAY_PEER: u64 = 1;
+
+/// One downlink write: set `point` to `value` on the tenant's behalf.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Command {
+    /// The issuing tenant (for fairness accounting and tracing).
+    pub tenant: TenantId,
+    /// Gateway point path, e.g. `"plant/boiler/setpoint"`.
+    pub point: String,
+    /// The value to write.
+    pub value: f64,
+}
+
+/// Outcome of one flushed command.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommandOutcome {
+    /// The issuing tenant.
+    pub tenant: TenantId,
+    /// The targeted point.
+    pub point: String,
+    /// Whether the gateway acknowledged with `2.04 Changed`.
+    pub ok: bool,
+}
+
+/// Bounded downlink queue + CoAP client; see the [module docs](self).
+pub struct CommandRouter {
+    tx: Sender<Command>,
+    rx: Receiver<Command>,
+    client: CoapEndpoint<u64>,
+    shed: u64,
+}
+
+impl CommandRouter {
+    /// A router whose downlink queue holds at most `cap` pending
+    /// commands; `seed` feeds the CoAP endpoint's retransmission
+    /// jitter (deterministic per seed).
+    pub fn new(cap: usize, seed: u64) -> Self {
+        let (tx, rx) = bounded(cap);
+        CommandRouter {
+            tx,
+            rx,
+            client: CoapEndpoint::new(EndpointConfig::default(), seed),
+            shed: 0,
+        }
+    }
+
+    /// Enqueues a command; sheds it (returning `false`) when the
+    /// downlink queue is full. Never blocks.
+    pub fn submit(&mut self, cmd: Command) -> bool {
+        match self.tx.try_send(cmd) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                self.shed += 1;
+                false
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                unreachable!("router owns both channel halves")
+            }
+        }
+    }
+
+    /// Commands currently queued for downlink.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Commands shed to downlink backpressure so far.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Plays every queued command against `gateway` (its northbound
+    /// CoAP server — e.g. `Gateway::coap_mut()`) at instant `now`,
+    /// returning one outcome per command in submission order.
+    pub fn flush(
+        &mut self,
+        gateway: &mut CoapEndpoint<u64>,
+        now: SimTime,
+    ) -> Vec<CommandOutcome> {
+        let mut sent: Vec<(Vec<u8>, Command)> = Vec::new();
+        while let Ok(cmd) = self.rx.try_recv() {
+            let payload = format!("{}", cmd.value).into_bytes();
+            let token = self.client.put(GATEWAY_PEER, &cmd.point, payload, now);
+            sent.push((token, cmd));
+        }
+        if sent.is_empty() {
+            return Vec::new();
+        }
+        // Shuttle datagrams until both sides go quiet (requests, then
+        // responses; blockwise transfers may take several rounds).
+        loop {
+            let out = self.client.take_outbox();
+            let back = gateway.take_outbox();
+            if out.is_empty() && back.is_empty() {
+                break;
+            }
+            for (_, dgram) in out {
+                gateway.handle_datagram(CLOUD_PEER, &dgram, now);
+            }
+            for (_, dgram) in back {
+                self.client.handle_datagram(GATEWAY_PEER, &dgram, now);
+            }
+        }
+        let events = self.client.take_events();
+        sent.into_iter()
+            .map(|(token, cmd)| {
+                let ok = events.iter().any(|e| match e {
+                    CoapEvent::Response { token: t, code, .. } => {
+                        *t == token && *code == Code::Changed
+                    }
+                    CoapEvent::RequestFailed { .. } => false,
+                });
+                CommandOutcome { tenant: cmd.tenant, point: cmd.point, ok }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iiot_coap::resource::Response;
+
+    /// A gateway-shaped CoAP server: one writable point, one
+    /// read-only point.
+    fn server() -> CoapEndpoint<u64> {
+        let mut s: CoapEndpoint<u64> = CoapEndpoint::new(EndpointConfig::default(), 7);
+        s.add_resource(
+            "plant/boiler/setpoint",
+            Box::new(|req| match req.method {
+                Code::Put => Response::changed(),
+                _ => Response::method_not_allowed(),
+            }),
+        );
+        s.add_resource(
+            "plant/boiler/temp",
+            Box::new(|_| Response::method_not_allowed()),
+        );
+        s
+    }
+
+    fn cmd(point: &str, value: f64) -> Command {
+        Command { tenant: TenantId(0), point: point.to_owned(), value }
+    }
+
+    #[test]
+    fn writable_point_acks_readonly_point_fails() {
+        let mut router = CommandRouter::new(16, 42);
+        let mut gw = server();
+        assert!(router.submit(cmd("plant/boiler/setpoint", 72.5)));
+        assert!(router.submit(cmd("plant/boiler/temp", 1.0)));
+        let out = router.flush(&mut gw, SimTime::ZERO);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].ok, "writable point must ack");
+        assert!(!out[1].ok, "read-only point must fail");
+        assert_eq!(router.pending(), 0);
+    }
+
+    #[test]
+    fn downlink_queue_is_bounded_and_sheds() {
+        let mut router = CommandRouter::new(2, 42);
+        assert!(router.submit(cmd("a", 1.0)));
+        assert!(router.submit(cmd("b", 2.0)));
+        assert!(!router.submit(cmd("c", 3.0)), "third command must shed");
+        assert_eq!(router.shed(), 1);
+        assert_eq!(router.pending(), 2);
+    }
+
+    #[test]
+    fn flush_with_empty_queue_is_a_no_op() {
+        let mut router = CommandRouter::new(4, 42);
+        let mut gw = server();
+        assert!(router.flush(&mut gw, SimTime::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Cloud-tier metrics: per-tenant summaries and Jain's fairness index.
+
+use crate::ingest::IngestPipeline;
+use crate::tenant::TenantId;
+
+/// One tenant's ingest scorecard, distilled from
+/// [`TenantStats`](crate::ingest::TenantStats) for tables and JSON.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantSummary {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Messages presented to the front door.
+    pub offered: u64,
+    /// Messages admitted.
+    pub accepted: u64,
+    /// Messages shed (auth + backpressure).
+    pub shed: u64,
+    /// Median queue latency, µs of virtual time (0 if nothing drained).
+    pub p50_us: u64,
+    /// 99th-percentile queue latency, µs of virtual time.
+    pub p99_us: u64,
+}
+
+/// Summarizes every tenant of a pipeline, in tenant-id order.
+pub fn summarize(pipeline: &IngestPipeline) -> Vec<TenantSummary> {
+    pipeline
+        .stats()
+        .map(|(tenant, st)| TenantSummary {
+            tenant,
+            offered: st.offered,
+            accepted: st.accepted,
+            shed: st.shed(),
+            p50_us: st.latency_us.quantile(0.5).round() as u64,
+            p99_us: st.latency_us.quantile(0.99).round() as u64,
+        })
+        .collect()
+}
+
+/// Jain's fairness index over per-tenant allocations:
+/// `(Σx)² / (n·Σx²)`. 1.0 is perfectly fair; `1/n` is one tenant
+/// taking everything. Empty or all-zero input reports 1.0 (nothing is
+/// being divided, so nothing is unfair).
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq)
+}
+
+/// Fairness of *service*: Jain's index over each tenant's fraction of
+/// its offered load that was accepted. A noisy tenant that only hurts
+/// itself leaves this at 1.0; cross-tenant damage pulls it down.
+pub fn service_fairness(summaries: &[TenantSummary]) -> f64 {
+    let rates: Vec<f64> = summaries
+        .iter()
+        .filter(|s| s.offered > 0)
+        .map(|s| s.accepted as f64 / s.offered as f64)
+        .collect();
+    jain_fairness(&rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_bounds() {
+        assert!((jain_fairness(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let one_hog = jain_fairness(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((one_hog - 0.25).abs() < 1e-12, "n=4 floor is 1/4, got {one_hog}");
+        assert!((jain_fairness(&[]) - 1.0).abs() < 1e-12);
+        assert!((jain_fairness(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_fairness_ignores_idle_tenants() {
+        let s = |tenant, offered, accepted| TenantSummary {
+            tenant: TenantId(tenant),
+            offered,
+            accepted,
+            shed: offered - accepted,
+            p50_us: 0,
+            p99_us: 0,
+        };
+        let all_served = [s(0, 100, 100), s(1, 10, 10), s(2, 0, 0)];
+        assert!((service_fairness(&all_served) - 1.0).abs() < 1e-12);
+        let skewed = [s(0, 100, 100), s(1, 100, 25)];
+        assert!(service_fairness(&skewed) < 0.9);
+    }
+}

@@ -1,0 +1,61 @@
+//! Tenancy vocabulary: identities and per-tenant ingest policy.
+//!
+//! A *tenant* is a northbound account — a plant operator, an OEM fleet,
+//! an analytics customer — that owns a namespace of devices and a slice
+//! of the platform's ingest capacity. This is deliberately a different
+//! concept from `iiot_mac::coex::TenantId`-style radio-channel
+//! tenancy: the cloud tier multiplexes *queues and workers*, not
+//! spectrum.
+
+/// A northbound tenant account id.
+///
+/// Dense small integers: tenants index per-tenant queues and stats
+/// tables directly, and the static `tenant → shard` assignment is
+/// `id % shards`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TenantId(pub u16);
+
+impl TenantId {
+    /// The shard this tenant's queue lives on, for `shards` shards.
+    pub fn shard(self, shards: usize) -> usize {
+        self.0 as usize % shards.max(1)
+    }
+}
+
+/// What the front door does with a new message when the tenant's
+/// bounded queue is full.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShedPolicy {
+    /// Reject the arriving message (tail drop). The device sees
+    /// explicit backpressure; queued history is preserved.
+    RejectNew,
+    /// Evict the oldest queued message to admit the new one (head
+    /// drop). Freshness wins; the shed count is the same, but latency
+    /// of what *is* delivered stays bounded.
+    DropOldest,
+}
+
+/// How tenant traffic maps onto queues.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Isolation {
+    /// One bounded queue per tenant (the default): a tenant that
+    /// overruns its queue sheds only its own traffic.
+    PerTenant,
+    /// All tenants on a shard share one bounded queue — the classic
+    /// noisy-neighbor topology, kept as the experimental control for
+    /// E16's fairness comparison.
+    Shared,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_static_and_total() {
+        for t in 0..64u16 {
+            assert_eq!(TenantId(t).shard(4), (t % 4) as usize);
+            assert_eq!(TenantId(t).shard(0), 0, "degenerate shard count clamps");
+        }
+    }
+}

@@ -213,6 +213,86 @@ impl Gateway {
     }
 }
 
+/// One normalized measurement on its way to the cloud tier, stamped
+/// with the owning tenant. Protocol-neutral on purpose: the cloud
+/// crate turns records into its own ingest messages without this crate
+/// depending on it (the dependency points cloud → gateway, matching
+/// the tiered architecture).
+#[derive(Clone, Debug, PartialEq)]
+pub struct UplinkRecord {
+    /// The tenant account this gateway reports under.
+    pub tenant: u16,
+    /// Unified point path (e.g. `"plant/boiler/temp"`).
+    pub point: String,
+    /// Normalized value.
+    pub value: f64,
+    /// Measurement timestamp, µs.
+    pub timestamp_us: u64,
+    /// Southbound device name the value came from.
+    pub device: String,
+}
+
+/// The northbound cloud bridge: subscribes to a gateway's bus and
+/// batches everything the gateway normalizes into tenant-stamped
+/// [`UplinkRecord`]s for the cloud tier's ingest pipeline.
+///
+/// ```
+/// use iiot_crdt::ReplicaId;
+/// use iiot_gateway::bridge::{CloudUplink, Gateway};
+///
+/// let gw = Gateway::new(ReplicaId(1));
+/// let uplink = CloudUplink::new(&gw, 3, "plant/");
+/// // ... add adapters, poll ...
+/// assert!(uplink.drain().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct CloudUplink {
+    tenant: u16,
+    rx: crossbeam::channel::Receiver<Measurement>,
+    forwarded: std::cell::Cell<u64>,
+}
+
+impl CloudUplink {
+    /// Bridges `gateway`'s bus traffic under `prefix` to tenant
+    /// account `tenant`. Subscribe before polling — bus fan-out only
+    /// reaches subscribers that exist when a measurement is published.
+    pub fn new(gateway: &Gateway, tenant: u16, prefix: &str) -> Self {
+        CloudUplink {
+            tenant,
+            rx: gateway.bus().subscribe(prefix),
+            forwarded: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Drains every measurement published since the last drain into
+    /// uplink records, in publication order.
+    pub fn drain(&self) -> Vec<UplinkRecord> {
+        let records: Vec<UplinkRecord> = self
+            .rx
+            .try_iter()
+            .map(|m| UplinkRecord {
+                tenant: self.tenant,
+                point: m.point,
+                value: m.value,
+                timestamp_us: m.timestamp_us,
+                device: m.device,
+            })
+            .collect();
+        self.forwarded.set(self.forwarded.get() + records.len() as u64);
+        records
+    }
+
+    /// Total records drained northbound so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.get()
+    }
+
+    /// The tenant this bridge reports under.
+    pub fn tenant(&self) -> u16 {
+        self.tenant
+    }
+}
+
 impl std::fmt::Debug for Gateway {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Gateway")
@@ -429,5 +509,34 @@ mod tests {
         let ev = client.take_events();
         assert_eq!(ev.len(), 1, "one notification per poll: {ev:?}");
         assert!(matches!(&ev[0], CoapEvent::Response { observe: Some(_), .. }));
+    }
+
+    #[test]
+    fn cloud_uplink_drains_tenant_stamped_records() {
+        let mut gw = full_gateway();
+        let uplink = CloudUplink::new(&gw, 7, "plant/");
+        gw.poll_all(42);
+        let records = uplink.drain();
+        assert_eq!(records.len(), 6, "all six points bridge northbound");
+        assert!(records.iter().all(|r| r.tenant == 7));
+        assert!(records.iter().all(|r| r.point.starts_with("plant/")));
+        let temp = records
+            .iter()
+            .find(|r| r.point == "plant/boiler/temp")
+            .expect("boiler temp bridged");
+        assert!((temp.value - 80.5).abs() < 1e-9);
+        assert_eq!(temp.timestamp_us, 42);
+        assert_eq!(uplink.forwarded(), 6);
+        assert!(uplink.drain().is_empty(), "drain is destructive");
+    }
+
+    #[test]
+    fn cloud_uplink_prefix_filters_the_namespace() {
+        let mut gw = full_gateway();
+        let uplink = CloudUplink::new(&gw, 7, "plant/boiler/");
+        gw.poll_all(0);
+        let records = uplink.drain();
+        assert_eq!(records.len(), 2, "only the boiler subtree bridges");
+        assert!(records.iter().all(|r| r.point.starts_with("plant/boiler/")));
     }
 }

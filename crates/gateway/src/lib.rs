@@ -56,6 +56,6 @@ pub mod modbus;
 pub mod model;
 pub mod tlv;
 
-pub use bridge::Gateway;
+pub use bridge::{CloudUplink, Gateway, UplinkRecord};
 pub use bus::Bus;
 pub use model::{Adapter, DeviceInfo, Measurement, PointInfo, Quality, Unit, WriteError};

@@ -311,6 +311,28 @@ pub enum EventKind {
         /// Number of nodes enabled by (or implicated in) this stage.
         cohort: u32,
     },
+    /// A northbound uplink message was accepted by the cloud ingest
+    /// pipeline (the node is the reporting shard, not a sim node).
+    CloudIngest {
+        /// The accepting tenant's numeric id.
+        tenant: u32,
+        /// Tenant queue depth right after the enqueue.
+        depth: u32,
+    },
+    /// A northbound uplink message was shed at the cloud's front door.
+    CloudShed {
+        /// The tenant whose message was shed.
+        tenant: u32,
+        /// Shed cause (`"auth"`, `"queue_full"`, `"drop_oldest"`).
+        cause: &'static str,
+    },
+    /// A downlink command-and-control attempt completed.
+    CloudCommand {
+        /// The issuing tenant.
+        tenant: u32,
+        /// Whether the gateway acknowledged the command.
+        ok: bool,
+    },
     /// Escape hatch for one-off instrumentation.
     Custom {
         /// Metric name.
@@ -348,6 +370,9 @@ impl EventKind {
             EventKind::DissemPage { .. } => "dissem_page",
             EventKind::DissemComplete { .. } => "dissem_complete",
             EventKind::RolloutStage { .. } => "rollout_stage",
+            EventKind::CloudIngest { .. } => "cloud_ingest",
+            EventKind::CloudShed { .. } => "cloud_shed",
+            EventKind::CloudCommand { .. } => "cloud_command",
             EventKind::Custom { .. } => "custom",
         }
     }
@@ -437,6 +462,15 @@ impl Event {
             }
             EventKind::RolloutStage { stage, cohort } => {
                 format!(",\"stage\":\"{stage}\",\"cohort\":{cohort}")
+            }
+            EventKind::CloudIngest { tenant, depth } => {
+                format!(",\"tenant\":{tenant},\"depth\":{depth}")
+            }
+            EventKind::CloudShed { tenant, cause } => {
+                format!(",\"tenant\":{tenant},\"cause\":\"{cause}\"")
+            }
+            EventKind::CloudCommand { tenant, ok } => {
+                format!(",\"tenant\":{},\"ok\":{}", tenant, ok as u8)
             }
             EventKind::Custom { name, value } => {
                 format!(",\"name\":\"{name}\",\"value\":{value}")
@@ -556,6 +590,18 @@ impl Event {
                 stage: intern(s("stage")?),
                 cohort: num("cohort")? as u32,
             },
+            "cloud_ingest" => EventKind::CloudIngest {
+                tenant: num("tenant")? as u32,
+                depth: num("depth")? as u32,
+            },
+            "cloud_shed" => EventKind::CloudShed {
+                tenant: num("tenant")? as u32,
+                cause: intern(s("cause")?),
+            },
+            "cloud_command" => EventKind::CloudCommand {
+                tenant: num("tenant")? as u32,
+                ok: num("ok")? != 0,
+            },
             "custom" => EventKind::Custom {
                 name: intern(s("name")?),
                 value: fnum("value")?,
@@ -659,6 +705,8 @@ fn intern(s: &str) -> &'static str {
         "tx_overrun", "late_frame", "tx_busy",
         // rollout stages and wipe crashes
         "inject", "canary", "wave", "fleet", "done", "halted", "crash_wipe",
+        // cloud shed causes
+        "auth", "queue_full", "drop_oldest",
         // queues and common custom metric names
         "mac", "dodag", "boot", "duty_cycle", "merge_round",
     ];
@@ -1385,6 +1433,55 @@ pub fn report(traces: &[ScopeTrace]) -> String {
         }
     }
 
+    let has_cloud = all.iter().any(|e| {
+        matches!(
+            e.kind,
+            EventKind::CloudIngest { .. }
+                | EventKind::CloudShed { .. }
+                | EventKind::CloudCommand { .. }
+        )
+    });
+    if has_cloud {
+        let _ = writeln!(out, "\n== cloud tier ==");
+        // tenant -> (accepted, shed, commands ok, commands failed, max depth)
+        let mut by_tenant: BTreeMap<u32, (u64, u64, u64, u64, u32)> = BTreeMap::new();
+        let mut shed_causes: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for ev in &all {
+            match ev.kind {
+                EventKind::CloudIngest { tenant, depth } => {
+                    let e = by_tenant.entry(tenant).or_default();
+                    e.0 += 1;
+                    e.4 = e.4.max(depth);
+                }
+                EventKind::CloudShed { tenant, cause } => {
+                    by_tenant.entry(tenant).or_default().1 += 1;
+                    *shed_causes.entry(cause).or_default() += 1;
+                }
+                EventKind::CloudCommand { tenant, ok } => {
+                    let e = by_tenant.entry(tenant).or_default();
+                    if ok {
+                        e.2 += 1;
+                    } else {
+                        e.3 += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let (acc, shed): (u64, u64) =
+            by_tenant.values().fold((0, 0), |(a, s), v| (a + v.0, s + v.1));
+        let _ = writeln!(out, "  ingest accepted {acc}   shed {shed}");
+        for (tenant, (a, s, ok, bad, depth)) in &by_tenant {
+            let _ = writeln!(
+                out,
+                "  tenant {tenant}: accepted {a}, shed {s}, commands {ok} ok / {bad} failed, max depth {depth}"
+            );
+        }
+        for (cause, n) in &shed_causes {
+            let _ = writeln!(out, "  shed cause {cause}: {n}");
+        }
+    }
+
     let _ = writeln!(out, "\n== repair timeline ==");
     let mut lines = 0;
     for tr in traces {
@@ -1484,6 +1581,11 @@ mod tests {
             EventKind::DissemComplete { version: 3, ok: true },
             EventKind::DissemComplete { version: 4, ok: false },
             EventKind::RolloutStage { stage: "canary", cohort: 5 },
+            EventKind::CloudIngest { tenant: 2, depth: 17 },
+            EventKind::CloudShed { tenant: 2, cause: "queue_full" },
+            EventKind::CloudShed { tenant: 0, cause: "auth" },
+            EventKind::CloudCommand { tenant: 1, ok: true },
+            EventKind::CloudCommand { tenant: 3, ok: false },
             EventKind::Custom { name: "boot", value: 1.5 },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {

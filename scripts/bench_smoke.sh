@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Tier-2 smoke checks:
-#   1. the parallel trial runner must produce byte-identical E5 and E14
-#      tables (and JSON dumps) at --jobs 1 and --jobs 2;
+#   1. the parallel trial runner must produce byte-identical E5, E14
+#      and E16 tables (and JSON dumps) at --jobs 1 and --jobs 2;
 #   2. the --trace JSONL event dump must be byte-identical too, and
 #      must round-trip through trace_report deterministically;
 #   3. a sharded (--shards 2) perf run must produce byte-identical
@@ -69,6 +69,23 @@ target/release/trace_report "$out/e14-j2.jsonl" > "$out/report-e14-j2.txt"
 diff -u "$out/report-e14-j1.txt" "$out/report-e14-j2.txt"
 grep -q "== dissemination campaign ==" "$out/report-e14-j1.txt"
 
+# E16 runs the cloud pipeline's threaded per-shard drain *inside*
+# runner worker threads — two layers of scheduling freedom. Same
+# contract: byte-identical tables, dumps and traces at any worker
+# count, and the trace must carry the cloud-tier events.
+"$bin" e16 --quick --jobs 1 --json "$out/e16-j1.json" --trace "$out/e16-j1.jsonl" \
+    > "$out/e16-j1.txt" 2> /dev/null
+"$bin" e16 --quick --jobs 2 --json "$out/e16-j2.json" --trace "$out/e16-j2.jsonl" \
+    > "$out/e16-j2.txt" 2> /dev/null
+
+diff -u "$out/e16-j1.txt" "$out/e16-j2.txt"
+diff -u "$out/e16-j1.json" "$out/e16-j2.json"
+cmp "$out/e16-j1.jsonl" "$out/e16-j2.jsonl"
+target/release/trace_report "$out/e16-j1.jsonl" > "$out/report-e16-j1.txt"
+target/release/trace_report "$out/e16-j2.jsonl" > "$out/report-e16-j2.txt"
+diff -u "$out/report-e16-j1.txt" "$out/report-e16-j2.txt"
+grep -q "== cloud tier ==" "$out/report-e16-j1.txt"
+
 # The sharded kernel's determinism contract, trace-diff style: a tiny
 # --shards 2 perf run at --jobs 1 and --jobs 2 must agree byte-for-byte
 # on every deterministic block (workload shape + simulated event
@@ -97,14 +114,16 @@ grep -q '"shards": 2' "$out/perf-s2-j1.det"
 # The committed perf artifact (regenerated by `cargo run -p iiot-bench
 # --release --bin perf -- --json`) must parse under the perf schema:
 # deterministic workload/event-count blocks plus informational timing,
-# for both the index matrix and the shard-scaling curves.
+# for the index matrix, the shard-scaling curves and the cloud ingest
+# load points.
 python3 - BENCH_perf.json <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == "iiot-bench/perf/v2", doc.get("schema")
+assert doc["schema"] == "iiot-bench/perf/v3", doc.get("schema")
 assert isinstance(doc["spacing_m"], (int, float))
 assert doc["points"], "no points in committed BENCH_perf.json"
 assert doc["scaling"], "no scaling curves in committed BENCH_perf.json"
+assert doc["cloud"], "no cloud points in committed BENCH_perf.json"
 for p in doc["points"]:
     d, t = p["deterministic"], p["timing"]
     assert set(d) == {"side", "mac", "nodes", "secs", "events"}, d.keys()
@@ -121,6 +140,16 @@ for p in doc["scaling"]:
     assert d["shards"] >= 1, d
 shard_counts = {p["deterministic"]["shards"] for p in doc["scaling"]}
 assert {1, 2, 4} <= shard_counts, f"scaling must cover shards 1/2/4: {shard_counts}"
+for p in doc["cloud"]:
+    d, t = p["deterministic"], p["timing"]
+    assert set(d) == {
+        "sessions", "tenants", "shards", "msgs", "accepted", "shed",
+        "p50_us", "p99_us", "fairness_milli",
+    }, d.keys()
+    assert set(t) == {"wall_us", "msgs_per_sec", "mode"}, t.keys()
+    assert d["msgs"] == d["accepted"] + d["shed"] and d["msgs"] > 0, d
+assert max(p["deterministic"]["sessions"] for p in doc["cloud"]) >= 100_000, \
+    "committed cloud curve must reach 1e5 sessions"
 EOF
 
 # Docs: deny rustdoc warnings, run every crate-level doc example.
@@ -134,4 +163,4 @@ cargo clippy --offline --all-targets \
     $(for d in vendor/*/; do printf -- '--exclude %s ' "$(basename "$d")"; done) \
     --workspace -- -D warnings
 
-echo "bench smoke OK: e5 + e14 + shards-2 runs byte-identical at --jobs 1/2, docs + lints clean"
+echo "bench smoke OK: e5 + e14 + e16 + shards-2 runs byte-identical at --jobs 1/2, docs + lints clean"

@@ -14,6 +14,10 @@
 #     deterministic model, so its event count must be byte-stable
 #     across worker counts and machines. Counts are NOT comparable
 #     across shard counts — the gate checks per-shard-count stability.
+#   * cloud points: every gated quantity (message counts, shed,
+#     virtual-time p50/p99, fairness) is a pure function of the
+#     session plan and seed, so the whole deterministic block must be
+#     identical across worker counts.
 #
 # Deliberately NOT gated: wall-clock numbers and speedups. CI machines
 # are noisy and shared; timing thresholds make flaky gates. Timings are
@@ -36,10 +40,11 @@ import json, sys
 
 def deterministic(path):
     doc = json.load(open(path))
-    assert doc["schema"] == "iiot-bench/perf/v2", doc.get("schema")
-    points, scaling = doc["points"], doc["scaling"]
+    assert doc["schema"] == "iiot-bench/perf/v3", doc.get("schema")
+    points, scaling, cloud = doc["points"], doc["scaling"], doc["cloud"]
     assert points, "no index points measured"
     assert scaling, "no scaling points measured"
+    assert cloud, "no cloud points measured"
     for p in points:
         d, t = p["deterministic"], p["timing"]
         assert set(d) == {"side", "mac", "nodes", "secs", "events"}, d.keys()
@@ -57,19 +62,33 @@ def deterministic(path):
         assert d["events"] > 0, d
     shard_counts = {p["deterministic"]["shards"] for p in scaling}
     assert {1, 2, 4} <= shard_counts, f"scaling must cover shards 1/2/4: {shard_counts}"
+    for p in cloud:
+        d, t = p["deterministic"], p["timing"]
+        assert set(d) == {
+            "sessions", "tenants", "shards", "msgs", "accepted", "shed",
+            "p50_us", "p99_us", "fairness_milli",
+        }, d.keys()
+        assert set(t) == {"wall_us", "msgs_per_sec", "mode"}, t.keys()
+        assert t["mode"] in {"threaded", "serial"}, t
+        assert d["msgs"] == d["accepted"] + d["shed"], d
+        assert d["msgs"] > 0 and d["sessions"] > 0, d
+        assert 0 < d["fairness_milli"] <= 1000, d
     return (
         [p["deterministic"] for p in points],
         [p["deterministic"] for p in scaling],
+        [p["deterministic"] for p in cloud],
     )
 
-p1, s1 = deterministic(sys.argv[1])
-p2, s2 = deterministic(sys.argv[2])
+p1, s1, c1 = deterministic(sys.argv[1])
+p2, s2, c2 = deterministic(sys.argv[2])
 assert p1 == p2, "index event counts drifted between --jobs 1 and --jobs 2"
 assert s1 == s2, "per-shard-count event counts drifted between --jobs 1 and --jobs 2"
+assert c1 == c2, "cloud deterministic blocks drifted between --jobs 1 and --jobs 2"
 print(
     f"perf gate: {len(p1)} index points + {len(s1)} scaling points "
-    "(shards 1/2/4), event counts identical at --jobs 1/2"
+    f"(shards 1/2/4) + {len(c1)} cloud points, deterministic blocks "
+    "identical at --jobs 1/2"
 )
 EOF
 
-echo "perf gate OK: deterministic event counts byte-stable across worker counts"
+echo "perf gate OK: deterministic blocks byte-stable across worker counts"

@@ -16,6 +16,7 @@
 //! | [`security`] | `iiot-security` | §V-E — frame security, secure join |
 //! | [`dependability`] | `iiot-dependability` | §V — faults, redundancy, safety, HVAC |
 //! | [`gateway`] | `iiot-gateway` | §III — legacy-protocol integration |
+//! | [`cloud`] | `iiot-cloud` | Fig. 1 — multi-tenant northbound platform tier |
 //! | [`core`] | `iiot-core` | Fig. 1 — layers, deployments, scorecard |
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
@@ -47,6 +48,7 @@ pub use iiot_core::{
 };
 
 pub use iiot_aggregate as aggregate;
+pub use iiot_cloud as cloud;
 pub use iiot_coap as coap;
 pub use iiot_core as core;
 pub use iiot_crdt as crdt;

@@ -3,8 +3,9 @@
 //! Two subsets are implemented, matching what the workspace uses:
 //!
 //! * [`channel`] — multi-producer channels with the crossbeam surface
-//!   (`unbounded`, cloneable `Sender`, `Receiver::try_recv`/`try_iter`),
-//!   backed by `std::sync::mpsc`;
+//!   (`unbounded`, `bounded`, cloneable `Sender`,
+//!   `Sender::try_send`, `Receiver::try_recv`/`try_iter`,
+//!   `len` on both halves), backed by `std::sync::mpsc`;
 //! * [`thread`] — scoped spawning with the crossbeam 0.8 closure shape
 //!   (`scope(|s| { s.spawn(|_| ...); })`), backed by
 //!   `std::thread::scope`, so borrowed data can cross into workers
@@ -16,11 +17,36 @@
 pub mod channel {
     //! Multi-producer multi-consumer-ish channels (mpsc-backed subset).
 
-    use std::sync::mpsc;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{mpsc, Arc};
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and its buffer is full.
+        Full(T),
+        /// The receiver was dropped.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// The value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// Whether the failure was a full buffer (backpressure), not a
+        /// closed channel.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
 
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,30 +61,98 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    #[derive(Debug)]
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+            }
+        }
+    }
+
     /// The sending half; clone freely.
     #[derive(Debug)]
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T> {
+        tx: Tx<T>,
+        len: Arc<AtomicUsize>,
+    }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender {
+                tx: self.tx.clone(),
+                len: Arc::clone(&self.len),
+            }
         }
     }
 
     impl<T> Sender<T> {
-        /// Sends `value`, failing only if the receiver was dropped.
+        /// Sends `value`, failing only if the receiver was dropped. On
+        /// a bounded channel this blocks while the buffer is full (use
+        /// [`Sender::try_send`] for backpressure-aware producers).
         ///
         /// # Errors
         ///
         /// Returns the value back inside [`SendError`].
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            let r = match &self.tx {
+                Tx::Unbounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Tx::Bounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            };
+            if r.is_ok() {
+                self.len.fetch_add(1, Ordering::SeqCst);
+            }
+            r
+        }
+
+        /// Non-blocking send: on a bounded channel a full buffer is
+        /// reported as [`TrySendError::Full`] instead of blocking — the
+        /// explicit-backpressure primitive bounded pipelines shed on.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when the bounded buffer is at
+        /// capacity, [`TrySendError::Disconnected`] when the receiver
+        /// is gone; both return the value.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let r = match &self.tx {
+                Tx::Unbounded(s) => s
+                    .send(value)
+                    .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
+                Tx::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            };
+            if r.is_ok() {
+                self.len.fetch_add(1, Ordering::SeqCst);
+            }
+            r
+        }
+
+        /// Number of messages currently buffered in the channel.
+        pub fn len(&self) -> usize {
+            self.len.load(Ordering::SeqCst)
+        }
+
+        /// Whether the channel currently buffers nothing.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     /// The receiving half.
     #[derive(Debug)]
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+        len: Arc<AtomicUsize>,
+    }
 
     impl<T> Receiver<T> {
         /// Non-blocking receive.
@@ -68,10 +162,14 @@ pub mod channel {
         /// [`TryRecvError::Empty`] when nothing is buffered,
         /// [`TryRecvError::Disconnected`] when the channel is closed.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv().map_err(|e| match e {
+            let r = self.rx.try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            });
+            if r.is_ok() {
+                self.len.fetch_sub(1, Ordering::SeqCst);
+            }
+            r
         }
 
         /// Blocking receive.
@@ -80,24 +178,60 @@ pub mod channel {
         ///
         /// [`RecvError`] when every sender is dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            let r = self.rx.recv().map_err(|_| RecvError);
+            if r.is_ok() {
+                self.len.fetch_sub(1, Ordering::SeqCst);
+            }
+            r
         }
 
         /// Iterator over currently-buffered values (non-blocking).
         pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.0.try_iter()
+            std::iter::from_fn(move || self.try_recv().ok())
         }
 
         /// Blocking iterator until the channel closes.
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.0.iter()
+            std::iter::from_fn(move || self.recv().ok())
+        }
+
+        /// Number of messages currently buffered in the channel.
+        pub fn len(&self) -> usize {
+            self.len.load(Ordering::SeqCst)
+        }
+
+        /// Whether the channel currently buffers nothing.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        let len = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                tx: Tx::Unbounded(tx),
+                len: Arc::clone(&len),
+            },
+            Receiver { rx, len },
+        )
+    }
+
+    /// Creates a bounded channel buffering at most `cap` messages
+    /// (at least 1): [`Sender::try_send`] fails with
+    /// [`TrySendError::Full`] instead of growing past the cap.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        let len = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                tx: Tx::Bounded(tx),
+                len: Arc::clone(&len),
+            },
+            Receiver { rx, len },
+        )
     }
 
     #[cfg(test)]
@@ -121,6 +255,46 @@ pub mod channel {
             tx.send(1).expect("open");
             tx2.send(2).expect("open");
             assert_eq!(rx.try_iter().count(), 2);
+        }
+
+        #[test]
+        fn bounded_sheds_at_capacity() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).expect("room");
+            tx.try_send(2).expect("room");
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(tx.len(), 2);
+            assert_eq!(rx.try_recv(), Ok(1));
+            tx.try_send(3).expect("room again");
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2, 3]);
+            assert!(rx.is_empty());
+        }
+
+        #[test]
+        fn len_tracks_buffered_messages() {
+            let (tx, rx) = bounded(8);
+            assert_eq!(rx.len(), 0);
+            for i in 0..5 {
+                tx.send(i).expect("open");
+            }
+            assert_eq!((tx.len(), rx.len()), (5, 5));
+            rx.try_recv().expect("buffered");
+            assert_eq!(rx.len(), 4);
+            drop(tx);
+            assert_eq!(rx.try_iter().count(), 4);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert_eq!(rx.len(), 0);
+        }
+
+        #[test]
+        fn unbounded_try_send_never_full() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.try_send(i).expect("unbounded");
+            }
+            assert_eq!(rx.len(), 100);
+            drop(rx);
+            assert!(matches!(tx.try_send(0), Err(TrySendError::Disconnected(0))));
         }
     }
 }
