@@ -33,6 +33,7 @@
 pub mod exp_cloud;
 pub mod exp_depend;
 pub mod exp_dissem;
+pub mod exp_fleet;
 pub mod exp_interop;
 pub mod exp_perf;
 pub mod exp_scale;
@@ -127,6 +128,14 @@ pub fn all_experiments() -> Vec<Experiment> {
                 exp_cloud::e16_bridge(rc),
             ]
         }),
+        ("e17", |rc| {
+            vec![
+                exp_fleet::e17_blast(rc),
+                exp_fleet::e17_converge(rc),
+                exp_fleet::e17_twins(rc),
+                exp_fleet::e17_drift(rc),
+            ]
+        }),
     ]
 }
 
@@ -163,6 +172,18 @@ pub fn quick_experiments() -> Vec<Experiment> {
                         exp_cloud::e16_fairness_with(rc, &[1, 16], 200),
                         exp_cloud::e16_overload_with(rc, &[0.5, 2.0], 250),
                         exp_cloud::e16_bridge(rc),
+                    ]
+                }) as fn(&RunConfig) -> Vec<Table>,
+            ),
+            "e17" => (
+                id,
+                (|rc| {
+                    use iiot_fleet::FaultArm;
+                    vec![
+                        exp_fleet::e17_blast_with(rc, &[4]),
+                        exp_fleet::e17_converge_with(rc, &[4], &[FaultArm::None, FaultArm::Crash]),
+                        exp_fleet::e17_twins_with(rc, 4, 5, 90),
+                        exp_fleet::e17_drift_with(rc, 2, 30, 90),
                     ]
                 }) as fn(&RunConfig) -> Vec<Table>,
             ),

@@ -15,7 +15,12 @@
 //!   backpressure is a counted, observable event, not an OOM;
 //! * **control** — [`CommandRouter`] plays tenant-issued writes back
 //!   down through a gateway's northbound CoAP server as confirmable
-//!   PUTs ([`command`]).
+//!   PUTs ([`command`]);
+//! * **state** — [`TwinStore`] keeps a CRDT digital twin per device
+//!   (reported/desired config, tags, vector-clock provenance) that
+//!   converges under partitions and delayed uplinks ([`twin`]); the
+//!   fleet plane (`iiot-fleet`) builds drift detection and campaign
+//!   gating on top of it.
 //!
 //! [`SessionGen`] generates the load: deterministic synthetic device
 //! sessions merged into one time-ordered stream, cheap enough to drive
@@ -67,6 +72,7 @@ pub mod metrics;
 pub mod registry;
 pub mod session;
 pub mod tenant;
+pub mod twin;
 
 pub use command::{Command, CommandOutcome, CommandRouter};
 pub use ingest::{IngestConfig, IngestPipeline, TenantStats, UplinkMsg};
@@ -74,3 +80,4 @@ pub use metrics::{jain_fairness, service_fairness, TenantSummary};
 pub use registry::{AuthError, DeviceRegistry};
 pub use session::{SessionGen, SessionPlan};
 pub use tenant::{Isolation, ShedPolicy, TenantId};
+pub use twin::{DeviceTwin, TwinStore};

@@ -172,6 +172,34 @@ mod tests {
     }
 
     #[test]
+    fn default_registry_is_empty_and_rejects_everyone() {
+        let r = DeviceRegistry::default();
+        assert_eq!(r.tenant_count(), 0);
+        assert_eq!(r.device_count(), 0);
+        assert_eq!(r.tenants().count(), 0);
+        assert_eq!(r.token(TenantId(0), 0), None);
+        assert_eq!(
+            r.authenticate(TenantId(0), 0, 0),
+            Err(AuthError::UnknownTenant)
+        );
+    }
+
+    #[test]
+    fn tokens_minted_under_the_wrong_master_key_are_rejected() {
+        // The same tenant/device namespace registered under a different
+        // master key mints different tokens; presenting one against the
+        // real registry fails the credential check (not the namespace
+        // checks).
+        let (r, a, _) = reg();
+        let mut rogue = DeviceRegistry::new();
+        let ra = rogue.create_tenant("acme", Key([0xAA; 16]));
+        rogue.register_fleet(ra, 100);
+        let forged = rogue.token(ra, 0).expect("registered");
+        assert_ne!(Some(forged), r.token(a, 0), "keys must differentiate tokens");
+        assert_eq!(r.authenticate(a, 0, forged), Err(AuthError::BadToken));
+    }
+
+    #[test]
     fn tokens_are_deterministic_and_distinct() {
         let (r, a, _) = reg();
         let (r2, a2, _) = reg();

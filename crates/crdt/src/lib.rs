@@ -65,6 +65,11 @@ pub trait Crdt: Clone {
 
 /// Merges any number of replica states into a fresh joined state.
 ///
+/// Returns `None` for an empty input: a CRDT has no universal identity
+/// element (an "empty" `LwwRegister` still carries a value), so there
+/// is nothing correct to return. Because `merge` is commutative and
+/// associative, the fold order does not affect the result.
+///
 /// # Examples
 ///
 /// ```
@@ -74,8 +79,11 @@ pub trait Crdt: Clone {
 /// a.inc(ReplicaId(1), 2);
 /// let mut b = GCounter::new();
 /// b.inc(ReplicaId(2), 3);
-/// let joined = merge_all([a, b]).expect("non-empty");
+/// let joined = merge_all([a.clone(), b.clone()]).expect("non-empty");
 /// assert_eq!(joined.value(), 5);
+/// // Order never matters, and no replicas means no state.
+/// assert_eq!(merge_all([b, a]), Some(joined));
+/// assert_eq!(merge_all(Vec::<GCounter>::new()), None);
 /// ```
 pub fn merge_all<C: Crdt>(states: impl IntoIterator<Item = C>) -> Option<C> {
     let mut iter = states.into_iter();

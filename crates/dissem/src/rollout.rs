@@ -26,13 +26,30 @@ pub struct RolloutPlan {
 
 impl RolloutPlan {
     /// A plan over `cohorts` checked every `check_period`.
+    ///
+    /// The cohorts are **normalized**: a node listed more than once
+    /// keeps only its *first* occurrence (activating an already-active
+    /// node is a no-op, but a duplicate in a later wave would silently
+    /// misreport that wave's size — and the blast radius on a halt),
+    /// and cohorts left empty (as given, or by deduplication) are
+    /// dropped (an empty wave would complete instantly and collapse
+    /// two waves into one). Fleet-level composition (`iiot-fleet`)
+    /// relies on this: plans assembled from overlapping per-network
+    /// ring sets stay well-formed.
     pub fn new(cohorts: Vec<Vec<NodeId>>, check_period: SimDuration) -> Self {
+        let mut seen = std::collections::BTreeSet::new();
+        let cohorts: Vec<Vec<NodeId>> = cohorts
+            .into_iter()
+            .map(|c| c.into_iter().filter(|&n| seen.insert(n)).collect())
+            .filter(|c: &Vec<NodeId>| !c.is_empty())
+            .collect();
         RolloutPlan { cohorts, check_period }
     }
 
     /// A single-wave ("flat") plan: everyone at once, no canary.
+    /// Normalized like [`RolloutPlan::new`].
     pub fn flat(nodes: Vec<NodeId>, check_period: SimDuration) -> Self {
-        RolloutPlan { cohorts: vec![nodes], check_period }
+        RolloutPlan::new(vec![nodes], check_period)
     }
 }
 
@@ -105,4 +122,37 @@ fn step<M: Mac>(w: &mut World, mut st: RolloutState) {
     }
     let again = w.now() + st.plan.check_period;
     w.schedule(again, move |w| step::<M>(w, st));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn empty_cohorts_are_dropped() {
+        let p = RolloutPlan::new(
+            vec![vec![], vec![n(1), n(2)], vec![], vec![n(3)]],
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(p.cohorts, vec![vec![n(1), n(2)], vec![n(3)]]);
+        let flat = RolloutPlan::flat(vec![], SimDuration::from_secs(1));
+        assert!(flat.cohorts.is_empty(), "an all-empty plan has no waves");
+    }
+
+    #[test]
+    fn duplicate_ids_keep_their_first_occurrence() {
+        // Within a cohort and across cohorts: first listing wins, and a
+        // cohort emptied by deduplication vanishes entirely.
+        let p = RolloutPlan::new(
+            vec![vec![n(1), n(2), n(1)], vec![n(2), n(3)], vec![n(3), n(1)]],
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(p.cohorts, vec![vec![n(1), n(2)], vec![n(3)]]);
+        let total: usize = p.cohorts.iter().map(Vec::len).sum();
+        assert_eq!(total, 3, "every node appears exactly once");
+    }
 }

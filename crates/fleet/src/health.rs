@@ -1,0 +1,177 @@
+//! Fleet health rollups: the per-network summaries the campaign gate
+//! reads, folded up from per-node observability counters.
+//!
+//! A [`NetworkHealth`] is one network's rollup — liveness, uplink
+//! loss, MAC guard violations, downlink shed counts — assembled by the
+//! harness from [`Stats`] counters and backhaul bookkeeping. A
+//! [`HealthGate`] is the campaign's admission predicate over such a
+//! rollup; its `Default` is fully permissive, so every bound an
+//! experiment sets is explicit. [`fleet_rollup`] folds many network
+//! rollups into one fleet-wide line for reporting.
+
+use iiot_sim::trace::Stats;
+
+/// One network's health rollup; see the [module docs](self).
+#[derive(Clone, PartialEq, Debug)]
+pub struct NetworkHealth {
+    /// Nodes the network should have.
+    pub nodes: u32,
+    /// Nodes currently alive (not crashed).
+    pub alive: u32,
+    /// Percentage of device reports that have not reached the cloud
+    /// (backhaul staleness; 100 while the uplink is partitioned).
+    pub uplink_loss_pct: f64,
+    /// MAC slot-guard violations accumulated (`tdma_guard_violation`).
+    pub guard_violations: u64,
+    /// Downlink commands shed to backpressure.
+    pub shed: u64,
+}
+
+impl NetworkHealth {
+    /// A fully-healthy rollup for a network of `nodes` nodes.
+    pub fn all_well(nodes: u32) -> Self {
+        NetworkHealth {
+            nodes,
+            alive: nodes,
+            uplink_loss_pct: 0.0,
+            guard_violations: 0,
+            shed: 0,
+        }
+    }
+
+    /// A rollup whose counter-derived fields come from the network's
+    /// [`Stats`]; liveness, loss and shed are backhaul-side facts the
+    /// caller supplies.
+    pub fn from_stats(
+        stats: &Stats,
+        nodes: u32,
+        alive: u32,
+        uplink_loss_pct: f64,
+        shed: u64,
+    ) -> Self {
+        NetworkHealth {
+            nodes,
+            alive,
+            uplink_loss_pct,
+            guard_violations: stats.node_total("tdma_guard_violation") as u64,
+            shed,
+        }
+    }
+
+    /// Alive nodes as a percentage of the fleet (100 for an empty
+    /// network — nothing is down).
+    pub fn alive_pct(&self) -> f64 {
+        if self.nodes == 0 {
+            100.0
+        } else {
+            100.0 * f64::from(self.alive) / f64::from(self.nodes)
+        }
+    }
+}
+
+/// The campaign's health predicate. `Default` accepts everything;
+/// every tightened bound is an explicit experiment choice.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct HealthGate {
+    /// Minimum [`NetworkHealth::alive_pct`] to pass.
+    pub min_alive_pct: f64,
+    /// Maximum tolerated uplink loss percentage.
+    pub max_uplink_loss_pct: f64,
+    /// Maximum tolerated guard violations.
+    pub max_guard_violations: u64,
+    /// Maximum tolerated shed downlink commands.
+    pub max_shed: u64,
+}
+
+impl Default for HealthGate {
+    fn default() -> Self {
+        HealthGate {
+            min_alive_pct: 0.0,
+            max_uplink_loss_pct: 100.0,
+            max_guard_violations: u64::MAX,
+            max_shed: u64::MAX,
+        }
+    }
+}
+
+impl HealthGate {
+    /// Whether `h` passes every bound.
+    pub fn ok(&self, h: &NetworkHealth) -> bool {
+        h.alive_pct() >= self.min_alive_pct
+            && h.uplink_loss_pct <= self.max_uplink_loss_pct
+            && h.guard_violations <= self.max_guard_violations
+            && h.shed <= self.max_shed
+    }
+}
+
+/// Folds per-network rollups into one fleet-wide rollup: counts sum,
+/// the loss percentage is node-weighted.
+pub fn fleet_rollup(networks: &[NetworkHealth]) -> NetworkHealth {
+    let nodes: u32 = networks.iter().map(|h| h.nodes).sum();
+    let loss = if nodes == 0 {
+        0.0
+    } else {
+        networks
+            .iter()
+            .map(|h| h.uplink_loss_pct * f64::from(h.nodes))
+            .sum::<f64>()
+            / f64::from(nodes)
+    };
+    NetworkHealth {
+        nodes,
+        alive: networks.iter().map(|h| h.alive).sum(),
+        uplink_loss_pct: loss,
+        guard_violations: networks.iter().map(|h| h.guard_violations).sum(),
+        shed: networks.iter().map(|h| h.shed).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_default_gate_accepts_a_struggling_network() {
+        let mut h = NetworkHealth::all_well(9);
+        h.alive = 1;
+        h.uplink_loss_pct = 100.0;
+        h.guard_violations = 10_000;
+        h.shed = 10_000;
+        assert!(HealthGate::default().ok(&h));
+    }
+
+    #[test]
+    fn each_bound_rejects_independently() {
+        let gate = HealthGate {
+            min_alive_pct: 80.0,
+            max_uplink_loss_pct: 10.0,
+            max_guard_violations: 5,
+            max_shed: 0,
+        };
+        assert!(gate.ok(&NetworkHealth::all_well(10)));
+        let mut h = NetworkHealth::all_well(10);
+        h.alive = 7;
+        assert!(!gate.ok(&h), "alive bound");
+        let mut h = NetworkHealth::all_well(10);
+        h.uplink_loss_pct = 50.0;
+        assert!(!gate.ok(&h), "loss bound");
+        let mut h = NetworkHealth::all_well(10);
+        h.guard_violations = 6;
+        assert!(!gate.ok(&h), "guard bound");
+        let mut h = NetworkHealth::all_well(10);
+        h.shed = 1;
+        assert!(!gate.ok(&h), "shed bound");
+    }
+
+    #[test]
+    fn rollup_sums_counts_and_weights_loss() {
+        let mut a = NetworkHealth::all_well(10);
+        a.uplink_loss_pct = 100.0;
+        let b = NetworkHealth::all_well(30);
+        let f = fleet_rollup(&[a, b]);
+        assert_eq!(f.nodes, 40);
+        assert_eq!(f.alive, 40);
+        assert!((f.uplink_loss_pct - 25.0).abs() < 1e-9, "node-weighted");
+        assert_eq!(fleet_rollup(&[]).nodes, 0);
+    }
+}

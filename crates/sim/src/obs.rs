@@ -333,6 +333,33 @@ pub enum EventKind {
         /// Whether the gateway acknowledged the command.
         ok: bool,
     },
+    /// A fleet-level campaign controller changed phase (the node is
+    /// the network index the action applies to, or 0 for fleet-wide
+    /// transitions).
+    FleetPhase {
+        /// The phase entered (`"canary"`, `"wave"`, `"fleet"`,
+        /// `"done"`, `"halted"`).
+        stage: &'static str,
+        /// Networks activated by (or implicated in) this phase — for
+        /// `"halted"`, the blast radius in networks.
+        networks: u32,
+    },
+    /// Desired-vs-reported configuration drift detected on a device
+    /// twin (emitted once when the device *enters* the drifted state).
+    FleetDrift {
+        /// The drifting device (registry index).
+        device: u32,
+        /// Number of config keys out of sync.
+        keys: u32,
+    },
+    /// A drift-remediation push (config write through the C&C CoAP
+    /// path) completed.
+    FleetRemediate {
+        /// The remediated device (registry index).
+        device: u32,
+        /// Whether the config write was acknowledged.
+        ok: bool,
+    },
     /// Escape hatch for one-off instrumentation.
     Custom {
         /// Metric name.
@@ -373,6 +400,9 @@ impl EventKind {
             EventKind::CloudIngest { .. } => "cloud_ingest",
             EventKind::CloudShed { .. } => "cloud_shed",
             EventKind::CloudCommand { .. } => "cloud_command",
+            EventKind::FleetPhase { .. } => "fleet_phase",
+            EventKind::FleetDrift { .. } => "fleet_drift",
+            EventKind::FleetRemediate { .. } => "fleet_remediate",
             EventKind::Custom { .. } => "custom",
         }
     }
@@ -471,6 +501,15 @@ impl Event {
             }
             EventKind::CloudCommand { tenant, ok } => {
                 format!(",\"tenant\":{},\"ok\":{}", tenant, ok as u8)
+            }
+            EventKind::FleetPhase { stage, networks } => {
+                format!(",\"stage\":\"{stage}\",\"networks\":{networks}")
+            }
+            EventKind::FleetDrift { device, keys } => {
+                format!(",\"device\":{device},\"keys\":{keys}")
+            }
+            EventKind::FleetRemediate { device, ok } => {
+                format!(",\"device\":{},\"ok\":{}", device, ok as u8)
             }
             EventKind::Custom { name, value } => {
                 format!(",\"name\":\"{name}\",\"value\":{value}")
@@ -600,6 +639,18 @@ impl Event {
             },
             "cloud_command" => EventKind::CloudCommand {
                 tenant: num("tenant")? as u32,
+                ok: num("ok")? != 0,
+            },
+            "fleet_phase" => EventKind::FleetPhase {
+                stage: intern(s("stage")?),
+                networks: num("networks")? as u32,
+            },
+            "fleet_drift" => EventKind::FleetDrift {
+                device: num("device")? as u32,
+                keys: num("keys")? as u32,
+            },
+            "fleet_remediate" => EventKind::FleetRemediate {
+                device: num("device")? as u32,
                 ok: num("ok")? != 0,
             },
             "custom" => EventKind::Custom {
@@ -1482,6 +1533,56 @@ pub fn report(traces: &[ScopeTrace]) -> String {
         }
     }
 
+    // Fleet management summary: only rendered when a fleet campaign,
+    // drift detector or remediation push left events behind.
+    let has_fleet = all.iter().any(|e| {
+        matches!(
+            e.kind,
+            EventKind::FleetPhase { .. }
+                | EventKind::FleetDrift { .. }
+                | EventKind::FleetRemediate { .. }
+        )
+    });
+    if has_fleet {
+        let _ = writeln!(out, "\n== fleet ==");
+        let (mut drifts, mut drift_keys) = (0u64, 0u64);
+        let (mut rem_ok, mut rem_bad) = (0u64, 0u64);
+        for ev in &all {
+            match ev.kind {
+                EventKind::FleetDrift { keys, .. } => {
+                    drifts += 1;
+                    drift_keys += keys as u64;
+                }
+                EventKind::FleetRemediate { ok, .. } => {
+                    if ok {
+                        rem_ok += 1;
+                    } else {
+                        rem_bad += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  drift detections {drifts} ({drift_keys} keys)   remediations {rem_ok} ok / {rem_bad} failed"
+        );
+        for tr in traces {
+            for ev in &tr.events {
+                if let EventKind::FleetPhase { stage, networks } = ev.kind {
+                    let _ = writeln!(
+                        out,
+                        "  [{}] t={:.3}s campaign: {} (networks {})",
+                        tr.label,
+                        ev.t.as_secs_f64(),
+                        stage,
+                        networks
+                    );
+                }
+            }
+        }
+    }
+
     let _ = writeln!(out, "\n== repair timeline ==");
     let mut lines = 0;
     for tr in traces {
@@ -1586,6 +1687,11 @@ mod tests {
             EventKind::CloudShed { tenant: 0, cause: "auth" },
             EventKind::CloudCommand { tenant: 1, ok: true },
             EventKind::CloudCommand { tenant: 3, ok: false },
+            EventKind::FleetPhase { stage: "canary", networks: 2 },
+            EventKind::FleetPhase { stage: "halted", networks: 8 },
+            EventKind::FleetDrift { device: 42, keys: 3 },
+            EventKind::FleetRemediate { device: 42, ok: true },
+            EventKind::FleetRemediate { device: 7, ok: false },
             EventKind::Custom { name: "boot", value: 1.5 },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Tier-2 smoke checks:
-#   1. the parallel trial runner must produce byte-identical E5, E14
-#      and E16 tables (and JSON dumps) at --jobs 1 and --jobs 2;
+#   1. the parallel trial runner must produce byte-identical E5, E14,
+#      E16 and E17 tables (and JSON dumps) at --jobs 1 and --jobs 2;
 #   2. the --trace JSONL event dump must be byte-identical too, and
 #      must round-trip through trace_report deterministically;
 #   3. a sharded (--shards 2) perf run must produce byte-identical
@@ -86,6 +86,24 @@ target/release/trace_report "$out/e16-j2.jsonl" > "$out/report-e16-j2.txt"
 diff -u "$out/report-e16-j1.txt" "$out/report-e16-j2.txt"
 grep -q "== cloud tier ==" "$out/report-e16-j1.txt"
 
+# E17 runs many lockstep simulation worlds per trial (one per network
+# in the fleet) with fleet-level campaign/drift events recorded outside
+# any single world — the broadest world-ordering surface the trace sink
+# has. Same contract: byte-identical tables, dumps and traces at any
+# worker count, and the trace must carry the fleet-plane events.
+"$bin" e17 --quick --jobs 1 --json "$out/e17-j1.json" --trace "$out/e17-j1.jsonl" \
+    > "$out/e17-j1.txt" 2> /dev/null
+"$bin" e17 --quick --jobs 2 --json "$out/e17-j2.json" --trace "$out/e17-j2.jsonl" \
+    > "$out/e17-j2.txt" 2> /dev/null
+
+diff -u "$out/e17-j1.txt" "$out/e17-j2.txt"
+diff -u "$out/e17-j1.json" "$out/e17-j2.json"
+cmp "$out/e17-j1.jsonl" "$out/e17-j2.jsonl"
+target/release/trace_report "$out/e17-j1.jsonl" > "$out/report-e17-j1.txt"
+target/release/trace_report "$out/e17-j2.jsonl" > "$out/report-e17-j2.txt"
+diff -u "$out/report-e17-j1.txt" "$out/report-e17-j2.txt"
+grep -q "== fleet ==" "$out/report-e17-j1.txt"
+
 # The sharded kernel's determinism contract, trace-diff style: a tiny
 # --shards 2 perf run at --jobs 1 and --jobs 2 must agree byte-for-byte
 # on every deterministic block (workload shape + simulated event
@@ -163,4 +181,4 @@ cargo clippy --offline --all-targets \
     $(for d in vendor/*/; do printf -- '--exclude %s ' "$(basename "$d")"; done) \
     --workspace -- -D warnings
 
-echo "bench smoke OK: e5 + e14 + e16 + shards-2 runs byte-identical at --jobs 1/2, docs + lints clean"
+echo "bench smoke OK: e5 + e14 + e16 + e17 + shards-2 runs byte-identical at --jobs 1/2, docs + lints clean"

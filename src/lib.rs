@@ -17,6 +17,7 @@
 //! | [`dependability`] | `iiot-dependability` | §V — faults, redundancy, safety, HVAC |
 //! | [`gateway`] | `iiot-gateway` | §III — legacy-protocol integration |
 //! | [`cloud`] | `iiot-cloud` | Fig. 1 — multi-tenant northbound platform tier |
+//! | [`fleet`] | `iiot-fleet` | §V-D/§VI — fleet campaigns, digital twins, config drift |
 //! | [`core`] | `iiot-core` | Fig. 1 — layers, deployments, scorecard |
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
@@ -54,6 +55,7 @@ pub use iiot_core as core;
 pub use iiot_crdt as crdt;
 pub use iiot_dependability as dependability;
 pub use iiot_dissem as dissem;
+pub use iiot_fleet as fleet;
 pub use iiot_gateway as gateway;
 pub use iiot_mac as mac;
 pub use iiot_routing as routing;
