@@ -26,7 +26,7 @@ use iiot_sim::obs;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [e1..e16]... [--markdown] [--quick] [--jobs N] [--trials N] \
+        "usage: experiments [e1..e18]... [--markdown] [--quick] [--jobs N] [--trials N] \
          [--json [PATH]] [--trace PATH]"
     );
     std::process::exit(2);

@@ -10,6 +10,7 @@
 //!   cargo run -p iiot-bench --release --bin perf -- --jobs 2 --sides 10,20 --secs 5
 //!   cargo run -p iiot-bench --release --bin perf -- --shards 1,2,4 --scale-sides 20,40,80
 //!   cargo run -p iiot-bench --release --bin perf -- --cloud-devices 6250,25000,62500
+//!   cargo run -p iiot-bench --release --bin perf -- --stream-devices 6250,25000
 //!
 //! The printed tables and the JSON's `timing` blocks vary run to run;
 //! the JSON's `deterministic` blocks (workload shape + dispatched
@@ -18,13 +19,13 @@
 //! event counts are stable *per shard count* (each shard count is its
 //! own deterministic model).
 
-use iiot_bench::{exp_cloud, exp_perf, RunConfig, Runner};
+use iiot_bench::{exp_cloud, exp_perf, exp_stream, RunConfig, Runner};
 
 fn usage() -> ! {
     eprintln!(
         "usage: perf [--quick] [--sides S1,S2,...] [--scale-sides S1,S2,...] \
-         [--shards K1,K2,...] [--cloud-devices D1,D2,...] [--secs N] [--jobs N] \
-         [--json [PATH]] [--markdown]"
+         [--shards K1,K2,...] [--cloud-devices D1,D2,...] [--stream-devices D1,D2,...] \
+         [--secs N] [--jobs N] [--json [PATH]] [--markdown]"
     );
     std::process::exit(2);
 }
@@ -42,6 +43,7 @@ fn main() {
     let mut scale_sides: Option<Vec<u32>> = None;
     let mut shards: Option<Vec<u32>> = None;
     let mut cloud_devices: Option<Vec<u32>> = None;
+    let mut stream_devices: Option<Vec<u32>> = None;
     let mut secs: Option<u64> = None;
     let mut json: Option<String> = None;
 
@@ -72,6 +74,10 @@ fn main() {
                 let spec = it.next().unwrap_or_else(|| usage());
                 cloud_devices = Some(parse_list(&spec).unwrap_or_else(|| usage()));
             }
+            "--stream-devices" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                stream_devices = Some(parse_list(&spec).unwrap_or_else(|| usage()));
+            }
             "--json" => {
                 let path = match it.peek() {
                     Some(p) if !p.starts_with("--") => it.next().unwrap(),
@@ -93,6 +99,8 @@ fn main() {
     let shards = shards.unwrap_or_else(|| vec![1, 2, 4]);
     let cloud_devices = cloud_devices
         .unwrap_or_else(|| if quick { vec![250, 1_000] } else { vec![6_250, 25_000, 62_500] });
+    let stream_devices = stream_devices
+        .unwrap_or_else(|| if quick { vec![250, 1_000] } else { vec![6_250, 25_000] });
     let secs = secs.unwrap_or(if quick { 2 } else { 5 });
     let rc = RunConfig {
         runner: jobs.map(Runner::new).unwrap_or_else(Runner::available_parallelism),
@@ -100,7 +108,7 @@ fn main() {
     };
     eprintln!(
         "[jobs={} sides={sides:?} scale_sides={scale_sides:?} shards={shards:?} \
-         cloud_devices={cloud_devices:?} secs={secs}]",
+         cloud_devices={cloud_devices:?} stream_devices={stream_devices:?} secs={secs}]",
         rc.runner.jobs()
     );
 
@@ -120,28 +128,42 @@ fn main() {
     let cloud = exp_cloud::cloud_matrix(&cloud_devices, true);
     eprintln!("[measured {} cloud points in {:.1}s]", cloud.len(), t2.elapsed().as_secs_f64());
 
+    let t3 = std::time::Instant::now();
+    let stream = exp_stream::stream_matrix(&stream_devices);
+    eprintln!(
+        "[measured {} stream points (replay asserted) in {:.1}s]",
+        stream.len(),
+        t3.elapsed().as_secs_f64()
+    );
+
     let table = exp_perf::table(&points);
     let stable = exp_perf::scaling_table(&scaling);
     let ctable = exp_cloud::cloud_table(&cloud);
+    let wtable = exp_stream::stream_table(&stream);
     if markdown {
         println!("{}", table.to_markdown());
         println!();
         println!("{}", stable.to_markdown());
         println!();
         println!("{}", ctable.to_markdown());
+        println!();
+        println!("{}", wtable.to_markdown());
     } else {
         println!("{table}");
         println!();
         println!("{stable}");
         println!();
         println!("{ctable}");
+        println!();
+        println!("{wtable}");
     }
 
     if let Some(path) = json {
-        std::fs::write(&path, exp_perf::to_json(&points, &scaling, &cloud)).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        });
+        std::fs::write(&path, exp_perf::to_json(&points, &scaling, &cloud, &stream))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
         eprintln!("[wrote {path}]");
     }
 }

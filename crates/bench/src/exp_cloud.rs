@@ -153,6 +153,8 @@ pub fn e16_ingest(rc: &RunConfig) -> Table {
 struct FairnessPoint {
     quiet_p99_ms: f64,
     quiet_shed_pct: f64,
+    /// Quiet tenants' sheds by cause: (auth, rate limit, queue full).
+    quiet_shed_causes: (u64, u64, u64),
     noisy_accept_pct: f64,
     fairness: f64,
 }
@@ -196,6 +198,9 @@ fn fairness_point(devices: u32, multiplier: u32, isolation: Isolation, s: u64) -
                 .fold((0u64, 0u64), |(s, o), x| (s + x.shed, o + x.offered));
             shed as f64 / offered.max(1) as f64
         },
+        quiet_shed_causes: quiet.iter().fold((0, 0, 0), |(a, r, f), x| {
+            (a + x.shed_auth, r + x.shed_ratelimit, f + x.shed_full)
+        }),
         noisy_accept_pct: noisy.accepted as f64 / noisy.offered.max(1) as f64,
         fairness: metrics::service_fairness(&summaries),
     }
@@ -212,6 +217,7 @@ pub fn e16_fairness_with(rc: &RunConfig, multipliers: &[u32], devices: u32) -> T
                 .map(move |(iso, name)| {
                     Trial::new(format!("e16/fairness/x{m}/{name}"), SEED, move |s| {
                         let p = fairness_point(devices, m, iso, s);
+                        let (auth, ratelimit, full) = p.quiet_shed_causes;
                         vec![vec![
                             Cell::label(format!("{m}x")),
                             Cell::label(name),
@@ -219,6 +225,7 @@ pub fn e16_fairness_with(rc: &RunConfig, multipliers: &[u32], devices: u32) -> T
                             Cell::pct(p.quiet_shed_pct),
                             Cell::pct(p.noisy_accept_pct),
                             Cell::f3(p.fairness),
+                            Cell::label(format!("{auth}/{ratelimit}/{full}")),
                         ]]
                     })
                 })
@@ -229,7 +236,7 @@ pub fn e16_fairness_with(rc: &RunConfig, multipliers: &[u32], devices: u32) -> T
         "E16b: noisy-neighbor fairness — per-tenant queues vs one shared queue (equal aggregate capacity)",
         &[
             "noisy rate", "isolation", "quiet p99 (ms)", "quiet shed",
-            "noisy accepted", "fairness",
+            "noisy accepted", "fairness", "quiet sheds a/r/f",
         ],
     );
     for o in &out {
@@ -572,6 +579,15 @@ mod tests {
             iso.quiet_p99_ms
         );
         assert!(shared.quiet_shed_pct > 0.0, "shared queue must shed quiet traffic");
+        // Per-cause breakdown: with no admission control configured and
+        // valid credentials throughout, every quiet-tenant shed must be
+        // attributed to queue backpressure — the summaries' cause
+        // columns account for the loss exactly.
+        let (auth, ratelimit, full) = shared.quiet_shed_causes;
+        assert_eq!(auth, 0, "fairness plan uses valid tokens; no auth sheds expected");
+        assert_eq!(ratelimit, 0, "no admission control attached; no rate-limit sheds");
+        assert!(full > 0, "quiet-tenant loss must show up as shed_full");
+        assert_eq!(iso.quiet_shed_causes, (0, 0, 0), "isolated quiet tenants shed nothing");
         // The service-ratio Jain index is *higher* for the shared queue:
         // FIFO "equalizes" by degrading every tenant together, while
         // isolation concentrates loss on the offender. Fairness to the

@@ -385,18 +385,20 @@ pub fn scaling_table(points: &[ScalePoint]) -> Table {
     t
 }
 
-/// Serializes all three matrices as the `BENCH_perf.json` document.
+/// Serializes all four matrices as the `BENCH_perf.json` document.
 /// The `deterministic` block of each point is byte-stable across
 /// worker counts and machines (per shard count, for scaling points) —
 /// CI's perf gate compares exactly that subset; `timing` is
 /// informational. Cloud points come from
-/// [`cloud_matrix`](crate::exp_cloud::cloud_matrix).
+/// [`cloud_matrix`](crate::exp_cloud::cloud_matrix), stream points
+/// from [`stream_matrix`](crate::exp_stream::stream_matrix).
 pub fn to_json(
     points: &[PerfPoint],
     scaling: &[ScalePoint],
     cloud: &[crate::exp_cloud::CloudPoint],
+    stream: &[crate::exp_stream::StreamPoint],
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": \"iiot-bench/perf/v3\",\n");
+    let mut out = String::from("{\n  \"schema\": \"iiot-bench/perf/v4\",\n");
     out.push_str(&format!("  \"spacing_m\": {SPACING_M},\n  \"points\": [\n"));
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -453,6 +455,30 @@ pub fn to_json(
             p.msgs_per_sec(),
             p.mode,
             if i + 1 == cloud.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"stream\": [\n");
+    for (i, p) in stream.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"deterministic\": {{\"sessions\": {}, \"tenants\": {}, \"msgs\": {}, \
+             \"accepted\": {}, \"shed\": {}, \"log_records\": {}, \"log_bytes\": {}, \
+             \"segments\": {}, \"windows\": {}, \"window_obs\": {}}}, \
+             \"timing\": {{\"wall_us\": {}, \"replay_wall_us\": {}, \
+             \"msgs_per_sec\": {:.0}}}}}{}\n",
+            p.sessions,
+            p.tenants,
+            p.msgs,
+            p.accepted,
+            p.shed,
+            p.log_records,
+            p.log_bytes,
+            p.segments,
+            p.windows,
+            p.window_obs,
+            p.wall_us,
+            p.replay_wall_us,
+            p.msgs_per_sec(),
+            if i + 1 == stream.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -526,8 +552,25 @@ mod tests {
             wall_us: 250_000,
             mode: "threaded",
         };
-        let j = to_json(&[p], &[s], &[c]);
-        assert!(j.contains("\"schema\": \"iiot-bench/perf/v3\""));
+        let sp = crate::exp_stream::StreamPoint {
+            sessions: 100_000,
+            tenants: 4,
+            msgs: 400_000,
+            accepted: 380_000,
+            shed: 20_000,
+            log_records: 400_000,
+            log_bytes: 14_400_000,
+            segments: 219,
+            windows: 1_200,
+            window_obs: 380_000,
+            wall_us: 500_000,
+            replay_wall_us: 450_000,
+        };
+        let j = to_json(&[p], &[s], &[c], &[sp]);
+        assert!(j.contains("\"schema\": \"iiot-bench/perf/v4\""));
+        assert!(j.contains("\"log_records\": 400000"));
+        assert!(j.contains("\"replay_wall_us\": 450000"));
+        assert!(j.contains("\"window_obs\": 380000"));
         assert!(j.contains("\"events\": 1234"));
         assert!(j.contains("\"speedup\": 5.00"));
         assert!(j.contains("\"shards\": 4"));

@@ -1,0 +1,813 @@
+//! Stream-plane experiments: E18 exercises the `iiot-stream` subsystem
+//! through the cloud tier — the replayable write-ahead event log,
+//! per-tenant token-bucket admission control, and watermark-driven
+//! aggregation windows.
+//!
+//! Five questions, each one table:
+//!
+//! * **logging tax** — the same session workload with the write-ahead
+//!   log off and on: every virtual-time statistic must be identical
+//!   (asserted per trial), so the only new columns are the log's size
+//!   and sealing behaviour;
+//! * **replay fidelity** — a run exercising every shed path is
+//!   replayed from its own log: per-tenant stats, closed windows and
+//!   the replayed pipeline's re-persisted log bytes must all match the
+//!   live run exactly (asserted per trial — the table records what was
+//!   proven equal);
+//! * **crash recovery** — the log cut or corrupted at adversarial
+//!   offsets (frame boundary, torn header, torn CRC, torn payload,
+//!   mid-log bit flip): recovery must keep exactly the CRC-verified
+//!   prefix and replay must account for every surviving record;
+//! * **admission vs queue shed** — E16b's noisy-neighbor plan on the
+//!   *shared* queue, with and without per-tenant admission control: the
+//!   token bucket moves the offender's loss from backpressure
+//!   (`shed_full`, which queues quiet traffic behind the burst) to the
+//!   front door (`shed_ratelimit`, which never touches the queue);
+//! * **windows across a partition** — gateway-buffered twin reports
+//!   delivered after a backhaul outage, attributed to event-time
+//!   windows via [`TwinStore::merge_windowed`]: with `allowed_lateness`
+//!   covering the outage the closed windows equal the never-partitioned
+//!   baseline's; without it the buffered samples are counted
+//!   late-dropped, never silently mis-binned.
+//!
+//! All reported quantities are virtual-time statistics — pure
+//! functions of `(plan, config, seed)` — so every table is
+//! byte-identical at any `--jobs`. Wall clock is measured only by the
+//! `perf` binary's stream points ([`stream_matrix`]).
+
+use crate::runner::{Cell, Trial};
+use crate::table::Table;
+use crate::RunConfig;
+use iiot_cloud::{
+    metrics, replay, DeviceRegistry, IngestConfig, IngestPipeline, Isolation, SessionGen,
+    SessionPlan, StreamConfig, TenantId, TwinStore, UPLINK_FRAME,
+};
+use iiot_crdt::ReplicaId;
+use iiot_security::Key;
+use iiot_sim::obs::Histogram;
+use iiot_sim::{seed, SimDuration, SimTime};
+use iiot_stream::{
+    LogConfig, RateLimit, WindowAggregator, WindowResult, WindowSpec, FRAME_HEADER,
+};
+
+/// Tenants in every synthetic fleet.
+const TENANTS: u16 = 4;
+/// E18's base seed (experiment id, like `0xE16` for the cloud tier).
+const SEED: u64 = 0xE18;
+/// Persisted size of one logged uplink: log frame header + wire record.
+const FRAME: u64 = (FRAME_HEADER + UPLINK_FRAME) as u64;
+
+/// A registry with `TENANTS` tenants of `devices` devices each, keys
+/// derived from `seed_val` (the same construction as E16's fleets, so
+/// replay can rebuild a byte-identical registry from the seed alone).
+fn fleet(devices: u32, seed_val: u64) -> DeviceRegistry {
+    let mut reg = DeviceRegistry::new();
+    for i in 0..TENANTS {
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&seed::derive(seed_val, i as u64).to_le_bytes());
+        key[8..].copy_from_slice(&seed::derive(seed_val ^ 0xA5, i as u64).to_le_bytes());
+        let t = reg.create_tenant(&format!("tenant-{i}"), Key(key));
+        reg.register_fleet(t, devices);
+    }
+    reg
+}
+
+/// Drives one full load-generation run with an optional stream-plane
+/// attachment: sessions in, drain ticks between arrivals, everything
+/// drained and all windows flushed at the end.
+fn run_streamed(
+    devices: u32,
+    plan: SessionPlan,
+    config: IngestConfig,
+    stream: Option<StreamConfig>,
+    seed_val: u64,
+) -> IngestPipeline {
+    let reg = fleet(devices, seed_val);
+    let mut gen = SessionGen::new(&reg, plan, seed_val);
+    let mut pipe = IngestPipeline::new(reg, config);
+    if let Some(s) = stream {
+        pipe.attach_stream(s);
+    }
+    pipe.set_recorder(iiot_sim::obs::scope_capture(seed_val));
+    while let Some(msg) = gen.next_msg(pipe.registry()) {
+        pipe.drain_until(msg.t);
+        pipe.offer(msg);
+    }
+    pipe.drain_remaining();
+    pipe.flush_windows();
+    drop(pipe.take_recorder());
+    pipe
+}
+
+/// Fleet-wide latency distribution: every tenant's histogram merged.
+fn merged_latency(pipe: &IngestPipeline) -> Histogram {
+    let mut h = Histogram::new();
+    for (_, st) in pipe.stats() {
+        h.merge(&st.latency_us);
+    }
+    h
+}
+
+/// Sums one shed-cause counter across all tenants.
+fn shed_sum(pipe: &IngestPipeline, f: fn(&iiot_cloud::TenantStats) -> u64) -> u64 {
+    pipe.stats().map(|(_, st)| f(st)).sum()
+}
+
+// ---------------------------------------------------------------- E18a
+
+/// E18a over an explicit per-tenant device axis: the write-ahead
+/// logging tax. Both arms of each point run the identical workload;
+/// the trial asserts their per-tenant summaries are equal, so the log
+/// provably costs bytes, not behaviour.
+pub fn e18_tax_with(rc: &RunConfig, devices_axis: &[u32]) -> Table {
+    let config = IngestConfig::default();
+    let trials: Vec<Trial> = devices_axis
+        .iter()
+        .map(|&devices| {
+            Trial::new(format!("e18/tax/{}", devices * TENANTS as u32), SEED, move |s| {
+                let off = run_streamed(devices, SessionPlan::default(), config, None, s);
+                let on = run_streamed(
+                    devices,
+                    SessionPlan::default(),
+                    config,
+                    Some(StreamConfig::logged(LogConfig::default())),
+                    s,
+                );
+                assert_eq!(
+                    metrics::summarize(&off),
+                    metrics::summarize(&on),
+                    "the write-ahead log must not change any virtual-time statistic"
+                );
+                let wal = on.wal().expect("wal attached");
+                let (offered, _, _, _) = on.totals();
+                assert_eq!(wal.records(), offered, "every offer is logged, sheds included");
+                assert_eq!(wal.len_bytes(), offered * FRAME, "fixed-size uplink frames");
+                let row = |arm: &'static str, p: &IngestPipeline| {
+                    let (offered, accepted, _, _) = p.totals();
+                    let lat = merged_latency(p);
+                    let (kib, per_msg, seals) = match p.wal() {
+                        Some(w) => (
+                            Cell::f1(w.len_bytes() as f64 / 1024.0),
+                            Cell::f1(w.len_bytes() as f64 / offered as f64),
+                            Cell::int(w.sealed_segments() as f64),
+                        ),
+                        None => (Cell::label("-"), Cell::label("-"), Cell::label("-")),
+                    };
+                    vec![
+                        Cell::int(offered as f64),
+                        Cell::label(arm),
+                        Cell::pct(accepted as f64 / offered as f64),
+                        Cell::f1(lat.quantile(0.5) / 1000.0),
+                        Cell::f1(lat.quantile(0.99) / 1000.0),
+                        kib,
+                        per_msg,
+                        seals,
+                    ]
+                };
+                vec![row("off", &off), row("on", &on)]
+            })
+        })
+        .collect();
+    let out = rc.runner.run(trials, rc.trials);
+    let mut t = Table::new(
+        "E18a: write-ahead logging tax (identical virtual stats asserted; 64 KiB segments)",
+        &["msgs", "log", "accepted", "p50 (ms)", "p99 (ms)", "log KiB", "B/msg", "seals"],
+    );
+    for o in &out {
+        for r in &o.rows {
+            t.row(r.clone());
+        }
+    }
+    t
+}
+
+/// E18a production axis: 10k and 50k sessions through the default
+/// pipeline, logged and unlogged.
+pub fn e18_tax(rc: &RunConfig) -> Table {
+    e18_tax_with(rc, &[2_500, 12_500])
+}
+
+// ---------------------------------------------------------------- E18b
+
+/// E18b: replay fidelity. One run exercising admission sheds, queue
+/// sheds, segment sealing and window closes is replayed from its own
+/// write-ahead log; the trial asserts per-tenant summaries, closed
+/// windows and the replayed pipeline's re-persisted log bytes all
+/// equal the live run's. Live and replay both record under the trace
+/// scope (worlds 0 and 1 of the trial), so `--trace` dumps carry both
+/// event streams for CI to diff.
+pub fn e18_replay_with(rc: &RunConfig, devices: u32) -> Table {
+    let trials = vec![Trial::new("e18/replay", SEED, move |s| {
+        // A slow drain plus a sub-offered-rate admission contract for
+        // the noisy tenant: both shed paths fire, so the replay
+        // equalities below have teeth.
+        let config = IngestConfig { drain_batch: 8, threaded: false, ..IngestConfig::default() };
+        let stream = StreamConfig::logged(LogConfig { segment_bytes: 16 * 1024 })
+            .with_admission(RateLimit::per_sec(4 * devices as u64, 64))
+            .with_windows(WindowSpec::tumbling(SimDuration::from_millis(500)));
+        let plan = SessionPlan {
+            msgs_per_device: 16,
+            noisy: Some((TenantId(0), 16)),
+            ..SessionPlan::default()
+        };
+        let live = run_streamed(devices, plan, config, Some(stream.clone()), s);
+        let wal = live.wal().expect("wal attached").as_bytes().to_vec();
+
+        let (mut replayed, report) = replay(
+            &wal,
+            fleet(devices, s),
+            config,
+            stream,
+            iiot_sim::obs::scope_capture(s),
+        );
+        drop(replayed.take_recorder());
+        let (offered, _, _, _) = live.totals();
+        assert_eq!(report.records, offered, "the log holds the complete offer sequence");
+        assert_eq!(report.truncated_bytes, 0, "a pristine log loses nothing");
+        assert_eq!(
+            metrics::summarize(&live),
+            metrics::summarize(&replayed),
+            "per-tenant stats must replay identically"
+        );
+        assert_eq!(
+            live.closed_windows(),
+            replayed.closed_windows(),
+            "closed windows must replay identically"
+        );
+        assert_eq!(
+            replayed.wal().expect("wal").as_bytes(),
+            wal.as_slice(),
+            "the replayed pipeline re-persists a byte-identical log"
+        );
+
+        let wal_log = live.wal().expect("wal");
+        let ratelimited = shed_sum(&live, |st| st.shed_ratelimit);
+        let queue_shed = shed_sum(&live, |st| st.shed_full);
+        assert!(ratelimited > 0, "admission shed path exercised");
+        vec![vec![
+            Cell::int(offered as f64),
+            Cell::int(wal_log.records() as f64),
+            Cell::int(wal_log.sealed_segments() as f64),
+            Cell::f1(wal_log.len_bytes() as f64 / 1024.0),
+            Cell::int(ratelimited as f64),
+            Cell::int(queue_shed as f64),
+            Cell::int(live.closed_windows().len() as f64),
+            Cell::label("byte-identical"),
+        ]]
+    })];
+    let out = rc.runner.run(trials, rc.trials);
+    let mut t = Table::new(
+        "E18b: log replay fidelity (stats, windows, events and re-persisted log bytes asserted equal)",
+        &[
+            "msgs", "log records", "seals", "log KiB", "ratelimited", "queue shed",
+            "windows", "replay vs live",
+        ],
+    );
+    for o in &out {
+        t.row(o.rows[0].clone());
+    }
+    t
+}
+
+/// E18b production scale: 32k messages with a 16x noisy neighbor.
+pub fn e18_replay(rc: &RunConfig) -> Table {
+    e18_replay_with(rc, 500)
+}
+
+// ---------------------------------------------------------------- E18c
+
+/// E18c: crash recovery at adversarial offsets. A live run's log is
+/// truncated inside the last frame's header, CRC and payload, exactly
+/// on a frame boundary, and bit-flipped mid-log inside a sealed
+/// segment; each damaged image is recovered and replayed. The trial
+/// asserts the recovered prefix is exactly the CRC-verified frames
+/// before the damage and that replay offers exactly those records.
+pub fn e18_recovery_with(rc: &RunConfig, devices: u32) -> Table {
+    let trials = vec![Trial::new("e18/recovery", SEED, move |s| {
+        let config = IngestConfig { threaded: false, ..IngestConfig::default() };
+        let stream = StreamConfig::logged(LogConfig { segment_bytes: 4096 });
+        let logged = run_streamed(devices, SessionPlan::default(), config, Some(stream.clone()), s);
+        let wal = logged.wal().expect("wal attached").as_bytes().to_vec();
+        let (offered, _, _, _) = logged.totals();
+        let len = wal.len() as u64;
+        assert_eq!(len, offered * FRAME);
+
+        // Crash points: how far into the byte stream the image survives
+        // (`cut`), or a single flipped bit mid-log (`flip`).
+        let frame = FRAME;
+        let mid = (offered / 2) * frame + frame / 2; // mid-payload, mid-log
+        let arms: Vec<(&'static str, u64, Option<u64>)> = vec![
+            ("frame boundary", len - frame, None),
+            ("torn header", len - frame + 3, None),
+            ("torn crc", len - frame + 5, None),
+            ("torn payload", len - 7, None),
+            ("mid-log tear", mid, None),
+            // Flip one payload bit a quarter of the way in: the frame
+            // fails its CRC inside a *sealed* segment, and recovery
+            // must refuse everything from that frame on.
+            ("sealed bit flip", len, Some((offered / 4) * frame + (frame - 1))),
+        ];
+        arms.into_iter()
+            .map(|(label, cut, flip)| {
+                let mut image = wal[..cut as usize].to_vec();
+                if let Some(at) = flip {
+                    image[at as usize] ^= 0x10;
+                }
+                let expect_records = match flip {
+                    Some(at) => at / frame,
+                    None => cut / frame,
+                };
+                let (replayed, report) =
+                    replay(&image, fleet(devices, s), config, stream.clone(), None);
+                assert_eq!(
+                    report.records, expect_records,
+                    "{label}: recovery must keep exactly the intact prefix"
+                );
+                assert_eq!(report.bytes, expect_records * frame, "{label}: kept bytes");
+                assert_eq!(
+                    report.truncated_bytes,
+                    image.len() as u64 - expect_records * frame,
+                    "{label}: everything after the damage is dropped"
+                );
+                assert_eq!(report.corrupt_sealed, flip.is_some(), "{label}: sealed-damage flag");
+                let (r_offered, r_accepted, _, _) = replayed.totals();
+                assert_eq!(r_offered, expect_records, "{label}: replay offers the prefix");
+                vec![
+                    Cell::label(label),
+                    Cell::int(report.records as f64),
+                    Cell::int(report.truncated_bytes as f64),
+                    Cell::label(if report.corrupt_sealed { "yes" } else { "no" }),
+                    Cell::int(r_offered as f64),
+                    Cell::pct(r_accepted as f64 / r_offered.max(1) as f64),
+                ]
+            })
+            .collect()
+    })];
+    let out = rc.runner.run(trials, rc.trials);
+    let mut t = Table::new(
+        "E18c: crash recovery at adversarial offsets (36 B frames, 4 KiB segments; prefix arithmetic asserted)",
+        &["crash point", "records kept", "truncated B", "sealed hit", "replay msgs", "accepted"],
+    );
+    for o in &out {
+        for r in &o.rows {
+            t.row(r.clone());
+        }
+    }
+    t
+}
+
+/// E18c production scale: a 4k-record log (144 KiB, ~36 sealed
+/// segments).
+pub fn e18_recovery(rc: &RunConfig) -> Table {
+    e18_recovery_with(rc, 250)
+}
+
+// ---------------------------------------------------------------- E18d
+
+/// One admission observation: the quiet tenants' experience and the
+/// noisy tenant's shed-cause split on the shared queue.
+struct AdmissionPoint {
+    quiet_p99_ms: f64,
+    quiet_shed_pct: f64,
+    noisy_ratelimited: u64,
+    noisy_queue_shed: u64,
+    noisy_accept_pct: f64,
+    fairness: f64,
+}
+
+/// The shared-queue drain capacity of [`shared_config`] in messages
+/// per virtual second.
+fn shared_capacity_per_sec() -> f64 {
+    let c = shared_config();
+    c.drain_batch as f64 / (c.tick.as_micros() as f64 / 1e6)
+}
+
+/// E16b's shared-queue arm: one queue with the four per-tenant queues'
+/// aggregate buffer and drain capacity.
+fn shared_config() -> IngestConfig {
+    IngestConfig {
+        shards: 1,
+        queue_cap: 4 * 1024,
+        drain_batch: 4 * 256,
+        isolation: Isolation::Shared,
+        ..IngestConfig::default()
+    }
+}
+
+fn admission_point(
+    devices: u32,
+    multiplier: u32,
+    admission: Option<RateLimit>,
+    s: u64,
+) -> AdmissionPoint {
+    let plan = SessionPlan {
+        msgs_per_device: 32,
+        noisy: Some((TenantId(0), multiplier)),
+        ..SessionPlan::default()
+    };
+    let stream = admission.map(|limit| StreamConfig::default().with_admission(limit));
+    let pipe = run_streamed(devices, plan, shared_config(), stream, s);
+    let summaries = metrics::summarize(&pipe);
+    let quiet: Vec<_> = summaries.iter().filter(|x| x.tenant != TenantId(0)).collect();
+    let noisy = summaries.iter().find(|x| x.tenant == TenantId(0)).expect("noisy tenant");
+    AdmissionPoint {
+        quiet_p99_ms: quiet.iter().map(|x| x.p99_us).max().unwrap_or(0) as f64 / 1000.0,
+        quiet_shed_pct: {
+            let (shed, offered) = quiet
+                .iter()
+                .fold((0u64, 0u64), |(sh, o), x| (sh + x.shed, o + x.offered));
+            shed as f64 / offered.max(1) as f64
+        },
+        noisy_ratelimited: noisy.shed_ratelimit,
+        noisy_queue_shed: noisy.shed_full,
+        noisy_accept_pct: noisy.accepted as f64 / noisy.offered.max(1) as f64,
+        fairness: metrics::service_fairness(&summaries),
+    }
+}
+
+/// E18d over explicit noisy-rate multipliers: the shared queue with
+/// and without per-tenant admission control. The token bucket grants
+/// every tenant its fair share of the drain capacity; loss the queue
+/// used to take (hurting everyone behind the burst) moves to the front
+/// door (hurting only the offender).
+pub fn e18_admission_with(rc: &RunConfig, multipliers: &[u32], devices: u32) -> Table {
+    let fair_share = (shared_capacity_per_sec() / TENANTS as f64) as u64;
+    let trials: Vec<Trial> = multipliers
+        .iter()
+        .flat_map(|&m| {
+            [(None, "queues-only"), (Some(RateLimit::per_sec(fair_share, 1024)), "admission")]
+                .into_iter()
+                .map(move |(limit, name)| {
+                    Trial::new(format!("e18/admission/x{m}/{name}"), SEED, move |s| {
+                        let p = admission_point(devices, m, limit, s);
+                        vec![vec![
+                            Cell::label(format!("{m}x")),
+                            Cell::label(name),
+                            Cell::f1(p.quiet_p99_ms),
+                            Cell::pct(p.quiet_shed_pct),
+                            Cell::int(p.noisy_ratelimited as f64),
+                            Cell::int(p.noisy_queue_shed as f64),
+                            Cell::pct(p.noisy_accept_pct),
+                            Cell::f3(p.fairness),
+                        ]]
+                    })
+                })
+        })
+        .collect();
+    let out = rc.runner.run(trials, rc.trials);
+    let mut t = Table::new(
+        "E18d: admission control vs queue shedding on the shared queue (fair-share token buckets)",
+        &[
+            "noisy rate", "arm", "quiet p99 (ms)", "quiet shed", "noisy ratelimited",
+            "noisy queue shed", "noisy accepted", "fairness",
+        ],
+    );
+    for o in &out {
+        t.row(o.rows[0].clone());
+    }
+    t
+}
+
+/// E18d production axis: noisy tenant at 4x and 64x the quiet rate, 8k
+/// sessions (E16b's fairness scale).
+pub fn e18_admission(rc: &RunConfig) -> Table {
+    e18_admission_with(rc, &[4, 64], 2_000)
+}
+
+// ---------------------------------------------------------------- E18e
+
+/// Drives the backhaul model once: `DEVICES` devices report through a
+/// gateway twin replica every second for `REPORTS` seconds (each
+/// sample under its own key, so the LWW map preserves every buffered
+/// sample); the cloud merges the replica every 2 s except during
+/// `outage`, advancing the window watermark on every backhaul tick
+/// (the cloud's clock keeps running whether or not this gateway is
+/// reachable). Returns the aggregator and every closed window, sorted
+/// by `(start, key)` so arms that close windows at different times
+/// compare equal when their contents agree.
+fn windowed_backhaul(
+    outage: Option<(SimTime, SimTime)>,
+    lateness: SimDuration,
+) -> (WindowAggregator, Vec<WindowResult>) {
+    const DEVICES: u32 = 8;
+    const REPORTS: u64 = 40;
+    let interval = SimDuration::from_secs(1);
+    let backhaul = SimDuration::from_secs(2);
+    let spec = WindowSpec::tumbling(SimDuration::from_secs(10)).with_lateness(lateness);
+    let tenant = TenantId(0);
+    let writer = ReplicaId(1);
+    let mut w = WindowAggregator::new(spec);
+    let mut gw = TwinStore::new();
+    let mut cloud = TwinStore::new();
+    let mut closed = Vec::new();
+    for k in 0..REPORTS {
+        let t_us = k * interval.as_micros();
+        for d in 0..DEVICES {
+            // Integral values keep window sums exact, so closed-window
+            // equality across arms is independent of merge order.
+            let value = ((k * 7 + u64::from(d)) % 29) as f64;
+            gw.report(tenant, d, t_us + u64::from(d), writer, &format!("s{k}"), value);
+        }
+        if t_us.is_multiple_of(backhaul.as_micros()) {
+            let now = SimTime::from_micros(t_us);
+            let parted = outage.is_some_and(|(from, to)| now >= from && now < to);
+            if !parted {
+                cloud.merge_windowed(&gw, &mut w);
+            }
+            closed.extend(w.advance_watermark(now));
+        }
+    }
+    let horizon = SimTime::from_micros(REPORTS * interval.as_micros());
+    cloud.merge_windowed(&gw, &mut w);
+    closed.extend(w.advance_watermark(horizon));
+    closed.extend(w.flush());
+    closed.sort_by_key(|r| (r.start, r.key));
+    (w, closed)
+}
+
+/// E18e: window correctness across a backhaul partition. A 20 s outage
+/// buffers gateway reports; event-time attribution with
+/// `allowed_lateness >= outage` reproduces the never-partitioned
+/// baseline exactly (asserted), while zero lateness counts the
+/// buffered samples late-dropped instead of mis-binning them.
+pub fn e18_windows(rc: &RunConfig) -> Table {
+    let trials = vec![Trial::new("e18/windows", SEED, |_| {
+        let outage = (SimTime::from_secs(10), SimTime::from_secs(30));
+        let outage_len = SimDuration::from_secs(20);
+        let (base_agg, base) = windowed_backhaul(None, SimDuration::ZERO);
+        let (covered_agg, covered) = windowed_backhaul(Some(outage), outage_len);
+        let (dropped_agg, dropped) = windowed_backhaul(Some(outage), SimDuration::ZERO);
+
+        assert_eq!(base_agg.late_total(), 0, "no outage, nothing late");
+        assert_eq!(
+            covered, base,
+            "lateness covering the outage must reproduce the baseline windows"
+        );
+        assert_eq!(covered_agg.late_total(), 0, "covered lateness drops nothing");
+        assert!(dropped_agg.late_total() > 0, "zero lateness must count late drops");
+        assert!(
+            dropped_agg.observed() < base_agg.observed(),
+            "late-dropped samples never reach a window"
+        );
+        assert_eq!(
+            dropped_agg.observed() + dropped_agg.late_total(),
+            base_agg.observed(),
+            "every sample is either attributed or counted late — none vanish"
+        );
+
+        let row = |arm: &'static str, lateness_s: f64, agg: &WindowAggregator, closed: &[WindowResult]| {
+            vec![
+                Cell::label(arm),
+                Cell::f1(lateness_s),
+                Cell::int(closed.len() as f64),
+                Cell::int(agg.observed() as f64),
+                Cell::int(agg.late_total() as f64),
+            ]
+        };
+        vec![
+            row("no outage", 0.0, &base_agg, &base),
+            row("outage, covered", 20.0, &covered_agg, &covered),
+            row("outage, uncovered", 0.0, &dropped_agg, &dropped),
+        ]
+    })];
+    let out = rc.runner.run(trials, rc.trials);
+    let mut t = Table::new(
+        "E18e: event-time windows across a 20 s backhaul partition (10 s tumbling; baseline equality asserted)",
+        &["arm", "lateness (s)", "windows", "samples", "late dropped"],
+    );
+    for o in &out {
+        for r in &o.rows {
+            t.row(r.clone());
+        }
+    }
+    t
+}
+
+// ------------------------------------------------------- perf harness
+
+/// One stream load point for `BENCH_perf.json`: the full stream plane
+/// (log + admission + windows) attached to the default pipeline, then
+/// replayed from its own log. The deterministic block is a pure
+/// function of the workload; wall clock (live and replay) is
+/// informational timing. [`stream_matrix`] asserts replay equality per
+/// point, so a committed artifact proves the determinism contract held
+/// on the machine that produced it.
+#[derive(Clone, Debug)]
+pub struct StreamPoint {
+    /// Simulated device sessions.
+    pub sessions: u64,
+    /// Tenants sharing the pipeline.
+    pub tenants: u16,
+    /// Messages offered (== log records).
+    pub msgs: u64,
+    /// Messages admitted past admission + auth + backpressure.
+    pub accepted: u64,
+    /// Messages shed, all causes.
+    pub shed: u64,
+    /// Records in the write-ahead log.
+    pub log_records: u64,
+    /// Total log size in bytes.
+    pub log_bytes: u64,
+    /// Sealed (immutable) segments.
+    pub segments: u64,
+    /// Aggregation windows closed.
+    pub windows: u64,
+    /// Samples attributed to windows.
+    pub window_obs: u64,
+    /// Wall-clock time of the live run, µs.
+    pub wall_us: u128,
+    /// Wall-clock time of the replay run, µs.
+    pub replay_wall_us: u128,
+}
+
+impl StreamPoint {
+    /// Offered messages per wall-clock second, live run.
+    pub fn msgs_per_sec(&self) -> f64 {
+        self.msgs as f64 / (self.wall_us.max(1) as f64 / 1e6)
+    }
+}
+
+/// Runs the streamed ingest workload once per device count and
+/// measures it; see [`StreamPoint`].
+///
+/// # Panics
+///
+/// Panics if the replayed pipeline's per-tenant summaries or
+/// re-persisted log bytes differ from the live run's — that would mean
+/// the replay determinism contract broke.
+pub fn stream_matrix(devices_axis: &[u32]) -> Vec<StreamPoint> {
+    devices_axis
+        .iter()
+        .map(|&devices| {
+            let config = IngestConfig::default();
+            let stream = StreamConfig::logged(LogConfig::default())
+                .with_admission(RateLimit::per_sec(25_600, 1024))
+                .with_windows(WindowSpec::tumbling(SimDuration::from_secs(1)));
+            let started = std::time::Instant::now();
+            let pipe =
+                run_streamed(devices, SessionPlan::default(), config, Some(stream.clone()), SEED);
+            let wall_us = started.elapsed().as_micros();
+            let wal = pipe.wal().expect("wal attached").as_bytes().to_vec();
+            let started = std::time::Instant::now();
+            let (replayed, report) = replay(&wal, fleet(devices, SEED), config, stream, None);
+            let replay_wall_us = started.elapsed().as_micros();
+            assert_eq!(report.truncated_bytes, 0, "pristine log loses nothing");
+            assert_eq!(
+                metrics::summarize(&pipe),
+                metrics::summarize(&replayed),
+                "replay must reproduce the live run"
+            );
+            assert_eq!(
+                replayed.wal().expect("wal").as_bytes(),
+                wal.as_slice(),
+                "replay must re-persist identical log bytes"
+            );
+            let (offered, accepted, shed, _) = pipe.totals();
+            let log = pipe.wal().expect("wal attached");
+            StreamPoint {
+                sessions: devices as u64 * TENANTS as u64,
+                tenants: TENANTS,
+                msgs: offered,
+                accepted,
+                shed,
+                log_records: log.records(),
+                log_bytes: log.len_bytes(),
+                segments: log.sealed_segments() as u64,
+                windows: pipe.closed_windows().len() as u64,
+                window_obs: pipe.windows().map_or(0, |w| w.observed()),
+                wall_us,
+                replay_wall_us,
+            }
+        })
+        .collect()
+}
+
+/// Renders stream points as the table the `perf` binary prints next to
+/// the cloud load curves.
+pub fn stream_table(points: &[StreamPoint]) -> Table {
+    let mut t = Table::new(
+        "PERF: stream plane (write-ahead log + admission + windows, replay asserted identical)",
+        &[
+            "sessions", "msgs", "log MiB", "segments", "windows", "live (ms)", "replay (ms)",
+            "Mmsg/s",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            p.sessions.to_string(),
+            p.msgs.to_string(),
+            format!("{:.2}", p.log_bytes as f64 / (1024.0 * 1024.0)),
+            p.segments.to_string(),
+            p.windows.to_string(),
+            format!("{:.1}", p.wall_us as f64 / 1e3),
+            format!("{:.1}", p.replay_wall_us as f64 / 1e3),
+            format!("{:.2}", p.msgs_per_sec() / 1e6),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Runner;
+
+    fn rc(jobs: usize) -> RunConfig {
+        RunConfig { runner: Runner::new(jobs), trials: 1 }
+    }
+
+    #[test]
+    fn tax_table_is_jobs_invariant_and_log_is_pure_overhead() {
+        let a = e18_tax_with(&rc(1), &[50, 150]);
+        let b = e18_tax_with(&rc(4), &[50, 150]);
+        assert_eq!(a.rows(), b.rows());
+        // Rows alternate off/on per point; the in-trial assert already
+        // proved the stats identical, so off/on rows differ only in
+        // the log columns.
+        let rows = a.rows();
+        assert_eq!(rows.len(), 4);
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0][0], pair[1][0], "same offered messages");
+            assert_eq!(pair[0][2..5], pair[1][2..5], "virtual stats columns match");
+            assert_eq!(pair[0][5], "-", "no log, no bytes");
+            assert_ne!(pair[1][5], "-", "the logged arm reports its size");
+        }
+    }
+
+    #[test]
+    fn replay_and_recovery_tables_are_jobs_invariant() {
+        let a = (e18_replay_with(&rc(1), 125), e18_recovery_with(&rc(1), 100));
+        let b = (e18_replay_with(&rc(2), 125), e18_recovery_with(&rc(2), 100));
+        assert_eq!(a.0.rows(), b.0.rows());
+        assert_eq!(a.1.rows(), b.1.rows());
+        // Every adversarial crash point produced a row and the bit-flip
+        // arm flagged sealed damage.
+        let rows = a.1.rows();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[5][3], "yes", "bit flip lands in a sealed segment");
+        for r in &rows[..5] {
+            assert_eq!(r[3], "no", "tears hit the active tail region flag-free: {r:?}");
+        }
+    }
+
+    #[test]
+    fn admission_moves_the_noisy_tenants_loss_to_the_front_door() {
+        // 2000 noisy devices x 64x multiplier ~= 128k msg/s against the
+        // shared queue's 102.4k msg/s of aggregate drain capacity, so the
+        // queues-only arm genuinely overflows (matches the E16b scale).
+        let point = |limit| admission_point(2_000, 64, limit, SEED);
+        let queues = point(None);
+        let fair = (shared_capacity_per_sec() / TENANTS as f64) as u64;
+        let admitted = point(Some(RateLimit::per_sec(fair, 1024)));
+        // Queue-only shedding: the offender's burst sits in the shared
+        // queue, so quiet tenants wait behind it.
+        assert_eq!(queues.noisy_ratelimited, 0, "no admission control, no ratelimit sheds");
+        assert!(queues.noisy_queue_shed > 0, "the burst must overflow the shared queue");
+        // Fair-share admission: the offender sheds at the door instead,
+        // the queue stays shallow, and the quiet tenants recover.
+        assert!(admitted.noisy_ratelimited > 0, "admission must shed the offender");
+        assert!(
+            admitted.noisy_queue_shed < queues.noisy_queue_shed,
+            "rate-limited traffic must relieve the queue"
+        );
+        assert!(
+            admitted.quiet_p99_ms < queues.quiet_p99_ms / 2.0,
+            "quiet p99 must improve: {} -> {}",
+            queues.quiet_p99_ms,
+            admitted.quiet_p99_ms
+        );
+        assert_eq!(admitted.quiet_shed_pct, 0.0, "quiet tenants sit under their fair share");
+    }
+
+    #[test]
+    fn windows_table_shape() {
+        let t = e18_windows(&rc(1));
+        let rows = t.rows();
+        assert_eq!(rows.len(), 3);
+        // [arm, lateness, windows, samples, late dropped]
+        assert_eq!(rows[0][4], "0");
+        assert_eq!(rows[1][4], "0");
+        assert_ne!(rows[2][4], "0", "uncovered arm must count late drops");
+        assert_eq!(rows[0][3], rows[1][3], "covered arm attributes every sample");
+    }
+
+    #[test]
+    fn stream_matrix_asserts_replay_and_is_stable() {
+        let a = stream_matrix(&[100]);
+        let b = stream_matrix(&[100]);
+        assert_eq!(a.len(), 1);
+        let (x, y) = (&a[0], &b[0]);
+        assert_eq!(
+            (x.msgs, x.accepted, x.shed, x.log_records, x.log_bytes, x.segments, x.windows,
+             x.window_obs),
+            (y.msgs, y.accepted, y.shed, y.log_records, y.log_bytes, y.segments, y.windows,
+             y.window_obs),
+            "stream deterministic blocks must be run-to-run stable"
+        );
+        assert_eq!(x.msgs, x.log_records, "every offer is logged");
+        assert_eq!(x.log_bytes, x.msgs * FRAME);
+        assert!(x.windows > 0 && x.window_obs > 0);
+        let t = stream_table(&a);
+        assert_eq!(t.rows().len(), 1);
+    }
+}

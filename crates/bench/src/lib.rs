@@ -1,6 +1,6 @@
 //! # iiot-bench — the experiment harness
 //!
-//! One function per experiment of DESIGN.md §2 (E1-E16), each returning
+//! One function per experiment of DESIGN.md §2 (E1-E18), each returning
 //! [`Table`]s that the `experiments` binary prints (and EXPERIMENTS.md
 //! records). The hot experiments fan their trials out over the
 //! [`runner`] worker pool; every experiment takes the shared
@@ -37,6 +37,7 @@ pub mod exp_fleet;
 pub mod exp_interop;
 pub mod exp_perf;
 pub mod exp_scale;
+pub mod exp_stream;
 pub mod exp_sync;
 pub mod runner;
 pub mod table;
@@ -136,11 +137,20 @@ pub fn all_experiments() -> Vec<Experiment> {
                 exp_fleet::e17_drift(rc),
             ]
         }),
+        ("e18", |rc| {
+            vec![
+                exp_stream::e18_tax(rc),
+                exp_stream::e18_replay(rc),
+                exp_stream::e18_recovery(rc),
+                exp_stream::e18_admission(rc),
+                exp_stream::e18_windows(rc),
+            ]
+        }),
     ]
 }
 
 /// Reduced-scale registry for smoke runs (`experiments --quick`): the
-/// heavyweight experiments (E5, E14, E16) run shrunken matrices through the
+/// heavyweight experiments (E5, E14, E16, E18) run shrunken matrices through the
 /// same code paths — trial fan-out, oracle sampling mid-campaign,
 /// trace capture — so the determinism contract is exercised end to end
 /// while the full-scale tables (and their multi-gigabyte traces) stay
@@ -184,6 +194,18 @@ pub fn quick_experiments() -> Vec<Experiment> {
                         exp_fleet::e17_converge_with(rc, &[4], &[FaultArm::None, FaultArm::Crash]),
                         exp_fleet::e17_twins_with(rc, 4, 5, 90),
                         exp_fleet::e17_drift_with(rc, 2, 30, 90),
+                    ]
+                }) as fn(&RunConfig) -> Vec<Table>,
+            ),
+            "e18" => (
+                id,
+                (|rc| {
+                    vec![
+                        exp_stream::e18_tax_with(rc, &[250]),
+                        exp_stream::e18_replay_with(rc, 125),
+                        exp_stream::e18_recovery_with(rc, 100),
+                        exp_stream::e18_admission_with(rc, &[16], 500),
+                        exp_stream::e18_windows(rc),
                     ]
                 }) as fn(&RunConfig) -> Vec<Table>,
             ),

@@ -119,6 +119,36 @@ fn e16_jobs1_and_jobs2_tables_are_identical() {
     assert_eq!(seq.3.to_json(), par.3.to_json());
 }
 
+/// E18's tables — whose trials append to in-memory event logs, replay
+/// them through fresh pipelines, and close event-time windows — must be
+/// byte-identical at `--jobs 1` and `--jobs 2`, tables and JSON both.
+/// The replay and recovery arms assert byte-identity *inside* the
+/// trial, so this doubles as a crash-recovery determinism gate.
+#[test]
+fn e18_jobs1_and_jobs2_tables_are_identical() {
+    let run = |jobs: usize| {
+        let rc = RunConfig {
+            runner: Runner::new(jobs),
+            trials: 1,
+        };
+        (
+            iiot_bench::exp_stream::e18_tax_with(&rc, &[250]),
+            iiot_bench::exp_stream::e18_replay_with(&rc, 125),
+            iiot_bench::exp_stream::e18_recovery_with(&rc, 100),
+            iiot_bench::exp_stream::e18_admission_with(&rc, &[16], 500),
+            iiot_bench::exp_stream::e18_windows(&rc),
+        )
+    };
+    let seq = run(1);
+    let par = run(2);
+    assert_eq!(seq, par);
+    assert_eq!(seq.0.to_json(), par.0.to_json());
+    assert_eq!(seq.1.to_json(), par.1.to_json());
+    assert_eq!(seq.2.to_json(), par.2.to_json());
+    assert_eq!(seq.3.to_json(), par.3.to_json());
+    assert_eq!(seq.4.to_json(), par.4.to_json());
+}
+
 /// Pinned pre-optimization goldens: these exact bytes were captured
 /// from the exhaustive-scan, linear-lookup radio medium before the
 /// spatial index / slab / buffer-reuse rework. The reworked kernel

@@ -30,10 +30,12 @@
 //! timing.
 
 use crate::registry::DeviceRegistry;
+use crate::stream::{encode_uplink, StreamAttachment, StreamConfig};
 use crate::tenant::{Isolation, ShedPolicy, TenantId};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use iiot_sim::obs::{Event, EventKind, Histogram, Recorder, SpanId};
 use iiot_sim::{NodeId, SimDuration, SimTime};
+use iiot_stream::{AdmissionControl, EventLog, WindowAggregator, WindowKey, WindowResult};
 use std::collections::BTreeMap;
 
 /// One northbound uplink message, as the cloud's front door sees it.
@@ -95,6 +97,9 @@ pub struct TenantStats {
     pub accepted: u64,
     /// Messages shed for failing the credential check.
     pub shed_auth: u64,
+    /// Messages shed by per-tenant admission control before reaching
+    /// any queue (see [`crate::stream::StreamConfig::admission`]).
+    pub shed_ratelimit: u64,
     /// Messages shed to backpressure (either policy).
     pub shed_full: u64,
     /// Messages delivered by drain workers.
@@ -108,7 +113,7 @@ pub struct TenantStats {
 impl TenantStats {
     /// Total messages shed, any cause.
     pub fn shed(&self) -> u64 {
-        self.shed_auth + self.shed_full
+        self.shed_auth + self.shed_ratelimit + self.shed_full
     }
 }
 
@@ -132,6 +137,9 @@ pub struct IngestPipeline {
     /// [`iiot_sim::obs::scope_capture`]); fed only from the
     /// single-threaded front door, so event order is deterministic.
     recorder: Option<Box<dyn Recorder>>,
+    /// Stream-plane attachment: write-ahead log, admission control,
+    /// aggregation windows (all optional; see [`StreamConfig`]).
+    stream: StreamAttachment,
     now: SimTime,
 }
 
@@ -169,8 +177,37 @@ impl IngestPipeline {
             shards,
             stats,
             recorder: None,
+            stream: StreamAttachment::default(),
             now: SimTime::ZERO,
         }
+    }
+
+    /// Attaches the stream plane (write-ahead log, admission control,
+    /// aggregation windows — whichever `config` enables). Replaces any
+    /// previous attachment; attach before offering traffic.
+    pub fn attach_stream(&mut self, config: StreamConfig) {
+        self.stream = StreamAttachment::build(&config);
+    }
+
+    /// The write-ahead event log, when one is attached.
+    pub fn wal(&self) -> Option<&EventLog> {
+        self.stream.wal.as_ref()
+    }
+
+    /// The admission controller, when one is attached.
+    pub fn admission(&self) -> Option<&AdmissionControl> {
+        self.stream.admission.as_ref()
+    }
+
+    /// The window aggregator, when one is attached.
+    pub fn windows(&self) -> Option<&WindowAggregator> {
+        self.stream.windows.as_ref()
+    }
+
+    /// Windows closed so far, in watermark order (then `(start, key)`
+    /// within one watermark advance).
+    pub fn closed_windows(&self) -> &[WindowResult] {
+        &self.stream.closed
     }
 
     /// The registry the pipeline authenticates against.
@@ -227,8 +264,17 @@ impl IngestPipeline {
         }
     }
 
-    /// The front door: authenticate, enqueue, shed on backpressure.
-    /// Returns `true` when the message was admitted.
+    /// The front door: log write-ahead, admit, authenticate, enqueue,
+    /// shed on backpressure. Returns `true` when the message was
+    /// admitted to a queue.
+    ///
+    /// When a write-ahead log is attached, the append happens **first**
+    /// — before admission control, auth and enqueueing — so the log
+    /// captures the complete offer sequence and
+    /// [`replay`](crate::stream::replay) reproduces every downstream
+    /// decision exactly. Admission control, when attached, runs ahead
+    /// of authentication and the queues: a rate-limited message is shed
+    /// at the door (`cloud_ratelimit`), untouched by any buffer.
     ///
     /// `offer` never blocks; a full queue invokes the configured
     /// [`ShedPolicy`] instead. Must be called from one thread (the
@@ -237,10 +283,31 @@ impl IngestPipeline {
     pub fn offer(&mut self, msg: UplinkMsg) -> bool {
         self.now = self.now.max(msg.t);
         let tenant = msg.tenant;
+        if let Some(wal) = self.stream.wal.as_mut() {
+            let info = wal.append(&encode_uplink(&msg));
+            if let Some((segment, records)) = info.sealed {
+                let shard = tenant.shard(self.shards.len());
+                self.emit(shard, EventKind::StreamSeal { segment, records });
+            }
+        }
+        self.advance_windows();
         if let Some(st) = self.stats.get_mut(&tenant) {
             st.offered += 1;
         } else {
             // Unknown tenant: count nothing per-tenant, shed below.
+        }
+        let now = self.now;
+        let admitted = match self.stream.admission.as_mut() {
+            Some(ac) => ac.admit(tenant.0, now),
+            None => true,
+        };
+        if !admitted {
+            if let Some(st) = self.stats.get_mut(&tenant) {
+                st.shed_ratelimit += 1;
+            }
+            let shard = tenant.shard(self.shards.len());
+            self.emit(shard, EventKind::CloudRateLimit { tenant: tenant.0 as u32 });
+            return false;
         }
         if self.registry.authenticate(tenant, msg.device, msg.token).is_err() {
             if let Some(st) = self.stats.get_mut(&tenant) {
@@ -259,6 +326,7 @@ impl IngestPipeline {
                 st.accepted += 1;
                 st.max_depth = st.max_depth.max(depth);
                 self.emit(s, EventKind::CloudIngest { tenant: tenant.0 as u32, depth });
+                self.observe_window(&msg);
                 true
             }
             Err(TrySendError::Full(msg)) => match self.config.policy {
@@ -296,6 +364,7 @@ impl IngestPipeline {
                         st.accepted += 1;
                         st.max_depth = st.max_depth.max(depth);
                         self.emit(s, EventKind::CloudIngest { tenant: tenant.0 as u32, depth });
+                        self.observe_window(&msg);
                     }
                     admitted
                 }
@@ -304,6 +373,49 @@ impl IngestPipeline {
                 unreachable!("pipeline owns both channel halves")
             }
         }
+    }
+
+    /// Advances the window watermark to the current virtual instant,
+    /// emitting a `stream_window` event per closed window and retaining
+    /// the results (see [`closed_windows`](Self::closed_windows)).
+    fn advance_windows(&mut self) {
+        let now = self.now;
+        let Some(w) = self.stream.windows.as_mut() else { return };
+        let closed = w.advance_watermark(now);
+        self.retire_windows(closed);
+    }
+
+    /// Attributes an accepted uplink to its aggregation windows, keyed
+    /// tenant × device, at the uplink's own (event) timestamp.
+    fn observe_window(&mut self, msg: &UplinkMsg) {
+        if let Some(w) = self.stream.windows.as_mut() {
+            let key = WindowKey { tenant: msg.tenant.0, metric: msg.device };
+            w.observe(key, msg.value, msg.t);
+        }
+    }
+
+    /// Closes every still-open window (end of run). Call after
+    /// [`drain_remaining`](Self::drain_remaining); the replay helper
+    /// does the same, so live and replayed window sets match exactly.
+    pub fn flush_windows(&mut self) {
+        let Some(w) = self.stream.windows.as_mut() else { return };
+        let closed = w.flush();
+        self.retire_windows(closed);
+    }
+
+    fn retire_windows(&mut self, closed: Vec<WindowResult>) {
+        for r in &closed {
+            let shard = TenantId(r.key.tenant).shard(self.shards.len());
+            self.emit(
+                shard,
+                EventKind::StreamWindow {
+                    tenant: r.key.tenant as u32,
+                    metric: r.key.metric,
+                    count: r.count.min(u32::MAX as u64) as u32,
+                },
+            );
+        }
+        self.stream.closed.extend(closed);
     }
 
     /// Runs every drain tick scheduled up to virtual instant `until`.
@@ -554,6 +666,48 @@ mod tests {
         let st = p.tenant_stats(TenantId(0)).expect("stats");
         assert_eq!(st.drained, 1);
         assert!((st.latency_us.mean() - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn admission_control_sheds_at_the_door_before_any_queue() {
+        use iiot_stream::RateLimit;
+        let mut p = pipeline(IngestConfig { queue_cap: 8, ..IngestConfig::default() });
+        p.attach_stream(
+            StreamConfig::default().with_admission(RateLimit::per_sec(1, 2)),
+        );
+        for i in 0..10 {
+            let m = msg(&p, 0, i, 0);
+            p.offer(m);
+        }
+        let st = p.tenant_stats(TenantId(0)).expect("stats");
+        assert_eq!(st.accepted, 2, "burst of 2 admitted at t=0");
+        assert_eq!(st.shed_ratelimit, 8);
+        assert_eq!(st.shed_full, 0, "rate-limited messages never reached the queue");
+        assert_eq!(st.shed(), 8);
+        assert_eq!(p.admission().expect("attached").shed_count(0), 8);
+        assert_eq!(p.queued(), 2);
+    }
+
+    #[test]
+    fn windows_aggregate_accepted_uplinks_per_tenant() {
+        use iiot_stream::WindowSpec;
+        let mut p = pipeline(IngestConfig { threaded: false, ..IngestConfig::default() });
+        p.attach_stream(
+            StreamConfig::default()
+                .with_windows(WindowSpec::tumbling(SimDuration::from_millis(10))),
+        );
+        for i in 0..100u64 {
+            let m = msg(&p, (i % 2) as u16, 0, i * 1000);
+            p.drain_until(m.t);
+            p.offer(m);
+        }
+        p.drain_remaining();
+        p.flush_windows();
+        let closed = p.closed_windows();
+        let total: u64 = closed.iter().map(|w| w.count).sum();
+        assert_eq!(total, 100, "every accepted uplink lands in exactly one window");
+        assert_eq!(closed.len(), 20, "10 windows × 2 tenants");
+        assert_eq!(p.windows().expect("attached").late_total(), 0);
     }
 
     #[test]

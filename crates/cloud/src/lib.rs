@@ -16,6 +16,12 @@
 //! * **control** — [`CommandRouter`] plays tenant-issued writes back
 //!   down through a gateway's northbound CoAP server as confirmable
 //!   PUTs ([`command`]);
+//! * **durability** — [`StreamConfig`] attaches the stream plane from
+//!   `iiot-stream`: a write-ahead event log the front door appends
+//!   every offer to (replayable byte-for-byte via [`stream::replay`]),
+//!   per-tenant token-bucket admission control ahead of the queues,
+//!   and watermark-driven aggregation windows over accepted uplinks
+//!   ([`stream`]);
 //! * **state** — [`TwinStore`] keeps a CRDT digital twin per device
 //!   (reported/desired config, tags, vector-clock provenance) that
 //!   converges under partitions and delayed uplinks ([`twin`]); the
@@ -71,6 +77,7 @@ pub mod ingest;
 pub mod metrics;
 pub mod registry;
 pub mod session;
+pub mod stream;
 pub mod tenant;
 pub mod twin;
 
@@ -79,5 +86,6 @@ pub use ingest::{IngestConfig, IngestPipeline, TenantStats, UplinkMsg};
 pub use metrics::{jain_fairness, service_fairness, TenantSummary};
 pub use registry::{AuthError, DeviceRegistry};
 pub use session::{SessionGen, SessionPlan};
+pub use stream::{decode_uplink, encode_uplink, replay, StreamConfig, UPLINK_FRAME};
 pub use tenant::{Isolation, ShedPolicy, TenantId};
 pub use twin::{DeviceTwin, TwinStore};

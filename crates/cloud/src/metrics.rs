@@ -13,8 +13,14 @@ pub struct TenantSummary {
     pub offered: u64,
     /// Messages admitted.
     pub accepted: u64,
-    /// Messages shed (auth + backpressure).
+    /// Messages shed, all causes (auth + rate limit + backpressure).
     pub shed: u64,
+    /// Messages shed for failing the credential check.
+    pub shed_auth: u64,
+    /// Messages shed by admission control before any queue.
+    pub shed_ratelimit: u64,
+    /// Messages shed to queue backpressure.
+    pub shed_full: u64,
     /// Median queue latency, µs of virtual time (0 if nothing drained).
     pub p50_us: u64,
     /// 99th-percentile queue latency, µs of virtual time.
@@ -30,6 +36,9 @@ pub fn summarize(pipeline: &IngestPipeline) -> Vec<TenantSummary> {
             offered: st.offered,
             accepted: st.accepted,
             shed: st.shed(),
+            shed_auth: st.shed_auth,
+            shed_ratelimit: st.shed_ratelimit,
+            shed_full: st.shed_full,
             p50_us: st.latency_us.quantile(0.5).round() as u64,
             p99_us: st.latency_us.quantile(0.99).round() as u64,
         })
@@ -84,6 +93,9 @@ mod tests {
             offered,
             accepted,
             shed: offered - accepted,
+            shed_auth: 0,
+            shed_ratelimit: 0,
+            shed_full: offered - accepted,
             p50_us: 0,
             p99_us: 0,
         };

@@ -53,6 +53,8 @@
 
 use crate::tenant::TenantId;
 use iiot_crdt::{Crdt, LwwMap, OrSet, ReplicaId, VClock};
+use iiot_sim::SimTime;
+use iiot_stream::{WindowAggregator, WindowKey};
 use std::collections::BTreeMap;
 
 /// One device's convergent cloud-side state; see the [module
@@ -202,6 +204,39 @@ impl TwinStore {
     pub fn total_events(&self) -> u64 {
         self.twins.values().map(|t| t.clock.total_events()).sum()
     }
+
+    /// Merges `other` (a gateway replica reaching the cloud at a
+    /// backhaul drain point) and feeds every reported point that is
+    /// **new to this store** into `windows`, keyed tenant × device,
+    /// with the point's LWW write timestamp as its *event time*.
+    ///
+    /// Event-time attribution is what makes windowed aggregates honest
+    /// across partitions: a replica that buffered reports through an
+    /// outage delivers them late, but each value still lands in the
+    /// window of the virtual instant it was written on the device —
+    /// provided the window's `allowed_lateness` covers the outage.
+    /// Points whose window already closed are counted late-dropped by
+    /// the aggregator, never silently mis-binned. The caller advances
+    /// the aggregator's watermark with the merge's *arrival* time.
+    pub fn merge_windowed(&mut self, other: &TwinStore, windows: &mut WindowAggregator) {
+        for ((tenant, device), twin) in other.iter() {
+            let mine = self.twins.get(&(*tenant, *device));
+            for (key, &value) in twin.reported.iter() {
+                let Some(theirs) = twin.reported.version(key) else { continue };
+                let newer = match mine.and_then(|m| m.reported.version(key)) {
+                    // LWW order: (timestamp, writer) — only a write
+                    // that would win the merge is a new observation.
+                    Some(ours) => theirs > ours,
+                    None => true,
+                };
+                if newer {
+                    let key = WindowKey { tenant: tenant.0, metric: *device };
+                    windows.observe(key, value, SimTime::from_micros(theirs.0));
+                }
+            }
+        }
+        self.merge(other);
+    }
 }
 
 impl Crdt for TwinStore {
@@ -278,6 +313,41 @@ mod tests {
         assert_eq!(twin.drift(1e-9), vec![("gain", 2.5, Some(2.0))]);
         s.report(T, 3, 30, GW1, "gain", 2.5);
         assert!(s.drifted(1e-9).is_empty(), "converged state has no drift");
+    }
+
+    #[test]
+    fn merge_windowed_attributes_buffered_reports_by_event_time() {
+        use iiot_sim::SimDuration;
+        use iiot_stream::{WindowAggregator, WindowSpec};
+        let secs = SimDuration::from_secs;
+        // A gateway buffers two reports through a ~35 s backhaul
+        // outage; the cloud merges them all at once at t=50 s.
+        let mut gw = TwinStore::new();
+        gw.report(T, 1, 5_000_000, GW1, "temp", 20.0); // event time 5 s
+        gw.report(T, 1, 15_000_000, GW1, "rssi", -70.0); // event time 15 s
+
+        // Lateness covering the outage: both land in their event-time
+        // windows despite arriving long after.
+        let mut w =
+            WindowAggregator::new(WindowSpec::tumbling(secs(10)).with_lateness(secs(45)));
+        let mut cloud = TwinStore::new();
+        cloud.merge_windowed(&gw, &mut w);
+        w.advance_watermark(iiot_sim::SimTime::from_secs(50));
+        // Re-merging the same replica contributes no new observations.
+        cloud.merge_windowed(&gw, &mut w);
+        let results = w.flush();
+        assert_eq!(results.len(), 2, "one window per event time");
+        assert!(results.iter().all(|r| r.count == 1));
+        assert_eq!(w.late_total(), 0);
+
+        // No lateness budget: the same delayed merge finds both windows
+        // closed — counted late per key, never mis-binned.
+        let mut w0 = WindowAggregator::new(WindowSpec::tumbling(secs(10)));
+        w0.advance_watermark(iiot_sim::SimTime::from_secs(50));
+        let mut cloud0 = TwinStore::new();
+        cloud0.merge_windowed(&gw, &mut w0);
+        assert_eq!(w0.late_total(), 2);
+        assert_eq!(w0.observed(), 0);
     }
 
     #[test]

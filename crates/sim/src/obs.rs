@@ -333,6 +333,33 @@ pub enum EventKind {
         /// Whether the gateway acknowledged the command.
         ok: bool,
     },
+    /// A northbound uplink was shed by per-tenant token-bucket
+    /// admission control *before* reaching any queue — distinct from
+    /// [`CloudShed`](EventKind::CloudShed) so admission shed and
+    /// backpressure shed stay separately countable (the node is the
+    /// reporting shard).
+    CloudRateLimit {
+        /// The throttled tenant's numeric id.
+        tenant: u32,
+    },
+    /// The cloud event log sealed a segment (it filled to the
+    /// configured byte budget and is immutable from here on).
+    StreamSeal {
+        /// Index of the segment just sealed (0-based, append order).
+        segment: u32,
+        /// Records the sealed segment holds.
+        records: u32,
+    },
+    /// A windowed aggregate closed: the watermark passed the window's
+    /// end plus the allowed lateness.
+    StreamWindow {
+        /// The owning tenant's numeric id.
+        tenant: u32,
+        /// The metric key inside the tenant's namespace.
+        metric: u32,
+        /// Observations attributed to the closed window.
+        count: u32,
+    },
     /// A fleet-level campaign controller changed phase (the node is
     /// the network index the action applies to, or 0 for fleet-wide
     /// transitions).
@@ -400,6 +427,9 @@ impl EventKind {
             EventKind::CloudIngest { .. } => "cloud_ingest",
             EventKind::CloudShed { .. } => "cloud_shed",
             EventKind::CloudCommand { .. } => "cloud_command",
+            EventKind::CloudRateLimit { .. } => "cloud_ratelimit",
+            EventKind::StreamSeal { .. } => "stream_seal",
+            EventKind::StreamWindow { .. } => "stream_window",
             EventKind::FleetPhase { .. } => "fleet_phase",
             EventKind::FleetDrift { .. } => "fleet_drift",
             EventKind::FleetRemediate { .. } => "fleet_remediate",
@@ -501,6 +531,15 @@ impl Event {
             }
             EventKind::CloudCommand { tenant, ok } => {
                 format!(",\"tenant\":{},\"ok\":{}", tenant, ok as u8)
+            }
+            EventKind::CloudRateLimit { tenant } => {
+                format!(",\"tenant\":{tenant}")
+            }
+            EventKind::StreamSeal { segment, records } => {
+                format!(",\"segment\":{segment},\"records\":{records}")
+            }
+            EventKind::StreamWindow { tenant, metric, count } => {
+                format!(",\"tenant\":{tenant},\"metric\":{metric},\"count\":{count}")
             }
             EventKind::FleetPhase { stage, networks } => {
                 format!(",\"stage\":\"{stage}\",\"networks\":{networks}")
@@ -640,6 +679,18 @@ impl Event {
             "cloud_command" => EventKind::CloudCommand {
                 tenant: num("tenant")? as u32,
                 ok: num("ok")? != 0,
+            },
+            "cloud_ratelimit" => EventKind::CloudRateLimit {
+                tenant: num("tenant")? as u32,
+            },
+            "stream_seal" => EventKind::StreamSeal {
+                segment: num("segment")? as u32,
+                records: num("records")? as u32,
+            },
+            "stream_window" => EventKind::StreamWindow {
+                tenant: num("tenant")? as u32,
+                metric: num("metric")? as u32,
+                count: num("count")? as u32,
             },
             "fleet_phase" => EventKind::FleetPhase {
                 stage: intern(s("stage")?),
@@ -1533,6 +1584,53 @@ pub fn report(traces: &[ScopeTrace]) -> String {
         }
     }
 
+    // Stream-tier summary: admission-control sheds, event-log seals and
+    // closed aggregation windows, rendered only when the cloud pipeline
+    // ran with a stream attachment.
+    let has_stream = all.iter().any(|e| {
+        matches!(
+            e.kind,
+            EventKind::CloudRateLimit { .. }
+                | EventKind::StreamSeal { .. }
+                | EventKind::StreamWindow { .. }
+        )
+    });
+    if has_stream {
+        let _ = writeln!(out, "\n== stream ==");
+        let mut ratelimited: BTreeMap<u32, u64> = BTreeMap::new();
+        let (mut seals, mut sealed_records) = (0u64, 0u64);
+        // tenant -> (windows closed, observations windowed)
+        let mut windows: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+        for ev in &all {
+            match ev.kind {
+                EventKind::CloudRateLimit { tenant } => {
+                    *ratelimited.entry(tenant).or_default() += 1;
+                }
+                EventKind::StreamSeal { records, .. } => {
+                    seals += 1;
+                    sealed_records += records as u64;
+                }
+                EventKind::StreamWindow { tenant, count, .. } => {
+                    let e = windows.entry(tenant).or_default();
+                    e.0 += 1;
+                    e.1 += count as u64;
+                }
+                _ => {}
+            }
+        }
+        let rl_total: u64 = ratelimited.values().sum();
+        let _ = writeln!(
+            out,
+            "  log seals {seals} ({sealed_records} records)   admission shed {rl_total}"
+        );
+        for (tenant, n) in &ratelimited {
+            let _ = writeln!(out, "  tenant {tenant}: ratelimited {n}");
+        }
+        for (tenant, (w, obs)) in &windows {
+            let _ = writeln!(out, "  tenant {tenant}: {w} windows closed ({obs} observations)");
+        }
+    }
+
     // Fleet management summary: only rendered when a fleet campaign,
     // drift detector or remediation push left events behind.
     let has_fleet = all.iter().any(|e| {
@@ -1687,6 +1785,9 @@ mod tests {
             EventKind::CloudShed { tenant: 0, cause: "auth" },
             EventKind::CloudCommand { tenant: 1, ok: true },
             EventKind::CloudCommand { tenant: 3, ok: false },
+            EventKind::CloudRateLimit { tenant: 2 },
+            EventKind::StreamSeal { segment: 4, records: 1833 },
+            EventKind::StreamWindow { tenant: 1, metric: 7, count: 250 },
             EventKind::FleetPhase { stage: "canary", networks: 2 },
             EventKind::FleetPhase { stage: "halted", networks: 8 },
             EventKind::FleetDrift { device: 42, keys: 3 },

@@ -1,0 +1,333 @@
+//! Tumbling/sliding aggregation windows over uplinks, driven by
+//! virtual-time watermarks.
+//!
+//! A [`WindowAggregator`] folds a stream of `(tenant, metric, value,
+//! event-time)` observations into per-window statistics — count, sum,
+//! min, max and an approximate p99 (the workspace's log-scale
+//! [`Histogram`]) — keyed by tenant × metric. Windows are aligned to
+//! multiples of the slide; a *tumbling* window is the `slide == width`
+//! special case; a *sliding* window attributes each observation to
+//! every window containing its event time.
+//!
+//! # Watermarks and lateness
+//!
+//! Event time and arrival time differ the moment a gateway buffers
+//! uplinks through a backhaul partition. The aggregator therefore
+//! closes windows on a **watermark** — the caller advances it with
+//! arrival virtual time — and a window `[s, s+width)` stays open until
+//! `watermark ≥ s + width + allowed_lateness`. An observation whose
+//! event time lands in a still-open window is attributed normally no
+//! matter how late it arrives; one that lands in a closed window is
+//! counted as *late-dropped* for its key, never silently lost. Both
+//! the attribution and the drop decision are pure functions of the
+//! observation/watermark sequence, so partition-delayed uplinks land
+//! deterministically: replaying the same stream yields byte-identical
+//! window results.
+
+use iiot_sim::obs::Histogram;
+use iiot_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Window geometry and lateness tolerance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window width.
+    pub width: SimDuration,
+    /// Distance between consecutive window starts (`== width` for
+    /// tumbling windows; must not exceed `width`).
+    pub slide: SimDuration,
+    /// How far the watermark may pass a window's end before it closes.
+    pub allowed_lateness: SimDuration,
+}
+
+impl WindowSpec {
+    /// Non-overlapping windows of `width`, no lateness allowance.
+    pub fn tumbling(width: SimDuration) -> Self {
+        WindowSpec { width, slide: width, allowed_lateness: SimDuration::ZERO }
+    }
+
+    /// Overlapping windows of `width` starting every `slide`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slide` is zero or exceeds `width` (instants would
+    /// fall in no window).
+    pub fn sliding(width: SimDuration, slide: SimDuration) -> Self {
+        assert!(slide.as_micros() > 0, "zero slide");
+        assert!(slide.as_micros() <= width.as_micros(), "slide must not exceed width");
+        WindowSpec { width, slide, allowed_lateness: SimDuration::ZERO }
+    }
+
+    /// Same geometry with an allowed-lateness budget.
+    pub fn with_lateness(mut self, lateness: SimDuration) -> Self {
+        self.allowed_lateness = lateness;
+        self
+    }
+}
+
+/// A window's key: which tenant and which metric the statistics cover.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WindowKey {
+    /// The owning tenant (cloud tenant id).
+    pub tenant: u16,
+    /// Caller-defined metric id (the cloud tier uses the device's
+    /// metric index; the twin backhaul uses the device id).
+    pub metric: u32,
+}
+
+/// One closed window's statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowResult {
+    /// Tenant × metric.
+    pub key: WindowKey,
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Observations attributed.
+    pub count: u64,
+    /// Sum of values.
+    pub sum: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Approximate 99th percentile (quarter-decade log buckets).
+    pub p99: f64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Accum {
+    hist: Histogram,
+}
+
+/// The watermark-driven aggregator; see the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct WindowAggregator {
+    spec: WindowSpec,
+    watermark: SimTime,
+    /// Open windows keyed `(start µs, key)` — drained in time order.
+    open: BTreeMap<(u64, WindowKey), Accum>,
+    /// Window-attributions dropped for arriving after their window
+    /// closed, per key.
+    late: BTreeMap<WindowKey, u64>,
+    observed: u64,
+}
+
+impl WindowAggregator {
+    /// An empty aggregator with the watermark at virtual time zero.
+    pub fn new(spec: WindowSpec) -> Self {
+        WindowAggregator {
+            spec,
+            watermark: SimTime::ZERO,
+            open: BTreeMap::new(),
+            late: BTreeMap::new(),
+            observed: 0,
+        }
+    }
+
+    /// The aggregator's window geometry.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// The current watermark.
+    pub fn watermark(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Observations accepted so far (late-dropped attributions not
+    /// included).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Late-dropped window attributions for `key`.
+    pub fn late_count(&self, key: WindowKey) -> u64 {
+        self.late.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Total late-dropped window attributions.
+    pub fn late_total(&self) -> u64 {
+        self.late.values().sum()
+    }
+
+    /// Open (not yet closed) windows.
+    pub fn open_windows(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Whether the window starting at `start_us` has already closed
+    /// under the current watermark.
+    fn closed(&self, start_us: u64) -> bool {
+        let close_at = start_us
+            + self.spec.width.as_micros()
+            + self.spec.allowed_lateness.as_micros();
+        close_at <= self.watermark.as_micros()
+    }
+
+    /// Attributes one observation with event time `event_t` to every
+    /// window containing it. Attribution to an already-closed window is
+    /// counted late-dropped instead. The watermark is *not* advanced —
+    /// event time may run ahead of or behind arrival time; call
+    /// [`advance_watermark`](Self::advance_watermark) with arrival time.
+    pub fn observe(&mut self, key: WindowKey, value: f64, event_t: SimTime) {
+        let t = event_t.as_micros();
+        let slide = self.spec.slide.as_micros();
+        let width = self.spec.width.as_micros();
+        let mut counted = false;
+        // Highest-aligned start covering t, then every slide below it
+        // that still covers t.
+        let mut start = t / slide * slide;
+        loop {
+            if self.closed(start) {
+                *self.late.entry(key).or_insert(0) += 1;
+            } else {
+                self.open.entry((start, key)).or_default().hist.observe(value);
+                counted = true;
+            }
+            if start < slide || start + width - slide <= t {
+                break;
+            }
+            start -= slide;
+        }
+        if counted {
+            self.observed += 1;
+        }
+    }
+
+    /// Advances the watermark to `arrival_t` (never backwards) and
+    /// closes every window whose `end + allowed_lateness` the new
+    /// watermark has passed. Closed windows come back sorted by
+    /// `(start, key)` — a deterministic emission order.
+    pub fn advance_watermark(&mut self, arrival_t: SimTime) -> Vec<WindowResult> {
+        self.watermark = self.watermark.max(arrival_t);
+        let mut out = Vec::new();
+        while let Some((&(start, key), _)) = self.open.iter().next() {
+            if !self.closed(start) {
+                break;
+            }
+            let acc = self.open.remove(&(start, key)).expect("key just seen");
+            out.push(self.result(start, key, &acc));
+        }
+        out
+    }
+
+    /// Closes and returns every remaining window, in `(start, key)`
+    /// order (end-of-stream flush).
+    pub fn flush(&mut self) -> Vec<WindowResult> {
+        let open = std::mem::take(&mut self.open);
+        open.into_iter().map(|((start, key), acc)| self.result(start, key, &acc)).collect()
+    }
+
+    fn result(&self, start_us: u64, key: WindowKey, acc: &Accum) -> WindowResult {
+        WindowResult {
+            key,
+            start: SimTime::from_micros(start_us),
+            end: SimTime::from_micros(start_us + self.spec.width.as_micros()),
+            count: acc.hist.count(),
+            sum: acc.hist.sum(),
+            min: acc.hist.min(),
+            max: acc.hist.max(),
+            p99: acc.hist.quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(tenant: u16, metric: u32) -> WindowKey {
+        WindowKey { tenant, metric }
+    }
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn at(s: f64) -> SimTime {
+        SimTime::from_micros((s * 1e6) as u64)
+    }
+
+    #[test]
+    fn tumbling_windows_partition_the_stream() {
+        let mut w = WindowAggregator::new(WindowSpec::tumbling(secs(10)));
+        for i in 0..30 {
+            w.observe(k(0, 0), i as f64, at(i as f64));
+        }
+        let mut closed = w.advance_watermark(at(30.0));
+        closed.extend(w.flush());
+        assert_eq!(closed.len(), 3);
+        assert_eq!(closed[0].count, 10);
+        assert_eq!(closed[0].sum, (0..10).sum::<u64>() as f64);
+        assert_eq!((closed[1].start, closed[1].end), (at(10.0), at(20.0)));
+        assert_eq!(w.late_total(), 0);
+        assert_eq!(w.observed(), 30);
+    }
+
+    #[test]
+    fn sliding_windows_attribute_to_every_cover() {
+        // width 10, slide 5: an event at t=7 lands in [0,10) and [5,15).
+        let mut w = WindowAggregator::new(WindowSpec::sliding(secs(10), secs(5)));
+        w.observe(k(1, 2), 3.0, at(7.0));
+        let all = w.flush();
+        assert_eq!(all.len(), 2);
+        assert_eq!((all[0].start, all[0].end), (at(0.0), at(10.0)));
+        assert_eq!((all[1].start, all[1].end), (at(5.0), at(15.0)));
+        assert!(all.iter().all(|r| r.count == 1 && r.sum == 3.0));
+    }
+
+    #[test]
+    fn lateness_budget_decides_attribution_vs_drop() {
+        let spec = WindowSpec::tumbling(secs(10)).with_lateness(secs(5));
+        let mut w = WindowAggregator::new(spec);
+        w.observe(k(0, 0), 1.0, at(2.0));
+        // Watermark at 14: [0,10) closes at 15, still open — a late
+        // event with event-time 9 is attributed.
+        assert!(w.advance_watermark(at(14.0)).is_empty());
+        w.observe(k(0, 0), 1.0, at(9.0));
+        // Watermark at 15 closes [0,10); a later replay of event-time 9
+        // is late-dropped.
+        let closed = w.advance_watermark(at(15.0));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].count, 2);
+        w.observe(k(0, 0), 1.0, at(9.0));
+        assert_eq!(w.late_count(k(0, 0)), 1);
+    }
+
+    #[test]
+    fn results_are_deterministic_and_key_ordered() {
+        let run = || {
+            let mut w = WindowAggregator::new(WindowSpec::tumbling(secs(1)));
+            for i in 0..200u64 {
+                let key = k((i % 3) as u16, (i % 5) as u32);
+                w.observe(key, (i % 17) as f64, at(i as f64 * 0.1));
+            }
+            let mut out = w.advance_watermark(at(30.0));
+            out.extend(w.flush());
+            out
+        };
+        let a = run();
+        assert_eq!(a, run());
+        for pair in a.windows(2) {
+            assert!(
+                (pair[0].start, pair[0].key) <= (pair[1].start, pair[1].key),
+                "flush order must be (start, key)-sorted within each batch"
+            );
+        }
+    }
+
+    #[test]
+    fn p99_tracks_the_tail() {
+        let mut w = WindowAggregator::new(WindowSpec::tumbling(secs(100)));
+        for i in 0..100 {
+            let v = if i < 98 { 1.0 } else { 1000.0 };
+            w.observe(k(0, 0), v, at(i as f64));
+        }
+        let r = &w.flush()[0];
+        assert_eq!(r.max, 1000.0);
+        assert!(r.p99 >= 100.0, "p99 {} must reach into the tail decade", r.p99);
+        assert_eq!(r.count, 100);
+    }
+}

@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
 # Tier-2 smoke checks:
 #   1. the parallel trial runner must produce byte-identical E5, E14,
-#      E16 and E17 tables (and JSON dumps) at --jobs 1 and --jobs 2;
+#      E16, E17 and E18 tables (and JSON dumps) at --jobs 1 and
+#      --jobs 2 — E18's replay trial additionally proves, over the raw
+#      trace, that a pipeline rebuilt from the event log emits exactly
+#      the live pipeline's event stream;
 #   2. the --trace JSONL event dump must be byte-identical too, and
 #      must round-trip through trace_report deterministically;
 #   3. a sharded (--shards 2) perf run must produce byte-identical
@@ -104,6 +107,45 @@ target/release/trace_report "$out/e17-j2.jsonl" > "$out/report-e17-j2.txt"
 diff -u "$out/report-e17-j1.txt" "$out/report-e17-j2.txt"
 grep -q "== fleet ==" "$out/report-e17-j1.txt"
 
+# E18 appends every offered uplink to an in-memory event log, replays
+# the log through a fresh pipeline, and recovers from adversarially
+# truncated images — all inside trials that must stay byte-identical at
+# any worker count. The trace must carry the stream-tier events, and
+# the replay trial's world 1 (the replayed pipeline) must emit exactly
+# the event stream of world 0 (the live pipeline).
+"$bin" e18 --quick --jobs 1 --json "$out/e18-j1.json" --trace "$out/e18-j1.jsonl" \
+    > "$out/e18-j1.txt" 2> /dev/null
+"$bin" e18 --quick --jobs 2 --json "$out/e18-j2.json" --trace "$out/e18-j2.jsonl" \
+    > "$out/e18-j2.txt" 2> /dev/null
+
+diff -u "$out/e18-j1.txt" "$out/e18-j2.txt"
+diff -u "$out/e18-j1.json" "$out/e18-j2.json"
+cmp "$out/e18-j1.jsonl" "$out/e18-j2.jsonl"
+target/release/trace_report "$out/e18-j1.jsonl" > "$out/report-e18-j1.txt"
+target/release/trace_report "$out/e18-j2.jsonl" > "$out/report-e18-j2.txt"
+diff -u "$out/report-e18-j1.txt" "$out/report-e18-j2.txt"
+grep -q "== stream ==" "$out/report-e18-j1.txt"
+
+# Replay-equals-live, checked over the raw trace: within the
+# "e18/replay" trial, the live pipeline records under world 0 and the
+# replayed pipeline under world 1, and their event streams must match
+# line for line.
+python3 - "$out/e18-j1.jsonl" <<'EOF'
+import json, sys
+worlds = {}
+with open(sys.argv[1]) as fh:
+    lines = iter(fh)
+    for line in lines:
+        hdr = json.loads(line)
+        block = [next(lines) for _ in range(hdr["events"])]
+        if hdr["label"] == "e18/replay":
+            worlds.setdefault(hdr["world"], []).extend(block)
+assert set(worlds) == {0, 1}, f"replay trial worlds: {sorted(worlds)}"
+assert worlds[0], "live pipeline recorded no events"
+assert worlds[0] == worlds[1], "replayed event stream diverged from live"
+print(f"replay-equals-live: {len(worlds[0])} events byte-identical")
+EOF
+
 # The sharded kernel's determinism contract, trace-diff style: a tiny
 # --shards 2 perf run at --jobs 1 and --jobs 2 must agree byte-for-byte
 # on every deterministic block (workload shape + simulated event
@@ -132,16 +174,17 @@ grep -q '"shards": 2' "$out/perf-s2-j1.det"
 # The committed perf artifact (regenerated by `cargo run -p iiot-bench
 # --release --bin perf -- --json`) must parse under the perf schema:
 # deterministic workload/event-count blocks plus informational timing,
-# for the index matrix, the shard-scaling curves and the cloud ingest
-# load points.
+# for the index matrix, the shard-scaling curves, the cloud ingest
+# load points and the logged-stream points.
 python3 - BENCH_perf.json <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == "iiot-bench/perf/v3", doc.get("schema")
+assert doc["schema"] == "iiot-bench/perf/v4", doc.get("schema")
 assert isinstance(doc["spacing_m"], (int, float))
 assert doc["points"], "no points in committed BENCH_perf.json"
 assert doc["scaling"], "no scaling curves in committed BENCH_perf.json"
 assert doc["cloud"], "no cloud points in committed BENCH_perf.json"
+assert doc["stream"], "no stream points in committed BENCH_perf.json"
 for p in doc["points"]:
     d, t = p["deterministic"], p["timing"]
     assert set(d) == {"side", "mac", "nodes", "secs", "events"}, d.keys()
@@ -168,6 +211,16 @@ for p in doc["cloud"]:
     assert d["msgs"] == d["accepted"] + d["shed"] and d["msgs"] > 0, d
 assert max(p["deterministic"]["sessions"] for p in doc["cloud"]) >= 100_000, \
     "committed cloud curve must reach 1e5 sessions"
+for p in doc["stream"]:
+    d, t = p["deterministic"], p["timing"]
+    assert set(d) == {
+        "sessions", "tenants", "msgs", "accepted", "shed", "log_records",
+        "log_bytes", "segments", "windows", "window_obs",
+    }, d.keys()
+    assert set(t) == {"wall_us", "replay_wall_us", "msgs_per_sec"}, t.keys()
+    assert d["msgs"] == d["accepted"] + d["shed"] and d["msgs"] > 0, d
+    assert d["log_records"] == d["msgs"], "WAL must hold every offered uplink"
+    assert d["log_bytes"] > 0 and d["segments"] > 0 and d["windows"] > 0, d
 EOF
 
 # Docs: deny rustdoc warnings, run every crate-level doc example.
@@ -181,4 +234,4 @@ cargo clippy --offline --all-targets \
     $(for d in vendor/*/; do printf -- '--exclude %s ' "$(basename "$d")"; done) \
     --workspace -- -D warnings
 
-echo "bench smoke OK: e5 + e14 + e16 + e17 + shards-2 runs byte-identical at --jobs 1/2, docs + lints clean"
+echo "bench smoke OK: e5 + e14 + e16 + e17 + e18 (replay==live) + shards-2 runs byte-identical at --jobs 1/2, docs + lints clean"

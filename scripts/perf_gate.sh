@@ -18,6 +18,10 @@
 #     virtual-time p50/p99, fairness) is a pure function of the
 #     session plan and seed, so the whole deterministic block must be
 #     identical across worker counts.
+#   * stream points: the logged-ingest plane — WAL record/byte counts,
+#     admission sheds, closed windows — is a pure function of the same
+#     inputs, and stream_matrix itself asserts replay equality per
+#     point, so a passing gate also certifies crash-replay determinism.
 #
 # Deliberately NOT gated: wall-clock numbers and speedups. CI machines
 # are noisy and shared; timing thresholds make flaky gates. Timings are
@@ -40,11 +44,13 @@ import json, sys
 
 def deterministic(path):
     doc = json.load(open(path))
-    assert doc["schema"] == "iiot-bench/perf/v3", doc.get("schema")
+    assert doc["schema"] == "iiot-bench/perf/v4", doc.get("schema")
     points, scaling, cloud = doc["points"], doc["scaling"], doc["cloud"]
+    stream = doc["stream"]
     assert points, "no index points measured"
     assert scaling, "no scaling points measured"
     assert cloud, "no cloud points measured"
+    assert stream, "no stream points measured"
     for p in points:
         d, t = p["deterministic"], p["timing"]
         assert set(d) == {"side", "mac", "nodes", "secs", "events"}, d.keys()
@@ -73,21 +79,34 @@ def deterministic(path):
         assert d["msgs"] == d["accepted"] + d["shed"], d
         assert d["msgs"] > 0 and d["sessions"] > 0, d
         assert 0 < d["fairness_milli"] <= 1000, d
+    for p in stream:
+        d, t = p["deterministic"], p["timing"]
+        assert set(d) == {
+            "sessions", "tenants", "msgs", "accepted", "shed", "log_records",
+            "log_bytes", "segments", "windows", "window_obs",
+        }, d.keys()
+        assert set(t) == {"wall_us", "replay_wall_us", "msgs_per_sec"}, t.keys()
+        assert d["msgs"] == d["accepted"] + d["shed"], d
+        assert d["log_records"] == d["msgs"], "WAL must hold every offered uplink"
+        assert d["msgs"] > 0 and d["sessions"] > 0, d
+        assert d["log_bytes"] > 0 and d["segments"] > 0 and d["windows"] > 0, d
     return (
         [p["deterministic"] for p in points],
         [p["deterministic"] for p in scaling],
         [p["deterministic"] for p in cloud],
+        [p["deterministic"] for p in stream],
     )
 
-p1, s1, c1 = deterministic(sys.argv[1])
-p2, s2, c2 = deterministic(sys.argv[2])
+p1, s1, c1, w1 = deterministic(sys.argv[1])
+p2, s2, c2, w2 = deterministic(sys.argv[2])
 assert p1 == p2, "index event counts drifted between --jobs 1 and --jobs 2"
 assert s1 == s2, "per-shard-count event counts drifted between --jobs 1 and --jobs 2"
 assert c1 == c2, "cloud deterministic blocks drifted between --jobs 1 and --jobs 2"
+assert w1 == w2, "stream deterministic blocks drifted between --jobs 1 and --jobs 2"
 print(
     f"perf gate: {len(p1)} index points + {len(s1)} scaling points "
-    f"(shards 1/2/4) + {len(c1)} cloud points, deterministic blocks "
-    "identical at --jobs 1/2"
+    f"(shards 1/2/4) + {len(c1)} cloud points + {len(w1)} stream points "
+    "(replay asserted in-harness), deterministic blocks identical at --jobs 1/2"
 )
 EOF
 

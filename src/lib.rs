@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # iiot — a distributed-systems substrate for industrial IoT
 //!
 //! Facade crate of the reproduction of *"A Distributed Systems
@@ -17,6 +18,7 @@
 //! | [`dependability`] | `iiot-dependability` | §V — faults, redundancy, safety, HVAC |
 //! | [`gateway`] | `iiot-gateway` | §III — legacy-protocol integration |
 //! | [`cloud`] | `iiot-cloud` | Fig. 1 — multi-tenant northbound platform tier |
+//! | [`stream`] | `iiot-stream` | Fig. 1/§V-B — replayable event log, admission control, windowed aggregation |
 //! | [`fleet`] | `iiot-fleet` | §V-D/§VI — fleet campaigns, digital twins, config drift |
 //! | [`core`] | `iiot-core` | Fig. 1 — layers, deployments, scorecard |
 //!
@@ -61,3 +63,4 @@ pub use iiot_mac as mac;
 pub use iiot_routing as routing;
 pub use iiot_security as security;
 pub use iiot_sim as sim;
+pub use iiot_stream as stream;
