@@ -134,7 +134,10 @@ mod tests {
         assert_eq!(Partial::decode(&p.encode()), Some(p));
         assert_eq!(Partial::decode(&[0; 10]), None);
         // The identity round-trips too (infinities).
-        assert_eq!(Partial::decode(&Partial::EMPTY.encode()), Some(Partial::EMPTY));
+        assert_eq!(
+            Partial::decode(&Partial::EMPTY.encode()),
+            Some(Partial::EMPTY)
+        );
     }
 
     fn arb_partial() -> impl Strategy<Value = Partial> {

@@ -19,9 +19,7 @@
 use crate::partial::Partial;
 use crate::query::{Agg, Query};
 use iiot_mac::{Mac, MacEvent, SendHandle};
-use iiot_sim::{
-    Ctx, Dst, Frame, NodeId, Proto, RxInfo, SimDuration, SimTime, Timer, TxOutcome,
-};
+use iiot_sim::{Ctx, Dst, Frame, NodeId, Proto, RxInfo, SimDuration, SimTime, Timer, TxOutcome};
 use std::collections::VecDeque;
 
 /// Upper-layer port of query dissemination floods.
@@ -232,8 +230,8 @@ impl<M: Mac> AggregationNode<M> {
             );
         } else {
             let d = self.depth as u64;
-            let send_at = self.epoch_start(&q, epoch)
-                + self.slot(&q) * (q.max_depth as u64 + 1 - d);
+            let send_at =
+                self.epoch_start(&q, epoch) + self.slot(&q) * (q.max_depth as u64 + 1 - d);
             ctx.set_timer_at(send_at, TAG_SEND);
             if self.config.mode == Mode::Raw {
                 // The raw reading leaves immediately at the send slot;
@@ -255,13 +253,17 @@ impl<M: Mac> AggregationNode<M> {
     fn on_send_slot(&mut self, ctx: &mut Ctx<'_>) {
         let Some(q) = self.query else { return };
         let me = ctx.id();
-        let Some(parent) = self.parent(me) else { return };
+        let Some(parent) = self.parent(me) else {
+            return;
+        };
         match self.config.mode {
             Mode::Aggregate => {
                 let mut payload = vec![q.id];
                 payload.extend_from_slice(&self.acc_epoch.to_be_bytes());
                 payload.extend_from_slice(&self.acc.encode());
-                let _ = self.mac.send(ctx, Dst::Unicast(parent), PORT_PARTIAL, payload);
+                let _ = self
+                    .mac
+                    .send(ctx, Dst::Unicast(parent), PORT_PARTIAL, payload);
                 ctx.count_node("agg_tx", 1.0);
             }
             Mode::Raw => self.pump(ctx),
@@ -273,7 +275,9 @@ impl<M: Mac> AggregationNode<M> {
             return;
         }
         let me = ctx.id();
-        let Some(parent) = self.parent(me) else { return };
+        let Some(parent) = self.parent(me) else {
+            return;
+        };
         let head = self.relay.front().expect("nonempty").clone();
         match self.mac.send(ctx, Dst::Unicast(parent), PORT_RAW, head) {
             Ok(h) => {
@@ -429,8 +433,6 @@ impl<M: Mac> Proto for AggregationNode<M> {
         self.relay.clear();
         self.inflight = None;
     }
-
-
 }
 
 #[cfg(test)]
@@ -443,17 +445,17 @@ mod tests {
 
     fn line_parents(n: usize) -> Vec<Option<NodeId>> {
         (0..n)
-            .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
+            .map(|i| {
+                if i == 0 {
+                    None
+                } else {
+                    Some(NodeId(i as u32 - 1))
+                }
+            })
             .collect()
     }
 
-    fn run(
-        n: usize,
-        mode: Mode,
-        epoch_ms: u32,
-        rounds: u16,
-        seed: u64,
-    ) -> (World, Vec<NodeId>) {
+    fn run(n: usize, mode: Mode, epoch_ms: u32, rounds: u16, seed: u64) -> (World, Vec<NodeId>) {
         let wc = SimConfig::default().seed(seed);
         let mut w = World::new(wc);
         let cfg = AggConfig::new(line_parents(n), mode, epoch_ms, rounds);
@@ -535,8 +537,7 @@ mod tests {
             let mut cfg = AggConfig::new(line_parents(4), Mode::Aggregate, 4_000, 2);
             cfg.query.agg = agg;
             let ids = w.add_nodes(&Topology::line(4, 20.0), move |_| {
-                Box::new(AggregationNode::new(CsmaMac::default(), cfg.clone()))
-                    as Box<dyn Proto>
+                Box::new(AggregationNode::new(CsmaMac::default(), cfg.clone())) as Box<dyn Proto>
             });
             w.run_for(SimDuration::from_secs(12));
             let root = w.proto::<Node>(ids[0]);
@@ -544,9 +545,7 @@ mod tests {
             let r = root.results()[0];
             assert_eq!(r.count, 4);
             let at = SimTime::from_millis(2_000);
-            let vals: Vec<f64> = (0..4)
-                .map(|i| default_sensor(NodeId(i), at, 0))
-                .collect();
+            let vals: Vec<f64> = (0..4).map(|i| default_sensor(NodeId(i), at, 0)).collect();
             let expect = match agg {
                 Agg::Min => vals.iter().cloned().fold(f64::INFINITY, f64::min),
                 Agg::Max => vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),

@@ -13,7 +13,13 @@ type Node = AggregationNode<LplMac>;
 fn aggregation_over_lpl_delivers_and_sleeps() {
     let n = 5usize;
     let parents: Vec<Option<NodeId>> = (0..n)
-        .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
+        .map(|i| {
+            if i == 0 {
+                None
+            } else {
+                Some(NodeId(i as u32 - 1))
+            }
+        })
         .collect();
     let wc = SimConfig::default().seed(0xA99);
     let mut w = World::new(wc);

@@ -18,7 +18,7 @@
 //! on structured event capture ([`iiot_sim::obs`]) and dumps every
 //! simulated world's events as JSONL — byte-identical for any `--jobs`
 //! — which `trace_report` summarizes. `--quick` swaps the heavyweight
-//! experiments (E5, E14, E16) for reduced-scale variants through the
+//! experiments (E5, E14, E15, E16, E17, E18) for reduced-scale variants through the
 //! same code paths — what CI's smoke script traces.
 
 use iiot_bench::{all_experiments, quick_experiments, RunConfig, Runner};
@@ -48,11 +48,17 @@ fn main() {
             "--markdown" => markdown = true,
             "--quick" => quick = true,
             "--jobs" => {
-                let n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 jobs = Some(n);
             }
             "--trials" => {
-                trials = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                trials = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 if trials == 0 {
                     usage();
                 }
@@ -84,7 +90,9 @@ fn main() {
     }
 
     let rc = RunConfig {
-        runner: jobs.map(Runner::new).unwrap_or_else(Runner::available_parallelism),
+        runner: jobs
+            .map(Runner::new)
+            .unwrap_or_else(Runner::available_parallelism),
         trials,
     };
     eprintln!("[jobs={} trials={}]", rc.runner.jobs(), rc.trials);
@@ -92,7 +100,11 @@ fn main() {
         obs::enable_tracing();
     }
 
-    let registry = if quick { quick_experiments() } else { all_experiments() };
+    let registry = if quick {
+        quick_experiments()
+    } else {
+        all_experiments()
+    };
     let mut json_tables: Vec<String> = Vec::new();
     let total = std::time::Instant::now();
     for (id, run) in registry {

@@ -104,26 +104,30 @@ pub fn e16_ingest_with(rc: &RunConfig, devices_axis: &[u32]) -> Table {
     let trials: Vec<Trial> = devices_axis
         .iter()
         .map(|&devices| {
-            Trial::new(format!("e16/ingest/{}", devices * TENANTS as u32), SEED, move |s| {
-                let pipe = run_fleet(devices, SessionPlan::default(), config, s);
-                let (offered, accepted, shed, drained) = pipe.totals();
-                assert_eq!(accepted, drained, "drain must account for every admission");
-                let lat = merged_latency(&pipe);
-                let fairness = metrics::service_fairness(&metrics::summarize(&pipe));
-                // Mean offered rate over the run's horizon.
-                let horizon_s = pipe.now().as_micros() as f64 / 1e6;
-                let rho = offered as f64 / horizon_s / cap;
-                vec![vec![
-                    Cell::int((devices * TENANTS as u32) as f64),
-                    Cell::int(offered as f64),
-                    Cell::f3(rho),
-                    Cell::pct(accepted as f64 / offered as f64),
-                    Cell::pct(shed as f64 / offered as f64),
-                    Cell::f1(lat.quantile(0.5) / 1000.0),
-                    Cell::f1(lat.quantile(0.99) / 1000.0),
-                    Cell::f3(fairness),
-                ]]
-            })
+            Trial::new(
+                format!("e16/ingest/{}", devices * TENANTS as u32),
+                SEED,
+                move |s| {
+                    let pipe = run_fleet(devices, SessionPlan::default(), config, s);
+                    let (offered, accepted, shed, drained) = pipe.totals();
+                    assert_eq!(accepted, drained, "drain must account for every admission");
+                    let lat = merged_latency(&pipe);
+                    let fairness = metrics::service_fairness(&metrics::summarize(&pipe));
+                    // Mean offered rate over the run's horizon.
+                    let horizon_s = pipe.now().as_micros() as f64 / 1e6;
+                    let rho = offered as f64 / horizon_s / cap;
+                    vec![vec![
+                        Cell::int((devices * TENANTS as u32) as f64),
+                        Cell::int(offered as f64),
+                        Cell::f3(rho),
+                        Cell::pct(accepted as f64 / offered as f64),
+                        Cell::pct(shed as f64 / offered as f64),
+                        Cell::f1(lat.quantile(0.5) / 1000.0),
+                        Cell::f1(lat.quantile(0.99) / 1000.0),
+                        Cell::f3(fairness),
+                    ]]
+                },
+            )
         })
         .collect();
     let out = rc.runner.run(trials, rc.trials);
@@ -188,8 +192,14 @@ fn fairness_point(devices: u32, multiplier: u32, isolation: Isolation, s: u64) -
     };
     let pipe = run_fleet(devices, plan, config, s);
     let summaries = metrics::summarize(&pipe);
-    let quiet: Vec<_> = summaries.iter().filter(|x| x.tenant != TenantId(0)).collect();
-    let noisy = summaries.iter().find(|x| x.tenant == TenantId(0)).expect("noisy tenant");
+    let quiet: Vec<_> = summaries
+        .iter()
+        .filter(|x| x.tenant != TenantId(0))
+        .collect();
+    let noisy = summaries
+        .iter()
+        .find(|x| x.tenant == TenantId(0))
+        .expect("noisy tenant");
     FairnessPoint {
         quiet_p99_ms: quiet.iter().map(|x| x.p99_us).max().unwrap_or(0) as f64 / 1000.0,
         quiet_shed_pct: {
@@ -212,23 +222,26 @@ pub fn e16_fairness_with(rc: &RunConfig, multipliers: &[u32], devices: u32) -> T
     let trials: Vec<Trial> = multipliers
         .iter()
         .flat_map(|&m| {
-            [(Isolation::PerTenant, "per-tenant"), (Isolation::Shared, "shared")]
-                .into_iter()
-                .map(move |(iso, name)| {
-                    Trial::new(format!("e16/fairness/x{m}/{name}"), SEED, move |s| {
-                        let p = fairness_point(devices, m, iso, s);
-                        let (auth, ratelimit, full) = p.quiet_shed_causes;
-                        vec![vec![
-                            Cell::label(format!("{m}x")),
-                            Cell::label(name),
-                            Cell::f1(p.quiet_p99_ms),
-                            Cell::pct(p.quiet_shed_pct),
-                            Cell::pct(p.noisy_accept_pct),
-                            Cell::f3(p.fairness),
-                            Cell::label(format!("{auth}/{ratelimit}/{full}")),
-                        ]]
-                    })
+            [
+                (Isolation::PerTenant, "per-tenant"),
+                (Isolation::Shared, "shared"),
+            ]
+            .into_iter()
+            .map(move |(iso, name)| {
+                Trial::new(format!("e16/fairness/x{m}/{name}"), SEED, move |s| {
+                    let p = fairness_point(devices, m, iso, s);
+                    let (auth, ratelimit, full) = p.quiet_shed_causes;
+                    vec![vec![
+                        Cell::label(format!("{m}x")),
+                        Cell::label(name),
+                        Cell::f1(p.quiet_p99_ms),
+                        Cell::pct(p.quiet_shed_pct),
+                        Cell::pct(p.noisy_accept_pct),
+                        Cell::f3(p.fairness),
+                        Cell::label(format!("{auth}/{ratelimit}/{full}")),
+                    ]]
                 })
+            })
         })
         .collect();
     let out = rc.runner.run(trials, rc.trials);
@@ -261,44 +274,46 @@ pub fn e16_overload_with(rc: &RunConfig, rhos: &[f64], devices: u32) -> Table {
     let trials: Vec<Trial> = rhos
         .iter()
         .flat_map(|&rho| {
-            [(ShedPolicy::RejectNew, "reject-new"), (ShedPolicy::DropOldest, "drop-oldest")]
-                .into_iter()
-                .map(move |(policy, name)| {
-                    Trial::new(format!("e16/overload/rho{rho:.1}/{name}"), SEED, move |s| {
-                        let sessions = (devices * TENANTS as u32) as f64;
-                        // Hit the target utilization by compressing the
-                        // reporting interval, not growing the fleet:
-                        // rate = sessions / interval, rho = rate / cap.
-                        let interval_us = (sessions / (rho * cap) * 1e6) as u64;
-                        // Long-lived sessions (16 msgs each) so the
-                        // overload is sustained well past what the
-                        // queue buffer can absorb.
-                        let plan = SessionPlan {
-                            msgs_per_device: 16,
-                            interval: SimDuration::from_micros(interval_us.max(1)),
-                            jitter: SimDuration::from_micros((interval_us / 5).max(1)),
-                            ..SessionPlan::default()
-                        };
-                        let pipe = run_fleet(devices, plan, IngestConfig { policy, ..config }, s);
-                        let (offered, accepted, shed, _) = pipe.totals();
-                        let lat = merged_latency(&pipe);
-                        let max_depth =
-                            pipe.stats().map(|(_, st)| st.max_depth).max().unwrap_or(0);
-                        assert!(
-                            max_depth as usize <= config.queue_cap,
-                            "bounded queue exceeded its cap"
-                        );
-                        vec![vec![
-                            Cell::f1(rho),
-                            Cell::label(name),
-                            Cell::pct(accepted as f64 / offered as f64),
-                            Cell::pct(shed as f64 / offered as f64),
-                            Cell::f1(lat.quantile(0.5) / 1000.0),
-                            Cell::f1(lat.quantile(0.99) / 1000.0),
-                            Cell::int(max_depth as f64),
-                        ]]
-                    })
+            [
+                (ShedPolicy::RejectNew, "reject-new"),
+                (ShedPolicy::DropOldest, "drop-oldest"),
+            ]
+            .into_iter()
+            .map(move |(policy, name)| {
+                Trial::new(format!("e16/overload/rho{rho:.1}/{name}"), SEED, move |s| {
+                    let sessions = (devices * TENANTS as u32) as f64;
+                    // Hit the target utilization by compressing the
+                    // reporting interval, not growing the fleet:
+                    // rate = sessions / interval, rho = rate / cap.
+                    let interval_us = (sessions / (rho * cap) * 1e6) as u64;
+                    // Long-lived sessions (16 msgs each) so the
+                    // overload is sustained well past what the
+                    // queue buffer can absorb.
+                    let plan = SessionPlan {
+                        msgs_per_device: 16,
+                        interval: SimDuration::from_micros(interval_us.max(1)),
+                        jitter: SimDuration::from_micros((interval_us / 5).max(1)),
+                        ..SessionPlan::default()
+                    };
+                    let pipe = run_fleet(devices, plan, IngestConfig { policy, ..config }, s);
+                    let (offered, accepted, shed, _) = pipe.totals();
+                    let lat = merged_latency(&pipe);
+                    let max_depth = pipe.stats().map(|(_, st)| st.max_depth).max().unwrap_or(0);
+                    assert!(
+                        max_depth as usize <= config.queue_cap,
+                        "bounded queue exceeded its cap"
+                    );
+                    vec![vec![
+                        Cell::f1(rho),
+                        Cell::label(name),
+                        Cell::pct(accepted as f64 / offered as f64),
+                        Cell::pct(shed as f64 / offered as f64),
+                        Cell::f1(lat.quantile(0.5) / 1000.0),
+                        Cell::f1(lat.quantile(0.99) / 1000.0),
+                        Cell::int(max_depth as f64),
+                    ]]
                 })
+            })
         })
         .collect();
     let out = rc.runner.run(trials, rc.trials);
@@ -366,7 +381,10 @@ pub fn e16_bridge(rc: &RunConfig) -> Table {
         gw.add_adapter(Box::new(GattAdapter::new(
             "tag-1",
             tag,
-            vec![CharMap { handle: 0x10, point: "plant/floor/ambient".into() }],
+            vec![CharMap {
+                handle: 0x10,
+                point: "plant/floor/ambient".into(),
+            }],
         )));
         let mut mote = TlvSensor::new(7);
         mote.set_readings(18.5, 55.0, 2900);
@@ -422,12 +440,18 @@ pub fn e16_bridge(rc: &RunConfig) -> Table {
                     t: now,
                     node: NodeId(0),
                     span: SpanId::NONE,
-                    kind: EventKind::CloudCommand { tenant: o.tenant.0 as u32, ok: o.ok },
+                    kind: EventKind::CloudCommand {
+                        tenant: o.tenant.0 as u32,
+                        ok: o.ok,
+                    },
                 });
             }
         }
         gw.poll_all(now.as_micros() + 100_000);
-        let setpoint = gw.last("plant/boiler/setpoint").map(|m| m.value).unwrap_or(f64::NAN);
+        let setpoint = gw
+            .last("plant/boiler/setpoint")
+            .map(|m| m.value)
+            .unwrap_or(f64::NAN);
 
         let (offered, accepted, _, _) = pipe.totals();
         vec![vec![
@@ -496,7 +520,10 @@ pub fn cloud_matrix(devices_axis: &[u32], threaded: bool) -> Vec<CloudPoint> {
     devices_axis
         .iter()
         .map(|&devices| {
-            let config = IngestConfig { threaded, ..IngestConfig::default() };
+            let config = IngestConfig {
+                threaded,
+                ..IngestConfig::default()
+            };
             let started = std::time::Instant::now();
             let pipe = run_fleet(devices, SessionPlan::default(), config, SEED);
             let wall_us = started.elapsed().as_micros();
@@ -525,7 +552,10 @@ pub fn cloud_matrix(devices_axis: &[u32], threaded: bool) -> Vec<CloudPoint> {
 pub fn cloud_table(points: &[CloudPoint]) -> Table {
     let mut t = Table::new(
         "PERF: cloud ingest scaling (multi-tenant pipeline, sharded drain)",
-        &["sessions", "shards", "mode", "msgs", "shed", "p50 (ms)", "p99 (ms)", "fairness", "Mmsg/s"],
+        &[
+            "sessions", "shards", "mode", "msgs", "shed", "p50 (ms)", "p99 (ms)", "fairness",
+            "Mmsg/s",
+        ],
     );
     for p in points {
         t.row(vec![
@@ -549,7 +579,10 @@ mod tests {
     use crate::Runner;
 
     fn rc(jobs: usize) -> RunConfig {
-        RunConfig { runner: Runner::new(jobs), trials: 1 }
+        RunConfig {
+            runner: Runner::new(jobs),
+            trials: 1,
+        }
     }
 
     #[test]
@@ -569,8 +602,15 @@ mod tests {
         let shared = point(Isolation::Shared);
         // Isolation bounds the quiet tenants' damage: no shed, and p99
         // capped by one queue's drain time (cap/batch + 1 ticks = 50ms).
-        assert_eq!(iso.quiet_shed_pct, 0.0, "isolated quiet tenants must not shed");
-        assert!(iso.quiet_p99_ms <= 50.0, "isolated quiet p99 {} > 50ms", iso.quiet_p99_ms);
+        assert_eq!(
+            iso.quiet_shed_pct, 0.0,
+            "isolated quiet tenants must not shed"
+        );
+        assert!(
+            iso.quiet_p99_ms <= 50.0,
+            "isolated quiet p99 {} > 50ms",
+            iso.quiet_p99_ms
+        );
         // The shared queue passes the noisy burst through to everyone.
         assert!(
             shared.quiet_p99_ms > 2.0 * iso.quiet_p99_ms,
@@ -578,16 +618,29 @@ mod tests {
             shared.quiet_p99_ms,
             iso.quiet_p99_ms
         );
-        assert!(shared.quiet_shed_pct > 0.0, "shared queue must shed quiet traffic");
+        assert!(
+            shared.quiet_shed_pct > 0.0,
+            "shared queue must shed quiet traffic"
+        );
         // Per-cause breakdown: with no admission control configured and
         // valid credentials throughout, every quiet-tenant shed must be
         // attributed to queue backpressure — the summaries' cause
         // columns account for the loss exactly.
         let (auth, ratelimit, full) = shared.quiet_shed_causes;
-        assert_eq!(auth, 0, "fairness plan uses valid tokens; no auth sheds expected");
-        assert_eq!(ratelimit, 0, "no admission control attached; no rate-limit sheds");
+        assert_eq!(
+            auth, 0,
+            "fairness plan uses valid tokens; no auth sheds expected"
+        );
+        assert_eq!(
+            ratelimit, 0,
+            "no admission control attached; no rate-limit sheds"
+        );
         assert!(full > 0, "quiet-tenant loss must show up as shed_full");
-        assert_eq!(iso.quiet_shed_causes, (0, 0, 0), "isolated quiet tenants shed nothing");
+        assert_eq!(
+            iso.quiet_shed_causes,
+            (0, 0, 0),
+            "isolated quiet tenants shed nothing"
+        );
         // The service-ratio Jain index is *higher* for the shared queue:
         // FIFO "equalizes" by degrading every tenant together, while
         // isolation concentrates loss on the offender. Fairness to the
@@ -609,12 +662,23 @@ mod tests {
         let t = e16_overload_with(&rc(2), &[0.5, 2.0], 250);
         // rows: [rho, policy, accepted, shed, p50, p99, max_depth]
         let shed_pct = |row: &Vec<String>| {
-            row[3].trim_end_matches('%').parse::<f64>().expect("shed cell")
+            row[3]
+                .trim_end_matches('%')
+                .parse::<f64>()
+                .expect("shed cell")
         };
         let rows = t.rows();
         assert_eq!(rows.len(), 4);
-        assert!(shed_pct(&rows[0]) < 1.0, "rho 0.5 must not shed: {:?}", rows[0]);
-        assert!(shed_pct(&rows[3]) > 20.0, "rho 2.0 must shed hard: {:?}", rows[3]);
+        assert!(
+            shed_pct(&rows[0]) < 1.0,
+            "rho 0.5 must not shed: {:?}",
+            rows[0]
+        );
+        assert!(
+            shed_pct(&rows[3]) > 20.0,
+            "rho 2.0 must shed hard: {:?}",
+            rows[3]
+        );
     }
 
     #[test]
@@ -623,8 +687,24 @@ mod tests {
         let b = cloud_matrix(&[100, 300], false);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(
-                (x.sessions, x.msgs, x.accepted, x.shed, x.p50_us, x.p99_us, x.fairness_milli),
-                (y.sessions, y.msgs, y.accepted, y.shed, y.p50_us, y.p99_us, y.fairness_milli),
+                (
+                    x.sessions,
+                    x.msgs,
+                    x.accepted,
+                    x.shed,
+                    x.p50_us,
+                    x.p99_us,
+                    x.fairness_milli
+                ),
+                (
+                    y.sessions,
+                    y.msgs,
+                    y.accepted,
+                    y.shed,
+                    y.p50_us,
+                    y.p99_us,
+                    y.fairness_milli
+                ),
                 "threaded and serial cloud runs must agree exactly"
             );
         }

@@ -14,13 +14,10 @@ use iiot_crdt::{GCounter, ReplicaId};
 use iiot_dependability::diagnosis::{diagnose_fleet, Symptoms};
 use iiot_dependability::hvac::{simulate as hvac_simulate, Thermostat, Zone};
 use iiot_dependability::redundancy::{
-    k_of_n_prob, parity_decode, parity_encode, parity_success_prob, retry_success_prob, vote,
-    Vote,
+    k_of_n_prob, parity_decode, parity_encode, parity_success_prob, retry_success_prob, vote, Vote,
 };
 use iiot_dependability::safety::{RevenueModel, SafetyEnvelope};
-use iiot_dependability::{
-    simulate_replicas_with, Design, FaultPlan, PartitionWindow,
-};
+use iiot_dependability::{simulate_replicas_with, Design, FaultPlan, PartitionWindow};
 use iiot_mac::csma::CsmaMac;
 use iiot_routing::rnfd::{RnfdConfig, RnfdNode};
 use iiot_sim::prelude::*;
@@ -111,8 +108,7 @@ pub fn e4_rnfd(rc: &RunConfig) -> Table {
                         if fp {
                             fps += 1;
                         }
-                        let (ok, lat) =
-                            rnfd_star(6, 0.7, m, solo, Some(SimTime::from_secs(60)), s);
+                        let (ok, lat) = rnfd_star(6, 0.7, m, solo, Some(SimTime::from_secs(60)), s);
                         if ok {
                             if let Some(l) = lat {
                                 detected += 1;
@@ -140,7 +136,13 @@ pub fn e4_rnfd(rc: &RunConfig) -> Table {
 
     let mut t = Table::new(
         "E4: failure detection at PRR 0.7 (6 sentinels, heartbeat 1 s, 8 seeds per cell)",
-        &["detector", "miss threshold", "false alarms (of 8)", "detections (of 8)", "mean latency (s)"],
+        &[
+            "detector",
+            "miss threshold",
+            "false alarms (of 8)",
+            "detections (of 8)",
+            "mean latency (s)",
+        ],
     );
     for o in &out {
         t.row(o.rows[0].clone());
@@ -203,7 +205,14 @@ pub fn e7_partition(rc: &RunConfig) -> Table {
 
     let mut t = Table::new(
         "E7: replicated store under a 2|3 partition (5 replicas, 100 rounds)",
-        &["partition rounds", "design", "availability", "rejected", "max divergence", "converge (rounds)"],
+        &[
+            "partition rounds",
+            "design",
+            "availability",
+            "rejected",
+            "max divergence",
+            "converge (rounds)",
+        ],
     );
     for o in &out {
         t.row(o.rows[0].clone());
@@ -372,8 +381,7 @@ pub fn e11_maintainability(rc: &RunConfig) -> Table {
                     // The churn plan splits its own stream from the
                     // trial seed so replicas vary the fault schedule
                     // along with everything else.
-                    let mut rng =
-                        SmallRng::seed_from_u64(iiot_sim::seed::derive(seed, mtbf));
+                    let mut rng = SmallRng::seed_from_u64(iiot_sim::seed::derive(seed, mtbf));
                     let plan = FaultPlan::random_churn(
                         &mut rng,
                         &d.nodes[1..],
@@ -391,7 +399,11 @@ pub fn e11_maintainability(rc: &RunConfig) -> Table {
                 let drops = d.world.stats().node_total("data_drop_retries")
                     + d.world.stats().node_total("data_drop_queue");
                 vec![vec![
-                    Cell::label(if mtbf == 0 { "none".into() } else { mtbf.to_string() }),
+                    Cell::label(if mtbf == 0 {
+                        "none".into()
+                    } else {
+                        mtbf.to_string()
+                    }),
                     Cell::pct(r.delivery_ratio),
                     Cell::f1(switches),
                     Cell::f1(drops),
@@ -404,7 +416,13 @@ pub fn e11_maintainability(rc: &RunConfig) -> Table {
 
     let mut t = Table::new(
         "E11: 5x5 grid under crash-recovery churn (600 s, MTTR 30 s)",
-        &["node MTBF (s)", "delivery", "parent switches", "data drops", "orphans at end"],
+        &[
+            "node MTBF (s)",
+            "delivery",
+            "parent switches",
+            "data drops",
+            "orphans at end",
+        ],
     );
     for o in &out {
         t.row(o.rows[0].clone());

@@ -126,10 +126,7 @@ fn campaign<M: Mac>(mut w: Sim, ids: &[NodeId], img: &Image, cap_s: u64) -> Camp
         .iter()
         .filter_map(|&id| w.proto::<DissemNode<M>>(id).complete_at())
         .collect();
-    let completion_s = complete
-        .iter()
-        .map(|t| t.as_secs_f64())
-        .fold(0.0, f64::max);
+    let completion_s = complete.iter().map(|t| t.as_secs_f64()).fold(0.0, f64::max);
     let coverage = complete.len() as f64 / ids.len() as f64;
     let model = *w.energy_model();
     let energy_mj = ids
@@ -138,7 +135,11 @@ fn campaign<M: Mac>(mut w: Sim, ids: &[NodeId], img: &Image, cap_s: u64) -> Camp
         .sum::<f64>()
         / ids.len() as f64;
     Campaign {
-        completion_s: if coverage == 1.0 { completion_s } else { cap_s as f64 },
+        completion_s: if coverage == 1.0 {
+            completion_s
+        } else {
+            cap_s as f64
+        },
         coverage,
         energy_mj,
         data_tx: w.stats().node_total("dissem_data_tx"),
@@ -198,7 +199,11 @@ fn run_arm(arm: MacArm, cols: usize, rows: usize, img: &Image, seed: u64, cap_s:
                     Box::new(DissemNode::new(
                         TdmaMac::new(TdmaConfig::default(), sched.clone()),
                         DissemConfig {
-                            trickle: TrickleConfig { imin: frame * 2, doublings: 6, k: 1 },
+                            trickle: TrickleConfig {
+                                imin: frame * 2,
+                                doublings: 6,
+                                k: 1,
+                            },
                             unicast_data: true,
                             adv_peers: Some(tree_peers(&parents, i)),
                             req_backoff: frame / 2,
@@ -268,7 +273,13 @@ pub fn e14_completion(rc: &RunConfig) -> Table {
 }
 
 /// E14b over an explicit grid side, image size and crash schedule.
-pub fn e14_resume_with(rc: &RunConfig, side: usize, img_len: usize, crash_s: u64, cap_s: u64) -> Table {
+pub fn e14_resume_with(
+    rc: &RunConfig,
+    side: usize,
+    img_len: usize,
+    crash_s: u64,
+    cap_s: u64,
+) -> Table {
     let trials: Vec<Trial> = [
         ("resume (flash kept)", StateLoss::Ram),
         ("restart (wiped)", StateLoss::Full),
@@ -376,7 +387,10 @@ pub fn e14_rollout_with(rc: &RunConfig, side: usize, cap_s: u64) -> Table {
                     .nodes(topo, |_| {
                         Box::new(DissemNode::new(
                             CsmaMac::new(CsmaConfig::default()),
-                            DissemConfig { enabled: false, ..DissemConfig::default() },
+                            DissemConfig {
+                                enabled: false,
+                                ..DissemConfig::default()
+                            },
                         )) as Box<dyn Proto>
                     })
                     .nodes(

@@ -36,34 +36,35 @@ pub fn e17_blast_with(rc: &RunConfig, sizes: &[u32]) -> Table {
     let trials: Vec<Trial> = sizes
         .iter()
         .flat_map(|&networks| {
-            [("staged (canary net)", true), ("flat (all networks)", false)]
-                .into_iter()
-                .map(move |(name, staged)| {
-                    Trial::new(format!("e17/blast/{networks}/{name}"), SEED, move |seed| {
-                        let cfg = FleetConfig {
-                            networks,
-                            staged,
-                            poisoned: true,
-                            ..FleetConfig::default()
-                        };
-                        let o = run_fleet(&cfg, seed);
-                        let outcome = if f64::from(o.nodes_poisoned) / f64::from(o.fleet_nodes)
-                            < 0.5
-                        {
-                            "halted at canary net"
-                        } else {
-                            "fleet-wide"
-                        };
-                        vec![vec![
-                            Cell::int(f64::from(networks)),
-                            Cell::label(name),
-                            Cell::int(f64::from(o.networks_activated)),
-                            Cell::int(f64::from(o.nodes_poisoned)),
-                            Cell::pct(f64::from(o.nodes_poisoned) / f64::from(o.fleet_nodes)),
-                            Cell::label(outcome),
-                        ]]
-                    })
+            [
+                ("staged (canary net)", true),
+                ("flat (all networks)", false),
+            ]
+            .into_iter()
+            .map(move |(name, staged)| {
+                Trial::new(format!("e17/blast/{networks}/{name}"), SEED, move |seed| {
+                    let cfg = FleetConfig {
+                        networks,
+                        staged,
+                        poisoned: true,
+                        ..FleetConfig::default()
+                    };
+                    let o = run_fleet(&cfg, seed);
+                    let outcome = if f64::from(o.nodes_poisoned) / f64::from(o.fleet_nodes) < 0.5 {
+                        "halted at canary net"
+                    } else {
+                        "fleet-wide"
+                    };
+                    vec![vec![
+                        Cell::int(f64::from(networks)),
+                        Cell::label(name),
+                        Cell::int(f64::from(o.networks_activated)),
+                        Cell::int(f64::from(o.nodes_poisoned)),
+                        Cell::pct(f64::from(o.nodes_poisoned) / f64::from(o.fleet_nodes)),
+                        Cell::label(outcome),
+                    ]]
                 })
+            })
         })
         .collect();
     let out = rc.runner.run(trials, rc.trials);
@@ -92,7 +93,11 @@ pub fn e17_converge_with(rc: &RunConfig, sizes: &[u32], faults: &[FaultArm]) -> 
                     format!("e17/converge/{networks}/{}", fault.name()),
                     SEED,
                     move |seed| {
-                        let cfg = FleetConfig { networks, fault, ..FleetConfig::default() };
+                        let cfg = FleetConfig {
+                            networks,
+                            fault,
+                            ..FleetConfig::default()
+                        };
                         let o = run_fleet(&cfg, seed);
                         vec![vec![
                             Cell::int(f64::from(networks)),
@@ -146,7 +151,11 @@ pub fn e17_twins_with(rc: &RunConfig, networks: u32, part_from_s: u64, part_unti
                 let o = run_fleet(&cfg, seed);
                 let half = (networks / 2) as usize;
                 let mean = |s: &[f64]| {
-                    if s.is_empty() { 0.0 } else { s.iter().sum::<f64>() / s.len() as f64 }
+                    if s.is_empty() {
+                        0.0
+                    } else {
+                        s.iter().sum::<f64>() / s.len() as f64
+                    }
                 };
                 vec![vec![
                     Cell::label(name),
@@ -239,7 +248,10 @@ mod tests {
     use crate::Runner;
 
     fn rc(jobs: usize) -> RunConfig {
-        RunConfig { runner: Runner::new(jobs), trials: 1 }
+        RunConfig {
+            runner: Runner::new(jobs),
+            trials: 1,
+        }
     }
 
     fn num(t: &Table, row: usize, col: usize) -> f64 {

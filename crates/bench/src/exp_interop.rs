@@ -129,7 +129,15 @@ pub fn e10_security_overhead() -> Table {
     let bitrate = 250_000u64;
     let mut t = Table::new(
         "E10: per-frame security overhead (40-byte payload, 16 MHz MCU, 250 kbit/s radio)",
-        &["level", "extra bytes", "airtime +us", "cpu us (model)", "wall ns (measured)", "energy uJ", "goodput"],
+        &[
+            "level",
+            "extra bytes",
+            "airtime +us",
+            "cpu us (model)",
+            "wall ns (measured)",
+            "energy uJ",
+            "goodput",
+        ],
     );
     for level in SecLevel::ALL {
         // Measure the real software implementation (protect+unprotect).
@@ -221,7 +229,11 @@ pub fn e12_interop() -> Table {
     );
     t.row(vec![
         "northbound CoAP GET".into(),
-        if ok { "2.05 Content".into() } else { "FAILED".into() },
+        if ok {
+            "2.05 Content".into()
+        } else {
+            "FAILED".into()
+        },
     ]);
     t
 }

@@ -57,7 +57,8 @@ struct Blaster {
 impl Proto for Blaster {
     fn start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.radio_on().expect("radio");
-        let stagger = SimDuration::from_micros(1 + ctx.id().0 as u64 * 37 % self.period.as_micros());
+        let stagger =
+            SimDuration::from_micros(1 + ctx.id().0 as u64 * 37 % self.period.as_micros());
         ctx.set_timer(stagger, 0);
     }
     fn timer(&mut self, ctx: &mut Ctx<'_>, _t: Timer) {
@@ -216,7 +217,9 @@ fn build(side: u32, mac: &str, secs: u64, seed: u64, shard: ShardConfig) -> Sim 
                 ..LplConfig::default()
             };
             let mut sim = builder
-                .nodes(topo, move |_| Box::new(MacDriver::new(LplMac::new(cfg.clone()))))
+                .nodes(topo, move |_| {
+                    Box::new(MacDriver::new(LplMac::new(cfg.clone())))
+                })
                 .build();
             // One strobed broadcast per node every two seconds.
             for k in 0..(side as u64 * side as u64) {
@@ -337,7 +340,13 @@ pub fn table(points: &[PerfPoint]) -> Table {
     let mut t = Table::new(
         "PERF: kernel throughput, spatial index vs exhaustive scan (20 m grid, broadcast-heavy)",
         &[
-            "nodes", "mac", "events", "indexed (ms)", "exhaustive (ms)", "speedup", "Mev/s",
+            "nodes",
+            "mac",
+            "events",
+            "indexed (ms)",
+            "exhaustive (ms)",
+            "speedup",
+            "Mev/s",
         ],
     );
     for p in points {
@@ -359,7 +368,15 @@ pub fn table(points: &[PerfPoint]) -> Table {
 pub fn scaling_table(points: &[ScalePoint]) -> Table {
     let mut t = Table::new(
         "PERF: sharded-kernel scaling (bcast workload, conservative-lookahead shards)",
-        &["nodes", "shards", "mode", "events", "wall (ms)", "Mev/s", "vs 1 shard"],
+        &[
+            "nodes",
+            "shards",
+            "mode",
+            "events",
+            "wall (ms)",
+            "Mev/s",
+            "vs 1 shard",
+        ],
     );
     for p in points {
         let base = points
@@ -385,20 +402,22 @@ pub fn scaling_table(points: &[ScalePoint]) -> Table {
     t
 }
 
-/// Serializes all four matrices as the `BENCH_perf.json` document.
+/// Serializes all five matrices as the `BENCH_perf.json` document.
 /// The `deterministic` block of each point is byte-stable across
 /// worker counts and machines (per shard count, for scaling points) —
 /// CI's perf gate compares exactly that subset; `timing` is
 /// informational. Cloud points come from
 /// [`cloud_matrix`](crate::exp_cloud::cloud_matrix), stream points
-/// from [`stream_matrix`](crate::exp_stream::stream_matrix).
+/// from [`stream_matrix`](crate::exp_stream::stream_matrix), icn
+/// points from [`icn_matrix`](crate::exp_icn::icn_matrix).
 pub fn to_json(
     points: &[PerfPoint],
     scaling: &[ScalePoint],
     cloud: &[crate::exp_cloud::CloudPoint],
     stream: &[crate::exp_stream::StreamPoint],
+    icn: &[crate::exp_icn::IcnPoint],
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": \"iiot-bench/perf/v4\",\n");
+    let mut out = String::from("{\n  \"schema\": \"iiot-bench/perf/v5\",\n");
     out.push_str(&format!("  \"spacing_m\": {SPACING_M},\n  \"points\": [\n"));
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -481,6 +500,25 @@ pub fn to_json(
             if i + 1 == stream.len() { "" } else { "," }
         ));
     }
+    out.push_str("  ],\n  \"icn\": [\n");
+    for (i, p) in icn.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"deterministic\": {{\"consumers\": {}, \"nodes\": {}, \"interests\": {}, \
+             \"data\": {}, \"cache_hits\": {}, \"verifies\": {}, \"verify_fails\": {}, \
+             \"delivered\": {}}}, \
+             \"timing\": {{\"wall_us\": {}}}}}{}\n",
+            p.consumers,
+            p.nodes,
+            p.interests,
+            p.data,
+            p.cache_hits,
+            p.verifies,
+            p.verify_fails,
+            p.delivered,
+            p.wall_us,
+            if i + 1 == icn.len() { "" } else { "," }
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -503,7 +541,10 @@ mod tests {
         let b = perf_matrix(&two, &[3, 4], 2);
         assert_eq!(a.len(), 6);
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!((x.side, x.mac, x.nodes, x.events), (y.side, y.mac, y.nodes, y.events));
+            assert_eq!(
+                (x.side, x.mac, x.nodes, x.events),
+                (y.side, y.mac, y.nodes, y.events)
+            );
             assert!(x.events > 0);
         }
     }
@@ -566,8 +607,21 @@ mod tests {
             wall_us: 500_000,
             replay_wall_us: 450_000,
         };
-        let j = to_json(&[p], &[s], &[c], &[sp]);
-        assert!(j.contains("\"schema\": \"iiot-bench/perf/v4\""));
+        let ip = crate::exp_icn::IcnPoint {
+            consumers: 4,
+            nodes: 6,
+            interests: 120,
+            data: 110,
+            cache_hits: 80,
+            verifies: 100,
+            verify_fails: 0,
+            delivered: 100,
+            wall_us: 42_000,
+        };
+        let j = to_json(&[p], &[s], &[c], &[sp], &[ip]);
+        assert!(j.contains("\"schema\": \"iiot-bench/perf/v5\""));
+        assert!(j.contains("\"cache_hits\": 80"));
+        assert!(j.contains("\"verify_fails\": 0"));
         assert!(j.contains("\"log_records\": 400000"));
         assert!(j.contains("\"replay_wall_us\": 450000"));
         assert!(j.contains("\"window_obs\": 380000"));

@@ -38,7 +38,10 @@ pub fn e2_latency_vs_hops_with(rc: &RunConfig, secs: u64) -> Table {
     let macs = [
         ("csma", MacChoice::Csma),
         ("lpl-512ms", MacChoice::Lpl(SimDuration::from_millis(512))),
-        ("rimac-512ms", MacChoice::Rimac(SimDuration::from_millis(512))),
+        (
+            "rimac-512ms",
+            MacChoice::Rimac(SimDuration::from_millis(512)),
+        ),
         ("tdma-20ms", MacChoice::Tdma(SimDuration::from_millis(20))),
     ];
     let buckets = [2u32, 4, 8, 12];
@@ -100,7 +103,13 @@ pub fn e2_latency_vs_hops_with(rc: &RunConfig, secs: u64) -> Table {
 
 fn run_agg(mode: Mode, epoch_ms: u32, rounds: u16, n: usize, seed: u64) -> Sim {
     let parents: Vec<Option<NodeId>> = (0..n)
-        .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
+        .map(|i| {
+            if i == 0 {
+                None
+            } else {
+                Some(NodeId(i as u32 - 1))
+            }
+        })
         .collect();
     let cfg = AggConfig::new(parents, mode, epoch_ms, rounds);
     let mut w = SimBuilder::new()
@@ -130,7 +139,11 @@ pub fn e3_funneling(rc: &RunConfig) -> Table {
         .into_iter()
         .map(|(name, mode)| {
             Trial::new(format!("e3/{name}"), 0xE3, move |seed| {
-                let counter = if mode == Mode::Raw { "raw_tx" } else { "agg_tx" };
+                let counter = if mode == Mode::Raw {
+                    "raw_tx"
+                } else {
+                    "agg_tx"
+                };
                 let mut w = run_agg(mode, 5_000, rounds, n, seed);
                 (1..n)
                     .map(|i| {
@@ -148,7 +161,13 @@ pub fn e3_funneling(rc: &RunConfig) -> Table {
 
     let mut t = Table::new(
         "E3: per-node transmissions and radio-tx time over 8 epochs (line of 8), raw vs aggregate",
-        &["node (hops from root)", "raw msgs", "agg msgs", "raw tx ms", "agg tx ms"],
+        &[
+            "node (hops from root)",
+            "raw msgs",
+            "agg msgs",
+            "raw tx ms",
+            "agg tx ms",
+        ],
     );
     for i in 1..n {
         let (raw, agg) = (&out[0].rows[i - 1], &out[1].rows[i - 1]);
@@ -337,8 +356,7 @@ pub fn e11_trickle_ablation(rc: &RunConfig) -> Table {
                 let secs = 400u64;
                 d.run_for(SimDuration::from_secs(secs));
                 let r = d.report();
-                let dio_rate =
-                    d.world.stats().node_total("dio_tx") / 25.0 / (secs as f64 / 60.0);
+                let dio_rate = d.world.stats().node_total("dio_tx") / 25.0 / (secs as f64 / 60.0);
                 vec![vec![
                     Cell::label(k.to_string()),
                     Cell::f1(dio_rate),
@@ -468,7 +486,12 @@ pub fn e6_admin_scaling(rc: &RunConfig) -> Table {
 
     let mut t = Table::new(
         "E6: intra-tenant delivery vs co-located tenants (saturating broadcast load)",
-        &["tenants", "shared channel", "per-tenant channels", "hopping (16ch)"],
+        &[
+            "tenants",
+            "shared channel",
+            "per-tenant channels",
+            "hopping (16ch)",
+        ],
     );
     for (i, tenants) in tenant_axis.iter().enumerate() {
         let base = i * plans.len();

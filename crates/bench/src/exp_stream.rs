@@ -46,9 +46,7 @@ use iiot_crdt::ReplicaId;
 use iiot_security::Key;
 use iiot_sim::obs::Histogram;
 use iiot_sim::{seed, SimDuration, SimTime};
-use iiot_stream::{
-    LogConfig, RateLimit, WindowAggregator, WindowResult, WindowSpec, FRAME_HEADER,
-};
+use iiot_stream::{LogConfig, RateLimit, WindowAggregator, WindowResult, WindowSpec, FRAME_HEADER};
 
 /// Tenants in every synthetic fleet.
 const TENANTS: u16 = 4;
@@ -124,54 +122,64 @@ pub fn e18_tax_with(rc: &RunConfig, devices_axis: &[u32]) -> Table {
     let trials: Vec<Trial> = devices_axis
         .iter()
         .map(|&devices| {
-            Trial::new(format!("e18/tax/{}", devices * TENANTS as u32), SEED, move |s| {
-                let off = run_streamed(devices, SessionPlan::default(), config, None, s);
-                let on = run_streamed(
-                    devices,
-                    SessionPlan::default(),
-                    config,
-                    Some(StreamConfig::logged(LogConfig::default())),
-                    s,
-                );
-                assert_eq!(
-                    metrics::summarize(&off),
-                    metrics::summarize(&on),
-                    "the write-ahead log must not change any virtual-time statistic"
-                );
-                let wal = on.wal().expect("wal attached");
-                let (offered, _, _, _) = on.totals();
-                assert_eq!(wal.records(), offered, "every offer is logged, sheds included");
-                assert_eq!(wal.len_bytes(), offered * FRAME, "fixed-size uplink frames");
-                let row = |arm: &'static str, p: &IngestPipeline| {
-                    let (offered, accepted, _, _) = p.totals();
-                    let lat = merged_latency(p);
-                    let (kib, per_msg, seals) = match p.wal() {
-                        Some(w) => (
-                            Cell::f1(w.len_bytes() as f64 / 1024.0),
-                            Cell::f1(w.len_bytes() as f64 / offered as f64),
-                            Cell::int(w.sealed_segments() as f64),
-                        ),
-                        None => (Cell::label("-"), Cell::label("-"), Cell::label("-")),
+            Trial::new(
+                format!("e18/tax/{}", devices * TENANTS as u32),
+                SEED,
+                move |s| {
+                    let off = run_streamed(devices, SessionPlan::default(), config, None, s);
+                    let on = run_streamed(
+                        devices,
+                        SessionPlan::default(),
+                        config,
+                        Some(StreamConfig::logged(LogConfig::default())),
+                        s,
+                    );
+                    assert_eq!(
+                        metrics::summarize(&off),
+                        metrics::summarize(&on),
+                        "the write-ahead log must not change any virtual-time statistic"
+                    );
+                    let wal = on.wal().expect("wal attached");
+                    let (offered, _, _, _) = on.totals();
+                    assert_eq!(
+                        wal.records(),
+                        offered,
+                        "every offer is logged, sheds included"
+                    );
+                    assert_eq!(wal.len_bytes(), offered * FRAME, "fixed-size uplink frames");
+                    let row = |arm: &'static str, p: &IngestPipeline| {
+                        let (offered, accepted, _, _) = p.totals();
+                        let lat = merged_latency(p);
+                        let (kib, per_msg, seals) = match p.wal() {
+                            Some(w) => (
+                                Cell::f1(w.len_bytes() as f64 / 1024.0),
+                                Cell::f1(w.len_bytes() as f64 / offered as f64),
+                                Cell::int(w.sealed_segments() as f64),
+                            ),
+                            None => (Cell::label("-"), Cell::label("-"), Cell::label("-")),
+                        };
+                        vec![
+                            Cell::int(offered as f64),
+                            Cell::label(arm),
+                            Cell::pct(accepted as f64 / offered as f64),
+                            Cell::f1(lat.quantile(0.5) / 1000.0),
+                            Cell::f1(lat.quantile(0.99) / 1000.0),
+                            kib,
+                            per_msg,
+                            seals,
+                        ]
                     };
-                    vec![
-                        Cell::int(offered as f64),
-                        Cell::label(arm),
-                        Cell::pct(accepted as f64 / offered as f64),
-                        Cell::f1(lat.quantile(0.5) / 1000.0),
-                        Cell::f1(lat.quantile(0.99) / 1000.0),
-                        kib,
-                        per_msg,
-                        seals,
-                    ]
-                };
-                vec![row("off", &off), row("on", &on)]
-            })
+                    vec![row("off", &off), row("on", &on)]
+                },
+            )
         })
         .collect();
     let out = rc.runner.run(trials, rc.trials);
     let mut t = Table::new(
         "E18a: write-ahead logging tax (identical virtual stats asserted; 64 KiB segments)",
-        &["msgs", "log", "accepted", "p50 (ms)", "p99 (ms)", "log KiB", "B/msg", "seals"],
+        &[
+            "msgs", "log", "accepted", "p50 (ms)", "p99 (ms)", "log KiB", "B/msg", "seals",
+        ],
     );
     for o in &out {
         for r in &o.rows {
@@ -201,10 +209,16 @@ pub fn e18_replay_with(rc: &RunConfig, devices: u32) -> Table {
         // A slow drain plus a sub-offered-rate admission contract for
         // the noisy tenant: both shed paths fire, so the replay
         // equalities below have teeth.
-        let config = IngestConfig { drain_batch: 8, threaded: false, ..IngestConfig::default() };
-        let stream = StreamConfig::logged(LogConfig { segment_bytes: 16 * 1024 })
-            .with_admission(RateLimit::per_sec(4 * devices as u64, 64))
-            .with_windows(WindowSpec::tumbling(SimDuration::from_millis(500)));
+        let config = IngestConfig {
+            drain_batch: 8,
+            threaded: false,
+            ..IngestConfig::default()
+        };
+        let stream = StreamConfig::logged(LogConfig {
+            segment_bytes: 16 * 1024,
+        })
+        .with_admission(RateLimit::per_sec(4 * devices as u64, 64))
+        .with_windows(WindowSpec::tumbling(SimDuration::from_millis(500)));
         let plan = SessionPlan {
             msgs_per_device: 16,
             noisy: Some((TenantId(0), 16)),
@@ -222,7 +236,10 @@ pub fn e18_replay_with(rc: &RunConfig, devices: u32) -> Table {
         );
         drop(replayed.take_recorder());
         let (offered, _, _, _) = live.totals();
-        assert_eq!(report.records, offered, "the log holds the complete offer sequence");
+        assert_eq!(
+            report.records, offered,
+            "the log holds the complete offer sequence"
+        );
         assert_eq!(report.truncated_bytes, 0, "a pristine log loses nothing");
         assert_eq!(
             metrics::summarize(&live),
@@ -284,9 +301,20 @@ pub fn e18_replay(rc: &RunConfig) -> Table {
 /// before the damage and that replay offers exactly those records.
 pub fn e18_recovery_with(rc: &RunConfig, devices: u32) -> Table {
     let trials = vec![Trial::new("e18/recovery", SEED, move |s| {
-        let config = IngestConfig { threaded: false, ..IngestConfig::default() };
-        let stream = StreamConfig::logged(LogConfig { segment_bytes: 4096 });
-        let logged = run_streamed(devices, SessionPlan::default(), config, Some(stream.clone()), s);
+        let config = IngestConfig {
+            threaded: false,
+            ..IngestConfig::default()
+        };
+        let stream = StreamConfig::logged(LogConfig {
+            segment_bytes: 4096,
+        });
+        let logged = run_streamed(
+            devices,
+            SessionPlan::default(),
+            config,
+            Some(stream.clone()),
+            s,
+        );
         let wal = logged.wal().expect("wal attached").as_bytes().to_vec();
         let (offered, _, _, _) = logged.totals();
         let len = wal.len() as u64;
@@ -305,7 +333,11 @@ pub fn e18_recovery_with(rc: &RunConfig, devices: u32) -> Table {
             // Flip one payload bit a quarter of the way in: the frame
             // fails its CRC inside a *sealed* segment, and recovery
             // must refuse everything from that frame on.
-            ("sealed bit flip", len, Some((offered / 4) * frame + (frame - 1))),
+            (
+                "sealed bit flip",
+                len,
+                Some((offered / 4) * frame + (frame - 1)),
+            ),
         ];
         arms.into_iter()
             .map(|(label, cut, flip)| {
@@ -329,9 +361,16 @@ pub fn e18_recovery_with(rc: &RunConfig, devices: u32) -> Table {
                     image.len() as u64 - expect_records * frame,
                     "{label}: everything after the damage is dropped"
                 );
-                assert_eq!(report.corrupt_sealed, flip.is_some(), "{label}: sealed-damage flag");
+                assert_eq!(
+                    report.corrupt_sealed,
+                    flip.is_some(),
+                    "{label}: sealed-damage flag"
+                );
                 let (r_offered, r_accepted, _, _) = replayed.totals();
-                assert_eq!(r_offered, expect_records, "{label}: replay offers the prefix");
+                assert_eq!(
+                    r_offered, expect_records,
+                    "{label}: replay offers the prefix"
+                );
                 vec![
                     Cell::label(label),
                     Cell::int(report.records as f64),
@@ -408,8 +447,14 @@ fn admission_point(
     let stream = admission.map(|limit| StreamConfig::default().with_admission(limit));
     let pipe = run_streamed(devices, plan, shared_config(), stream, s);
     let summaries = metrics::summarize(&pipe);
-    let quiet: Vec<_> = summaries.iter().filter(|x| x.tenant != TenantId(0)).collect();
-    let noisy = summaries.iter().find(|x| x.tenant == TenantId(0)).expect("noisy tenant");
+    let quiet: Vec<_> = summaries
+        .iter()
+        .filter(|x| x.tenant != TenantId(0))
+        .collect();
+    let noisy = summaries
+        .iter()
+        .find(|x| x.tenant == TenantId(0))
+        .expect("noisy tenant");
     AdmissionPoint {
         quiet_p99_ms: quiet.iter().map(|x| x.p99_us).max().unwrap_or(0) as f64 / 1000.0,
         quiet_shed_pct: {
@@ -435,31 +480,40 @@ pub fn e18_admission_with(rc: &RunConfig, multipliers: &[u32], devices: u32) -> 
     let trials: Vec<Trial> = multipliers
         .iter()
         .flat_map(|&m| {
-            [(None, "queues-only"), (Some(RateLimit::per_sec(fair_share, 1024)), "admission")]
-                .into_iter()
-                .map(move |(limit, name)| {
-                    Trial::new(format!("e18/admission/x{m}/{name}"), SEED, move |s| {
-                        let p = admission_point(devices, m, limit, s);
-                        vec![vec![
-                            Cell::label(format!("{m}x")),
-                            Cell::label(name),
-                            Cell::f1(p.quiet_p99_ms),
-                            Cell::pct(p.quiet_shed_pct),
-                            Cell::int(p.noisy_ratelimited as f64),
-                            Cell::int(p.noisy_queue_shed as f64),
-                            Cell::pct(p.noisy_accept_pct),
-                            Cell::f3(p.fairness),
-                        ]]
-                    })
+            [
+                (None, "queues-only"),
+                (Some(RateLimit::per_sec(fair_share, 1024)), "admission"),
+            ]
+            .into_iter()
+            .map(move |(limit, name)| {
+                Trial::new(format!("e18/admission/x{m}/{name}"), SEED, move |s| {
+                    let p = admission_point(devices, m, limit, s);
+                    vec![vec![
+                        Cell::label(format!("{m}x")),
+                        Cell::label(name),
+                        Cell::f1(p.quiet_p99_ms),
+                        Cell::pct(p.quiet_shed_pct),
+                        Cell::int(p.noisy_ratelimited as f64),
+                        Cell::int(p.noisy_queue_shed as f64),
+                        Cell::pct(p.noisy_accept_pct),
+                        Cell::f3(p.fairness),
+                    ]]
                 })
+            })
         })
         .collect();
     let out = rc.runner.run(trials, rc.trials);
     let mut t = Table::new(
         "E18d: admission control vs queue shedding on the shared queue (fair-share token buckets)",
         &[
-            "noisy rate", "arm", "quiet p99 (ms)", "quiet shed", "noisy ratelimited",
-            "noisy queue shed", "noisy accepted", "fairness",
+            "noisy rate",
+            "arm",
+            "quiet p99 (ms)",
+            "quiet shed",
+            "noisy ratelimited",
+            "noisy queue shed",
+            "noisy accepted",
+            "fairness",
         ],
     );
     for o in &out {
@@ -506,7 +560,14 @@ fn windowed_backhaul(
             // Integral values keep window sums exact, so closed-window
             // equality across arms is independent of merge order.
             let value = ((k * 7 + u64::from(d)) % 29) as f64;
-            gw.report(tenant, d, t_us + u64::from(d), writer, &format!("s{k}"), value);
+            gw.report(
+                tenant,
+                d,
+                t_us + u64::from(d),
+                writer,
+                &format!("s{k}"),
+                value,
+            );
         }
         if t_us.is_multiple_of(backhaul.as_micros()) {
             let now = SimTime::from_micros(t_us);
@@ -543,8 +604,15 @@ pub fn e18_windows(rc: &RunConfig) -> Table {
             covered, base,
             "lateness covering the outage must reproduce the baseline windows"
         );
-        assert_eq!(covered_agg.late_total(), 0, "covered lateness drops nothing");
-        assert!(dropped_agg.late_total() > 0, "zero lateness must count late drops");
+        assert_eq!(
+            covered_agg.late_total(),
+            0,
+            "covered lateness drops nothing"
+        );
+        assert!(
+            dropped_agg.late_total() > 0,
+            "zero lateness must count late drops"
+        );
         assert!(
             dropped_agg.observed() < base_agg.observed(),
             "late-dropped samples never reach a window"
@@ -555,7 +623,10 @@ pub fn e18_windows(rc: &RunConfig) -> Table {
             "every sample is either attributed or counted late — none vanish"
         );
 
-        let row = |arm: &'static str, lateness_s: f64, agg: &WindowAggregator, closed: &[WindowResult]| {
+        let row = |arm: &'static str,
+                   lateness_s: f64,
+                   agg: &WindowAggregator,
+                   closed: &[WindowResult]| {
             vec![
                 Cell::label(arm),
                 Cell::f1(lateness_s),
@@ -644,8 +715,13 @@ pub fn stream_matrix(devices_axis: &[u32]) -> Vec<StreamPoint> {
                 .with_admission(RateLimit::per_sec(25_600, 1024))
                 .with_windows(WindowSpec::tumbling(SimDuration::from_secs(1)));
             let started = std::time::Instant::now();
-            let pipe =
-                run_streamed(devices, SessionPlan::default(), config, Some(stream.clone()), SEED);
+            let pipe = run_streamed(
+                devices,
+                SessionPlan::default(),
+                config,
+                Some(stream.clone()),
+                SEED,
+            );
             let wall_us = started.elapsed().as_micros();
             let wal = pipe.wal().expect("wal attached").as_bytes().to_vec();
             let started = std::time::Instant::now();
@@ -688,7 +764,13 @@ pub fn stream_table(points: &[StreamPoint]) -> Table {
     let mut t = Table::new(
         "PERF: stream plane (write-ahead log + admission + windows, replay asserted identical)",
         &[
-            "sessions", "msgs", "log MiB", "segments", "windows", "live (ms)", "replay (ms)",
+            "sessions",
+            "msgs",
+            "log MiB",
+            "segments",
+            "windows",
+            "live (ms)",
+            "replay (ms)",
             "Mmsg/s",
         ],
     );
@@ -713,7 +795,10 @@ mod tests {
     use crate::Runner;
 
     fn rc(jobs: usize) -> RunConfig {
-        RunConfig { runner: Runner::new(jobs), trials: 1 }
+        RunConfig {
+            runner: Runner::new(jobs),
+            trials: 1,
+        }
     }
 
     #[test]
@@ -746,7 +831,10 @@ mod tests {
         assert_eq!(rows.len(), 6);
         assert_eq!(rows[5][3], "yes", "bit flip lands in a sealed segment");
         for r in &rows[..5] {
-            assert_eq!(r[3], "no", "tears hit the active tail region flag-free: {r:?}");
+            assert_eq!(
+                r[3], "no",
+                "tears hit the active tail region flag-free: {r:?}"
+            );
         }
     }
 
@@ -761,11 +849,20 @@ mod tests {
         let admitted = point(Some(RateLimit::per_sec(fair, 1024)));
         // Queue-only shedding: the offender's burst sits in the shared
         // queue, so quiet tenants wait behind it.
-        assert_eq!(queues.noisy_ratelimited, 0, "no admission control, no ratelimit sheds");
-        assert!(queues.noisy_queue_shed > 0, "the burst must overflow the shared queue");
+        assert_eq!(
+            queues.noisy_ratelimited, 0,
+            "no admission control, no ratelimit sheds"
+        );
+        assert!(
+            queues.noisy_queue_shed > 0,
+            "the burst must overflow the shared queue"
+        );
         // Fair-share admission: the offender sheds at the door instead,
         // the queue stays shallow, and the quiet tenants recover.
-        assert!(admitted.noisy_ratelimited > 0, "admission must shed the offender");
+        assert!(
+            admitted.noisy_ratelimited > 0,
+            "admission must shed the offender"
+        );
         assert!(
             admitted.noisy_queue_shed < queues.noisy_queue_shed,
             "rate-limited traffic must relieve the queue"
@@ -776,7 +873,10 @@ mod tests {
             queues.quiet_p99_ms,
             admitted.quiet_p99_ms
         );
-        assert_eq!(admitted.quiet_shed_pct, 0.0, "quiet tenants sit under their fair share");
+        assert_eq!(
+            admitted.quiet_shed_pct, 0.0,
+            "quiet tenants sit under their fair share"
+        );
     }
 
     #[test]
@@ -788,7 +888,10 @@ mod tests {
         assert_eq!(rows[0][4], "0");
         assert_eq!(rows[1][4], "0");
         assert_ne!(rows[2][4], "0", "uncovered arm must count late drops");
-        assert_eq!(rows[0][3], rows[1][3], "covered arm attributes every sample");
+        assert_eq!(
+            rows[0][3], rows[1][3],
+            "covered arm attributes every sample"
+        );
     }
 
     #[test]
@@ -798,10 +901,26 @@ mod tests {
         assert_eq!(a.len(), 1);
         let (x, y) = (&a[0], &b[0]);
         assert_eq!(
-            (x.msgs, x.accepted, x.shed, x.log_records, x.log_bytes, x.segments, x.windows,
-             x.window_obs),
-            (y.msgs, y.accepted, y.shed, y.log_records, y.log_bytes, y.segments, y.windows,
-             y.window_obs),
+            (
+                x.msgs,
+                x.accepted,
+                x.shed,
+                x.log_records,
+                x.log_bytes,
+                x.segments,
+                x.windows,
+                x.window_obs
+            ),
+            (
+                y.msgs,
+                y.accepted,
+                y.shed,
+                y.log_records,
+                y.log_bytes,
+                y.segments,
+                y.windows,
+                y.window_obs
+            ),
             "stream deterministic blocks must be run-to-run stable"
         );
         assert_eq!(x.msgs, x.log_records, "every offer is logged");

@@ -48,9 +48,22 @@ struct TdmaRun {
 
 /// An `n`-node TDMA collection line (10 m spacing, 20 ms slots, one
 /// sync slot, 8 idle slots) under `ppm` oscillators, run for `secs`.
-fn tdma_line_run(n: usize, ppm: f64, guard: SimDuration, mode: SyncMode, seed: u64, secs: u64) -> TdmaRun {
+fn tdma_line_run(
+    n: usize,
+    ppm: f64,
+    guard: SimDuration,
+    mode: SyncMode,
+    seed: u64,
+    secs: u64,
+) -> TdmaRun {
     let parents: Vec<Option<NodeId>> = (0..n)
-        .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
+        .map(|i| {
+            if i == 0 {
+                None
+            } else {
+                Some(NodeId(i as u32 - 1))
+            }
+        })
         .collect();
     let sched = TdmaSchedule::pipeline_to_root(&parents, SimDuration::from_millis(20))
         .with_sync_slots(1)
@@ -104,19 +117,19 @@ pub fn e13_drift_sweep_with(rc: &RunConfig, ppms: &[u32], secs: u64) -> Table {
         .flat_map(|&ppm| {
             [
                 ("unsynced", SyncMode::Unsynced),
-                ("ftsp", SyncMode::Ftsp { window: 8, every: 1 }),
+                (
+                    "ftsp",
+                    SyncMode::Ftsp {
+                        window: 8,
+                        every: 1,
+                    },
+                ),
             ]
             .into_iter()
             .map(move |(name, mode)| {
                 Trial::new(format!("e13/{name}/{ppm}ppm"), 0xE13, move |seed| {
-                    let r = tdma_line_run(
-                        8,
-                        ppm as f64,
-                        SimDuration::from_millis(1),
-                        mode,
-                        seed,
-                        secs,
-                    );
+                    let r =
+                        tdma_line_run(8, ppm as f64, SimDuration::from_millis(1), mode, seed, secs);
                     vec![vec![
                         Cell::label(ppm.to_string()),
                         Cell::label(name),
@@ -223,7 +236,10 @@ pub fn e13_guard_ablation_with(rc: &RunConfig, guards_us: &[u64], secs: u64) -> 
                     8,
                     200.0,
                     SimDuration::from_micros(g),
-                    SyncMode::Ftsp { window: 1, every: 8 },
+                    SyncMode::Ftsp {
+                        window: 1,
+                        every: 8,
+                    },
                     seed,
                     secs,
                 );

@@ -34,6 +34,7 @@ pub mod exp_cloud;
 pub mod exp_depend;
 pub mod exp_dissem;
 pub mod exp_fleet;
+pub mod exp_icn;
 pub mod exp_interop;
 pub mod exp_perf;
 pub mod exp_scale;
@@ -121,6 +122,14 @@ pub fn all_experiments() -> Vec<Experiment> {
                 exp_dissem::e14_rollout(rc),
             ]
         }),
+        ("e15", |rc| {
+            vec![
+                exp_icn::e15_arch(rc),
+                exp_icn::e15_cache(rc),
+                exp_icn::e15_poison(rc),
+                exp_icn::e15_partition(rc),
+            ]
+        }),
         ("e16", |rc| {
             vec![
                 exp_cloud::e16_ingest(rc),
@@ -150,7 +159,7 @@ pub fn all_experiments() -> Vec<Experiment> {
 }
 
 /// Reduced-scale registry for smoke runs (`experiments --quick`): the
-/// heavyweight experiments (E5, E14, E16, E18) run shrunken matrices through the
+/// heavyweight experiments (E5, E14, E15, E16, E18) run shrunken matrices through the
 /// same code paths — trial fan-out, oracle sampling mid-campaign,
 /// trace capture — so the determinism contract is exercised end to end
 /// while the full-scale tables (and their multi-gigabyte traces) stay
@@ -171,6 +180,17 @@ pub fn quick_experiments() -> Vec<Experiment> {
                         exp_dissem::e14_completion_with(rc, &[3], 600),
                         exp_dissem::e14_resume_with(rc, 4, 1920, 6, 300),
                         exp_dissem::e14_rollout_with(rc, 4, 300),
+                    ]
+                }) as fn(&RunConfig) -> Vec<Table>,
+            ),
+            "e15" => (
+                id,
+                (|rc| {
+                    vec![
+                        exp_icn::e15_arch_with(rc, &[1, 4], 30),
+                        exp_icn::e15_cache_with(rc, &[8], 4, 32),
+                        exp_icn::e15_poison(rc),
+                        exp_icn::e15_partition_with(rc, 2, 10, 20, 30),
                     ]
                 }) as fn(&RunConfig) -> Vec<Table>,
             ),

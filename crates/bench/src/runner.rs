@@ -165,9 +165,7 @@ impl Default for Runner {
 impl Runner {
     /// A runner with `jobs` workers (clamped to at least 1).
     pub fn new(jobs: usize) -> Self {
-        Runner {
-            jobs: jobs.max(1),
-        }
+        Runner { jobs: jobs.max(1) }
     }
 
     /// A single-worker runner: trials run one after another on one
@@ -254,10 +252,9 @@ impl Runner {
             drop(tx);
             // Collect by (trial, replica) index: arrival order is
             // scheduling-dependent, the slots are not.
-            let mut slots: Vec<Vec<Option<(MetricRows, Duration)>>> =
-                (0..trials.len())
-                    .map(|_| (0..replicas as usize).map(|_| None).collect())
-                    .collect();
+            let mut slots: Vec<Vec<Option<(MetricRows, Duration)>>> = (0..trials.len())
+                .map(|_| (0..replicas as usize).map(|_| None).collect())
+                .collect();
             for (t, r, rows, wall) in rx.iter() {
                 slots[t][r as usize] = Some((rows, wall));
             }
@@ -314,11 +311,7 @@ fn aggregate(trial: &Trial, reps: Vec<(MetricRows, Duration)>) -> TrialOutcome {
                             unit.format(vals[0])
                         } else {
                             let s = iiot_sim::trace::summarize(&vals);
-                            format!(
-                                "{} (p95 {})",
-                                unit.format_mean(s.mean),
-                                unit.format(s.p95)
-                            )
+                            format!("{} (p95 {})", unit.format_mean(s.mean), unit.format(s.p95))
                         }
                     }
                 })

@@ -93,6 +93,33 @@ fn e14_jobs1_and_jobs2_tables_are_identical() {
     assert_eq!(seq.2.to_json(), par.2.to_json());
 }
 
+/// E15's tables — whose trials run duty-cycled LPL stars with
+/// per-node RNG poll jitter and read energy/cache/verify counters
+/// back through in-trial asserts — must be byte-identical at
+/// `--jobs 1` and `--jobs 2`, tables and JSON both.
+#[test]
+fn e15_jobs1_and_jobs2_tables_are_identical() {
+    let run = |jobs: usize| {
+        let rc = RunConfig {
+            runner: Runner::new(jobs),
+            trials: 1,
+        };
+        (
+            iiot_bench::exp_icn::e15_arch_with(&rc, &[1, 4], 30),
+            iiot_bench::exp_icn::e15_cache_with(&rc, &[8], 4, 32),
+            iiot_bench::exp_icn::e15_poison(&rc),
+            iiot_bench::exp_icn::e15_partition_with(&rc, 2, 10, 20, 30),
+        )
+    };
+    let seq = run(1);
+    let par = run(2);
+    assert_eq!(seq, par);
+    assert_eq!(seq.0.to_json(), par.0.to_json());
+    assert_eq!(seq.1.to_json(), par.1.to_json());
+    assert_eq!(seq.2.to_json(), par.2.to_json());
+    assert_eq!(seq.3.to_json(), par.3.to_json());
+}
+
 /// E16's tables — whose trials run the cloud pipeline's threaded
 /// per-shard drain *inside* runner worker threads — must be
 /// byte-identical at `--jobs 1` and `--jobs 2`, tables and JSON both.
@@ -205,7 +232,10 @@ fn trial_seeds_are_distinct_and_stable() {
     uniq.sort_unstable();
     uniq.dedup();
     assert_eq!(uniq.len(), seeds.len(), "stream seeds collide");
-    assert_eq!(seeds, (0..64).map(|s| seed::derive(master, s)).collect::<Vec<_>>());
+    assert_eq!(
+        seeds,
+        (0..64).map(|s| seed::derive(master, s)).collect::<Vec<_>>()
+    );
 
     // Replica splits keep the base seed for replica 0, so `--trials 1`
     // reproduces the sequential single-run tables exactly.

@@ -77,9 +77,18 @@ fn e8_shape_redundancy_crossovers() {
     let t = exp_depend::e8_redundancy(&RunConfig::default());
     for r in 0..t.rows.len() {
         // Monte Carlo within 3 points of the analytic model, per scheme.
-        assert!((cell(&t, r, 2) - cell(&t, r, 3)).abs() < 3.0, "parity row {r}");
-        assert!((cell(&t, r, 4) - cell(&t, r, 5)).abs() < 3.0, "retry row {r}");
-        assert!((cell(&t, r, 6) - cell(&t, r, 7)).abs() < 3.0, "vote row {r}");
+        assert!(
+            (cell(&t, r, 2) - cell(&t, r, 3)).abs() < 3.0,
+            "parity row {r}"
+        );
+        assert!(
+            (cell(&t, r, 4) - cell(&t, r, 5)).abs() < 3.0,
+            "retry row {r}"
+        );
+        assert!(
+            (cell(&t, r, 6) - cell(&t, r, 7)).abs() < 3.0,
+            "vote row {r}"
+        );
         // Time redundancy dominates everything at every loss level.
         assert!(cell(&t, r, 4) >= cell(&t, r, 1));
     }
@@ -87,7 +96,10 @@ fn e8_shape_redundancy_crossovers() {
     // (the §V-A "information redundancy is limited" crossover).
     assert!(cell(&t, 0, 2) > cell(&t, 0, 1), "parity wins at p=0.05");
     let last = t.rows.len() - 1;
-    assert!(cell(&t, last, 2) < cell(&t, last, 1), "parity loses at p=0.5");
+    assert!(
+        cell(&t, last, 2) < cell(&t, last, 1),
+        "parity loses at p=0.5"
+    );
 }
 
 #[test]
@@ -95,7 +107,10 @@ fn e9_shape_pareto_frontier() {
     let t = exp_depend::e9_safety_hvac();
     for w in (0..t.rows.len()).collect::<Vec<_>>().windows(2) {
         let (a, b) = (w[0], w[1]);
-        assert!(cell(&t, b, 1) < cell(&t, a, 1), "wider setback saves energy");
+        assert!(
+            cell(&t, b, 1) < cell(&t, a, 1),
+            "wider setback saves energy"
+        );
         assert!(
             cell(&t, b, 2) >= cell(&t, a, 2),
             "savings cost (non-negative) comfort"
@@ -273,7 +288,11 @@ fn e16_shape_isolation_bounds_the_quiet_tenants_p99() {
                 "quiet p99 bound broken under isolation: {:?}",
                 t.rows[r]
             );
-            assert_eq!(cell(&t, r, 3), 0.0, "quiet tenants shed nothing under isolation");
+            assert_eq!(
+                cell(&t, r, 3),
+                0.0,
+                "quiet tenants shed nothing under isolation"
+            );
         }
     }
     let last_iso = t.rows.len() - 2;

@@ -38,7 +38,9 @@ fn trial(seed: u64) -> MetricRows {
         .build();
     w.kill_at(SimTime::from_millis(400), NodeId(2));
     w.run_for(SimDuration::from_secs(2));
-    vec![vec![Cell::int(f64::from(w.proto::<Beacon>(NodeId(0)).sent))]]
+    vec![vec![Cell::int(f64::from(
+        w.proto::<Beacon>(NodeId(0)).sent,
+    ))]]
 }
 
 fn trials() -> Vec<Trial> {
@@ -66,7 +68,10 @@ fn capture(jobs: usize) -> Vec<obs::ScopeTrace> {
 fn jsonl_is_identical_across_jobs_and_round_trips() {
     let a = obs::traces_to_jsonl(&capture(1));
     let b = obs::traces_to_jsonl(&capture(3));
-    assert!(!a.is_empty() && a.lines().count() > 8, "capture produced traces");
+    assert!(
+        !a.is_empty() && a.lines().count() > 8,
+        "capture produced traces"
+    );
     assert_eq!(a, b, "trace dump must not depend on the worker count");
 
     // Round trip: parse and re-serialize reproduces the dump exactly.
@@ -78,5 +83,8 @@ fn jsonl_is_identical_across_jobs_and_round_trips() {
     let report = obs::report(&parsed);
     assert_eq!(report, obs::report(&obs::parse_jsonl(&b).expect("parse")));
     assert!(report.contains("== drop causes =="), "{report}");
-    assert!(report.contains("fault: crash"), "kill_at shows in the timeline");
+    assert!(
+        report.contains("fault: crash"),
+        "kill_at shows in the timeline"
+    );
 }

@@ -13,7 +13,7 @@
 
 use crate::tenant::TenantId;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use iiot_coap::{Code, CoapEndpoint, CoapEvent, EndpointConfig};
+use iiot_coap::{CoapEndpoint, CoapEvent, Code, EndpointConfig};
 use iiot_sim::SimTime;
 
 /// The router's own peer address on the two-endpoint CoAP link.
@@ -93,11 +93,7 @@ impl CommandRouter {
     /// Plays every queued command against `gateway` (its northbound
     /// CoAP server — e.g. `Gateway::coap_mut()`) at instant `now`,
     /// returning one outcome per command in submission order.
-    pub fn flush(
-        &mut self,
-        gateway: &mut CoapEndpoint<u64>,
-        now: SimTime,
-    ) -> Vec<CommandOutcome> {
+    pub fn flush(&mut self, gateway: &mut CoapEndpoint<u64>, now: SimTime) -> Vec<CommandOutcome> {
         let mut sent: Vec<(Vec<u8>, Command)> = Vec::new();
         while let Ok(cmd) = self.rx.try_recv() {
             let payload = format!("{}", cmd.value).into_bytes();
@@ -131,7 +127,11 @@ impl CommandRouter {
                     }
                     CoapEvent::RequestFailed { .. } => false,
                 });
-                CommandOutcome { tenant: cmd.tenant, point: cmd.point, ok }
+                CommandOutcome {
+                    tenant: cmd.tenant,
+                    point: cmd.point,
+                    ok,
+                }
             })
             .collect()
     }
@@ -161,7 +161,11 @@ mod tests {
     }
 
     fn cmd(point: &str, value: f64) -> Command {
-        Command { tenant: TenantId(0), point: point.to_owned(), value }
+        Command {
+            tenant: TenantId(0),
+            point: point.to_owned(),
+            value,
+        }
     }
 
     #[test]

@@ -161,16 +161,22 @@ impl IngestPipeline {
                 // One queue per shard; every tenant mapping there
                 // shares it. Keyed under the shard's first tenant.
                 for (s, shard) in shards.iter_mut().enumerate() {
-                    let mut tenants =
-                        registry.tenants().filter(|t| t.shard(shards_n) == s);
+                    let mut tenants = registry.tenants().filter(|t| t.shard(shards_n) == s);
                     if let Some(first) = tenants.next() {
                         let (tx, rx) = bounded(config.queue_cap);
-                        shard.push(TenantQueue { tenant: first, tx, rx });
+                        shard.push(TenantQueue {
+                            tenant: first,
+                            tx,
+                            rx,
+                        });
                     }
                 }
             }
         }
-        let stats = registry.tenants().map(|t| (t, TenantStats::default())).collect();
+        let stats = registry
+            .tenants()
+            .map(|t| (t, TenantStats::default()))
+            .collect();
         IngestPipeline {
             registry,
             config,
@@ -306,15 +312,30 @@ impl IngestPipeline {
                 st.shed_ratelimit += 1;
             }
             let shard = tenant.shard(self.shards.len());
-            self.emit(shard, EventKind::CloudRateLimit { tenant: tenant.0 as u32 });
+            self.emit(
+                shard,
+                EventKind::CloudRateLimit {
+                    tenant: tenant.0 as u32,
+                },
+            );
             return false;
         }
-        if self.registry.authenticate(tenant, msg.device, msg.token).is_err() {
+        if self
+            .registry
+            .authenticate(tenant, msg.device, msg.token)
+            .is_err()
+        {
             if let Some(st) = self.stats.get_mut(&tenant) {
                 st.shed_auth += 1;
             }
             let shard = tenant.shard(self.shards.len());
-            self.emit(shard, EventKind::CloudShed { tenant: tenant.0 as u32, cause: "auth" });
+            self.emit(
+                shard,
+                EventKind::CloudShed {
+                    tenant: tenant.0 as u32,
+                    cause: "auth",
+                },
+            );
             return false;
         }
         let (s, i) = self.queue_index(tenant);
@@ -322,10 +343,19 @@ impl IngestPipeline {
         match q.tx.try_send(msg) {
             Ok(()) => {
                 let depth = q.tx.len() as u32;
-                let st = self.stats.get_mut(&tenant).expect("authenticated tenant has stats");
+                let st = self
+                    .stats
+                    .get_mut(&tenant)
+                    .expect("authenticated tenant has stats");
                 st.accepted += 1;
                 st.max_depth = st.max_depth.max(depth);
-                self.emit(s, EventKind::CloudIngest { tenant: tenant.0 as u32, depth });
+                self.emit(
+                    s,
+                    EventKind::CloudIngest {
+                        tenant: tenant.0 as u32,
+                        depth,
+                    },
+                );
                 self.observe_window(&msg);
                 true
             }
@@ -335,7 +365,10 @@ impl IngestPipeline {
                     st.shed_full += 1;
                     self.emit(
                         s,
-                        EventKind::CloudShed { tenant: tenant.0 as u32, cause: "queue_full" },
+                        EventKind::CloudShed {
+                            tenant: tenant.0 as u32,
+                            cause: "queue_full",
+                        },
                     );
                     false
                 }
@@ -363,7 +396,13 @@ impl IngestPipeline {
                         let st = self.stats.get_mut(&tenant).expect("stats");
                         st.accepted += 1;
                         st.max_depth = st.max_depth.max(depth);
-                        self.emit(s, EventKind::CloudIngest { tenant: tenant.0 as u32, depth });
+                        self.emit(
+                            s,
+                            EventKind::CloudIngest {
+                                tenant: tenant.0 as u32,
+                                depth,
+                            },
+                        );
                         self.observe_window(&msg);
                     }
                     admitted
@@ -380,7 +419,9 @@ impl IngestPipeline {
     /// the results (see [`closed_windows`](Self::closed_windows)).
     fn advance_windows(&mut self) {
         let now = self.now;
-        let Some(w) = self.stream.windows.as_mut() else { return };
+        let Some(w) = self.stream.windows.as_mut() else {
+            return;
+        };
         let closed = w.advance_watermark(now);
         self.retire_windows(closed);
     }
@@ -389,7 +430,10 @@ impl IngestPipeline {
     /// tenant × device, at the uplink's own (event) timestamp.
     fn observe_window(&mut self, msg: &UplinkMsg) {
         if let Some(w) = self.stream.windows.as_mut() {
-            let key = WindowKey { tenant: msg.tenant.0, metric: msg.device };
+            let key = WindowKey {
+                tenant: msg.tenant.0,
+                metric: msg.device,
+            };
             w.observe(key, msg.value, msg.t);
         }
     }
@@ -398,7 +442,9 @@ impl IngestPipeline {
     /// [`drain_remaining`](Self::drain_remaining); the replay helper
     /// does the same, so live and replayed window sets match exactly.
     pub fn flush_windows(&mut self) {
-        let Some(w) = self.stream.windows.as_mut() else { return };
+        let Some(w) = self.stream.windows.as_mut() else {
+            return;
+        };
         let closed = w.flush();
         self.retire_windows(closed);
     }
@@ -461,7 +507,10 @@ impl IngestPipeline {
             })
             .expect("drain scope")
         } else {
-            self.shards.iter_mut().map(|shard| drain_shard(shard, t, batch)).collect()
+            self.shards
+                .iter_mut()
+                .map(|shard| drain_shard(shard, t, batch))
+                .collect()
         };
         // Merge in shard order — identical regardless of which worker
         // finished first.
@@ -501,7 +550,12 @@ impl IngestPipeline {
     /// Totals across tenants: (offered, accepted, shed, drained).
     pub fn totals(&self) -> (u64, u64, u64, u64) {
         self.stats.values().fold((0, 0, 0, 0), |(o, a, s, d), st| {
-            (o + st.offered, a + st.accepted, s + st.shed(), d + st.drained)
+            (
+                o + st.offered,
+                a + st.accepted,
+                s + st.shed(),
+                d + st.drained,
+            )
         })
     }
 
@@ -514,11 +568,7 @@ impl IngestPipeline {
 /// Drains one shard's queues for one tick; runs on a worker thread in
 /// threaded mode. Pure function of queue contents, tick instant and
 /// batch budget — no shared mutable state, no ordering races.
-fn drain_shard(
-    shard: &mut [TenantQueue],
-    t: SimTime,
-    batch: usize,
-) -> Vec<(TenantId, Vec<u64>)> {
+fn drain_shard(shard: &mut [TenantQueue], t: SimTime, batch: usize) -> Vec<(TenantId, Vec<u64>)> {
     // Latency is attributed to the drained *message's* tenant — under
     // shared isolation a queue serves several tenants, and the quiet
     // ones must see the queueing delay the noisy one inflicts.
@@ -671,10 +721,11 @@ mod tests {
     #[test]
     fn admission_control_sheds_at_the_door_before_any_queue() {
         use iiot_stream::RateLimit;
-        let mut p = pipeline(IngestConfig { queue_cap: 8, ..IngestConfig::default() });
-        p.attach_stream(
-            StreamConfig::default().with_admission(RateLimit::per_sec(1, 2)),
-        );
+        let mut p = pipeline(IngestConfig {
+            queue_cap: 8,
+            ..IngestConfig::default()
+        });
+        p.attach_stream(StreamConfig::default().with_admission(RateLimit::per_sec(1, 2)));
         for i in 0..10 {
             let m = msg(&p, 0, i, 0);
             p.offer(m);
@@ -682,7 +733,10 @@ mod tests {
         let st = p.tenant_stats(TenantId(0)).expect("stats");
         assert_eq!(st.accepted, 2, "burst of 2 admitted at t=0");
         assert_eq!(st.shed_ratelimit, 8);
-        assert_eq!(st.shed_full, 0, "rate-limited messages never reached the queue");
+        assert_eq!(
+            st.shed_full, 0,
+            "rate-limited messages never reached the queue"
+        );
         assert_eq!(st.shed(), 8);
         assert_eq!(p.admission().expect("attached").shed_count(0), 8);
         assert_eq!(p.queued(), 2);
@@ -691,7 +745,10 @@ mod tests {
     #[test]
     fn windows_aggregate_accepted_uplinks_per_tenant() {
         use iiot_stream::WindowSpec;
-        let mut p = pipeline(IngestConfig { threaded: false, ..IngestConfig::default() });
+        let mut p = pipeline(IngestConfig {
+            threaded: false,
+            ..IngestConfig::default()
+        });
         p.attach_stream(
             StreamConfig::default()
                 .with_windows(WindowSpec::tumbling(SimDuration::from_millis(10))),
@@ -705,7 +762,10 @@ mod tests {
         p.flush_windows();
         let closed = p.closed_windows();
         let total: u64 = closed.iter().map(|w| w.count).sum();
-        assert_eq!(total, 100, "every accepted uplink lands in exactly one window");
+        assert_eq!(
+            total, 100,
+            "every accepted uplink lands in exactly one window"
+        );
         assert_eq!(closed.len(), 20, "10 windows × 2 tenants");
         assert_eq!(p.windows().expect("attached").late_total(), 0);
     }
@@ -732,7 +792,10 @@ mod tests {
             p.tenant_stats(TenantId(1)).expect("stats").clone()
         };
         let shared = run(Isolation::Shared);
-        assert_eq!(shared.accepted, 0, "shared queue already full of noisy traffic");
+        assert_eq!(
+            shared.accepted, 0,
+            "shared queue already full of noisy traffic"
+        );
         assert_eq!(shared.shed_full, 1);
         let isolated = run(Isolation::PerTenant);
         assert_eq!(isolated.accepted, 1, "own queue, no interference");

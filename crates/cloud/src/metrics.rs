@@ -81,7 +81,10 @@ mod tests {
     fn jain_bounds() {
         assert!((jain_fairness(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
         let one_hog = jain_fairness(&[1.0, 0.0, 0.0, 0.0]);
-        assert!((one_hog - 0.25).abs() < 1e-12, "n=4 floor is 1/4, got {one_hog}");
+        assert!(
+            (one_hog - 0.25).abs() < 1e-12,
+            "n=4 floor is 1/4, got {one_hog}"
+        );
         assert!((jain_fairness(&[]) - 1.0).abs() < 1e-12);
         assert!((jain_fairness(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
     }

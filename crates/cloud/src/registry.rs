@@ -50,7 +50,11 @@ impl DeviceRegistry {
         let id = TenantId(self.tenants.len() as u16);
         self.tenants.insert(
             id,
-            TenantEntry { name: name.to_owned(), key, tokens: Vec::new() },
+            TenantEntry {
+                name: name.to_owned(),
+                key,
+                tokens: Vec::new(),
+            },
         );
         id
     }
@@ -74,7 +78,11 @@ impl DeviceRegistry {
     /// The ingest credential of `device` under `tenant`, if registered.
     /// Load generators call this to stamp outgoing uplinks.
     pub fn token(&self, tenant: TenantId, device: u32) -> Option<u64> {
-        self.tenants.get(&tenant)?.tokens.get(device as usize).copied()
+        self.tenants
+            .get(&tenant)?
+            .tokens
+            .get(device as usize)
+            .copied()
     }
 
     /// The hot-path credential check at ingest.
@@ -83,14 +91,12 @@ impl DeviceRegistry {
     ///
     /// [`AuthError`] naming which check failed; the front door sheds
     /// the message with cause `"auth"` in every case.
-    pub fn authenticate(
-        &self,
-        tenant: TenantId,
-        device: u32,
-        token: u64,
-    ) -> Result<(), AuthError> {
+    pub fn authenticate(&self, tenant: TenantId, device: u32, token: u64) -> Result<(), AuthError> {
         let e = self.tenants.get(&tenant).ok_or(AuthError::UnknownTenant)?;
-        let want = *e.tokens.get(device as usize).ok_or(AuthError::UnknownDevice)?;
+        let want = *e
+            .tokens
+            .get(device as usize)
+            .ok_or(AuthError::UnknownDevice)?;
         if mac_eq(&want.to_le_bytes(), &token.to_le_bytes()) {
             Ok(())
         } else {
@@ -115,7 +121,10 @@ impl DeviceRegistry {
 
     /// Number of devices registered under `tenant` (0 if unknown).
     pub fn fleet_size(&self, tenant: TenantId) -> u32 {
-        self.tenants.get(&tenant).map(|e| e.tokens.len() as u32).unwrap_or(0)
+        self.tenants
+            .get(&tenant)
+            .map(|e| e.tokens.len() as u32)
+            .unwrap_or(0)
     }
 
     /// Total devices across all tenants.
@@ -162,7 +171,10 @@ mod tests {
     fn bad_credentials_are_rejected_with_the_right_cause() {
         let (r, a, b) = reg();
         let tok = r.token(a, 0).expect("registered");
-        assert_eq!(r.authenticate(TenantId(9), 0, tok), Err(AuthError::UnknownTenant));
+        assert_eq!(
+            r.authenticate(TenantId(9), 0, tok),
+            Err(AuthError::UnknownTenant)
+        );
         assert_eq!(r.authenticate(a, 100, tok), Err(AuthError::UnknownDevice));
         assert_eq!(r.authenticate(a, 0, tok ^ 1), Err(AuthError::BadToken));
         // A token is scoped to its tenant: tenant b's device 0 token
@@ -195,7 +207,11 @@ mod tests {
         let ra = rogue.create_tenant("acme", Key([0xAA; 16]));
         rogue.register_fleet(ra, 100);
         let forged = rogue.token(ra, 0).expect("registered");
-        assert_ne!(Some(forged), r.token(a, 0), "keys must differentiate tokens");
+        assert_ne!(
+            Some(forged),
+            r.token(a, 0),
+            "keys must differentiate tokens"
+        );
         assert_eq!(r.authenticate(a, 0, forged), Err(AuthError::BadToken));
     }
 

@@ -89,7 +89,12 @@ impl SessionGen {
                 sessions += 1;
             }
         }
-        SessionGen { calendar, plan, sessions, emitted: 0 }
+        SessionGen {
+            calendar,
+            plan,
+            sessions,
+            emitted: 0,
+        }
     }
 
     fn noisy_mult(plan: &SessionPlan, tenant: TenantId) -> u64 {
@@ -138,7 +143,11 @@ impl SessionGen {
         if w.remaining > 1 {
             let rng = seed::derive(w.rng, w.remaining as u64);
             let jitter_range = Self::effective_jitter(&self.plan, w.tenant);
-            let jitter = if jitter_range == 0 { 0 } else { rng % jitter_range };
+            let jitter = if jitter_range == 0 {
+                0
+            } else {
+                rng % jitter_range
+            };
             self.calendar.push(Reverse(Wakeup {
                 t_us: w.t_us + Self::effective_interval(&self.plan, w.tenant) + jitter,
                 tenant: w.tenant,
@@ -192,7 +201,10 @@ mod tests {
         let b = drain(&reg, SessionPlan::default(), 7);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!((x.tenant, x.device, x.t, x.token), (y.tenant, y.device, y.t, y.token));
+            assert_eq!(
+                (x.tenant, x.device, x.t, x.token),
+                (y.tenant, y.device, y.t, y.token)
+            );
         }
         let c = drain(&reg, SessionPlan::default(), 8);
         assert!(
@@ -211,7 +223,11 @@ mod tests {
         };
         let msgs = drain(&reg, plan, 42);
         let horizon = |t: TenantId| {
-            msgs.iter().filter(|m| m.tenant == t).map(|m| m.t.as_micros()).max().unwrap()
+            msgs.iter()
+                .filter(|m| m.tenant == t)
+                .map(|m| m.t.as_micros())
+                .max()
+                .unwrap()
         };
         assert!(
             horizon(TenantId(0)) * 4 < horizon(TenantId(1)),

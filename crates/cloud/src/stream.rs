@@ -31,8 +31,7 @@ use crate::tenant::TenantId;
 use iiot_sim::obs::Recorder;
 use iiot_sim::SimTime;
 use iiot_stream::{
-    AdmissionControl, EventLog, LogConfig, RateLimit, RecoveryReport, WindowAggregator,
-    WindowSpec,
+    AdmissionControl, EventLog, LogConfig, RateLimit, RecoveryReport, WindowAggregator, WindowSpec,
 };
 
 /// Persisted size of one uplink record (see the [module docs](self)).
@@ -56,9 +55,7 @@ pub fn decode_uplink(bytes: &[u8]) -> Option<UplinkMsg> {
         return None;
     }
     let u16le = |i: usize| u16::from_le_bytes([bytes[i], bytes[i + 1]]);
-    let u32le = |i: usize| {
-        u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]])
-    };
+    let u32le = |i: usize| u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
     let u64le = |i: usize| {
         let mut b = [0u8; 8];
         b.copy_from_slice(&bytes[i..i + 8]);
@@ -92,7 +89,10 @@ pub struct StreamConfig {
 impl StreamConfig {
     /// Attaches only the write-ahead event log.
     pub fn logged(config: LogConfig) -> Self {
-        StreamConfig { log: Some(config), ..StreamConfig::default() }
+        StreamConfig {
+            log: Some(config),
+            ..StreamConfig::default()
+        }
     }
 
     /// Adds uniform admission control to this configuration.
@@ -155,7 +155,10 @@ pub fn replay(
     let log_config = stream.log.unwrap_or_default();
     let (log, report) = EventLog::recover(bytes, log_config);
     let mut pipeline = IngestPipeline::new(registry, config);
-    pipeline.attach_stream(StreamConfig { log: Some(log_config), ..stream });
+    pipeline.attach_stream(StreamConfig {
+        log: Some(log_config),
+        ..stream
+    });
     pipeline.set_recorder(recorder);
     for (_, payload) in log.iter_from(0) {
         if let Some(msg) = decode_uplink(payload) {
@@ -229,9 +232,11 @@ mod tests {
             threaded: false,
             ..IngestConfig::default()
         };
-        let stream = StreamConfig::logged(iiot_stream::LogConfig { segment_bytes: 4096 })
-            .with_admission(RateLimit::per_sec(3_000, 20))
-            .with_windows(WindowSpec::tumbling(SimDuration::from_millis(50)));
+        let stream = StreamConfig::logged(iiot_stream::LogConfig {
+            segment_bytes: 4096,
+        })
+        .with_admission(RateLimit::per_sec(3_000, 20))
+        .with_windows(WindowSpec::tumbling(SimDuration::from_millis(50)));
 
         let mut live = IngestPipeline::new(registry(), config);
         live.attach_stream(stream.clone());
@@ -248,7 +253,10 @@ mod tests {
             Some(Box::new(RingRecorder::new(1 << 16))),
         );
         assert_eq!(report.truncated_bytes, 0, "pristine log loses nothing");
-        assert_eq!(report.records, 2000, "every offer was logged, sheds included");
+        assert_eq!(
+            report.records, 2000,
+            "every offer was logged, sheds included"
+        );
         assert_eq!(
             crate::metrics::summarize(&live),
             crate::metrics::summarize(&replayed),
@@ -260,24 +268,40 @@ mod tests {
             wal.as_slice(),
             "the replayed pipeline re-persists a byte-identical log"
         );
-        assert_eq!(events_of(&mut replayed), live_events, "trace events must match");
+        assert_eq!(
+            events_of(&mut replayed),
+            live_events,
+            "trace events must match"
+        );
 
         // The workload exercised every shed path, so the equalities
         // above have teeth.
         let tot = |p: &IngestPipeline, f: fn(&TenantStats) -> u64| {
             p.stats().map(|(_, s)| f(s)).sum::<u64>()
         };
-        assert!(tot(&live, |s| s.shed_ratelimit) > 0, "admission shed exercised");
+        assert!(
+            tot(&live, |s| s.shed_ratelimit) > 0,
+            "admission shed exercised"
+        );
         assert!(tot(&live, |s| s.shed_auth) > 0, "auth shed exercised");
         assert!(tot(&live, |s| s.shed_full) > 0, "queue shed exercised");
         assert!(!live.closed_windows().is_empty(), "windows closed");
-        assert!(live.wal().expect("wal").sealed_segments() > 0, "segments sealed");
+        assert!(
+            live.wal().expect("wal").sealed_segments() > 0,
+            "segments sealed"
+        );
     }
 
     #[test]
     fn replay_after_a_torn_crash_matches_a_live_run_over_the_prefix() {
-        let config = IngestConfig { queue_cap: 16, threaded: false, ..IngestConfig::default() };
-        let stream = StreamConfig::logged(iiot_stream::LogConfig { segment_bytes: 1024 });
+        let config = IngestConfig {
+            queue_cap: 16,
+            threaded: false,
+            ..IngestConfig::default()
+        };
+        let stream = StreamConfig::logged(iiot_stream::LogConfig {
+            segment_bytes: 1024,
+        });
 
         let mut live = IngestPipeline::new(registry(), config);
         live.attach_stream(stream.clone());
@@ -286,8 +310,7 @@ mod tests {
 
         // Crash mid-record: cut 7 bytes into the torn tail.
         let cut = wal.len() - 7;
-        let (recovered, report) =
-            replay(&wal[..cut], registry(), config, stream.clone(), None);
+        let (recovered, report) = replay(&wal[..cut], registry(), config, stream.clone(), None);
         assert_eq!(report.records, 1999, "one torn record dropped");
         assert!(report.truncated_bytes > 0);
 

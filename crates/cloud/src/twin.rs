@@ -152,7 +152,8 @@ impl TwinStore {
         key: &str,
         value: f64,
     ) {
-        self.twin_mut(tenant, device).report(t_us, writer, key, value);
+        self.twin_mut(tenant, device)
+            .report(t_us, writer, key, value);
     }
 
     /// Records a desired value (see [`DeviceTwin::desire`]).
@@ -165,7 +166,8 @@ impl TwinStore {
         key: &str,
         value: f64,
     ) {
-        self.twin_mut(tenant, device).desire(t_us, writer, key, value);
+        self.twin_mut(tenant, device)
+            .desire(t_us, writer, key, value);
     }
 
     /// Tags a device (see [`DeviceTwin::tag`]).
@@ -222,7 +224,9 @@ impl TwinStore {
         for ((tenant, device), twin) in other.iter() {
             let mine = self.twins.get(&(*tenant, *device));
             for (key, &value) in twin.reported.iter() {
-                let Some(theirs) = twin.reported.version(key) else { continue };
+                let Some(theirs) = twin.reported.version(key) else {
+                    continue;
+                };
                 let newer = match mine.and_then(|m| m.reported.version(key)) {
                     // LWW order: (timestamp, writer) — only a write
                     // that would win the merge is a new observation.
@@ -230,7 +234,10 @@ impl TwinStore {
                     None => true,
                 };
                 if newer {
-                    let key = WindowKey { tenant: tenant.0, metric: *device };
+                    let key = WindowKey {
+                        tenant: tenant.0,
+                        metric: *device,
+                    };
                     windows.observe(key, value, SimTime::from_micros(theirs.0));
                 }
             }
@@ -328,8 +335,7 @@ mod tests {
 
         // Lateness covering the outage: both land in their event-time
         // windows despite arriving long after.
-        let mut w =
-            WindowAggregator::new(WindowSpec::tumbling(secs(10)).with_lateness(secs(45)));
+        let mut w = WindowAggregator::new(WindowSpec::tumbling(secs(10)).with_lateness(secs(45)));
         let mut cloud = TwinStore::new();
         cloud.merge_windowed(&gw, &mut w);
         w.advance_watermark(iiot_sim::SimTime::from_secs(50));

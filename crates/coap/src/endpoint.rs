@@ -385,9 +385,7 @@ impl<P: Copy + Eq + Hash + Debug> CoapEndpoint<P> {
         // Block2 slicing for large representations.
         let mut block2_out = None;
         if resp.code.is_success() {
-            let requested = msg
-                .option(option::BLOCK2)
-                .and_then(BlockOpt::from_bytes);
+            let requested = msg.option(option::BLOCK2).and_then(BlockOpt::from_bytes);
             let szx = requested
                 .map(|b| b.szx)
                 .unwrap_or_else(|| BlockOpt::szx_for_size(self.config.block_size));
@@ -428,7 +426,8 @@ impl<P: Copy + Eq + Hash + Debug> CoapEndpoint<P> {
         }
         let encoded = out.encode();
         if msg.mtype == MsgType::Confirmable {
-            self.dedup.store_response(peer, msg.message_id, encoded.clone());
+            self.dedup
+                .store_response(peer, msg.message_id, encoded.clone());
         }
         self.outbox.push((peer, encoded));
     }
@@ -463,13 +462,13 @@ impl<P: Copy + Eq + Hash + Debug> CoapEndpoint<P> {
                     let path = state.path.clone();
                     let token = msg.token.clone();
                     let mid = self.alloc_mid();
-                    let mut follow =
-                        Message::request(Code::Get, mid, token).with_path(&path);
+                    let mut follow = Message::request(Code::Get, mid, token).with_path(&path);
                     follow.add_option(
                         option::BLOCK2,
                         BlockOpt::new(next, false, block.szx).to_bytes(),
                     );
-                    self.tracker.register(peer, follow.clone(), now, &mut self.rng);
+                    self.tracker
+                        .register(peer, follow.clone(), now, &mut self.rng);
                     self.outbox.push((peer, follow.encode()));
                     return;
                 }
@@ -532,10 +531,7 @@ mod tests {
     fn pair() -> (Ep, Ep) {
         let client = Ep::new(EndpointConfig::default(), 1);
         let mut server = Ep::new(EndpointConfig::default(), 2);
-        server.add_resource(
-            "temp",
-            Box::new(|_| Response::content(b"21.5".to_vec())),
-        );
+        server.add_resource("temp", Box::new(|_| Response::content(b"21.5".to_vec())));
         let big: Vec<u8> = (0..200u16).map(|i| i as u8).collect();
         server.add_resource("blob", Box::new(move |_| Response::content(big.clone())));
         let mut valve = b"closed".to_vec();
@@ -608,7 +604,9 @@ mod tests {
         let t1 = c.put(SERVER, "valve", b"open".to_vec(), t0);
         shuttle(&mut c, &mut s, t0, usize::MAX);
         let ev = c.take_events();
-        assert!(matches!(&ev[0], CoapEvent::Response { token, code: Code::Changed, .. } if *token == t1));
+        assert!(
+            matches!(&ev[0], CoapEvent::Response { token, code: Code::Changed, .. } if *token == t1)
+        );
         let t2 = c.get(SERVER, "valve", t0);
         shuttle(&mut c, &mut s, t0, usize::MAX);
         let ev = c.take_events();
@@ -623,7 +621,13 @@ mod tests {
         c.get(SERVER, "nope", SimTime::ZERO);
         shuttle(&mut c, &mut s, SimTime::ZERO, usize::MAX);
         let ev = c.take_events();
-        assert!(matches!(&ev[0], CoapEvent::Response { code: Code::NotFound, .. }));
+        assert!(matches!(
+            &ev[0],
+            CoapEvent::Response {
+                code: Code::NotFound,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -641,7 +645,13 @@ mod tests {
         assert_eq!(c.take_retransmissions(), vec![1]);
         shuttle(&mut c, &mut s, wake, usize::MAX);
         let ev = c.take_events();
-        assert!(matches!(&ev[0], CoapEvent::Response { code: Code::Content, .. }));
+        assert!(matches!(
+            &ev[0],
+            CoapEvent::Response {
+                code: Code::Content,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -722,7 +732,13 @@ mod tests {
         shuttle(&mut c, &mut s, t0, usize::MAX);
         let ev = c.take_events();
         assert!(
-            matches!(&ev[0], CoapEvent::Response { observe: Some(1), .. }),
+            matches!(
+                &ev[0],
+                CoapEvent::Response {
+                    observe: Some(1),
+                    ..
+                }
+            ),
             "registration response carries the observe seq: {ev:?}"
         );
         assert_eq!(s.observer_count(), 1);
@@ -733,8 +749,16 @@ mod tests {
         shuttle(&mut c, &mut s, t0, usize::MAX);
         let ev = c.take_events();
         assert_eq!(ev.len(), 2);
-        assert!(matches!(&ev[0], CoapEvent::Response { observe: Some(2), token: t, .. } if *t == token));
-        assert!(matches!(&ev[1], CoapEvent::Response { observe: Some(3), .. }));
+        assert!(
+            matches!(&ev[0], CoapEvent::Response { observe: Some(2), token: t, .. } if *t == token)
+        );
+        assert!(matches!(
+            &ev[1],
+            CoapEvent::Response {
+                observe: Some(3),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -771,7 +795,13 @@ mod tests {
         }
         let ev = c.take_events();
         assert_eq!(ev.len(), 1, "stale notification suppressed: {ev:?}");
-        assert!(matches!(&ev[0], CoapEvent::Response { observe: Some(3), .. }));
+        assert!(matches!(
+            &ev[0],
+            CoapEvent::Response {
+                observe: Some(3),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -613,7 +613,10 @@ mod tests {
             any::<u8>(),
             any::<u16>(),
             proptest::collection::vec(any::<u8>(), 0..=8),
-            proptest::collection::vec((1u16..1000, proptest::collection::vec(any::<u8>(), 0..32)), 0..6),
+            proptest::collection::vec(
+                (1u16..1000, proptest::collection::vec(any::<u8>(), 0..32)),
+                0..6,
+            ),
             proptest::collection::vec(any::<u8>(), 0..64),
         )
             .prop_map(|(mtype, code, mid, token, opts, payload)| {

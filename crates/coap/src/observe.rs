@@ -54,7 +54,8 @@ impl<P: Copy + Eq + Hash> ObserveRegistry<P> {
     /// removed.
     pub fn deregister(&mut self, peer: P, token: &[u8]) -> bool {
         let before = self.observers.len();
-        self.observers.retain(|o| !(o.peer == peer && o.token == token));
+        self.observers
+            .retain(|o| !(o.peer == peer && o.token == token));
         before != self.observers.len()
     }
 

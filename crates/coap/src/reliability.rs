@@ -169,7 +169,11 @@ impl<P: Copy + Eq> DedupCache<P> {
     /// recorded). Otherwise records the pair and returns `None`.
     #[allow(clippy::type_complexity)]
     pub fn check(&mut self, peer: P, mid: u16) -> Option<Option<Vec<u8>>> {
-        if let Some((_, resp)) = self.entries.iter().find(|((p, m), _)| *p == peer && *m == mid) {
+        if let Some((_, resp)) = self
+            .entries
+            .iter()
+            .find(|((p, m), _)| *p == peer && *m == mid)
+        {
             return Some(resp.clone());
         }
         if self.entries.len() >= self.cap {

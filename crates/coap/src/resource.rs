@@ -89,7 +89,8 @@ impl ResourceMap {
 
     /// Registers (or replaces) the handler for `path`.
     pub fn add(&mut self, path: &str, handler: Handler) {
-        self.handlers.insert(path.trim_matches('/').to_owned(), handler);
+        self.handlers
+            .insert(path.trim_matches('/').to_owned(), handler);
     }
 
     /// Removes the handler for `path`; returns whether one existed.
@@ -160,7 +161,11 @@ mod tests {
         let mut map = ResourceMap::new();
         map.add("a/b", Box::new(|_| Response::content(b"ok".to_vec())));
         assert_eq!(map.dispatch(&get("a/b")).code, Code::Content);
-        assert_eq!(map.dispatch(&get("/a/b/")).code, Code::Content, "slash-insensitive");
+        assert_eq!(
+            map.dispatch(&get("/a/b/")).code,
+            Code::Content,
+            "slash-insensitive"
+        );
         assert_eq!(map.dispatch(&get("a")).code, Code::NotFound);
         assert!(map.contains("a/b"));
         assert!(map.remove("a/b"));

@@ -90,7 +90,12 @@ fn well_known_core_served_blockwise_when_large() {
     shuttle(&mut c, &mut s, SimTime::ZERO);
     let ev = c.take_events();
     match &ev[0] {
-        CoapEvent::Response { token: t, code, payload, .. } => {
+        CoapEvent::Response {
+            token: t,
+            code,
+            payload,
+            ..
+        } => {
             assert_eq!(t, &token);
             assert_eq!(*code, Code::Content);
             let body = String::from_utf8_lossy(payload);
@@ -111,10 +116,8 @@ fn reset_of_unknown_mid_is_harmless() {
 #[test]
 fn unknown_response_token_ignored() {
     let mut c = Ep::new(EndpointConfig::default(), 2);
-    let mut bogus = Message::response_to(
-        &Message::request(Code::Get, 7, vec![0xEE]),
-        Code::Content,
-    );
+    let mut bogus =
+        Message::response_to(&Message::request(Code::Get, 7, vec![0xEE]), Code::Content);
     bogus.payload = b"spoof".to_vec();
     c.handle_datagram(1, &bogus.encode(), SimTime::ZERO);
     assert!(c.take_events().is_empty(), "no event for unknown token");

@@ -7,7 +7,7 @@
 
 use crate::deployment::Deployment;
 use iiot_coap::resource::Response;
-use iiot_coap::{Code, CoapEndpoint, EndpointConfig};
+use iiot_coap::{CoapEndpoint, Code, EndpointConfig};
 use iiot_sim::{NodeId, SimTime};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -222,8 +222,13 @@ mod tests {
         }
         let ev = client.take_events();
         assert!(
-            ev.iter()
-                .any(|e| matches!(e, CoapEvent::Response { observe: Some(_), .. })),
+            ev.iter().any(|e| matches!(
+                e,
+                CoapEvent::Response {
+                    observe: Some(_),
+                    ..
+                }
+            )),
             "observer must be pushed the update: {ev:?}"
         );
     }

@@ -8,8 +8,8 @@ use iiot_mac::lpl::{LplConfig, LplMac};
 use iiot_mac::rimac::{RimacConfig, RimacMac};
 use iiot_mac::tdma::{TdmaConfig, TdmaMac, TdmaSchedule};
 use iiot_routing::dodag::{DodagConfig, DodagNode, Traffic};
-use iiot_routing::statictree::{StaticCollection, StaticConfig};
 use iiot_routing::graph;
+use iiot_routing::statictree::{StaticCollection, StaticConfig};
 use iiot_sim::prelude::*;
 use iiot_sim::trace::Summary;
 
@@ -81,7 +81,12 @@ impl DeploymentBuilder {
 
     /// Makes every non-root node emit a reading with the given period
     /// and payload size after the DODAG has had `start_after` to form.
-    pub fn traffic(mut self, period: SimDuration, payload_len: usize, start_after: SimDuration) -> Self {
+    pub fn traffic(
+        mut self,
+        period: SimDuration,
+        payload_len: usize,
+        start_after: SimDuration,
+    ) -> Self {
         self.dodag.traffic = Some(Traffic {
             period,
             payload_len,
@@ -323,7 +328,11 @@ impl Deployment {
                 delivered as f64 / generated as f64
             },
             latency: stats.summary("collect_latency_s"),
-            mean_duty_cycle: if non_root == 0 { 0.0 } else { duty / non_root as f64 },
+            mean_duty_cycle: if non_root == 0 {
+                0.0
+            } else {
+                duty / non_root as f64
+            },
             orphans,
             alive_fraction: alive as f64 / self.nodes.len() as f64,
         }
@@ -346,10 +355,17 @@ impl<M: iiot_mac::Mac> ReportableNode for DodagNode<M> {
         self.collected().len()
     }
     fn collected_from(&self, origin: NodeId) -> usize {
-        self.collected().iter().filter(|c| c.origin == origin).count()
+        self.collected()
+            .iter()
+            .filter(|c| c.origin == origin)
+            .count()
     }
     fn latest_from(&self, origin: NodeId) -> Option<iiot_routing::Collected> {
-        self.collected().iter().rev().find(|c| c.origin == origin).cloned()
+        self.collected()
+            .iter()
+            .rev()
+            .find(|c| c.origin == origin)
+            .cloned()
     }
 }
 
@@ -361,10 +377,17 @@ impl<M: iiot_mac::Mac> ReportableNode for StaticCollection<M> {
         self.collected().len()
     }
     fn collected_from(&self, origin: NodeId) -> usize {
-        self.collected().iter().filter(|c| c.origin == origin).count()
+        self.collected()
+            .iter()
+            .filter(|c| c.origin == origin)
+            .count()
     }
     fn latest_from(&self, origin: NodeId) -> Option<iiot_routing::Collected> {
-        self.collected().iter().rev().find(|c| c.origin == origin).cloned()
+        self.collected()
+            .iter()
+            .rev()
+            .find(|c| c.origin == origin)
+            .cloned()
     }
 }
 

@@ -109,10 +109,7 @@ pub struct MvRegister<T> {
 impl<T: PartialEq> PartialEq for MvRegister<T> {
     fn eq(&self, other: &Self) -> bool {
         self.versions.len() == other.versions.len()
-            && self
-                .versions
-                .iter()
-                .all(|v| other.versions.contains(v))
+            && self.versions.iter().all(|v| other.versions.contains(v))
     }
 }
 
@@ -181,11 +178,7 @@ impl<T: Clone + PartialEq> Crdt for MvRegister<T> {
                 .iter()
                 .chain(other.versions.iter())
                 .any(|(c2, _)| c2.dominates(clock) && c2 != clock);
-            if !dominated
-                && !merged
-                    .iter()
-                    .any(|(c2, v2)| c2 == clock && v2 == value)
-            {
+            if !dominated && !merged.iter().any(|(c2, v2)| c2 == clock && v2 == value) {
                 merged.push((clock.clone(), value.clone()));
             }
         }

@@ -24,9 +24,7 @@ impl From<u64> for ReplicaId {
 }
 
 /// A single event identifier: the `counter`-th event of `replica`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct Dot {
     /// The replica that produced the event.
     pub replica: ReplicaId,

@@ -3,8 +3,8 @@
 //! gossip schedule that eventually connects everyone.
 
 use iiot_crdt::{
-    Crdt, GCounter, GSet, LwwMap, LwwRegister, MvRegister, OrSet, PnCounter, ReplicaId,
-    TwoPSet, VClock,
+    Crdt, GCounter, GSet, LwwMap, LwwRegister, MvRegister, OrSet, PnCounter, ReplicaId, TwoPSet,
+    VClock,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;

@@ -8,8 +8,8 @@
 //! [`merge_all`] agreement.
 
 use iiot_crdt::{
-    merge_all, Crdt, GCounter, GSet, LwwMap, LwwRegister, MvRegister, OrSet, PnCounter,
-    ReplicaId, TwoPSet,
+    merge_all, Crdt, GCounter, GSet, LwwMap, LwwRegister, MvRegister, OrSet, PnCounter, ReplicaId,
+    TwoPSet,
 };
 use proptest::prelude::*;
 use std::fmt::Debug;

@@ -81,10 +81,7 @@ pub fn diagnose(s: &Symptoms) -> Finding {
     } else if s.received == 0 && s.neighbors_healthy {
         (Cause::NodeDown, 0.85)
     } else if s.mac_fail_ratio > FLAKY_FLOOR {
-        (
-            Cause::FlakyLink,
-            (0.5 + s.mac_fail_ratio / 2.0).min(0.95),
-        )
+        (Cause::FlakyLink, (0.5 + s.mac_fail_ratio / 2.0).min(0.95))
     } else if s.queue_drops > 0 {
         (Cause::Congested, 0.7)
     } else {

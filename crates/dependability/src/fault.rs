@@ -152,7 +152,11 @@ impl FaultPlan {
                         world.schedule(h, move |w| w.unblock_link(a, b));
                     }
                 }
-                Fault::Partition { groups, at, heal_at } => {
+                Fault::Partition {
+                    groups,
+                    at,
+                    heal_at,
+                } => {
                     world.schedule(at, move |w| {
                         for (i, &g) in groups.iter().enumerate() {
                             w.medium_mut().set_group(NodeId(i as u32), g);
@@ -175,7 +179,9 @@ mod tests {
 
     fn idle_world(n: usize) -> World {
         let mut w = World::new(SimConfig::default());
-        w.add_nodes(&Topology::line(n, 10.0), |_| Box::new(Idle) as Box<dyn Proto>);
+        w.add_nodes(&Topology::line(n, 10.0), |_| {
+            Box::new(Idle) as Box<dyn Proto>
+        });
         w
     }
 

@@ -25,7 +25,7 @@ impl Default for Zone {
     fn default() -> Self {
         Zone {
             temp_c: 21.0,
-            tau_s: 4.0 * 3600.0, // leaky office: 4 h time constant
+            tau_s: 4.0 * 3600.0,       // leaky office: 4 h time constant
             heater_gain: 8.0 / 3600.0, // +8 C per hour at full blast
             heater_kw: 6.0,
         }

@@ -152,7 +152,9 @@ pub fn vote(readings: &[Option<f64>], tolerance: f64) -> Vote {
 /// Analytic probability that at least `need` of `n` replicas work, each
 /// independently working with probability `q`.
 pub fn k_of_n_prob(n: u32, need: u32, q: f64) -> f64 {
-    (need..=n).map(|i| binom(n, i) * q.powi(i as i32) * (1.0 - q).powi((n - i) as i32)).sum()
+    (need..=n)
+        .map(|i| binom(n, i) * q.powi(i as i32) * (1.0 - q).powi((n - i) as i32))
+        .sum()
 }
 
 fn binom(n: u32, k: u32) -> f64 {

@@ -113,7 +113,9 @@ pub fn simulate_with(
         for (r, store) in stores.iter_mut().enumerate() {
             attempted += 1;
             let my_group = group_of(round, r);
-            let group_size = (0..replicas).filter(|&x| group_of(round, x) == my_group).count();
+            let group_size = (0..replicas)
+                .filter(|&x| group_of(round, x) == my_group)
+                .count();
             let can_write = match design {
                 Design::Ap => true,
                 Design::Cp => group_size * 2 > replicas,
@@ -245,16 +247,28 @@ mod tests {
 
     #[test]
     fn longer_partition_more_divergence_same_convergence() {
-        let short = simulate(Design::Ap, 4, 40, &[PartitionWindow {
-            start: 5,
-            end: 10,
-            groups: vec![0, 0, 1, 1],
-        }], 2);
-        let long = simulate(Design::Ap, 4, 40, &[PartitionWindow {
-            start: 5,
-            end: 30,
-            groups: vec![0, 0, 1, 1],
-        }], 2);
+        let short = simulate(
+            Design::Ap,
+            4,
+            40,
+            &[PartitionWindow {
+                start: 5,
+                end: 10,
+                groups: vec![0, 0, 1, 1],
+            }],
+            2,
+        );
+        let long = simulate(
+            Design::Ap,
+            4,
+            40,
+            &[PartitionWindow {
+                start: 5,
+                end: 30,
+                groups: vec![0, 0, 1, 1],
+            }],
+            2,
+        );
         assert!(long.max_divergence >= short.max_divergence);
         assert!(long.convergence_rounds.expect("heals") <= 2);
     }

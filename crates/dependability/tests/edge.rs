@@ -2,9 +2,7 @@
 
 use iiot_dependability::detector::{FixedTimeoutDetector, PhiAccrualDetector};
 use iiot_dependability::redundancy::{vote, Vote};
-use iiot_dependability::{
-    simulate_replicas, Design, LifeTracker, PartitionWindow,
-};
+use iiot_dependability::{simulate_replicas, Design, LifeTracker, PartitionWindow};
 use iiot_sim::{SimDuration, SimTime};
 
 #[test]
@@ -44,7 +42,9 @@ fn replica_sim_validates_group_width() {
 #[test]
 fn phi_beats_fixed_timeout_on_jittery_trace() {
     // Heartbeats nominally every 1 s with occasional 3 s gaps.
-    let gaps = [1.0f64, 1.0, 3.0, 1.0, 1.0, 1.0, 3.0, 1.0, 1.0, 3.0, 1.0, 1.0];
+    let gaps = [
+        1.0f64, 1.0, 3.0, 1.0, 1.0, 1.0, 3.0, 1.0, 1.0, 3.0, 1.0, 1.0,
+    ];
     let mut now = 0.0;
     let mut fixed_safe = FixedTimeoutDetector::new(SimDuration::from_secs_f64(3.5));
     let mut phi = PhiAccrualDetector::new(16);

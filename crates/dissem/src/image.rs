@@ -173,7 +173,13 @@ impl Image {
         {
             return None;
         }
-        let meta = ImageMeta { version, len, chunk_len, page_chunks, crc };
+        let meta = ImageMeta {
+            version,
+            len,
+            chunk_len,
+            page_chunks,
+            crc,
+        };
         Some(Image { meta, data })
     }
 }
@@ -348,7 +354,10 @@ impl PageStore {
         if !self.complete_ok() {
             return None;
         }
-        Some(Image { meta, data: self.data.clone() })
+        Some(Image {
+            meta,
+            data: self.data.clone(),
+        })
     }
 }
 

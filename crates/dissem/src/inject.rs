@@ -57,7 +57,10 @@ impl BlockInjector {
         self.mid = self.mid.wrapping_add(1);
         let req = Message::request(Code::Put, self.mid, vec![0x0F])
             .with_path("fw")
-            .with_option(option::BLOCK1, BlockOpt::new(self.next, more, szx).to_bytes())
+            .with_option(
+                option::BLOCK1,
+                BlockOpt::new(self.next, more, szx).to_bytes(),
+            )
             .with_payload(bytes);
         ctx.count_node("inject_block_tx", 1.0);
         ctx.wire_send(self.gateway, req.encode());
@@ -66,7 +69,10 @@ impl BlockInjector {
 
 impl Proto for BlockInjector {
     fn start(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.emit(EventKind::RolloutStage { stage: "inject", cohort: self.version });
+        ctx.emit(EventKind::RolloutStage {
+            stage: "inject",
+            cohort: self.version,
+        });
         self.send_block(ctx);
     }
 

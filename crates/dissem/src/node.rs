@@ -8,7 +8,9 @@ use iiot_coap::message::{option, Code, Message};
 use iiot_mac::{Mac, MacError, MacEvent};
 use iiot_routing::trickle::{Trickle, TrickleConfig};
 use iiot_sim::obs::EventKind;
-use iiot_sim::{Ctx, Dst, Frame, NodeId, Proto, RxInfo, SimDuration, SimTime, Timer, TimerId, TxOutcome};
+use iiot_sim::{
+    Ctx, Dst, Frame, NodeId, Proto, RxInfo, SimDuration, SimTime, Timer, TimerId, TxOutcome,
+};
 use rand::Rng;
 use std::collections::VecDeque;
 
@@ -102,7 +104,13 @@ pub struct DissemNode<M: Mac> {
 }
 
 fn encode_adv(meta: Option<ImageMeta>, have: u32) -> Vec<u8> {
-    let m = meta.unwrap_or(ImageMeta { version: 0, len: 0, chunk_len: 1, page_chunks: 1, crc: 0 });
+    let m = meta.unwrap_or(ImageMeta {
+        version: 0,
+        len: 0,
+        chunk_len: 1,
+        page_chunks: 1,
+        crc: 0,
+    });
     let mut out = Vec::with_capacity(16);
     out.extend_from_slice(&m.version.to_be_bytes());
     out.extend_from_slice(&m.len.to_be_bytes());
@@ -232,7 +240,10 @@ impl<M: Mac> DissemNode<M> {
     /// it immediately.
     pub fn install(&mut self, ctx: &mut Ctx<'_>, image: &Image) {
         let ok = self.store.install(image);
-        ctx.emit(EventKind::DissemComplete { version: image.meta().version, ok });
+        ctx.emit(EventKind::DissemComplete {
+            version: image.meta().version,
+            ok,
+        });
         if self.complete_at.is_none() {
             self.complete_at = Some(ctx.now());
         }
@@ -270,7 +281,10 @@ impl<M: Mac> DissemNode<M> {
         let meta = self.store.meta();
         let have = self.store.have_pages();
         let body = encode_adv(meta, have);
-        ctx.emit(EventKind::DissemAdv { version: meta.map_or(0, |m| m.version), have });
+        ctx.emit(EventKind::DissemAdv {
+            version: meta.map_or(0, |m| m.version),
+            have,
+        });
         ctx.count_node("dissem_adv_tx", 1.0);
         match &self.cfg.adv_peers {
             None => self.enqueue(ctx, Dst::Broadcast, PORT_ADV, body),
@@ -310,9 +324,17 @@ impl<M: Mac> DissemNode<M> {
             Some(f) if f.page == page => f.missing,
             _ => missing_mask(&meta, page, |_| false),
         };
-        ctx.emit(EventKind::DissemReq { version: meta.version, page });
+        ctx.emit(EventKind::DissemReq {
+            version: meta.version,
+            page,
+        });
         ctx.count_node("dissem_req_tx", 1.0);
-        self.enqueue(ctx, Dst::Unicast(src), PORT_REQ, encode_req(meta.version, page, missing));
+        self.enqueue(
+            ctx,
+            Dst::Unicast(src),
+            PORT_REQ,
+            encode_req(meta.version, page, missing),
+        );
         // Keep retrying until data flows (each accepted chunk pushes
         // the retry further out).
         self.arm_req(ctx, self.cfg.req_backoff * 4);
@@ -381,7 +403,14 @@ impl<M: Mac> DissemNode<M> {
         }
     }
 
-    fn handle_req(&mut self, ctx: &mut Ctx<'_>, src: NodeId, version: u32, page: u32, missing: u64) {
+    fn handle_req(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src: NodeId,
+        version: u32,
+        page: u32,
+        missing: u64,
+    ) {
         // Note: a quarantined node still serves — dissemination moves
         // bits regardless of the image verdict (Deluge's separation of
         // transport from activation). Containment of a bad build is
@@ -393,7 +422,11 @@ impl<M: Mac> DissemNode<M> {
             return;
         };
         let meta = self.store.meta().expect("page served");
-        let dst = if self.cfg.unicast_data { Dst::Unicast(src) } else { Dst::Broadcast };
+        let dst = if self.cfg.unicast_data {
+            Dst::Unicast(src)
+        } else {
+            Dst::Broadcast
+        };
         let key_dst = dst_key(dst);
         for c in 0..meta.chunks_in_page(page) {
             if missing & (1 << c) == 0 {
@@ -408,7 +441,12 @@ impl<M: Mac> DissemNode<M> {
                 continue;
             };
             self.queued.push((key_dst, page, c));
-            self.enqueue(ctx, dst, PORT_DATA, encode_data(version, page, c, crc, &bytes));
+            self.enqueue(
+                ctx,
+                dst,
+                PORT_DATA,
+                encode_data(version, page, c, crc, &bytes),
+            );
         }
     }
 
@@ -457,12 +495,22 @@ impl<M: Mac> DissemNode<M> {
         }
         self.fetch = None;
         if self.store.verify_page(page, crc.expect("set above")) {
-            ctx.emit(EventKind::DissemPage { page, have: self.store.have_pages() });
+            ctx.emit(EventKind::DissemPage {
+                page,
+                have: self.store.have_pages(),
+            });
             ctx.count_node("dissem_page_ok", 1.0);
             if self.store.first_missing_page().is_none() {
                 let ok = self.store.finalize();
                 ctx.emit(EventKind::DissemComplete { version, ok });
-                ctx.count_node(if ok { "dissem_complete" } else { "dissem_reject" }, 1.0);
+                ctx.count_node(
+                    if ok {
+                        "dissem_complete"
+                    } else {
+                        "dissem_reject"
+                    },
+                    1.0,
+                );
                 if ok && self.complete_at.is_none() {
                     self.complete_at = Some(ctx.now());
                 }
@@ -479,7 +527,12 @@ impl<M: Mac> DissemNode<M> {
     fn handle_mac_events(&mut self, ctx: &mut Ctx<'_>, events: Vec<MacEvent>) {
         for ev in events {
             match ev {
-                MacEvent::Delivered { src, upper_port, payload, .. } => match upper_port {
+                MacEvent::Delivered {
+                    src,
+                    upper_port,
+                    payload,
+                    ..
+                } => match upper_port {
                     PORT_ADV => {
                         if let Some((meta, have)) = decode_adv(&payload) {
                             self.handle_adv(ctx, src, meta, have);

@@ -43,7 +43,10 @@ impl RolloutPlan {
             .map(|c| c.into_iter().filter(|&n| seen.insert(n)).collect())
             .filter(|c: &Vec<NodeId>| !c.is_empty())
             .collect();
-        RolloutPlan { cohorts, check_period }
+        RolloutPlan {
+            cohorts,
+            check_period,
+        }
     }
 
     /// A single-wave ("flat") plan: everyone at once, no canary.
@@ -71,7 +74,12 @@ struct RolloutState {
 /// of activated nodes as the cohort payload — the blast radius) when
 /// any activated node quarantines the image.
 pub fn drive<M: Mac>(world: &mut World, gateway: NodeId, plan: RolloutPlan, at: SimTime) {
-    let st = RolloutState { plan, gateway, next: 0, active: Vec::new() };
+    let st = RolloutState {
+        plan,
+        gateway,
+        next: 0,
+        active: Vec::new(),
+    };
     world.schedule(at, move |w| step::<M>(w, st));
 }
 
@@ -86,7 +94,10 @@ fn step<M: Mac>(w: &mut World, mut st: RolloutState) {
     if blast > 0 {
         let radius = st.active.len() as u32;
         w.with_ctx(st.gateway, |_, ctx| {
-            ctx.emit(EventKind::RolloutStage { stage: "halted", cohort: radius });
+            ctx.emit(EventKind::RolloutStage {
+                stage: "halted",
+                cohort: radius,
+            });
         });
         return;
     }
@@ -97,7 +108,10 @@ fn step<M: Mac>(w: &mut World, mut st: RolloutState) {
     if wave_done {
         if st.next >= st.plan.cohorts.len() {
             w.with_ctx(st.gateway, |_, ctx| {
-                ctx.emit(EventKind::RolloutStage { stage: "done", cohort: st.next as u32 });
+                ctx.emit(EventKind::RolloutStage {
+                    stage: "done",
+                    cohort: st.next as u32,
+                });
             });
             return;
         }

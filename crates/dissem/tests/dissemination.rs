@@ -14,7 +14,12 @@ use iiot_sim::prelude::*;
 type CsmaNode = DissemNode<CsmaMac>;
 
 fn image(version: u32, len: usize) -> Image {
-    Image::build(version, (0..len).map(|i| (i * 7 % 256) as u8).collect(), 30, 4)
+    Image::build(
+        version,
+        (0..len).map(|i| (i * 7 % 256) as u8).collect(),
+        30,
+        4,
+    )
 }
 
 fn csma_line(n: usize, seed: u64, enabled: bool) -> (World, Vec<NodeId>) {
@@ -22,7 +27,10 @@ fn csma_line(n: usize, seed: u64, enabled: bool) -> (World, Vec<NodeId>) {
     let ids = w.add_nodes(&Topology::line(n, 20.0), move |_| {
         Box::new(DissemNode::new(
             CsmaMac::new(CsmaConfig::default()),
-            DissemConfig { enabled, ..DissemConfig::default() },
+            DissemConfig {
+                enabled,
+                ..DissemConfig::default()
+            },
         )) as Box<dyn Proto>
     });
     (w, ids)
@@ -32,7 +40,10 @@ fn install_at(w: &mut World, node: NodeId, img: &Image, at: SimTime) {
     let img = img.clone();
     w.schedule(at, move |w| {
         w.with_ctx(node, move |p, ctx| {
-            p.as_any_mut().downcast_mut::<CsmaNode>().unwrap().install(ctx, &img);
+            p.as_any_mut()
+                .downcast_mut::<CsmaNode>()
+                .unwrap()
+                .install(ctx, &img);
         });
     });
 }
@@ -59,7 +70,10 @@ fn coap_injection_reaches_the_gateway() {
         Box::new(BlockInjector::new(ids[0], &img, 64)),
     );
     w.run_for(SimDuration::from_secs(90));
-    assert!(w.proto::<BlockInjector>(backend).done(), "transfer unfinished");
+    assert!(
+        w.proto::<BlockInjector>(backend).done(),
+        "transfer unfinished"
+    );
     for &id in &ids {
         assert!(w.proto::<CsmaNode>(id).complete_ok(), "{id:?} incomplete");
     }
@@ -82,12 +96,18 @@ fn crash_resume_vs_wipe_restart() {
         w.run_until(crash_at + SimDuration::from_secs(1));
         let held_down = w.proto::<CsmaNode>(victim).store().have_pages();
         w.run_for(SimDuration::from_secs(180));
-        assert!(w.proto::<CsmaNode>(victim).complete_ok(), "victim incomplete");
+        assert!(
+            w.proto::<CsmaNode>(victim).complete_ok(),
+            "victim incomplete"
+        );
         (held_down, w.stats().node_total("dissem_page_ok"))
     };
     let (kept_ram, pages_ram) = run(StateLoss::Ram);
     let (kept_full, pages_full) = run(StateLoss::Full);
-    assert!(kept_ram > 0, "crash must hit mid-download for this test to bite");
+    assert!(
+        kept_ram > 0,
+        "crash must hit mid-download for this test to bite"
+    );
     assert_eq!(kept_full, 0, "wiped node kept flash pages");
     assert!(
         pages_full > pages_ram,
@@ -98,7 +118,12 @@ fn crash_resume_vs_wipe_restart() {
 #[test]
 fn poisoned_image_spreads_but_never_activates() {
     let (mut w, ids) = csma_line(3, 14, true);
-    install_at(&mut w, ids[0], &image(4, 400).poisoned(), SimTime::from_secs(1));
+    install_at(
+        &mut w,
+        ids[0],
+        &image(4, 400).poisoned(),
+        SimTime::from_secs(1),
+    );
     w.run_for(SimDuration::from_secs(120));
     // Transport is verdict-blind (Deluge): the bad build reaches every
     // enabled node, and every one of them rejects it at the image CRC.
@@ -113,18 +138,30 @@ fn poisoned_image_spreads_but_never_activates() {
 #[test]
 fn staged_rollout_halts_poison_at_canary() {
     let (mut w, ids) = csma_line(4, 15, false);
-    install_at(&mut w, ids[0], &image(5, 400).poisoned(), SimTime::from_secs(1));
+    install_at(
+        &mut w,
+        ids[0],
+        &image(5, 400).poisoned(),
+        SimTime::from_secs(1),
+    );
     let plan = RolloutPlan::new(
         vec![vec![ids[1]], vec![ids[2]], vec![ids[3]]],
         SimDuration::from_secs(5),
     );
     rollout::drive::<CsmaMac>(&mut w, ids[0], plan, SimTime::from_secs(2));
     w.run_for(SimDuration::from_secs(300));
-    assert!(w.proto::<CsmaNode>(ids[1]).poisoned(), "canary should reject");
+    assert!(
+        w.proto::<CsmaNode>(ids[1]).poisoned(),
+        "canary should reject"
+    );
     for &id in &ids[2..] {
         let n = w.proto::<CsmaNode>(id);
         assert!(!n.is_enabled(), "{id:?} activated after the halt");
-        assert_eq!(n.store().have_pages(), 0, "{id:?} received pages while disabled");
+        assert_eq!(
+            n.store().have_pages(),
+            0,
+            "{id:?} received pages while disabled"
+        );
     }
 }
 
@@ -148,7 +185,13 @@ fn tdma_tree_schedule_carries_the_image() {
     type TdmaNode = DissemNode<TdmaMac>;
     let n = 4;
     let parents: Vec<Option<NodeId>> = (0..n)
-        .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
+        .map(|i| {
+            if i == 0 {
+                None
+            } else {
+                Some(NodeId(i as u32 - 1))
+            }
+        })
         .collect();
     let sched = TdmaSchedule::tree_edges(&parents, SimDuration::from_millis(20));
     let frame = sched.frame_len();
@@ -163,7 +206,9 @@ fn tdma_tree_schedule_carries_the_image() {
             peers.push(p);
         }
         peers.extend(
-            (0..n).filter(|&c| p2[c] == Some(me)).map(|c| NodeId(c as u32)),
+            (0..n)
+                .filter(|&c| p2[c] == Some(me))
+                .map(|c| NodeId(c as u32)),
         );
         Box::new(DissemNode::new(
             TdmaMac::new(TdmaConfig::default(), sched.clone()),
@@ -184,7 +229,10 @@ fn tdma_tree_schedule_carries_the_image() {
     let gw = ids[0];
     w.schedule(SimTime::from_secs(2), move |w| {
         w.with_ctx(gw, move |p, ctx| {
-            p.as_any_mut().downcast_mut::<TdmaNode>().unwrap().install(ctx, &img);
+            p.as_any_mut()
+                .downcast_mut::<TdmaNode>()
+                .unwrap()
+                .install(ctx, &img);
         });
     });
     w.run_for(SimDuration::from_secs(240));

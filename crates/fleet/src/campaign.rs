@@ -90,7 +90,13 @@ impl FleetCampaign {
             .map(|c| c.into_iter().filter(|&n| seen.insert(n)).collect())
             .filter(|c: &Vec<NetworkId>| !c.is_empty())
             .collect();
-        FleetCampaign { cohorts, next: 0, active: Vec::new(), gate, phase: CampaignPhase::Pending }
+        FleetCampaign {
+            cohorts,
+            next: 0,
+            active: Vec::new(),
+            gate,
+            phase: CampaignPhase::Pending,
+        }
     }
 
     /// A staged campaign over networks `0..networks`: the first
@@ -178,7 +184,10 @@ impl FleetCampaign {
         };
         self.active.extend(cohort.iter().copied());
         self.next += 1;
-        vec![CampaignAction::Activate { networks: cohort, stage }]
+        vec![CampaignAction::Activate {
+            networks: cohort,
+            stage,
+        }]
     }
 }
 
@@ -209,7 +218,10 @@ mod tests {
         let first = c.step(&[]);
         assert_eq!(
             first,
-            vec![CampaignAction::Activate { networks: vec![NetworkId(0)], stage: "canary" }]
+            vec![CampaignAction::Activate {
+                networks: vec![NetworkId(0)],
+                stage: "canary"
+            }]
         );
         assert_eq!(c.phase(), CampaignPhase::Canary);
         // Canary not done yet: nothing happens.
@@ -232,28 +244,46 @@ mod tests {
         let mut c = FleetCampaign::staged(8, 1, 2, HealthGate::default());
         c.step(&[]);
         let out = c.step(&[report(0, false, true)]);
-        assert_eq!(out, vec![CampaignAction::Halt { reason: "poisoned", activated: 1 }]);
+        assert_eq!(
+            out,
+            vec![CampaignAction::Halt {
+                reason: "poisoned",
+                activated: 1
+            }]
+        );
         assert_eq!(c.phase(), CampaignPhase::Halted);
         assert_eq!(c.activated().len(), 1, "blast radius is the canary alone");
-        assert!(c.step(&[report(0, true, false)]).is_empty(), "halt is final");
+        assert!(
+            c.step(&[report(0, true, false)]).is_empty(),
+            "halt is final"
+        );
     }
 
     #[test]
     fn health_regression_on_a_canary_halts_too() {
-        let gate = HealthGate { min_alive_pct: 90.0, ..HealthGate::default() };
+        let gate = HealthGate {
+            min_alive_pct: 90.0,
+            ..HealthGate::default()
+        };
         let mut c = FleetCampaign::staged(4, 1, 1, gate);
         c.step(&[]);
         let mut r = report(0, true, false);
         r.health.alive = 7; // 7/9 alive = 77% < 90%
         let out = c.step(&[r]);
-        assert_eq!(out, vec![CampaignAction::Halt { reason: "health", activated: 1 }]);
+        assert_eq!(
+            out,
+            vec![CampaignAction::Halt {
+                reason: "health",
+                activated: 1
+            }]
+        );
     }
 
     #[test]
     fn missing_reports_pause_rather_than_advance() {
         let mut c = FleetCampaign::staged(4, 1, 1, HealthGate::default());
         c.step(&[]); // canary (network 0) active
-        // Network 0 partitioned: no report. The campaign must not move.
+                     // Network 0 partitioned: no report. The campaign must not move.
         assert!(c.step(&[report(1, true, false)]).is_empty());
         assert_eq!(c.phase(), CampaignPhase::Canary);
     }

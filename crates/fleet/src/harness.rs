@@ -238,7 +238,12 @@ fn grid_rings(side: usize) -> Vec<Vec<NodeId>> {
 
 fn emit(rec: &mut Option<Box<dyn Recorder>>, t: SimTime, node: u32, kind: EventKind) {
     if let Some(r) = rec {
-        r.record(&Event { t, node: NodeId(node), span: SpanId::NONE, kind });
+        r.record(&Event {
+            t,
+            node: NodeId(node),
+            span: SpanId::NONE,
+            kind,
+        });
     }
 }
 
@@ -254,7 +259,10 @@ fn build_network(net: u32, cfg: &FleetConfig, seed_val: u64, img: &Image) -> Net
         .nodes(topo, |_| {
             Box::new(DissemNode::new(
                 CsmaMac::new(CsmaConfig::default()),
-                DissemConfig { enabled: false, ..DissemConfig::default() },
+                DissemConfig {
+                    enabled: false,
+                    ..DissemConfig::default()
+                },
             )) as Box<dyn Proto>
         })
         .build();
@@ -270,8 +278,10 @@ fn build_network(net: u32, cfg: &FleetConfig, seed_val: u64, img: &Image) -> Net
     });
 
     let device_cfg: Arc<Mutex<BTreeMap<u32, f64>>> = Arc::new(Mutex::new(BTreeMap::new()));
-    let mut cfg_server: CoapEndpoint<u64> =
-        CoapEndpoint::new(EndpointConfig::default(), seed::derive(seed_val, 1_000 + u64::from(net)));
+    let mut cfg_server: CoapEndpoint<u64> = CoapEndpoint::new(
+        EndpointConfig::default(),
+        seed::derive(seed_val, 1_000 + u64::from(net)),
+    );
     for i in 0..per_net {
         let gid = net * per_net + i;
         let store = Arc::clone(&device_cfg);
@@ -323,10 +333,15 @@ pub fn run_fleet(cfg: &FleetConfig, seed_val: u64) -> FleetOutcome {
             40,
             8,
         );
-        if cfg.poisoned { base.poisoned() } else { base }
+        if cfg.poisoned {
+            base.poisoned()
+        } else {
+            base
+        }
     };
-    let mut nets: Vec<Network> =
-        (0..cfg.networks).map(|n| build_network(n, cfg, seed_val, &img)).collect();
+    let mut nets: Vec<Network> = (0..cfg.networks)
+        .map(|n| build_network(n, cfg, seed_val, &img))
+        .collect();
     let mut campaign = if cfg.staged {
         FleetCampaign::staged(cfg.networks, cfg.canaries, cfg.waves, cfg.gate)
     } else {
@@ -386,7 +401,8 @@ pub fn run_fleet(cfg: &FleetConfig, seed_val: u64) -> FleetOutcome {
                     .copied()
                     .unwrap_or(DEFAULT_INTERVAL);
                 if net.last_reported.get(&(gid, INTERVAL_KEY)) != Some(&interval) {
-                    net.gw_twins.report(TENANT, gid, now_us, writer, INTERVAL_KEY, interval);
+                    net.gw_twins
+                        .report(TENANT, gid, now_us, writer, INTERVAL_KEY, interval);
                     net.last_reported.insert((gid, INTERVAL_KEY), interval);
                 }
             }
@@ -428,7 +444,12 @@ pub fn run_fleet(cfg: &FleetConfig, seed_val: u64) -> FleetOutcome {
         }
         for (&device, &keys) in &keys_per_device {
             if drifted_seen.insert(device) {
-                emit(&mut rec, now, device / per_net, EventKind::FleetDrift { device, keys });
+                emit(
+                    &mut rec,
+                    now,
+                    device / per_net,
+                    EventKind::FleetDrift { device, keys },
+                );
             }
         }
         for item in &items {
@@ -444,13 +465,19 @@ pub fn run_fleet(cfg: &FleetConfig, seed_val: u64) -> FleetOutcome {
             if net.router.pending() > 0 && !partitioned(cfg, n as u32, now) {
                 for o in net.router.flush(&mut net.cfg_server, now) {
                     let device = drift::device_of_path(&o.point).unwrap_or(0);
-                    emit(&mut rec, now, n as u32, EventKind::FleetRemediate { device, ok: o.ok });
+                    emit(
+                        &mut rec,
+                        now,
+                        n as u32,
+                        EventKind::FleetRemediate { device, ok: o.ok },
+                    );
                     if o.ok {
                         remediations_ok += 1;
                     } else {
                         remediations_failed += 1;
                         // Allow a retry on the next drift scan.
-                        submitted.remove(&(device, o.point.rsplit('/').next().unwrap_or("").to_owned()));
+                        submitted
+                            .remove(&(device, o.point.rsplit('/').next().unwrap_or("").to_owned()));
                     }
                 }
             }
@@ -492,7 +519,10 @@ pub fn run_fleet(cfg: &FleetConfig, seed_val: u64) -> FleetOutcome {
                         &mut rec,
                         now,
                         networks.first().map_or(0, |n| n.0),
-                        EventKind::FleetPhase { stage, networks: networks.len() as u32 },
+                        EventKind::FleetPhase {
+                            stage,
+                            networks: networks.len() as u32,
+                        },
                     );
                     for nid in networks {
                         let net = &mut nets[nid.0 as usize];
@@ -522,11 +552,7 @@ pub fn run_fleet(cfg: &FleetConfig, seed_val: u64) -> FleetOutcome {
                             // roughly every check period (10 s); the
                             // far corner sits in the last ring.
                             let rings = 2 * (cfg.side as u64 - 1);
-                            let crash_after = if cfg.staged {
-                                10 * (rings - 1) + 2
-                            } else {
-                                2
-                            };
+                            let crash_after = if cfg.staged { 10 * (rings - 1) + 2 } else { 2 };
                             let mut plan = FaultPlan::new();
                             plan.push(Fault::CrashRecover {
                                 node: *net.ids.last().expect("non-empty grid"),
@@ -538,19 +564,32 @@ pub fn run_fleet(cfg: &FleetConfig, seed_val: u64) -> FleetOutcome {
                         net.activated = true;
                     }
                 }
-                CampaignAction::Halt { reason: _, activated } => {
-                    emit(&mut rec, now, 0, EventKind::FleetPhase {
-                        stage: "halted",
-                        networks: activated,
-                    });
+                CampaignAction::Halt {
+                    reason: _,
+                    activated,
+                } => {
+                    emit(
+                        &mut rec,
+                        now,
+                        0,
+                        EventKind::FleetPhase {
+                            stage: "halted",
+                            networks: activated,
+                        },
+                    );
                     halted = true;
                     done_at.get_or_insert(now);
                 }
                 CampaignAction::Done => {
-                    emit(&mut rec, now, 0, EventKind::FleetPhase {
-                        stage: "done",
-                        networks: cfg.networks,
-                    });
+                    emit(
+                        &mut rec,
+                        now,
+                        0,
+                        EventKind::FleetPhase {
+                            stage: "done",
+                            networks: cfg.networks,
+                        },
+                    );
                     done_at.get_or_insert(now);
                 }
             }
@@ -578,10 +617,12 @@ pub fn run_fleet(cfg: &FleetConfig, seed_val: u64) -> FleetOutcome {
                 last_poisoned = poisoned_now;
             }
         }
-        let campaign_settled =
-            matches!(campaign.phase(), CampaignPhase::Done | CampaignPhase::Halted);
-        let drift_settled = cfg.desired_change.is_none()
-            || (desired_applied && drift_cleared_at.is_some());
+        let campaign_settled = matches!(
+            campaign.phase(),
+            CampaignPhase::Done | CampaignPhase::Halted
+        );
+        let drift_settled =
+            cfg.desired_change.is_none() || (desired_applied && drift_cleared_at.is_some());
         let partition_over = cfg.partition.as_ref().is_none_or(|p| now >= p.until);
         let twins_settled = if cfg.poisoned {
             last_poisoned > 0 && poison_stable >= 6
@@ -617,9 +658,7 @@ pub fn run_fleet(cfg: &FleetConfig, seed_val: u64) -> FleetOutcome {
             let lags: Vec<f64> = net
                 .local_done
                 .iter()
-                .filter_map(|(gid, &t)| {
-                    cloud_seen.get(gid).map(|&seen| (seen - t).as_secs_f64())
-                })
+                .filter_map(|(gid, &t)| cloud_seen.get(gid).map(|&seen| (seen - t).as_secs_f64()))
                 .collect();
             if lags.is_empty() {
                 0.0
@@ -678,7 +717,10 @@ mod tests {
 
     #[test]
     fn a_poisoned_build_halts_at_the_canary_network() {
-        let cfg = FleetConfig { poisoned: true, ..small(4) };
+        let cfg = FleetConfig {
+            poisoned: true,
+            ..small(4)
+        };
         let o = run_fleet(&cfg, 0xF1EE7);
         assert!(o.halted);
         assert_eq!(o.networks_activated, 1, "blast radius: the canary network");
@@ -692,7 +734,11 @@ mod tests {
 
     #[test]
     fn a_flat_fleet_poisons_everything() {
-        let cfg = FleetConfig { poisoned: true, staged: false, ..small(2) };
+        let cfg = FleetConfig {
+            poisoned: true,
+            staged: false,
+            ..small(2)
+        };
         let o = run_fleet(&cfg, 0xF1EE7);
         assert_eq!(o.networks_activated, 2, "flat: everyone activates at once");
         assert!(

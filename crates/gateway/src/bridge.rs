@@ -6,7 +6,7 @@
 use crate::bus::Bus;
 use crate::model::{Adapter, DeviceInfo, Measurement, WriteError};
 use iiot_coap::resource::Response;
-use iiot_coap::{Code, CoapEndpoint, EndpointConfig};
+use iiot_coap::{CoapEndpoint, Code, EndpointConfig};
 use iiot_crdt::{Crdt, LwwMap, ReplicaId};
 use iiot_sim::SimTime;
 use parking_lot::Mutex;
@@ -278,7 +278,8 @@ impl CloudUplink {
                 device: m.device,
             })
             .collect();
-        self.forwarded.set(self.forwarded.get() + records.len() as u64);
+        self.forwarded
+            .set(self.forwarded.get() + records.len() as u64);
         records
     }
 
@@ -397,7 +398,12 @@ mod tests {
         }
         let ev = client.take_events();
         match &ev[0] {
-            CoapEvent::Response { token: t, code, payload, .. } => {
+            CoapEvent::Response {
+                token: t,
+                code,
+                payload,
+                ..
+            } => {
                 assert_eq!(t, &token);
                 assert_eq!(*code, Code::Content);
                 let text = String::from_utf8_lossy(payload);
@@ -420,7 +426,13 @@ mod tests {
             client.handle_datagram(0, &dgram, SimTime::ZERO);
         }
         let ev = client.take_events();
-        assert!(matches!(&ev[0], CoapEvent::Response { code: Code::ServiceUnavailable, .. }));
+        assert!(matches!(
+            &ev[0],
+            CoapEvent::Response {
+                code: Code::ServiceUnavailable,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -436,7 +448,13 @@ mod tests {
             client.handle_datagram(0, &dgram, SimTime::ZERO);
         }
         let ev = client.take_events();
-        assert!(matches!(&ev[0], CoapEvent::Response { code: Code::Changed, .. }));
+        assert!(matches!(
+            &ev[0],
+            CoapEvent::Response {
+                code: Code::Changed,
+                ..
+            }
+        ));
         // The write lands on the device at the next cycle.
         gw.poll_all(1);
         assert!((gw.last("plant/boiler/setpoint").expect("written").value - 75.5).abs() < 1e-9);
@@ -455,7 +473,13 @@ mod tests {
             client.handle_datagram(0, &dgram, SimTime::ZERO);
         }
         let ev = client.take_events();
-        assert!(matches!(&ev[0], CoapEvent::Response { code: Code::MethodNotAllowed, .. }));
+        assert!(matches!(
+            &ev[0],
+            CoapEvent::Response {
+                code: Code::MethodNotAllowed,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -480,9 +504,15 @@ mod tests {
         )));
         b.poll_all(200);
         a.merge_peer_cache(b.crdt_cache());
-        assert_eq!(a.crdt_cache().get(&"plant/boiler/temp".to_string()), Some(&90.0));
+        assert_eq!(
+            a.crdt_cache().get(&"plant/boiler/temp".to_string()),
+            Some(&90.0)
+        );
         // Points only A had survive the merge.
-        assert!(a.crdt_cache().get(&"plant/office/temp".to_string()).is_some());
+        assert!(a
+            .crdt_cache()
+            .get(&"plant/office/temp".to_string())
+            .is_some());
     }
 
     #[test]
@@ -498,17 +528,23 @@ mod tests {
             client.handle_datagram(0, &dgram, SimTime::ZERO);
         }
         client.take_events(); // registration response
-        // Plant changes; next poll notifies.
-        // (Reach into the modbus adapter's device via a fresh poll with
-        // a changed register is not directly possible here, but the
-        // notify fires on every poll regardless.)
+                              // Plant changes; next poll notifies.
+                              // (Reach into the modbus adapter's device via a fresh poll with
+                              // a changed register is not directly possible here, but the
+                              // notify fires on every poll regardless.)
         gw.poll_all(1_000);
         for (_, dgram) in gw.coap_mut().take_outbox() {
             client.handle_datagram(0, &dgram, SimTime::ZERO);
         }
         let ev = client.take_events();
         assert_eq!(ev.len(), 1, "one notification per poll: {ev:?}");
-        assert!(matches!(&ev[0], CoapEvent::Response { observe: Some(_), .. }));
+        assert!(matches!(
+            &ev[0],
+            CoapEvent::Response {
+                observe: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -233,9 +233,18 @@ mod tests {
             "tag-1",
             d,
             vec![
-                CharMap { handle: 0x0010, point: "room/temp".into() },
-                CharMap { handle: 0x0012, point: "room/hum".into() },
-                CharMap { handle: 0x0014, point: "room/batt".into() },
+                CharMap {
+                    handle: 0x0010,
+                    point: "room/temp".into(),
+                },
+                CharMap {
+                    handle: 0x0012,
+                    point: "room/hum".into(),
+                },
+                CharMap {
+                    handle: 0x0014,
+                    point: "room/batt".into(),
+                },
             ],
         );
         let ms = a.poll(5);
@@ -255,7 +264,10 @@ mod tests {
         let mut a = GattAdapter::new(
             "tag-2",
             d,
-            vec![CharMap { handle: 0x0020, point: "x".into() }],
+            vec![CharMap {
+                handle: 0x0020,
+                point: "x".into(),
+            }],
         );
         let ms = a.poll(0);
         assert_eq!(ms[0].quality, Quality::Bad);
@@ -267,7 +279,10 @@ mod tests {
         let mut a = GattAdapter::new(
             "tag-3",
             device(),
-            vec![CharMap { handle: 0x0010, point: "t".into() }],
+            vec![CharMap {
+                handle: 0x0010,
+                point: "t".into(),
+            }],
         );
         assert_eq!(a.write("t", 1.0), Err(WriteError::ReadOnly));
         assert_eq!(a.write("zzz", 1.0), Err(WriteError::NoSuchPoint));
@@ -279,8 +294,14 @@ mod tests {
             "tag-4",
             device(),
             vec![
-                CharMap { handle: 0x0010, point: "t".into() },
-                CharMap { handle: 0x0014, point: "b".into() },
+                CharMap {
+                    handle: 0x0010,
+                    point: "t".into(),
+                },
+                CharMap {
+                    handle: 0x0014,
+                    point: "b".into(),
+                },
             ],
         );
         let pts = a.points();

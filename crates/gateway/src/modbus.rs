@@ -344,7 +344,9 @@ mod tests {
     fn device_exceptions() {
         let mut dev = ModbusDevice::new(7, 4);
         // Out-of-range read -> IllegalAddress.
-        let resp = dev.handle(&client::read_holding_req(7, 2, 10)).expect("resp");
+        let resp = dev
+            .handle(&client::read_holding_req(7, 2, 10))
+            .expect("resp");
         assert_eq!(
             client::parse_read_resp(7, &resp),
             Err(ModbusError::IllegalAddress)

@@ -198,11 +198,9 @@ impl Adapter for TlvAdapter {
                     Unit::Celsius,
                 )),
                 (tlv_type::HUMIDITY, [p]) => Some(("hum", *p as f64, Unit::Percent)),
-                (tlv_type::BATTERY, [a, b]) => Some((
-                    "batt",
-                    u16::from_be_bytes([*a, *b]) as f64,
-                    Unit::Millivolt,
-                )),
+                (tlv_type::BATTERY, [a, b]) => {
+                    Some(("batt", u16::from_be_bytes([*a, *b]) as f64, Unit::Millivolt))
+                }
                 _ => None,
             };
             if let Some((name, value, unit)) = m {

@@ -36,7 +36,10 @@ fn gw_with_plc() -> Gateway {
 #[test]
 fn write_direct_error_precision() {
     let mut gw = gw_with_plc();
-    assert_eq!(gw.write_direct("no/such", 1.0), Err(WriteError::NoSuchPoint));
+    assert_eq!(
+        gw.write_direct("no/such", 1.0),
+        Err(WriteError::NoSuchPoint)
+    );
     assert_eq!(gw.write_direct("a/ro", 1.0), Err(WriteError::ReadOnly));
     assert_eq!(gw.write_direct("a/rw", 7.0), Ok(()));
     gw.poll_all(0);

@@ -1,0 +1,320 @@
+//! Names and signed content objects: the unit of trust in
+//! information-centric networking. A [`ContentObject`] binds a
+//! hierarchical [`Name`], a version, a freshness budget and a payload
+//! under one CBC-MAC signature, so *any* copy — producer-fresh or
+//! served from an intermediate cache — carries its own proof of
+//! authenticity and the consumer validates the data, not the channel
+//! it arrived over.
+
+use iiot_security::crypto::{cbc_mac, mac_eq, Key};
+use iiot_sim::SimDuration;
+
+/// Length of the content-object signature in bytes (CBC-MAC truncated
+/// to 64 bits — the widest MIC `cbc_mac` produces, matching the
+/// channel-security ladder's `Mic64` level).
+pub const SIG_LEN: usize = 8;
+
+/// A hierarchical content name, e.g. `/plant/cell3/temp`.
+///
+/// Names are the routing and cache key of the ICN layer; equality is
+/// byte equality. [`Name::id`] gives a stable 32-bit hash used by the
+/// observability events, so traces stay compact while remaining
+/// joinable across nodes.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Name(String);
+
+impl Name {
+    /// Creates a name from its path form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is empty or longer than 255 bytes (the wire
+    /// format length-prefixes names with one byte).
+    pub fn new(path: impl Into<String>) -> Self {
+        let path = path.into();
+        assert!(
+            !path.is_empty() && path.len() <= 255,
+            "name must be 1..=255 bytes"
+        );
+        Name(path)
+    }
+
+    /// The path form of the name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The wire bytes of the name.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_bytes()
+    }
+
+    /// Stable 32-bit FNV-1a hash of the name, used as the compact name
+    /// id in [`EventKind`](iiot_sim::obs::EventKind) traces.
+    pub fn id(&self) -> u32 {
+        let mut h: u32 = 0x811c_9dc5;
+        for &b in self.0.as_bytes() {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+        h
+    }
+}
+
+impl std::fmt::Display for Name {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A signed, versioned, freshness-bounded unit of named data.
+///
+/// The signature covers name, version, freshness and payload, so a
+/// tampered copy, a renamed copy, or a version-rewritten copy all fail
+/// verification no matter which cache served them.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ContentObject {
+    /// The object's name (cache and PIT key).
+    pub name: Name,
+    /// Monotonically increasing publisher version.
+    pub version: u32,
+    /// How long caches may serve this object after storing it.
+    pub freshness: SimDuration,
+    /// Application payload.
+    pub payload: Vec<u8>,
+    /// CBC-MAC signature over name + version + freshness + payload
+    /// (all zeros for unsigned objects in channel-security workloads).
+    pub sig: [u8; SIG_LEN],
+}
+
+/// The byte string the signature covers.
+fn signable(name: &Name, version: u32, freshness: SimDuration, payload: &[u8]) -> Vec<u8> {
+    let mut data = Vec::with_capacity(name.as_bytes().len() + 13 + payload.len());
+    data.push(name.as_bytes().len() as u8);
+    data.extend_from_slice(name.as_bytes());
+    data.extend_from_slice(&version.to_be_bytes());
+    data.extend_from_slice(&freshness.as_micros().to_be_bytes());
+    data.extend_from_slice(payload);
+    data
+}
+
+impl ContentObject {
+    /// Builds and signs an object with the publisher key `key`.
+    pub fn signed(
+        key: &Key,
+        name: Name,
+        version: u32,
+        freshness: SimDuration,
+        payload: Vec<u8>,
+    ) -> Self {
+        let mac = cbc_mac(key, &signable(&name, version, freshness, &payload), SIG_LEN);
+        let mut sig = [0u8; SIG_LEN];
+        sig.copy_from_slice(&mac);
+        ContentObject {
+            name,
+            version,
+            freshness,
+            payload,
+            sig,
+        }
+    }
+
+    /// Builds an *unsigned* object (zero signature) — the
+    /// channel-security arm of E15, where frames are protected per hop
+    /// instead of the object end to end.
+    pub fn unsigned(name: Name, version: u32, freshness: SimDuration, payload: Vec<u8>) -> Self {
+        ContentObject {
+            name,
+            version,
+            freshness,
+            payload,
+            sig: [0; SIG_LEN],
+        }
+    }
+
+    /// Verifies the signature against the trust anchor `key` in
+    /// constant time.
+    pub fn verify(&self, key: &Key) -> bool {
+        let mac = cbc_mac(
+            key,
+            &signable(&self.name, self.version, self.freshness, &self.payload),
+            SIG_LEN,
+        );
+        mac_eq(&mac, &self.sig)
+    }
+
+    /// Bytes the signature computation covers (for CPU-cost pricing).
+    pub fn signed_len(&self) -> usize {
+        signable(&self.name, self.version, self.freshness, &self.payload).len()
+    }
+
+    /// Encodes the object for the wire:
+    /// `[name_len u8][name][version u32][freshness_us u64][payload_len u16][payload][sig 8]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.name.as_bytes().len() + 23 + self.payload.len());
+        out.push(self.name.as_bytes().len() as u8);
+        out.extend_from_slice(self.name.as_bytes());
+        out.extend_from_slice(&self.version.to_be_bytes());
+        out.extend_from_slice(&self.freshness.as_micros().to_be_bytes());
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&self.sig);
+        out
+    }
+
+    /// Decodes an object; trailing bytes (link-layer security padding)
+    /// are ignored. Returns `None` on truncated or malformed input.
+    pub fn decode(b: &[u8]) -> Option<Self> {
+        let name_len = *b.first()? as usize;
+        if name_len == 0 || b.len() < 1 + name_len + 14 {
+            return None;
+        }
+        let name = Name::new(std::str::from_utf8(&b[1..1 + name_len]).ok()?);
+        let mut at = 1 + name_len;
+        let version = u32::from_be_bytes(b[at..at + 4].try_into().ok()?);
+        at += 4;
+        let freshness_us = u64::from_be_bytes(b[at..at + 8].try_into().ok()?);
+        at += 8;
+        let payload_len = u16::from_be_bytes(b[at..at + 2].try_into().ok()?) as usize;
+        at += 2;
+        if b.len() < at + payload_len + SIG_LEN {
+            return None;
+        }
+        let payload = b[at..at + payload_len].to_vec();
+        at += payload_len;
+        let mut sig = [0u8; SIG_LEN];
+        sig.copy_from_slice(&b[at..at + SIG_LEN]);
+        Some(ContentObject {
+            name,
+            version,
+            freshness: SimDuration::from_micros(freshness_us),
+            payload,
+            sig,
+        })
+    }
+}
+
+/// Encodes an Interest: `[name_len u8][name][min_version u32]`.
+pub fn encode_interest(name: &Name, min_version: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(name.as_bytes().len() + 5);
+    out.push(name.as_bytes().len() as u8);
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(&min_version.to_be_bytes());
+    out
+}
+
+/// Decodes an Interest; trailing padding bytes are ignored.
+pub fn decode_interest(b: &[u8]) -> Option<(Name, u32)> {
+    let name_len = *b.first()? as usize;
+    if name_len == 0 || b.len() < 1 + name_len + 4 {
+        return None;
+    }
+    let name = Name::new(std::str::from_utf8(&b[1..1 + name_len]).ok()?);
+    let min_version = u32::from_be_bytes(b[1 + name_len..1 + name_len + 4].try_into().ok()?);
+    Some((name, min_version))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key() -> Key {
+        Key([0xA5; 16])
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let o = ContentObject::signed(
+            &key(),
+            Name::new("/plant/cell3/temp"),
+            7,
+            SimDuration::from_secs(30),
+            vec![1, 2, 3, 4],
+        );
+        assert!(o.verify(&key()));
+        assert!(!o.verify(&Key([0x5A; 16])), "wrong trust anchor must fail");
+        let back = ContentObject::decode(&o.encode()).expect("decode");
+        assert_eq!(o, back);
+        assert!(back.verify(&key()));
+    }
+
+    #[test]
+    fn decode_ignores_link_padding() {
+        let o = ContentObject::signed(
+            &key(),
+            Name::new("/a"),
+            1,
+            SimDuration::from_secs(1),
+            vec![9; 12],
+        );
+        let mut wire = o.encode();
+        wire.extend_from_slice(&[0u8; 13]); // channel-security aux header + MIC
+        assert_eq!(ContentObject::decode(&wire), Some(o));
+
+        let (n, v) = decode_interest(&{
+            let mut w = encode_interest(&Name::new("/a/b"), 3);
+            w.extend_from_slice(&[0u8; 13]);
+            w
+        })
+        .expect("interest decodes");
+        assert_eq!((n.as_str(), v), ("/a/b", 3));
+    }
+
+    #[test]
+    fn name_id_is_stable() {
+        // FNV-1a is a pinned algorithm: ids must never change across
+        // releases or traces become un-joinable.
+        assert_eq!(Name::new("a").id(), 0xe40c_292c);
+        assert_ne!(Name::new("/x").id(), Name::new("/y").id());
+    }
+
+    proptest! {
+        /// Flipping any single bit of the encoded object makes the
+        /// signature fail (or the object undecodable): forgeries and
+        /// tampering cannot survive consumer verification.
+        #[test]
+        fn tampered_bytes_never_verify(
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+            version in 0u32..1000,
+            bit in 0usize..64,
+        ) {
+            let o = ContentObject::signed(
+                &key(),
+                Name::new("/plant/line1/flow"),
+                version,
+                SimDuration::from_secs(10),
+                payload,
+            );
+            let mut wire = o.encode();
+            let idx = bit % (wire.len() * 8);
+            wire[idx / 8] ^= 1 << (idx % 8);
+            if let Some(t) = ContentObject::decode(&wire) {
+                // A decodable tampered copy must fail verification
+                // unless the flip landed in ignored trailing slack —
+                // encode() has none, so any decoded change must differ
+                // somewhere the signature covers or in the sig itself.
+                if t != o {
+                    prop_assert!(!t.verify(&key()), "tampered object verified");
+                }
+            }
+        }
+
+        /// Objects signed under a different key (a forging publisher)
+        /// never verify against the trust anchor.
+        #[test]
+        fn forged_key_never_verifies(k in any::<[u8; 16]>()) {
+            if k == key().0 {
+                return;
+            }
+            let o = ContentObject::signed(
+                &Key(k),
+                Name::new("/plant/cell3/temp"),
+                3,
+                SimDuration::from_secs(10),
+                b"forged".to_vec(),
+            );
+            prop_assert!(!o.verify(&key()));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The pending-interest table: per-name aggregation of concurrent
+//! requests. N downstream Interests for the same name collapse into
+//! one upstream fetch; the returning Data fans back out to every
+//! waiting requester.
+
+use crate::object::Name;
+use iiot_sim::{NodeId, SimTime};
+
+/// Who is waiting for a name: this node itself (a consumer's own
+/// Interest) or a downstream neighbour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Requester {
+    /// The local application issued the Interest.
+    Local,
+    /// A downstream node forwarded the Interest to us.
+    Node(NodeId),
+}
+
+#[derive(Clone, Debug)]
+struct PitEntry {
+    name: Name,
+    /// Waiting requesters with the minimum version each will accept.
+    requesters: Vec<(Requester, u32)>,
+    /// Strictest `min_version` already forwarded upstream — a later
+    /// Interest asking for something newer must be re-forwarded.
+    forwarded_min: u32,
+    expires: SimTime,
+}
+
+/// The table. Entries expire `ttl` after the last Interest that was
+/// forwarded upstream (the interest lifetime); expiry is enforced
+/// lazily on every mutation so the table needs no timer.
+#[derive(Clone, Debug)]
+pub struct Pit {
+    ttl: iiot_sim::SimDuration,
+    entries: Vec<PitEntry>,
+}
+
+impl Pit {
+    /// Creates a table whose entries live `ttl` past their last
+    /// refresh.
+    pub fn new(ttl: iiot_sim::SimDuration) -> Self {
+        Pit {
+            ttl,
+            entries: Vec::new(),
+        }
+    }
+
+    fn gc(&mut self, now: SimTime) {
+        self.entries.retain(|e| e.expires >= now);
+    }
+
+    /// Records `req` as waiting for `name` at `min_version`. Returns
+    /// `true` when the Interest must travel upstream — either no live
+    /// entry existed (first requester) or the new request is stricter
+    /// than anything forwarded so far. `false` means the request was
+    /// aggregated onto an in-flight fetch.
+    ///
+    /// Only a *forwarded* Interest arms the entry's expiry: aggregated
+    /// requests must not refresh it, or a steady poll stream would keep
+    /// a dead fetch (Data lost upstream) suppressed forever. Once the
+    /// ttl runs out the next request re-forwards — the retransmission
+    /// path of a lossy link.
+    pub fn add(&mut self, now: SimTime, name: &Name, min_version: u32, req: Requester) -> bool {
+        self.gc(now);
+        let expires = now + self.ttl;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.name == *name) {
+            match e.requesters.iter_mut().find(|(r, _)| *r == req) {
+                Some(slot) => slot.1 = min_version,
+                None => e.requesters.push((req, min_version)),
+            }
+            if min_version > e.forwarded_min {
+                e.forwarded_min = min_version;
+                e.expires = expires;
+                true
+            } else {
+                false
+            }
+        } else {
+            self.entries.push(PitEntry {
+                name: name.clone(),
+                requesters: vec![(req, min_version)],
+                forwarded_min: min_version,
+                expires,
+            });
+            true
+        }
+    }
+
+    /// Data for `name` at `version` arrived: removes and returns every
+    /// requester it satisfies (`min_version <= version`). Requesters
+    /// waiting for something newer stay pending; the entry disappears
+    /// once empty.
+    pub fn satisfy(&mut self, now: SimTime, name: &Name, version: u32) -> Vec<Requester> {
+        self.gc(now);
+        let mut out = Vec::new();
+        if let Some(e) = self.entries.iter_mut().find(|e| e.name == *name) {
+            let mut keep = Vec::new();
+            for (req, min) in e.requesters.drain(..) {
+                if min <= version {
+                    out.push(req);
+                } else {
+                    keep.push((req, min));
+                }
+            }
+            e.requesters = keep;
+        }
+        self.entries.retain(|e| !e.requesters.is_empty());
+        out
+    }
+
+    /// Live entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no Interests are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iiot_sim::SimDuration;
+
+    fn n(s: &str) -> Name {
+        Name::new(s)
+    }
+
+    #[test]
+    fn n_interests_one_upstream_fetch() {
+        // The aggregation law: N concurrent requesters for one name
+        // produce exactly one upstream forward, and the returning data
+        // fans out to all N.
+        let mut pit = Pit::new(SimDuration::from_secs(10));
+        let t = SimTime::from_secs(1);
+        let mut upstream = 0;
+        for i in 0..5u32 {
+            if pit.add(t, &n("/a"), 0, Requester::Node(NodeId(i))) {
+                upstream += 1;
+            }
+        }
+        assert_eq!(upstream, 1, "N interests must collapse to 1 fetch");
+        assert_eq!(pit.len(), 1);
+        let fan = pit.satisfy(t, &n("/a"), 3);
+        assert_eq!(fan.len(), 5);
+        assert!(pit.is_empty());
+    }
+
+    #[test]
+    fn stricter_min_version_reforwards() {
+        let mut pit = Pit::new(SimDuration::from_secs(10));
+        let t = SimTime::from_secs(1);
+        assert!(pit.add(t, &n("/a"), 0, Requester::Node(NodeId(1))));
+        // Same strictness: aggregated.
+        assert!(!pit.add(t, &n("/a"), 0, Requester::Node(NodeId(2))));
+        // A long-poll for a *newer* version must go upstream again.
+        assert!(pit.add(t, &n("/a"), 4, Requester::Local));
+        // v2 satisfies the min=0 requesters only; Local keeps waiting.
+        let fan = pit.satisfy(t, &n("/a"), 2);
+        assert_eq!(
+            fan,
+            vec![Requester::Node(NodeId(1)), Requester::Node(NodeId(2))]
+        );
+        assert_eq!(pit.len(), 1);
+        let fan = pit.satisfy(t, &n("/a"), 4);
+        assert_eq!(fan, vec![Requester::Local]);
+        assert!(pit.is_empty());
+    }
+
+    #[test]
+    fn aggregated_requests_do_not_extend_suppression() {
+        // A dead fetch (Data lost upstream) must not stay suppressed
+        // just because pollers keep aggregating onto it: only forwarded
+        // Interests arm the expiry clock.
+        let mut pit = Pit::new(SimDuration::from_secs(5));
+        assert!(pit.add(
+            SimTime::from_secs(1),
+            &n("/a"),
+            0,
+            Requester::Node(NodeId(1))
+        ));
+        assert!(!pit.add(
+            SimTime::from_secs(4),
+            &n("/a"),
+            0,
+            Requester::Node(NodeId(2))
+        ));
+        // The entry armed at t=1 dies at t=6 regardless of the t=4 add,
+        // so the t=7 request re-forwards — the lost fetch is retried.
+        assert!(pit.add(
+            SimTime::from_secs(7),
+            &n("/a"),
+            0,
+            Requester::Node(NodeId(2))
+        ));
+    }
+
+    #[test]
+    fn entries_expire_after_ttl() {
+        let mut pit = Pit::new(SimDuration::from_secs(5));
+        assert!(pit.add(SimTime::from_secs(1), &n("/a"), 0, Requester::Local));
+        // Past the ttl the entry is gone, so the next add re-forwards.
+        assert!(pit.add(SimTime::from_secs(10), &n("/a"), 0, Requester::Local));
+        assert_eq!(pit.satisfy(SimTime::from_secs(10), &n("/a"), 1).len(), 1);
+    }
+}

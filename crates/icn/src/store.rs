@@ -1,0 +1,205 @@
+//! The node-local content store: a freshness-aware LRU cache of
+//! signed objects. Any node on the Interest path may answer from its
+//! store — the object's signature, not the serving node, is what the
+//! consumer trusts.
+
+use crate::object::{ContentObject, Name};
+use iiot_sim::SimTime;
+
+#[derive(Clone, Debug)]
+struct Entry {
+    obj: ContentObject,
+    stored_at: SimTime,
+    last_used: u64,
+}
+
+/// A bounded LRU cache of content objects, keyed by [`Name`].
+///
+/// * Capacity `0` disables caching entirely (the channel-security
+///   baseline, where a cached copy carries no proof of authenticity
+///   and therefore cannot be served).
+/// * An entry is *fresh* until `stored_at + obj.freshness`; lookups
+///   skip expired entries (a later insert overwrites them).
+/// * Inserting an older version than the live entry already holds is
+///   a no-op — caches never downgrade.
+#[derive(Clone, Debug)]
+pub struct ContentStore {
+    cap: usize,
+    tick: u64,
+    entries: Vec<Entry>,
+}
+
+impl ContentStore {
+    /// Creates a store holding at most `cap` objects.
+    pub fn new(cap: usize) -> Self {
+        ContentStore {
+            cap,
+            tick: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of cached objects (fresh or expired).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn fresh(e: &Entry, now: SimTime) -> bool {
+        e.stored_at + e.obj.freshness >= now
+    }
+
+    /// Inserts `obj`, replacing a same-name entry unless that entry is
+    /// still fresh *and* holds a newer version. Evicts the
+    /// least-recently-used entry when full. Returns whether the object
+    /// was stored.
+    pub fn insert(&mut self, now: SimTime, obj: ContentObject) -> bool {
+        if self.cap == 0 {
+            return false;
+        }
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.obj.name == obj.name) {
+            if Self::fresh(e, now) && e.obj.version > obj.version {
+                return false;
+            }
+            *e = Entry {
+                obj,
+                stored_at: now,
+                last_used: self.tick,
+            };
+            return true;
+        }
+        if self.entries.len() >= self.cap {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty at capacity");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push(Entry {
+            obj,
+            stored_at: now,
+            last_used: self.tick,
+        });
+        true
+    }
+
+    /// Looks up a fresh cached object with `version >= min_version`,
+    /// refreshing its LRU position on hit.
+    pub fn lookup(
+        &mut self,
+        now: SimTime,
+        name: &Name,
+        min_version: u32,
+    ) -> Option<&ContentObject> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.obj.name == *name && e.obj.version >= min_version && Self::fresh(e, now))?;
+        e.last_used = tick;
+        Some(&e.obj)
+    }
+
+    /// Looks up a cached object regardless of freshness or requested
+    /// version — the stale-replay attacker's serving policy, and the
+    /// inspection hook for tests.
+    pub fn lookup_any(&mut self, name: &Name) -> Option<&ContentObject> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.entries.iter_mut().find(|e| e.obj.name == *name)?;
+        e.last_used = tick;
+        Some(&e.obj)
+    }
+
+    /// Names currently cached, in unspecified order.
+    pub fn names(&self) -> impl Iterator<Item = &Name> {
+        self.entries.iter().map(|e| &e.obj.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iiot_sim::SimDuration;
+
+    fn obj(name: &str, version: u32, fresh_s: u64) -> ContentObject {
+        ContentObject::unsigned(
+            Name::new(name),
+            version,
+            SimDuration::from_secs(fresh_s),
+            vec![version as u8],
+        )
+    }
+
+    #[test]
+    fn lru_eviction_law() {
+        // The law: with capacity K, inserting K+1 distinct names evicts
+        // exactly the least-recently-*used* entry, where lookups count
+        // as uses.
+        let mut cs = ContentStore::new(3);
+        let t = SimTime::from_secs(1);
+        for (i, n) in ["/a", "/b", "/c"].iter().enumerate() {
+            assert!(cs.insert(t, obj(n, i as u32 + 1, 100)));
+        }
+        // Touch /a so /b becomes the LRU.
+        assert!(cs.lookup(t, &Name::new("/a"), 0).is_some());
+        assert!(cs.insert(t, obj("/d", 1, 100)));
+        assert_eq!(cs.len(), 3);
+        let names: Vec<&str> = cs.names().map(Name::as_str).collect();
+        assert!(!names.contains(&"/b"), "LRU /b must be evicted: {names:?}");
+        for keep in ["/a", "/c", "/d"] {
+            assert!(names.contains(&keep), "{keep} must survive: {names:?}");
+        }
+    }
+
+    #[test]
+    fn freshness_gates_lookups_and_versions_never_downgrade() {
+        let mut cs = ContentStore::new(4);
+        let t0 = SimTime::from_secs(1);
+        assert!(cs.insert(t0, obj("/a", 2, 10)));
+        // Fresh entry with a newer version blocks a downgrade...
+        assert!(!cs.insert(t0, obj("/a", 1, 10)));
+        assert_eq!(
+            cs.lookup(t0, &Name::new("/a"), 0).map(|o| o.version),
+            Some(2)
+        );
+        // ...expired entries answer nothing, but may be replaced.
+        let late = SimTime::from_secs(20);
+        assert!(cs.lookup(late, &Name::new("/a"), 0).is_none());
+        assert!(
+            cs.lookup_any(&Name::new("/a")).is_some(),
+            "stale copy still present"
+        );
+        assert!(
+            cs.insert(late, obj("/a", 1, 10)),
+            "expired entry is replaceable"
+        );
+        assert_eq!(
+            cs.lookup(late, &Name::new("/a"), 0).map(|o| o.version),
+            Some(1)
+        );
+        // min_version filters cached answers.
+        assert!(cs.lookup(late, &Name::new("/a"), 2).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cs = ContentStore::new(0);
+        assert!(!cs.insert(SimTime::ZERO, obj("/a", 1, 100)));
+        assert!(cs.is_empty());
+    }
+}

@@ -122,9 +122,7 @@ mod tests {
             base: 11,
             num_channels: 4,
         };
-        let chans: Vec<u8> = (0..4)
-            .map(|t| p.channel_for(TenantId(t), 0))
-            .collect();
+        let chans: Vec<u8> = (0..4).map(|t| p.channel_for(TenantId(t), 0)).collect();
         assert_eq!(chans, vec![11, 12, 13, 14]);
         // Tenant 4 wraps onto tenant 0's channel.
         assert_eq!(p.channel_for(TenantId(4), 0), 11);

@@ -516,12 +516,8 @@ mod tests {
         let (mut w, a, b) = two_node_world();
         let t = SimTime::from_millis(10);
         for _ in 0..30 {
-            w.proto_mut::<MacDriver<CsmaMac>>(a).push_send(
-                t,
-                Dst::Unicast(b),
-                0,
-                vec![0; 50],
-            );
+            w.proto_mut::<MacDriver<CsmaMac>>(a)
+                .push_send(t, Dst::Unicast(b), 0, vec![0; 50]);
         }
         w.run_for(SimDuration::from_secs(5));
         let drv_a = w.proto::<MacDriver<CsmaMac>>(a);

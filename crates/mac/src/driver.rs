@@ -188,6 +188,4 @@ impl<M: Mac> Proto for MacDriver<M> {
     fn crashed(&mut self) {
         self.mac.crashed();
     }
-
-
 }

@@ -183,7 +183,13 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert_eq!(MacError::QueueFull.to_string(), "mac transmit queue is full");
-        assert_eq!(MacError::TooLarge.to_string(), "payload exceeds frame capacity");
+        assert_eq!(
+            MacError::QueueFull.to_string(),
+            "mac transmit queue is full"
+        );
+        assert_eq!(
+            MacError::TooLarge.to_string(),
+            "payload exceeds frame capacity"
+        );
     }
 }

@@ -151,7 +151,10 @@ impl LplMac {
             },
             &head.payload,
         );
-        if ctx.transmit(head.dst, self.config.radio_port, bytes).is_ok() {
+        if ctx
+            .transmit(head.dst, self.config.radio_port, bytes)
+            .is_ok()
+        {
             self.tx = TxKind::Copy;
             ctx.count_node("mac_tx_data", 1.0);
         } else {
@@ -163,9 +166,8 @@ impl LplMac {
     fn finish_strobe(&mut self, ctx: &mut Ctx<'_>, out: &mut Vec<MacEvent>, acked: bool) {
         self.strobe_deadline = None;
         let head = self.queue.front_mut().expect("strobe without head");
-        let done = acked
-            || matches!(head.dst, Dst::Broadcast)
-            || head.strobes >= self.config.max_retries;
+        let done =
+            acked || matches!(head.dst, Dst::Broadcast) || head.strobes >= self.config.max_retries;
         if done {
             let ok = acked || matches!(head.dst, Dst::Broadcast);
             let head = self.queue.pop_front().expect("head");
@@ -417,7 +419,10 @@ mod tests {
             latency <= SimDuration::from_millis(600),
             "latency {latency} exceeds wake interval + margin"
         );
-        assert_eq!(w.proto::<Drv>(ids[0]).send_done, vec![(SendHandle(0), true)]);
+        assert_eq!(
+            w.proto::<Drv>(ids[0]).send_done,
+            vec![(SendHandle(0), true)]
+        );
     }
 
     #[test]
@@ -446,12 +451,8 @@ mod tests {
     fn broadcast_reaches_all_neighbours() {
         let (mut w, ids) = lpl_world(3, 12.0, 5);
         // Node 1 broadcasts; both 0 and 2 are in range.
-        w.proto_mut::<Drv>(ids[1]).push_send(
-            SimTime::from_secs(1),
-            Dst::Broadcast,
-            9,
-            vec![7],
-        );
+        w.proto_mut::<Drv>(ids[1])
+            .push_send(SimTime::from_secs(1), Dst::Broadcast, 9, vec![7]);
         w.run_for(SimDuration::from_secs(3));
         for &n in &[ids[0], ids[2]] {
             let d = &w.proto::<Drv>(n).delivered;
@@ -501,14 +502,16 @@ mod tests {
         let next = ids[2];
         w.with_ctx(ids[1], |p, ctx| {
             let d = p.as_any_mut().downcast_mut::<Drv>().expect("driver");
-            d.send_now(ctx, Dst::Unicast(next), 0, vec![1]).expect("send");
+            d.send_now(ctx, Dst::Unicast(next), 0, vec![1])
+                .expect("send");
         });
         w.run_for(SimDuration::from_secs(2));
         assert_eq!(w.proto::<Drv>(ids[2]).delivered.len(), 1, "hop 2");
         let next = ids[3];
         w.with_ctx(ids[2], |p, ctx| {
             let d = p.as_any_mut().downcast_mut::<Drv>().expect("driver");
-            d.send_now(ctx, Dst::Unicast(next), 0, vec![2]).expect("send");
+            d.send_now(ctx, Dst::Unicast(next), 0, vec![2])
+                .expect("send");
         });
         w.run_for(SimDuration::from_secs(2));
         assert_eq!(w.proto::<Drv>(ids[3]).delivered.len(), 1, "hop 3");

@@ -160,7 +160,10 @@ impl RimacMac {
             },
             &head.payload,
         );
-        if ctx.transmit(head.dst, self.config.radio_port, bytes).is_ok() {
+        if ctx
+            .transmit(head.dst, self.config.radio_port, bytes)
+            .is_ok()
+        {
             self.tx = TxKind::Data;
             ctx.count_node("mac_tx_data", 1.0);
         }
@@ -208,8 +211,8 @@ impl Mac for RimacMac {
         let handle = SendHandle(self.next_handle);
         self.next_handle += 1;
         self.seq = self.seq.wrapping_add(1);
-        let deadline = ctx.now()
-            + self.config.wake_interval * self.config.send_timeout_intervals as u64;
+        let deadline =
+            ctx.now() + self.config.wake_interval * self.config.send_timeout_intervals as u64;
         self.queue.push_back(Pending {
             handle,
             dst,
@@ -243,7 +246,10 @@ impl Mac for RimacMac {
                         },
                         &[],
                     );
-                    if ctx.transmit(Dst::Broadcast, self.config.radio_port, bytes).is_ok() {
+                    if ctx
+                        .transmit(Dst::Broadcast, self.config.radio_port, bytes)
+                        .is_ok()
+                    {
                         self.tx = TxKind::Probe;
                         ctx.emit(EventKind::MacState {
                             mac: "rimac",
@@ -442,7 +448,10 @@ mod tests {
             latency <= SimDuration::from_millis(600),
             "latency {latency} exceeds one wake interval + margin"
         );
-        assert_eq!(w.proto::<Drv>(ids[0]).send_done, vec![(SendHandle(0), true)]);
+        assert_eq!(
+            w.proto::<Drv>(ids[0]).send_done,
+            vec![(SendHandle(0), true)]
+        );
     }
 
     #[test]
@@ -486,12 +495,8 @@ mod tests {
     #[test]
     fn broadcast_reaches_neighbours_via_their_probes() {
         let (mut w, ids) = rimac_world(3, 12.0, 14);
-        w.proto_mut::<Drv>(ids[1]).push_send(
-            SimTime::from_secs(1),
-            Dst::Broadcast,
-            2,
-            vec![9],
-        );
+        w.proto_mut::<Drv>(ids[1])
+            .push_send(SimTime::from_secs(1), Dst::Broadcast, 2, vec![9]);
         w.run_for(SimDuration::from_secs(6));
         let got: usize = [ids[0], ids[2]]
             .iter()
@@ -499,7 +504,10 @@ mod tests {
             .sum();
         assert!(got >= 1, "broadcast reached no neighbour");
         // The send completes as successful at its deadline.
-        assert_eq!(w.proto::<Drv>(ids[1]).send_done, vec![(SendHandle(0), true)]);
+        assert_eq!(
+            w.proto::<Drv>(ids[1]).send_done,
+            vec![(SendHandle(0), true)]
+        );
     }
 
     #[test]

@@ -29,9 +29,7 @@
 use crate::header::{decode, encode, MacHeader, MacKind, SeqCache, MAC_HEADER_LEN};
 use crate::{mac_tag, Mac, MacError, MacEvent, SendHandle};
 use iiot_sim::obs::EventKind;
-use iiot_sim::{
-    Ctx, Dst, Frame, NodeId, RxInfo, SimDuration, SimTime, Timer, TimerId, TxOutcome,
-};
+use iiot_sim::{Ctx, Dst, Frame, NodeId, RxInfo, SimDuration, SimTime, Timer, TimerId, TxOutcome};
 use iiot_timesync::{FtspConfig, FtspEngine, SyncedClock};
 use std::collections::VecDeque;
 
@@ -141,7 +139,9 @@ impl TdmaSchedule {
             }
             d
         };
-        let mut nodes: Vec<usize> = (0..parents.len()).filter(|&i| parents[i].is_some()).collect();
+        let mut nodes: Vec<usize> = (0..parents.len())
+            .filter(|&i| parents[i].is_some())
+            .collect();
         // Deepest first; ties broken by id for determinism.
         nodes.sort_by_key(|&i| (std::cmp::Reverse(depth_of(i)), i));
         let slots = nodes
@@ -186,7 +186,9 @@ impl TdmaSchedule {
             }
             d
         };
-        let mut up: Vec<usize> = (0..parents.len()).filter(|&i| parents[i].is_some()).collect();
+        let mut up: Vec<usize> = (0..parents.len())
+            .filter(|&i| parents[i].is_some())
+            .collect();
         up.sort_by_key(|&i| (std::cmp::Reverse(depth_of(i)), i));
         let mut down = up.clone();
         down.sort_by_key(|&i| (depth_of(i), i));
@@ -530,7 +532,8 @@ impl TdmaMac {
     fn arm_next_sync(&mut self, ctx: &mut Ctx<'_>, after: SimTime) {
         let Some(st) = &self.sync else { return };
         let period = self.schedule.frame_len().as_micros() * st.every as u64;
-        let t = SimTime::from_micros(after.as_micros().saturating_add(period - 1) / period * period);
+        let t =
+            SimTime::from_micros(after.as_micros().saturating_add(period - 1) / period * period);
         self.sync_timer = self.set_timer_global(ctx, t, TAG_SYNC_SLOT);
         self.pending_sync = t;
     }
@@ -622,8 +625,7 @@ impl Mac for TdmaMac {
                         // this instant is not ours.
                         let g = self.global_now(ctx);
                         let slot_us = self.schedule.slot_len.as_micros();
-                        let pos =
-                            (g.as_micros() / slot_us) as usize % self.schedule.total_slots();
+                        let pos = (g.as_micros() / slot_us) as usize % self.schedule.total_slots();
                         let owned = pos.checked_sub(self.schedule.sync_slots).and_then(|i| {
                             self.my_roles
                                 .iter()
@@ -631,9 +633,11 @@ impl Mac for TdmaMac {
                                 .map(|&(_, r)| (i, r))
                         });
                         match owned {
-                            Some((i, r)) => {
-                                (i, r, SimTime::from_micros(g.as_micros() / slot_us * slot_us))
-                            }
+                            Some((i, r)) => (
+                                i,
+                                r,
+                                SimTime::from_micros(g.as_micros() / slot_us * slot_us),
+                            ),
                             None => {
                                 let after = g + SimDuration::from_micros(1);
                                 self.arm_next_slot(ctx, after);
@@ -704,9 +708,7 @@ impl Mac for TdmaMac {
                         // logical dst rides along for address filtering.
                         let dst = match head.dst {
                             Dst::Broadcast => Dst::Broadcast,
-                            Dst::Unicast(_) => {
-                                Dst::Unicast(self.schedule.slots()[idx].receiver)
-                            }
+                            Dst::Unicast(_) => Dst::Unicast(self.schedule.slots()[idx].receiver),
                         };
                         if ctx.transmit(dst, self.config.radio_port, bytes).is_ok() {
                             self.tx = TxKind::Data;
@@ -885,8 +887,7 @@ impl Mac for TdmaMac {
             MacKind::Probe => {
                 let Some(st) = &mut self.sync else { return };
                 let accepted = st.engine.on_beacon(ctx, payload, frame.payload.len());
-                let (synced, depth, stride) =
-                    (st.engine.is_synced(), st.engine.depth(), st.stride);
+                let (synced, depth, stride) = (st.engine.is_synced(), st.engine.depth(), st.stride);
                 if accepted && !self.joined && synced {
                     // First fix: join the schedule mid-flood. If the
                     // sync slot is still running, re-broadcast our
@@ -961,15 +962,23 @@ mod tests {
     /// Line 0<-1<-2<-...: schedule pipelines toward node 0.
     fn line_world(n: usize, slot_ms: u64, seed: u64) -> (World, Vec<NodeId>, TdmaSchedule) {
         let parents: Vec<Option<NodeId>> = (0..n)
-            .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
+            .map(|i| {
+                if i == 0 {
+                    None
+                } else {
+                    Some(NodeId(i as u32 - 1))
+                }
+            })
             .collect();
         let sched = TdmaSchedule::pipeline_to_root(&parents, SimDuration::from_millis(slot_ms));
         let cfg = SimConfig::default().seed(seed);
         let mut w = World::new(cfg);
         let s2 = sched.clone();
         let ids = w.add_nodes(&Topology::line(n, 10.0), move |_| {
-            Box::new(MacDriver::new(TdmaMac::new(TdmaConfig::default(), s2.clone())))
-                as Box<dyn Proto>
+            Box::new(MacDriver::new(TdmaMac::new(
+                TdmaConfig::default(),
+                s2.clone(),
+            ))) as Box<dyn Proto>
         });
         (w, ids, sched)
     }
@@ -982,9 +991,18 @@ mod tests {
         assert_eq!(
             s.slots(),
             &[
-                Slot { sender: NodeId(3), receiver: NodeId(2) },
-                Slot { sender: NodeId(2), receiver: NodeId(1) },
-                Slot { sender: NodeId(1), receiver: NodeId(0) },
+                Slot {
+                    sender: NodeId(3),
+                    receiver: NodeId(2)
+                },
+                Slot {
+                    sender: NodeId(2),
+                    receiver: NodeId(1)
+                },
+                Slot {
+                    sender: NodeId(1),
+                    receiver: NodeId(0)
+                },
             ]
         );
     }
@@ -998,24 +1016,37 @@ mod tests {
         assert_eq!(
             s.slots(),
             &[
-                Slot { sender: NodeId(2), receiver: NodeId(1) },
-                Slot { sender: NodeId(1), receiver: NodeId(0) },
-                Slot { sender: NodeId(0), receiver: NodeId(1) },
-                Slot { sender: NodeId(1), receiver: NodeId(2) },
+                Slot {
+                    sender: NodeId(2),
+                    receiver: NodeId(1)
+                },
+                Slot {
+                    sender: NodeId(1),
+                    receiver: NodeId(0)
+                },
+                Slot {
+                    sender: NodeId(0),
+                    receiver: NodeId(1)
+                },
+                Slot {
+                    sender: NodeId(1),
+                    receiver: NodeId(2)
+                },
             ]
         );
     }
 
     #[test]
     fn tree_edges_carries_traffic_both_ways() {
-        let parents: Vec<Option<NodeId>> =
-            vec![None, Some(NodeId(0)), Some(NodeId(1))];
+        let parents: Vec<Option<NodeId>> = vec![None, Some(NodeId(0)), Some(NodeId(1))];
         let sched = TdmaSchedule::tree_edges(&parents, SimDuration::from_millis(10));
         let mut w = World::new(SimConfig::default().seed(31));
         let s2 = sched.clone();
         let ids = w.add_nodes(&Topology::line(3, 10.0), move |_| {
-            Box::new(MacDriver::new(TdmaMac::new(TdmaConfig::default(), s2.clone())))
-                as Box<dyn Proto>
+            Box::new(MacDriver::new(TdmaMac::new(
+                TdmaConfig::default(),
+                s2.clone(),
+            ))) as Box<dyn Proto>
         });
         // The relay queues an upward packet first, then a downward one:
         // slot-aware selection must dispatch each in its matching slot
@@ -1047,8 +1078,14 @@ mod tests {
     fn next_occurrence_math() {
         let s = TdmaSchedule::new(
             vec![
-                Slot { sender: NodeId(0), receiver: NodeId(1) },
-                Slot { sender: NodeId(1), receiver: NodeId(0) },
+                Slot {
+                    sender: NodeId(0),
+                    receiver: NodeId(1),
+                },
+                Slot {
+                    sender: NodeId(1),
+                    receiver: NodeId(0),
+                },
             ],
             SimDuration::from_millis(10),
         );
@@ -1071,8 +1108,14 @@ mod tests {
     fn sync_slots_shift_the_frame() {
         let s = TdmaSchedule::new(
             vec![
-                Slot { sender: NodeId(0), receiver: NodeId(1) },
-                Slot { sender: NodeId(1), receiver: NodeId(0) },
+                Slot {
+                    sender: NodeId(0),
+                    receiver: NodeId(1),
+                },
+                Slot {
+                    sender: NodeId(1),
+                    receiver: NodeId(0),
+                },
             ],
             SimDuration::from_millis(10),
         )
@@ -1080,7 +1123,10 @@ mod tests {
         assert_eq!(s.total_slots(), 3);
         assert_eq!(s.frame_len(), SimDuration::from_millis(30));
         // Data slot 0 now starts one slot into the frame.
-        assert_eq!(s.next_occurrence(0, SimTime::ZERO), SimTime::from_millis(10));
+        assert_eq!(
+            s.next_occurrence(0, SimTime::ZERO),
+            SimTime::from_millis(10)
+        );
         assert_eq!(
             s.next_occurrence(1, SimTime::from_millis(21)),
             SimTime::from_millis(50)
@@ -1099,7 +1145,10 @@ mod tests {
         w.run_for(SimDuration::from_secs(1));
         let d = &w.proto::<Drv>(ids[0]).delivered;
         assert_eq!(d.len(), 1);
-        assert_eq!(w.proto::<Drv>(ids[1]).send_done, vec![(SendHandle(0), true)]);
+        assert_eq!(
+            w.proto::<Drv>(ids[1]).send_done,
+            vec![(SendHandle(0), true)]
+        );
     }
 
     #[test]
@@ -1127,7 +1176,8 @@ mod tests {
                 sent_at = w.now();
                 w.with_ctx(ids[hop], |p, ctx| {
                     let drv = p.as_any_mut().downcast_mut::<Drv>().expect("driver");
-                    drv.send_now(ctx, Dst::Unicast(next), 0, vec![42]).expect("send");
+                    drv.send_now(ctx, Dst::Unicast(next), 0, vec![42])
+                        .expect("send");
                 });
             }
         }
@@ -1185,7 +1235,13 @@ mod tests {
         build: impl Fn(TdmaSchedule) -> TdmaMac + 'static,
     ) -> (World, Vec<NodeId>) {
         let parents: Vec<Option<NodeId>> = (0..n)
-            .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
+            .map(|i| {
+                if i == 0 {
+                    None
+                } else {
+                    Some(NodeId(i as u32 - 1))
+                }
+            })
             .collect();
         let sched = TdmaSchedule::pipeline_to_root(&parents, SimDuration::from_millis(10))
             .with_sync_slots(1)

@@ -61,11 +61,11 @@ fn tdma_idle_padding_lowers_duty_cycle() {
     };
     let d_tight = duty(tight);
     let d_padded = duty(padded);
-    assert!(d_tight > 0.9, "1-slot frame keeps the receiver on: {d_tight}");
     assert!(
-        d_padded < 0.15,
-        "9 idle slots per active slot: {d_padded}"
+        d_tight > 0.9,
+        "1-slot frame keeps the receiver on: {d_tight}"
     );
+    assert!(d_padded < 0.15, "9 idle slots per active slot: {d_padded}");
 }
 
 #[test]

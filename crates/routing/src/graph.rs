@@ -78,8 +78,7 @@ fn bfs(world: &World, root: NodeId) -> (Vec<Option<u32>>, Vec<Option<NodeId>>) {
 /// Whether every alive node can reach `root` (the partition oracle).
 pub fn all_connected(world: &World, root: NodeId) -> bool {
     let hops = hops_from(world, root);
-    (0..world.node_count())
-        .all(|i| !world.is_alive(NodeId(i as u32)) || hops[i].is_some())
+    (0..world.node_count()).all(|i| !world.is_alive(NodeId(i as u32)) || hops[i].is_some())
 }
 
 #[cfg(test)]

@@ -19,9 +19,7 @@
 
 use iiot_mac::{Mac, MacEvent};
 use iiot_sim::obs::EventKind;
-use iiot_sim::{
-    Ctx, Dst, Frame, NodeId, Proto, RxInfo, SimDuration, SimTime, Timer, TxOutcome,
-};
+use iiot_sim::{Ctx, Dst, Frame, NodeId, Proto, RxInfo, SimDuration, SimTime, Timer, TxOutcome};
 use rand::Rng;
 use std::collections::BTreeMap;
 
@@ -193,7 +191,8 @@ impl<M: Mac> Proto for RnfdNode<M> {
             // 1.5 periods of grace for the first heartbeat.
             let jitter = ctx.rng().gen_range(0..self.config.heartbeat.as_micros());
             ctx.set_timer(
-                self.config.heartbeat + self.config.heartbeat / 2
+                self.config.heartbeat
+                    + self.config.heartbeat / 2
                     + SimDuration::from_micros(jitter),
                 TAG_CHECK,
             );
@@ -258,8 +257,6 @@ impl<M: Mac> Proto for RnfdNode<M> {
         // verdict_at is kept: a recovered node remembering its verdict
         // models operator notification having already fired.
     }
-
-
 }
 
 #[cfg(test)]
@@ -272,7 +269,13 @@ mod tests {
 
     /// Star: root at the center, `s` sentinels around it, all in range
     /// of each other.
-    fn star(s: usize, seed: u64, prr: f64, miss_threshold: u32, solo: bool) -> (World, Vec<NodeId>) {
+    fn star(
+        s: usize,
+        seed: u64,
+        prr: f64,
+        miss_threshold: u32,
+        solo: bool,
+    ) -> (World, Vec<NodeId>) {
         let mut wc = SimConfig::default().seed(seed);
         if prr < 1.0 {
             wc.radio.link = LinkModel::LossyDisk {

@@ -201,7 +201,10 @@ impl<M: Mac> Proto for StaticCollection<M> {
         if let Some(tr) = self.config.traffic {
             if self.parent(ctx.id()).is_some() {
                 let jitter = ctx.rng().gen_range(0..tr.period.as_micros().max(1));
-                ctx.set_timer(tr.start_after + SimDuration::from_micros(jitter), TAG_TRAFFIC);
+                ctx.set_timer(
+                    tr.start_after + SimDuration::from_micros(jitter),
+                    TAG_TRAFFIC,
+                );
             }
         }
     }
@@ -244,8 +247,6 @@ impl<M: Mac> Proto for StaticCollection<M> {
         self.inflight = None;
         self.seen.clear();
     }
-
-
 }
 
 #[cfg(test)]
@@ -260,7 +261,13 @@ mod tests {
     fn tdma_collection_over_static_tree() {
         let n = 5;
         let parents: Vec<Option<NodeId>> = (0..n)
-            .map(|i| if i == 0 { None } else { Some(NodeId(i as u32 - 1)) })
+            .map(|i| {
+                if i == 0 {
+                    None
+                } else {
+                    Some(NodeId(i as u32 - 1))
+                }
+            })
             .collect();
         let sched = TdmaSchedule::pipeline_to_root(&parents, SimDuration::from_millis(20));
         let wc = SimConfig::default().seed(8);

@@ -71,8 +71,7 @@ impl CostModel {
     /// frame with `payload_len` payload and `frame_overhead` unsecured
     /// framing bytes.
     pub fn goodput(&self, level: SecLevel, payload_len: usize, frame_overhead: usize) -> f64 {
-        payload_len as f64
-            / (payload_len + frame_overhead + level.overhead_bytes()) as f64
+        payload_len as f64 / (payload_len + frame_overhead + level.overhead_bytes()) as f64
     }
 }
 
@@ -97,9 +96,7 @@ mod tests {
     #[test]
     fn cost_scales_with_payload() {
         let m = CostModel::default();
-        assert!(
-            m.cpu_time_us(SecLevel::EncMic64, 100) > m.cpu_time_us(SecLevel::EncMic64, 10)
-        );
+        assert!(m.cpu_time_us(SecLevel::EncMic64, 100) > m.cpu_time_us(SecLevel::EncMic64, 10));
     }
 
     #[test]

@@ -50,6 +50,6 @@ pub mod replay;
 pub use cost::CostModel;
 pub use crypto::Key;
 pub use frame::{protect, unprotect, SecError, SecLevel};
-pub use join::{Coordinator, Joiner, JoinError};
+pub use join::{Coordinator, JoinError, Joiner};
 pub use keys::KeyStore;
 pub use replay::ReplayGuard;

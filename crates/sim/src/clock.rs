@@ -176,8 +176,7 @@ impl LocalClock {
             self.epoch_world_us += self.interval_us;
             if self.step_ppb > 0 {
                 let step = self.rng.gen_range(-self.step_ppb..=self.step_ppb);
-                self.walk_ppb =
-                    (self.walk_ppb + step).clamp(-self.walk_max_ppb, self.walk_max_ppb);
+                self.walk_ppb = (self.walk_ppb + step).clamp(-self.walk_max_ppb, self.walk_max_ppb);
             }
         }
     }

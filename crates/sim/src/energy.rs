@@ -242,6 +242,9 @@ mod tests {
     fn empty_usage_edge_cases() {
         let u = EnergyUsage::default();
         assert_eq!(u.duty_cycle(), 0.0);
-        assert_eq!(u.lifetime_days(&EnergyModel::default(), 1000.0), f64::INFINITY);
+        assert_eq!(
+            u.lifetime_days(&EnergyModel::default(), 1000.0),
+            f64::INFINITY
+        );
     }
 }

@@ -17,9 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(root.index(), 0);
 /// assert_eq!(format!("{root}"), "n0");
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

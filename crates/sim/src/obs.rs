@@ -387,6 +387,39 @@ pub enum EventKind {
         /// Whether the config write was acknowledged.
         ok: bool,
     },
+    /// An ICN Interest (named-data request) left a node — issued
+    /// locally by a consumer or forwarded upstream toward the producer.
+    IcnInterest {
+        /// Stable 32-bit hash of the requested name.
+        name: u32,
+        /// Minimum acceptable content version (`0` accepts any).
+        min_version: u32,
+    },
+    /// A signed content object was sent — a producer answer, a cache
+    /// answer, or a PIT fan-out hop back toward the requesters.
+    IcnData {
+        /// Stable 32-bit hash of the object's name.
+        name: u32,
+        /// The object's version.
+        version: u32,
+    },
+    /// An Interest was answered from a node-local content store
+    /// instead of travelling on toward the producer.
+    IcnCacheHit {
+        /// Stable 32-bit hash of the answered name.
+        name: u32,
+        /// Version of the cached object served.
+        version: u32,
+    },
+    /// A consumer rejected a delivered content object at verification
+    /// time (content-object security validates at the consumer, not
+    /// per hop).
+    IcnVerifyFail {
+        /// Stable 32-bit hash of the rejected object's name.
+        name: u32,
+        /// Rejection cause (`"forged"`, `"stale"`).
+        cause: &'static str,
+    },
     /// Escape hatch for one-off instrumentation.
     Custom {
         /// Metric name.
@@ -433,6 +466,10 @@ impl EventKind {
             EventKind::FleetPhase { .. } => "fleet_phase",
             EventKind::FleetDrift { .. } => "fleet_drift",
             EventKind::FleetRemediate { .. } => "fleet_remediate",
+            EventKind::IcnInterest { .. } => "icn_interest",
+            EventKind::IcnData { .. } => "icn_data",
+            EventKind::IcnCacheHit { .. } => "icn_cache_hit",
+            EventKind::IcnVerifyFail { .. } => "icn_verify_fail",
             EventKind::Custom { .. } => "custom",
         }
     }
@@ -468,7 +505,12 @@ impl Event {
         );
         let tail = match self.kind {
             EventKind::TxStart { dst, port, bytes } => {
-                format!(",\"dst\":{},\"port\":{},\"bytes\":{}", json_opt_node(dst), port, bytes)
+                format!(
+                    ",\"dst\":{},\"port\":{},\"bytes\":{}",
+                    json_opt_node(dst),
+                    port,
+                    bytes
+                )
             }
             EventKind::TxEnd { receivers } => format!(",\"receivers\":{receivers}"),
             EventKind::RxDeliver { src, port } => {
@@ -483,7 +525,12 @@ impl Event {
             EventKind::TrickleReset { cause } => format!(",\"cause\":\"{cause}\""),
             EventKind::DioSent { rank } => format!(",\"rank\":{rank}"),
             EventKind::RankChange { old, new, parent } => {
-                format!(",\"old\":{},\"new\":{},\"parent\":{}", old, new, json_opt_node(parent))
+                format!(
+                    ",\"old\":{},\"new\":{},\"parent\":{}",
+                    old,
+                    new,
+                    json_opt_node(parent)
+                )
             }
             EventKind::RnfdVerdict { target, verdict } => {
                 format!(",\"target\":{},\"verdict\":\"{}\"", target.0, verdict)
@@ -504,7 +551,10 @@ impl Event {
             EventKind::SyncBeacon { root, seq, hops } => {
                 format!(",\"root\":{},\"seq\":{},\"hops\":{}", root.0, seq, hops)
             }
-            EventKind::OffsetEstimate { offset_us, skew_ppm } => {
+            EventKind::OffsetEstimate {
+                offset_us,
+                skew_ppm,
+            } => {
                 format!(",\"offset_us\":{offset_us},\"skew_ppm\":{skew_ppm}")
             }
             EventKind::GuardViolation { cause } => format!(",\"cause\":\"{cause}\""),
@@ -538,7 +588,11 @@ impl Event {
             EventKind::StreamSeal { segment, records } => {
                 format!(",\"segment\":{segment},\"records\":{records}")
             }
-            EventKind::StreamWindow { tenant, metric, count } => {
+            EventKind::StreamWindow {
+                tenant,
+                metric,
+                count,
+            } => {
                 format!(",\"tenant\":{tenant},\"metric\":{metric},\"count\":{count}")
             }
             EventKind::FleetPhase { stage, networks } => {
@@ -549,6 +603,18 @@ impl Event {
             }
             EventKind::FleetRemediate { device, ok } => {
                 format!(",\"device\":{},\"ok\":{}", device, ok as u8)
+            }
+            EventKind::IcnInterest { name, min_version } => {
+                format!(",\"name\":{name},\"min_version\":{min_version}")
+            }
+            EventKind::IcnData { name, version } => {
+                format!(",\"name\":{name},\"version\":{version}")
+            }
+            EventKind::IcnCacheHit { name, version } => {
+                format!(",\"name\":{name},\"version\":{version}")
+            }
+            EventKind::IcnVerifyFail { name, cause } => {
+                format!(",\"name\":{name},\"cause\":\"{cause}\"")
             }
             EventKind::Custom { name, value } => {
                 format!(",\"name\":\"{name}\",\"value\":{value}")
@@ -704,6 +770,22 @@ impl Event {
                 device: num("device")? as u32,
                 ok: num("ok")? != 0,
             },
+            "icn_interest" => EventKind::IcnInterest {
+                name: num("name")? as u32,
+                min_version: num("min_version")? as u32,
+            },
+            "icn_data" => EventKind::IcnData {
+                name: num("name")? as u32,
+                version: num("version")? as u32,
+            },
+            "icn_cache_hit" => EventKind::IcnCacheHit {
+                name: num("name")? as u32,
+                version: num("version")? as u32,
+            },
+            "icn_verify_fail" => EventKind::IcnVerifyFail {
+                name: num("name")? as u32,
+                cause: intern(s("cause")?),
+            },
             "custom" => EventKind::Custom {
                 name: intern(s("name")?),
                 value: fnum("value")?,
@@ -795,29 +877,76 @@ fn json_unescape(s: &str) -> String {
 fn intern(s: &str) -> &'static str {
     const KNOWN: &[&str] = &[
         // drop causes
-        "prr", "collision", "radio_moved", "filtered", "dead",
+        "prr",
+        "collision",
+        "radio_moved",
+        "filtered",
+        "dead",
         // MAC names and states
-        "csma", "lpl", "rimac", "tdma", "idle", "backoff", "send_data", "send_ack", "wait_ack",
-        "strobe", "sample", "sleep", "hunt", "dwell", "probe", "slot_tx", "slot_rx",
+        "csma",
+        "lpl",
+        "rimac",
+        "tdma",
+        "idle",
+        "backoff",
+        "send_data",
+        "send_ack",
+        "wait_ack",
+        "strobe",
+        "sample",
+        "sleep",
+        "hunt",
+        "dwell",
+        "probe",
+        "slot_tx",
+        "slot_rx",
         // trickle causes
-        "inconsistent", "new_version", "parent_lost", "repair",
+        "inconsistent",
+        "new_version",
+        "parent_lost",
+        "repair",
         // verdicts and fault kinds
-        "alive", "crash", "recover", "link_down", "link_up", "partition", "heal",
+        "alive",
+        "crash",
+        "recover",
+        "link_down",
+        "link_up",
+        "partition",
+        "heal",
         // guard-violation causes
-        "tx_overrun", "late_frame", "tx_busy",
+        "tx_overrun",
+        "late_frame",
+        "tx_busy",
         // rollout stages and wipe crashes
-        "inject", "canary", "wave", "fleet", "done", "halted", "crash_wipe",
+        "inject",
+        "canary",
+        "wave",
+        "fleet",
+        "done",
+        "halted",
+        "crash_wipe",
         // cloud shed causes
-        "auth", "queue_full", "drop_oldest",
+        "auth",
+        "queue_full",
+        "drop_oldest",
+        // icn verification-failure causes
+        "forged",
+        "stale",
         // queues and common custom metric names
-        "mac", "dodag", "boot", "duty_cycle", "merge_round",
+        "mac",
+        "dodag",
+        "boot",
+        "duty_cycle",
+        "merge_round",
     ];
     if let Some(k) = KNOWN.iter().find(|k| **k == s) {
         return k;
     }
     const CAP: usize = 1024;
     static EXTRA: std::sync::Mutex<Vec<&'static str>> = std::sync::Mutex::new(Vec::new());
-    let mut extra = EXTRA.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut extra = EXTRA
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(k) = extra.iter().find(|k| **k == s) {
         return k;
     }
@@ -1277,15 +1406,17 @@ impl Recorder for TrialCapture {
 
 impl Drop for TrialCapture {
     fn drop(&mut self) {
-        SINK.lock().unwrap_or_else(|e| e.into_inner()).push(ScopeTrace {
-            section: self.section,
-            trial: self.trial,
-            replica: self.replica,
-            world: self.world,
-            label: std::mem::take(&mut self.label),
-            seed: self.seed,
-            events: std::mem::take(&mut self.events),
-        });
+        SINK.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ScopeTrace {
+                section: self.section,
+                trial: self.trial,
+                replica: self.replica,
+                world: self.world,
+                label: std::mem::take(&mut self.label),
+                seed: self.seed,
+                events: std::mem::take(&mut self.events),
+            });
     }
 }
 
@@ -1424,7 +1555,10 @@ pub fn report(traces: &[ScopeTrace]) -> String {
     let mut out = String::new();
     let total_events: usize = traces.iter().map(|t| t.events.len()).sum();
     let _ = writeln!(out, "traces: {}   events: {}", traces.len(), total_events);
-    let all: Vec<Event> = traces.iter().flat_map(|t| t.events.iter().copied()).collect();
+    let all: Vec<Event> = traces
+        .iter()
+        .flat_map(|t| t.events.iter().copied())
+        .collect();
     let r = Rollup::from_events(&all);
 
     let _ = writeln!(out, "\n== event kinds ==");
@@ -1570,8 +1704,9 @@ pub fn report(traces: &[ScopeTrace]) -> String {
                 _ => {}
             }
         }
-        let (acc, shed): (u64, u64) =
-            by_tenant.values().fold((0, 0), |(a, s), v| (a + v.0, s + v.1));
+        let (acc, shed): (u64, u64) = by_tenant
+            .values()
+            .fold((0, 0), |(a, s), v| (a + v.0, s + v.1));
         let _ = writeln!(out, "  ingest accepted {acc}   shed {shed}");
         for (tenant, (a, s, ok, bad, depth)) in &by_tenant {
             let _ = writeln!(
@@ -1627,7 +1762,10 @@ pub fn report(traces: &[ScopeTrace]) -> String {
             let _ = writeln!(out, "  tenant {tenant}: ratelimited {n}");
         }
         for (tenant, (w, obs)) in &windows {
-            let _ = writeln!(out, "  tenant {tenant}: {w} windows closed ({obs} observations)");
+            let _ = writeln!(
+                out,
+                "  tenant {tenant}: {w} windows closed ({obs} observations)"
+            );
         }
     }
 
@@ -1678,6 +1816,64 @@ pub fn report(traces: &[ScopeTrace]) -> String {
                     );
                 }
             }
+        }
+    }
+
+    // ICN summary: named-data interest/data volumes, content-store
+    // effectiveness, and consumer-side verification verdicts. Only
+    // rendered when an ICN workload emitted events.
+    let has_icn = all.iter().any(|e| {
+        matches!(
+            e.kind,
+            EventKind::IcnInterest { .. }
+                | EventKind::IcnData { .. }
+                | EventKind::IcnCacheHit { .. }
+                | EventKind::IcnVerifyFail { .. }
+        )
+    });
+    if has_icn {
+        let _ = writeln!(out, "\n== icn ==");
+        let (mut interests, mut data, mut hits) = (0u64, 0u64, 0u64);
+        let mut fails: BTreeMap<&'static str, u64> = BTreeMap::new();
+        // name hash -> (interests, data, cache hits)
+        let mut by_name: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
+        for ev in &all {
+            match ev.kind {
+                EventKind::IcnInterest { name, .. } => {
+                    interests += 1;
+                    by_name.entry(name).or_default().0 += 1;
+                }
+                EventKind::IcnData { name, .. } => {
+                    data += 1;
+                    by_name.entry(name).or_default().1 += 1;
+                }
+                EventKind::IcnCacheHit { name, .. } => {
+                    hits += 1;
+                    by_name.entry(name).or_default().2 += 1;
+                }
+                EventKind::IcnVerifyFail { cause, .. } => {
+                    *fails.entry(cause).or_default() += 1;
+                }
+                _ => {}
+            }
+        }
+        let ratio = if interests > 0 {
+            hits as f64 / interests as f64 * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  interests {interests}   data {data}   cache hits {hits} ({ratio:.1}% of interests)"
+        );
+        for (name, (i, d, h)) in &by_name {
+            let _ = writeln!(
+                out,
+                "  name {name:#010x}: interests {i}, data {d}, cache hits {h}"
+            );
+        }
+        for (cause, n) in &fails {
+            let _ = writeln!(out, "  verify fail {cause}: {n}");
         }
     }
 
@@ -1752,48 +1948,177 @@ mod tests {
     #[test]
     fn every_event_kind_round_trips_through_json() {
         let kinds = vec![
-            EventKind::TxStart { dst: Some(NodeId(3)), port: 1, bytes: 40 },
-            EventKind::TxStart { dst: None, port: 2, bytes: 0 },
+            EventKind::TxStart {
+                dst: Some(NodeId(3)),
+                port: 1,
+                bytes: 40,
+            },
+            EventKind::TxStart {
+                dst: None,
+                port: 2,
+                bytes: 0,
+            },
             EventKind::TxEnd { receivers: 4 },
-            EventKind::RxDeliver { src: NodeId(9), port: 7 },
-            EventKind::RxDrop { cause: "collision", src: Some(NodeId(1)) },
-            EventKind::RxDrop { cause: "prr", src: None },
-            EventKind::MacState { mac: "csma", state: "backoff" },
-            EventKind::TrickleReset { cause: "inconsistent" },
+            EventKind::RxDeliver {
+                src: NodeId(9),
+                port: 7,
+            },
+            EventKind::RxDrop {
+                cause: "collision",
+                src: Some(NodeId(1)),
+            },
+            EventKind::RxDrop {
+                cause: "prr",
+                src: None,
+            },
+            EventKind::MacState {
+                mac: "csma",
+                state: "backoff",
+            },
+            EventKind::TrickleReset {
+                cause: "inconsistent",
+            },
             EventKind::DioSent { rank: 512 },
-            EventKind::RankChange { old: 65535, new: 768, parent: Some(NodeId(2)) },
-            EventKind::RnfdVerdict { target: NodeId(5), verdict: "dead" },
+            EventKind::RankChange {
+                old: 65535,
+                new: 768,
+                parent: Some(NodeId(2)),
+            },
+            EventKind::RnfdVerdict {
+                target: NodeId(5),
+                verdict: "dead",
+            },
             EventKind::CoapRetx { attempt: 2 },
             EventKind::CrdtMerge { keys: 17 },
-            EventKind::Fault { kind: "link_down", peer: Some(NodeId(8)) },
-            EventKind::Fault { kind: "partition", peer: None },
+            EventKind::Fault {
+                kind: "link_down",
+                peer: Some(NodeId(8)),
+            },
+            EventKind::Fault {
+                kind: "partition",
+                peer: None,
+            },
             EventKind::DataOrigin { seq: 11 },
-            EventKind::DataHop { from: NodeId(4), hops: 2 },
+            EventKind::DataHop {
+                from: NodeId(4),
+                hops: 2,
+            },
             EventKind::DataArrive { hops: 3 },
-            EventKind::QueueDepth { queue: "dodag", depth: 6 },
-            EventKind::SyncBeacon { root: NodeId(0), seq: 99, hops: 4 },
-            EventKind::OffsetEstimate { offset_us: -1234, skew_ppm: -12.5 },
-            EventKind::GuardViolation { cause: "tx_overrun" },
-            EventKind::DissemAdv { version: 3, have: 7 },
-            EventKind::DissemReq { version: 3, page: 2 },
+            EventKind::QueueDepth {
+                queue: "dodag",
+                depth: 6,
+            },
+            EventKind::SyncBeacon {
+                root: NodeId(0),
+                seq: 99,
+                hops: 4,
+            },
+            EventKind::OffsetEstimate {
+                offset_us: -1234,
+                skew_ppm: -12.5,
+            },
+            EventKind::GuardViolation {
+                cause: "tx_overrun",
+            },
+            EventKind::DissemAdv {
+                version: 3,
+                have: 7,
+            },
+            EventKind::DissemReq {
+                version: 3,
+                page: 2,
+            },
             EventKind::DissemPage { page: 2, have: 3 },
-            EventKind::DissemComplete { version: 3, ok: true },
-            EventKind::DissemComplete { version: 4, ok: false },
-            EventKind::RolloutStage { stage: "canary", cohort: 5 },
-            EventKind::CloudIngest { tenant: 2, depth: 17 },
-            EventKind::CloudShed { tenant: 2, cause: "queue_full" },
-            EventKind::CloudShed { tenant: 0, cause: "auth" },
-            EventKind::CloudCommand { tenant: 1, ok: true },
-            EventKind::CloudCommand { tenant: 3, ok: false },
+            EventKind::DissemComplete {
+                version: 3,
+                ok: true,
+            },
+            EventKind::DissemComplete {
+                version: 4,
+                ok: false,
+            },
+            EventKind::RolloutStage {
+                stage: "canary",
+                cohort: 5,
+            },
+            EventKind::CloudIngest {
+                tenant: 2,
+                depth: 17,
+            },
+            EventKind::CloudShed {
+                tenant: 2,
+                cause: "queue_full",
+            },
+            EventKind::CloudShed {
+                tenant: 0,
+                cause: "auth",
+            },
+            EventKind::CloudCommand {
+                tenant: 1,
+                ok: true,
+            },
+            EventKind::CloudCommand {
+                tenant: 3,
+                ok: false,
+            },
             EventKind::CloudRateLimit { tenant: 2 },
-            EventKind::StreamSeal { segment: 4, records: 1833 },
-            EventKind::StreamWindow { tenant: 1, metric: 7, count: 250 },
-            EventKind::FleetPhase { stage: "canary", networks: 2 },
-            EventKind::FleetPhase { stage: "halted", networks: 8 },
-            EventKind::FleetDrift { device: 42, keys: 3 },
-            EventKind::FleetRemediate { device: 42, ok: true },
-            EventKind::FleetRemediate { device: 7, ok: false },
-            EventKind::Custom { name: "boot", value: 1.5 },
+            EventKind::StreamSeal {
+                segment: 4,
+                records: 1833,
+            },
+            EventKind::StreamWindow {
+                tenant: 1,
+                metric: 7,
+                count: 250,
+            },
+            EventKind::FleetPhase {
+                stage: "canary",
+                networks: 2,
+            },
+            EventKind::FleetPhase {
+                stage: "halted",
+                networks: 8,
+            },
+            EventKind::FleetDrift {
+                device: 42,
+                keys: 3,
+            },
+            EventKind::FleetRemediate {
+                device: 42,
+                ok: true,
+            },
+            EventKind::FleetRemediate {
+                device: 7,
+                ok: false,
+            },
+            EventKind::IcnInterest {
+                name: 0xDEAD_BEEF,
+                min_version: 0,
+            },
+            EventKind::IcnInterest {
+                name: 17,
+                min_version: 3,
+            },
+            EventKind::IcnData {
+                name: 17,
+                version: 3,
+            },
+            EventKind::IcnCacheHit {
+                name: 17,
+                version: 2,
+            },
+            EventKind::IcnVerifyFail {
+                name: 17,
+                cause: "forged",
+            },
+            EventKind::IcnVerifyFail {
+                name: 17,
+                cause: "stale",
+            },
+            EventKind::Custom {
+                name: "boot",
+                value: 1.5,
+            },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             // Alternate packet and episode spans: episode ids set bit 63,
@@ -1819,7 +2144,10 @@ mod tests {
         let e = ev(
             1,
             2,
-            EventKind::Custom { name: "a_metric_not_in_the_known_list", value: 2.0 },
+            EventKind::Custom {
+                name: "a_metric_not_in_the_known_list",
+                value: 2.0,
+            },
         );
         let back = Event::from_json(&e.to_json()).expect("parse");
         assert_eq!(e, back);
@@ -1832,7 +2160,13 @@ mod tests {
     fn ring_recorder_caps_and_counts_drops() {
         let mut r = RingRecorder::new(3);
         for i in 0..5 {
-            r.record(&ev(i, 0, EventKind::TxEnd { receivers: i as u32 }));
+            r.record(&ev(
+                i,
+                0,
+                EventKind::TxEnd {
+                    receivers: i as u32,
+                },
+            ));
         }
         assert_eq!(r.len(), 3);
         assert_eq!(r.dropped(), 2);
@@ -1845,7 +2179,14 @@ mod tests {
         let mut c = CountingRecorder::new();
         c.record(&ev(0, 0, EventKind::TxEnd { receivers: 1 }));
         c.record(&ev(1, 0, EventKind::TxEnd { receivers: 0 }));
-        c.record(&ev(2, 1, EventKind::RxDrop { cause: "prr", src: None }));
+        c.record(&ev(
+            2,
+            1,
+            EventKind::RxDrop {
+                cause: "prr",
+                src: None,
+            },
+        ));
         assert_eq!(c.count("tx_end"), 2);
         assert_eq!(c.count("rx_drop"), 1);
         assert_eq!(c.count("dio"), 0);
@@ -1856,7 +2197,13 @@ mod tests {
     fn jsonl_recorder_streams_lines() {
         let mut j = JsonlRecorder::new(Vec::new());
         j.record(&ev(5, 2, EventKind::DioSent { rank: 256 }));
-        j.record(&ev(6, 2, EventKind::TrickleReset { cause: "inconsistent" }));
+        j.record(&ev(
+            6,
+            2,
+            EventKind::TrickleReset {
+                cause: "inconsistent",
+            },
+        ));
         assert_eq!(j.lines(), 2);
         let text = String::from_utf8(j.into_inner()).unwrap();
         assert_eq!(text.lines().count(), 2);
@@ -1889,10 +2236,33 @@ mod tests {
         let s1 = SpanId::packet(NodeId(4), 1);
         let s2 = SpanId::packet(NodeId(5), 1);
         let events = vec![
-            Event { t: SimTime::from_secs(1), node: NodeId(4), span: s1, kind: EventKind::DataOrigin { seq: 1 } },
-            Event { t: SimTime::from_secs(1), node: NodeId(5), span: s2, kind: EventKind::DataOrigin { seq: 1 } },
-            Event { t: SimTime::from_micros(1_500_000), node: NodeId(2), span: s1, kind: EventKind::DataHop { from: NodeId(4), hops: 1 } },
-            Event { t: SimTime::from_secs(2), node: NodeId(0), span: s1, kind: EventKind::DataArrive { hops: 2 } },
+            Event {
+                t: SimTime::from_secs(1),
+                node: NodeId(4),
+                span: s1,
+                kind: EventKind::DataOrigin { seq: 1 },
+            },
+            Event {
+                t: SimTime::from_secs(1),
+                node: NodeId(5),
+                span: s2,
+                kind: EventKind::DataOrigin { seq: 1 },
+            },
+            Event {
+                t: SimTime::from_micros(1_500_000),
+                node: NodeId(2),
+                span: s1,
+                kind: EventKind::DataHop {
+                    from: NodeId(4),
+                    hops: 1,
+                },
+            },
+            Event {
+                t: SimTime::from_secs(2),
+                node: NodeId(0),
+                span: s1,
+                kind: EventKind::DataArrive { hops: 2 },
+            },
         ];
         let r = Rollup::from_events(&events);
         assert_eq!(r.delivered_spans, 1);
@@ -1912,9 +2282,30 @@ mod tests {
             label: "3x3".into(),
             seed: 99,
             events: vec![
-                ev(10, 0, EventKind::TxStart { dst: None, port: 1, bytes: 12 }),
-                ev(20, 1, EventKind::RxDrop { cause: "collision", src: Some(NodeId(0)) }),
-                ev(30, 1, EventKind::TrickleReset { cause: "inconsistent" }),
+                ev(
+                    10,
+                    0,
+                    EventKind::TxStart {
+                        dst: None,
+                        port: 1,
+                        bytes: 12,
+                    },
+                ),
+                ev(
+                    20,
+                    1,
+                    EventKind::RxDrop {
+                        cause: "collision",
+                        src: Some(NodeId(0)),
+                    },
+                ),
+                ev(
+                    30,
+                    1,
+                    EventKind::TrickleReset {
+                        cause: "inconsistent",
+                    },
+                ),
             ],
         }];
         let dump = traces_to_jsonl(&traces);

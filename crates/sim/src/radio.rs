@@ -860,17 +860,20 @@ impl Medium {
     /// above the CCA threshold)?
     pub(crate) fn cca_busy(&self, node: NodeId, now: SimTime) -> bool {
         let me = &self.nodes[node.index()];
-        self.active.iter().map(|&s| &self.slots[s as usize].rec).any(|tx| {
-            tx.start <= now
-                && now < tx.end
-                && tx.channel == me.channel
-                && tx.src != node
-                && self.link_open(tx.src, node)
-                && self
-                    .config
-                    .rssi_at(self.nodes[tx.src.index()].pos.distance(me.pos))
-                    .is_some_and(|r| r >= self.config.cca_threshold_dbm)
-        })
+        self.active
+            .iter()
+            .map(|&s| &self.slots[s as usize].rec)
+            .any(|tx| {
+                tx.start <= now
+                    && now < tx.end
+                    && tx.channel == me.channel
+                    && tx.src != node
+                    && self.link_open(tx.src, node)
+                    && self
+                        .config
+                        .rssi_at(self.nodes[tx.src.index()].pos.distance(me.pos))
+                        .is_some_and(|r| r >= self.config.cca_threshold_dbm)
+            })
     }
 
     /// Resolves `tx` to its slab slot, if the record is still known.
@@ -1326,9 +1329,7 @@ mod tests {
         let f0 = Frame::new(NodeId(0), Dst::Broadcast, 0, vec![0; 50]);
         let f2 = Frame::new(NodeId(2), Dst::Broadcast, 0, vec![0; 50]);
         let (tx0, end0, _) = m.start_tx(f0, SimTime::ZERO, &mut rng).unwrap();
-        let (_tx2, _, _) = m
-            .start_tx(f2, SimTime::from_micros(50), &mut rng)
-            .unwrap();
+        let (_tx2, _, _) = m.start_tx(f2, SimTime::from_micros(50), &mut rng).unwrap();
         m.end_tx(tx0, end0);
         assert!(matches!(
             m.eval_rx(tx0, NodeId(1), end0),
@@ -1353,7 +1354,10 @@ mod tests {
         let (tx0, end0, _) = m.start_tx(f0, SimTime::ZERO, &mut rng).unwrap();
         m.start_tx(f2, SimTime::from_micros(10), &mut rng).unwrap();
         m.end_tx(tx0, end0);
-        assert!(matches!(m.eval_rx(tx0, NodeId(1), end0), RxEval::Deliver(..)));
+        assert!(matches!(
+            m.eval_rx(tx0, NodeId(1), end0),
+            RxEval::Deliver(..)
+        ));
     }
 
     #[test]

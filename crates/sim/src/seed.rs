@@ -40,7 +40,10 @@ fn mix(mut z: u64) -> u64 {
 pub fn derive(master: u64, stream: u64) -> u64 {
     // Golden-ratio spacing keeps nearby streams far apart before the
     // finalizer avalanches them.
-    mix(master ^ mix(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x9E37_79B9_7F4A_7C15)))
+    mix(master
+        ^ mix(stream
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)))
 }
 
 /// Derives a seed from `master` and a textual label (FNV-1a over the

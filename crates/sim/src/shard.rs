@@ -51,7 +51,7 @@ use crate::radio::{EchoTx, MediumStats, NodeStateSnap, TxId};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::trace::Stats;
-use crate::world::{ShardRoute, StagedEv, World, SimConfig};
+use crate::world::{ShardRoute, SimConfig, StagedEv, World};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -164,7 +164,9 @@ fn partition_x(xs: &[f64], k: usize) -> (Vec<u8>, Vec<(f64, f64)>) {
         // Degenerate bounding box: chunk by index for balance.
         let n = xs.len().max(1);
         let chunk = n.div_ceil(k);
-        (0..xs.len()).map(|i| ((i / chunk).min(k - 1)) as u8).collect()
+        (0..xs.len())
+            .map(|i| ((i / chunk).min(k - 1)) as u8)
+            .collect()
     };
     (shard_of, stripes)
 }
@@ -585,7 +587,9 @@ impl ShardEngine {
         if self.serial {
             loop {
                 let m = self.worlds.iter().filter_map(World::next_event_time).min();
-                let Some(m) = m.filter(|&m| m < end) else { break };
+                let Some(m) = m.filter(|&m| m < end) else {
+                    break;
+                };
                 let w_end = end.min(m + self.lookahead);
                 for w in &mut self.worlds {
                     w.run_until_before(w_end);
@@ -631,7 +635,8 @@ impl ShardEngine {
             .map(|w| AtomicU64::new(w.next_event_time().map_or(u64::MAX, |t| t.as_micros())))
             .collect();
         let outboxes: Vec<Mutex<Option<Outbox>>> = (0..k).map(|_| Mutex::new(None)).collect();
-        let inboxes: Vec<Mutex<Vec<TargetBatch>>> = (0..k).map(|_| Mutex::new(Vec::new())).collect();
+        let inboxes: Vec<Mutex<Vec<TargetBatch>>> =
+            (0..k).map(|_| Mutex::new(Vec::new())).collect();
 
         std::thread::scope(|scope| {
             for (i, w) in self.worlds.iter_mut().enumerate() {

@@ -77,7 +77,10 @@ impl SpatialGrid {
     }
 
     fn key(&self, p: Pos) -> (i64, i64) {
-        ((p.x / self.cell).floor() as i64, (p.y / self.cell).floor() as i64)
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+        )
     }
 
     /// Inserts `id` at `pos`. Ids need not be unique or dense; the

@@ -139,7 +139,10 @@ impl Stats {
         if let Some(h) = self.histograms.get_mut(name) {
             h.observe(v);
         } else {
-            self.histograms.entry(name.to_owned()).or_default().observe(v);
+            self.histograms
+                .entry(name.to_owned())
+                .or_default()
+                .observe(v);
         }
     }
 

@@ -125,11 +125,27 @@ impl SimConfig {
 
 #[derive(Debug)]
 enum Ev {
-    Start { node: NodeId },
-    Timer { node: NodeId, id: u64, tag: u64 },
-    TxEnd { node: NodeId, tx: TxId },
-    RxEnd { node: NodeId, tx: TxId },
-    Wire { to: NodeId, from: NodeId, payload: Vec<u8> },
+    Start {
+        node: NodeId,
+    },
+    Timer {
+        node: NodeId,
+        id: u64,
+        tag: u64,
+    },
+    TxEnd {
+        node: NodeId,
+        tx: TxId,
+    },
+    RxEnd {
+        node: NodeId,
+        tx: TxId,
+    },
+    Wire {
+        to: NodeId,
+        from: NodeId,
+        payload: Vec<u8>,
+    },
     Action(usize),
 }
 
@@ -436,9 +452,11 @@ impl World {
             id.0 as u64,
         );
         let born_at = self.kernel.now;
-        self.kernel
-            .clocks
-            .push(LocalClock::new(&self.kernel.clock_model, clock_seed, born_at));
+        self.kernel.clocks.push(LocalClock::new(
+            &self.kernel.clock_model,
+            clock_seed,
+            born_at,
+        ));
         id
     }
 
@@ -589,7 +607,11 @@ impl World {
 
     /// Runs a closure with a [`Ctx`] for `node`, e.g. to inject an
     /// application-level request from a test.
-    pub fn with_ctx<R>(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Proto, &mut Ctx<'_>) -> R) -> R {
+    pub fn with_ctx<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn Proto, &mut Ctx<'_>) -> R,
+    ) -> R {
         let kernel = &mut self.kernel;
         let proto = &mut self.protos[node.index()];
         let mut ctx = Ctx { kernel, node };
@@ -815,7 +837,13 @@ impl World {
     }
 
     /// Queues a backhaul message delivered from another shard.
-    pub(crate) fn inject_wire(&mut self, time: SimTime, to: NodeId, from: NodeId, payload: Vec<u8>) {
+    pub(crate) fn inject_wire(
+        &mut self,
+        time: SimTime,
+        to: NodeId,
+        from: NodeId,
+        payload: Vec<u8>,
+    ) {
         self.kernel.push(time, Ev::Wire { to, from, payload });
     }
 
@@ -1207,8 +1235,8 @@ impl Ctx<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::radio::RxInfo;
     use crate::node::Idle;
+    use crate::radio::RxInfo;
 
     /// Ping-pong: node A unicasts to B, B replies, A records latency.
     struct Ping {
@@ -1262,7 +1290,11 @@ mod tests {
         let ping = w.proto::<Ping>(a);
         assert_eq!(ping.rtts.len(), 1);
         // Two 18-byte frames at 250kb/s: 2 * 576 us = 1.152 ms.
-        assert!((ping.rtts[0] - 0.001152).abs() < 1e-6, "rtt {}", ping.rtts[0]);
+        assert!(
+            (ping.rtts[0] - 0.001152).abs() < 1e-6,
+            "rtt {}",
+            ping.rtts[0]
+        );
     }
 
     #[test]
@@ -1294,7 +1326,12 @@ mod tests {
             w.run_for(SimDuration::from_secs(1));
             let events = w
                 .take_recorder()
-                .map(|r| r.as_any().downcast_ref::<obs::RingRecorder>().expect("ring").len())
+                .map(|r| {
+                    r.as_any()
+                        .downcast_ref::<obs::RingRecorder>()
+                        .expect("ring")
+                        .len()
+                })
                 .unwrap_or(0);
             let mut counters: Vec<(String, f64)> = w
                 .stats()

@@ -45,7 +45,10 @@ fn custom_energy_model_changes_projection() {
     assert_eq!(u.sleep, SimDuration::from_secs(100));
     let days_default = u.lifetime_days(&EnergyModel::default(), 1000.0);
     let days_stingy = u.lifetime_days(w.energy_model(), 1000.0);
-    assert!(days_stingy > days_default, "lower sleep current lasts longer");
+    assert!(
+        days_stingy > days_default,
+        "lower sleep current lasts longer"
+    );
 }
 
 #[test]
@@ -59,17 +62,23 @@ fn medium_stats_accumulate() {
             }
         }
         fn timer(&mut self, ctx: &mut Ctx<'_>, _t: Timer) {
-            ctx.transmit(Dst::Unicast(NodeId(1)), 0, vec![1, 2, 3]).expect("tx");
+            ctx.transmit(Dst::Unicast(NodeId(1)), 0, vec![1, 2, 3])
+                .expect("tx");
             ctx.set_timer(SimDuration::from_millis(50), 0);
         }
     }
     let mut w = World::new(SimConfig::default());
-    w.add_nodes(&Topology::line(2, 10.0), |_| Box::new(Chatter) as Box<dyn Proto>);
+    w.add_nodes(&Topology::line(2, 10.0), |_| {
+        Box::new(Chatter) as Box<dyn Proto>
+    });
     w.run_for(SimDuration::from_secs(1));
     let s = w.medium().stats();
     assert!(s.tx_started >= 19);
     // The final transmission may still be in the air at the horizon.
-    assert!(s.delivered >= s.tx_started - 1, "clean channel delivers all");
+    assert!(
+        s.delivered >= s.tx_started - 1,
+        "clean channel delivers all"
+    );
     assert_eq!(s.lost_collision, 0);
 }
 
@@ -135,7 +144,9 @@ fn lossy_disk_drops_roughly_at_rate() {
         prr: 0.7,
     });
     let mut w = World::new(cfg);
-    w.add_nodes(&Topology::line(2, 10.0), |_| Box::new(Sender) as Box<dyn Proto>);
+    w.add_nodes(&Topology::line(2, 10.0), |_| {
+        Box::new(Sender) as Box<dyn Proto>
+    });
     w.run_for(SimDuration::from_secs(20));
     let s = w.medium().stats();
     let rate = s.delivered as f64 / s.tx_started as f64;
@@ -158,7 +169,8 @@ fn spatial_index_is_invisible_to_simulations() {
             ctx.set_timer(SimDuration::from_millis(stagger), 0);
         }
         fn timer(&mut self, ctx: &mut Ctx<'_>, _t: Timer) {
-            ctx.transmit(Dst::Broadcast, 0, vec![ctx.id().0 as u8; 12]).ok();
+            ctx.transmit(Dst::Broadcast, 0, vec![ctx.id().0 as u8; 12])
+                .ok();
             ctx.set_timer(SimDuration::from_millis(40), 0);
         }
         fn frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame, _info: RxInfo) {
@@ -168,11 +180,17 @@ fn spatial_index_is_invisible_to_simulations() {
     }
     let run = |indexed: bool| {
         let mut w = World::new(SimConfig::default().seed(7));
-        w.add_nodes(&Topology::grid(6, 6, 20.0), |_| Box::new(Gossip) as Box<dyn Proto>);
+        w.add_nodes(&Topology::grid(6, 6, 20.0), |_| {
+            Box::new(Gossip) as Box<dyn Proto>
+        });
         w.set_spatial_index(indexed);
         assert_eq!(w.spatial_index_active(), indexed);
         w.run_for(SimDuration::from_secs(5));
-        (w.medium().stats(), w.events_dispatched(), w.stats().get("heard"))
+        (
+            w.medium().stats(),
+            w.events_dispatched(),
+            w.stats().get("heard"),
+        )
     };
     assert_eq!(run(true), run(false));
 }

@@ -115,8 +115,7 @@ fn assert_same_modulo_ties(
     assert_eq!(a.1, b.1, "{what}: stats differ");
     assert_eq!(a.2, b.2, "{what}: medium stats differ");
     let canon = |tr: &[Event]| {
-        let mut v: Vec<(SimTime, String)> =
-            tr.iter().map(|e| (e.t, format!("{e:?}"))).collect();
+        let mut v: Vec<(SimTime, String)> = tr.iter().map(|e| (e.t, format!("{e:?}"))).collect();
         v.sort();
         v
     };
@@ -246,7 +245,13 @@ fn sharded_fault_injection_emits_once() {
     let revives = trace
         .iter()
         .filter(|e| {
-            matches!(e.kind, EventKind::Fault { kind: "recover", .. }) && e.node == NodeId(3)
+            matches!(
+                e.kind,
+                EventKind::Fault {
+                    kind: "recover",
+                    ..
+                }
+            ) && e.node == NodeId(3)
         })
         .count();
     assert_eq!(crashes, 1, "exactly one crash event");

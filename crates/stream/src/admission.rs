@@ -35,7 +35,10 @@ pub struct RateLimit {
 impl RateLimit {
     /// A contract of `rate_per_sec` with `burst` messages of headroom.
     pub fn per_sec(rate_per_sec: u64, burst: u64) -> Self {
-        RateLimit { rate_per_sec, burst }
+        RateLimit {
+            rate_per_sec,
+            burst,
+        }
     }
 }
 
@@ -71,8 +74,7 @@ impl TokenBucket {
         }
         let dt_us = now.as_micros() - self.refilled.as_micros();
         let gained = self.limit.rate_per_sec as u128 * dt_us as u128;
-        self.micro_tokens =
-            (self.micro_tokens + gained).min(self.limit.burst as u128 * MICRO);
+        self.micro_tokens = (self.micro_tokens + gained).min(self.limit.burst as u128 * MICRO);
         self.refilled = now;
     }
 
@@ -119,14 +121,20 @@ impl AdmissionControl {
 
     /// The contract `tenant` is admitted under.
     pub fn limit(&self, tenant: u16) -> RateLimit {
-        self.overrides.get(&tenant).copied().unwrap_or(self.default_limit)
+        self.overrides
+            .get(&tenant)
+            .copied()
+            .unwrap_or(self.default_limit)
     }
 
     /// Admits or sheds one arrival from `tenant` at virtual instant
     /// `now`. Sheds are counted per tenant ([`shed`](Self::shed_count)).
     pub fn admit(&mut self, tenant: u16, now: SimTime) -> bool {
         let limit = self.limit(tenant);
-        let bucket = self.buckets.entry(tenant).or_insert_with(|| TokenBucket::new(limit));
+        let bucket = self
+            .buckets
+            .entry(tenant)
+            .or_insert_with(|| TokenBucket::new(limit));
         let ok = bucket.admit(now);
         if !ok {
             *self.shed.entry(tenant).or_insert(0) += 1;
@@ -199,7 +207,9 @@ mod tests {
     fn admission_is_a_pure_function_of_the_arrival_sequence() {
         let run = || {
             let mut ac = AdmissionControl::uniform(RateLimit::per_sec(100, 5));
-            (0..1000u64).map(|i| ac.admit((i % 3) as u16, t(i * 1717))).collect::<Vec<_>>()
+            (0..1000u64)
+                .map(|i| ac.admit((i % 3) as u16, t(i * 1717)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

@@ -57,7 +57,9 @@ impl Default for LogConfig {
     fn default() -> Self {
         // 64 KiB segments: ~1800 records of cloud-uplink size, small
         // enough that E18's adversarial cuts land in interesting places.
-        LogConfig { segment_bytes: 64 * 1024 }
+        LogConfig {
+            segment_bytes: 64 * 1024,
+        }
     }
 }
 
@@ -118,7 +120,10 @@ impl LogCursor {
     /// A cursor resuming from its committed offset: the next read
     /// re-delivers the first uncommitted record.
     pub fn resume(&self) -> LogCursor {
-        LogCursor { next: self.committed, committed: self.committed }
+        LogCursor {
+            next: self.committed,
+            committed: self.committed,
+        }
     }
 
     /// Commits everything read so far. Monotonic — a stale or repeated
@@ -176,10 +181,14 @@ impl EventLog {
     ///
     /// Panics when `payload` exceeds the `u16` frame length.
     pub fn append(&mut self, payload: &[u8]) -> AppendInfo {
-        assert!(payload.len() <= u16::MAX as usize, "record exceeds frame length");
+        assert!(
+            payload.len() <= u16::MAX as usize,
+            "record exceeds frame length"
+        );
         let seq = self.frames.len() as u64;
         self.frames.push(self.bytes.len() as u64);
-        self.bytes.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+        self.bytes
+            .extend_from_slice(&(payload.len() as u16).to_le_bytes());
         self.bytes.extend_from_slice(&crc32(payload).to_le_bytes());
         self.bytes.extend_from_slice(payload);
         self.tail_records += 1;
@@ -237,7 +246,12 @@ impl EventLog {
         let mut out = Vec::with_capacity(self.seals.len() + 1);
         let mut start = 0u64;
         for (i, (&end, &records)) in self.seals.iter().zip(&self.seal_records).enumerate() {
-            out.push(SegmentInfo { index: i as u32, start, records, sealed: true });
+            out.push(SegmentInfo {
+                index: i as u32,
+                start,
+                records,
+                sealed: true,
+            });
             start = end;
         }
         if self.tail_records > 0 {
@@ -375,7 +389,11 @@ mod tests {
         let mut resumed = recovered.clone();
         let info = resumed.append(&payload(11));
         assert_eq!(info.seq, 11);
-        assert_eq!(resumed.as_bytes(), full.as_slice(), "resume reproduces the original bytes");
+        assert_eq!(
+            resumed.as_bytes(),
+            full.as_slice(),
+            "resume reproduces the original bytes"
+        );
     }
 
     #[test]
@@ -411,14 +429,19 @@ mod tests {
         let resumed = c.resume();
         assert_eq!(resumed.next, 2, "resume re-delivers uncommitted reads");
         // A stale cursor's commit cannot lower the offset.
-        let mut stale = LogCursor { next: 1, committed: 2 };
+        let mut stale = LogCursor {
+            next: 1,
+            committed: 2,
+        };
         stale.commit();
         assert_eq!(stale.committed(), 2);
     }
 
     #[test]
     fn explicit_seal_and_tail_accounting() {
-        let mut log = EventLog::new(LogConfig { segment_bytes: 1 << 20 });
+        let mut log = EventLog::new(LogConfig {
+            segment_bytes: 1 << 20,
+        });
         log.append(b"a");
         log.append(b"bb");
         assert_eq!(log.tail_len(), 2);

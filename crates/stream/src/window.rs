@@ -43,7 +43,11 @@ pub struct WindowSpec {
 impl WindowSpec {
     /// Non-overlapping windows of `width`, no lateness allowance.
     pub fn tumbling(width: SimDuration) -> Self {
-        WindowSpec { width, slide: width, allowed_lateness: SimDuration::ZERO }
+        WindowSpec {
+            width,
+            slide: width,
+            allowed_lateness: SimDuration::ZERO,
+        }
     }
 
     /// Overlapping windows of `width` starting every `slide`.
@@ -54,8 +58,15 @@ impl WindowSpec {
     /// fall in no window).
     pub fn sliding(width: SimDuration, slide: SimDuration) -> Self {
         assert!(slide.as_micros() > 0, "zero slide");
-        assert!(slide.as_micros() <= width.as_micros(), "slide must not exceed width");
-        WindowSpec { width, slide, allowed_lateness: SimDuration::ZERO }
+        assert!(
+            slide.as_micros() <= width.as_micros(),
+            "slide must not exceed width"
+        );
+        WindowSpec {
+            width,
+            slide,
+            allowed_lateness: SimDuration::ZERO,
+        }
     }
 
     /// Same geometry with an allowed-lateness budget.
@@ -160,9 +171,8 @@ impl WindowAggregator {
     /// Whether the window starting at `start_us` has already closed
     /// under the current watermark.
     fn closed(&self, start_us: u64) -> bool {
-        let close_at = start_us
-            + self.spec.width.as_micros()
-            + self.spec.allowed_lateness.as_micros();
+        let close_at =
+            start_us + self.spec.width.as_micros() + self.spec.allowed_lateness.as_micros();
         close_at <= self.watermark.as_micros()
     }
 
@@ -183,7 +193,11 @@ impl WindowAggregator {
             if self.closed(start) {
                 *self.late.entry(key).or_insert(0) += 1;
             } else {
-                self.open.entry((start, key)).or_default().hist.observe(value);
+                self.open
+                    .entry((start, key))
+                    .or_default()
+                    .hist
+                    .observe(value);
                 counted = true;
             }
             if start < slide || start + width - slide <= t {
@@ -217,7 +231,9 @@ impl WindowAggregator {
     /// order (end-of-stream flush).
     pub fn flush(&mut self) -> Vec<WindowResult> {
         let open = std::mem::take(&mut self.open);
-        open.into_iter().map(|((start, key), acc)| self.result(start, key, &acc)).collect()
+        open.into_iter()
+            .map(|((start, key), acc)| self.result(start, key, &acc))
+            .collect()
     }
 
     fn result(&self, start_us: u64, key: WindowKey, acc: &Accum) -> WindowResult {
@@ -327,7 +343,11 @@ mod tests {
         }
         let r = &w.flush()[0];
         assert_eq!(r.max, 1000.0);
-        assert!(r.p99 >= 100.0, "p99 {} must reach into the tail decade", r.p99);
+        assert!(
+            r.p99 >= 100.0,
+            "p99 {} must reach into the tail decade",
+            r.p99
+        );
         assert_eq!(r.count, 100);
     }
 }

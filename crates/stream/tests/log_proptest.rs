@@ -40,7 +40,11 @@ fn assert_recovered_prefix(recovered: &EventLog, originals: &[Vec<u8>]) {
             bytes[pos + 5],
         ]);
         assert_eq!(len, payload.len());
-        assert_eq!(crc, crc32(payload), "recovery must never yield a CRC-failing record");
+        assert_eq!(
+            crc,
+            crc32(payload),
+            "recovery must never yield a CRC-failing record"
+        );
         pos += FRAME_HEADER + len;
     }
     assert_eq!(pos, bytes.len(), "no trailing garbage survives recovery");

@@ -87,7 +87,8 @@ impl Proto for FtspNode {
 
     fn frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame, _info: RxInfo) {
         if frame.port == self.port {
-            self.engine.on_beacon(ctx, &frame.payload, frame.payload.len());
+            self.engine
+                .on_beacon(ctx, &frame.payload, frame.payload.len());
         }
     }
 

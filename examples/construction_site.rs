@@ -100,9 +100,8 @@ fn main() {
         ),
     ] {
         let results = run_tenants(plan, 7);
-        let (got, want): (usize, usize) = results
-            .iter()
-            .fold((0, 0), |(g, w), (a, b)| (g + a, w + b));
+        let (got, want): (usize, usize) =
+            results.iter().fold((0, 0), |(g, w), (a, b)| (g + a, w + b));
         println!(
             "  {name:>20}: {got}/{want} intra-tenant deliveries ({:.1}%)",
             got as f64 / want as f64 * 100.0
@@ -145,7 +144,10 @@ fn main() {
         SimTime::from_secs(80),
         &[],
     );
-    println!("  churn plan: {} crash/recovery events on sentinels", plan.len());
+    println!(
+        "  churn plan: {} crash/recovery events on sentinels",
+        plan.len()
+    );
     plan.apply(w.world_mut());
     let mut killer = FaultPlan::new();
     killer.push(Fault::Crash {

@@ -26,13 +26,13 @@ fn main() {
     let mut deployment = Deployment::builder(Topology::grid(4, 3, 20.0))
         .mac(MacChoice::Csma)
         .seed(42)
-        .traffic(
-            SimDuration::from_secs(10),
-            8,
-            SimDuration::from_secs(20),
-        )
+        .traffic(SimDuration::from_secs(10), 8, SimDuration::from_secs(20))
         .build();
-    println!("formed deployment: {} nodes, MAC = {}", deployment.nodes.len(), deployment.mac().name());
+    println!(
+        "formed deployment: {} nodes, MAC = {}",
+        deployment.nodes.len(),
+        deployment.mac().name()
+    );
     deployment.run_for(SimDuration::from_secs(120));
     let report = deployment.report();
     println!(

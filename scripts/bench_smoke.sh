@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Tier-2 smoke checks:
 #   1. the parallel trial runner must produce byte-identical E5, E14,
-#      E16, E17 and E18 tables (and JSON dumps) at --jobs 1 and
+#      E15, E16, E17 and E18 tables (and JSON dumps) at --jobs 1 and
 #      --jobs 2 — E18's replay trial additionally proves, over the raw
 #      trace, that a pipeline rebuilt from the event log emits exactly
 #      the live pipeline's event stream;
@@ -13,7 +13,9 @@
 #   4. the public API docs must build without rustdoc warnings and
 #      every doc example must pass;
 #   5. clippy must be clean (warnings denied) across every iiot crate
-#      and target.
+#      and target;
+#   6. rustfmt must agree with the committed formatting across every
+#      iiot crate (vendored stand-ins are exempt).
 # Catches scheduling-dependent output and doc rot before they reach
 # EXPERIMENTS.md / the published API.
 set -eu
@@ -71,6 +73,25 @@ target/release/trace_report "$out/e14-j1.jsonl" > "$out/report-e14-j1.txt"
 target/release/trace_report "$out/e14-j2.jsonl" > "$out/report-e14-j2.txt"
 diff -u "$out/report-e14-j1.txt" "$out/report-e14-j2.txt"
 grep -q "== dissemination campaign ==" "$out/report-e14-j1.txt"
+
+# E15 drives duty-cycled LPL radios from per-node poll timers with
+# per-round jitter drawn from each node's RNG, then reads energy,
+# cache and verification counters back through trial-level asserts —
+# RNG-order and float-summation hazards the other smokes don't have.
+# Same contract: byte-identical tables, dumps and traces at any worker
+# count, and the trace must carry the named-data events.
+"$bin" e15 --quick --jobs 1 --json "$out/e15-j1.json" --trace "$out/e15-j1.jsonl" \
+    > "$out/e15-j1.txt" 2> /dev/null
+"$bin" e15 --quick --jobs 2 --json "$out/e15-j2.json" --trace "$out/e15-j2.jsonl" \
+    > "$out/e15-j2.txt" 2> /dev/null
+
+diff -u "$out/e15-j1.txt" "$out/e15-j2.txt"
+diff -u "$out/e15-j1.json" "$out/e15-j2.json"
+cmp "$out/e15-j1.jsonl" "$out/e15-j2.jsonl"
+target/release/trace_report "$out/e15-j1.jsonl" > "$out/report-e15-j1.txt"
+target/release/trace_report "$out/e15-j2.jsonl" > "$out/report-e15-j2.txt"
+diff -u "$out/report-e15-j1.txt" "$out/report-e15-j2.txt"
+grep -q "== icn ==" "$out/report-e15-j1.txt"
 
 # E16 runs the cloud pipeline's threaded per-shard drain *inside*
 # runner worker threads — two layers of scheduling freedom. Same
@@ -175,16 +196,17 @@ grep -q '"shards": 2' "$out/perf-s2-j1.det"
 # --release --bin perf -- --json`) must parse under the perf schema:
 # deterministic workload/event-count blocks plus informational timing,
 # for the index matrix, the shard-scaling curves, the cloud ingest
-# load points and the logged-stream points.
+# load points, the logged-stream points and the named-data points.
 python3 - BENCH_perf.json <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == "iiot-bench/perf/v4", doc.get("schema")
+assert doc["schema"] == "iiot-bench/perf/v5", doc.get("schema")
 assert isinstance(doc["spacing_m"], (int, float))
 assert doc["points"], "no points in committed BENCH_perf.json"
 assert doc["scaling"], "no scaling curves in committed BENCH_perf.json"
 assert doc["cloud"], "no cloud points in committed BENCH_perf.json"
 assert doc["stream"], "no stream points in committed BENCH_perf.json"
+assert doc["icn"], "no icn points in committed BENCH_perf.json"
 for p in doc["points"]:
     d, t = p["deterministic"], p["timing"]
     assert set(d) == {"side", "mac", "nodes", "secs", "events"}, d.keys()
@@ -221,6 +243,17 @@ for p in doc["stream"]:
     assert d["msgs"] == d["accepted"] + d["shed"] and d["msgs"] > 0, d
     assert d["log_records"] == d["msgs"], "WAL must hold every offered uplink"
     assert d["log_bytes"] > 0 and d["segments"] > 0 and d["windows"] > 0, d
+for p in doc["icn"]:
+    d, t = p["deterministic"], p["timing"]
+    assert set(d) == {
+        "consumers", "nodes", "interests", "data", "cache_hits",
+        "verifies", "verify_fails", "delivered",
+    }, d.keys()
+    assert set(t) == {"wall_us"}, t.keys()
+    assert d["nodes"] == d["consumers"] + 2, d
+    assert d["verify_fails"] == 0 and d["delivered"] > 0, d
+assert max(p["deterministic"]["consumers"] for p in doc["icn"]) >= 16, (
+    "committed icn curve must reach 16 consumers")
 EOF
 
 # Docs: deny rustdoc warnings, run every crate-level doc example.
@@ -234,4 +267,11 @@ cargo clippy --offline --all-targets \
     $(for d in vendor/*/; do printf -- '--exclude %s ' "$(basename "$d")"; done) \
     --workspace -- -D warnings
 
-echo "bench smoke OK: e5 + e14 + e16 + e17 + e18 (replay==live) + shards-2 runs byte-identical at --jobs 1/2, docs + lints clean"
+# Formatting: rustfmt must be a no-op on every iiot crate (the
+# vendored stand-ins keep their upstream formatting and are exempt).
+# shellcheck disable=SC2046
+cargo fmt --check \
+    $(for f in Cargo.toml crates/*/Cargo.toml; do \
+        printf -- '-p %s ' "$(sed -n 's/^name = "\(.*\)"/\1/p' "$f" | head -1)"; done)
+
+echo "bench smoke OK: e5 + e14 + e15 + e16 + e17 + e18 (replay==live) + shards-2 runs byte-identical at --jobs 1/2, docs + lints + fmt clean"

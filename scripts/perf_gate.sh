@@ -22,6 +22,10 @@
 #     admission sheds, closed windows — is a pure function of the same
 #     inputs, and stream_matrix itself asserts replay equality per
 #     point, so a passing gate also certifies crash-replay determinism.
+#   * icn points: the named-data star's Interest/Data/cache/verify
+#     counts are a pure function of the workload and seed, and
+#     icn_matrix asserts consumer convergence per point, so a passing
+#     gate also certifies the pub/sub plane's determinism.
 #
 # Deliberately NOT gated: wall-clock numbers and speedups. CI machines
 # are noisy and shared; timing thresholds make flaky gates. Timings are
@@ -44,13 +48,14 @@ import json, sys
 
 def deterministic(path):
     doc = json.load(open(path))
-    assert doc["schema"] == "iiot-bench/perf/v4", doc.get("schema")
+    assert doc["schema"] == "iiot-bench/perf/v5", doc.get("schema")
     points, scaling, cloud = doc["points"], doc["scaling"], doc["cloud"]
-    stream = doc["stream"]
+    stream, icn = doc["stream"], doc["icn"]
     assert points, "no index points measured"
     assert scaling, "no scaling points measured"
     assert cloud, "no cloud points measured"
     assert stream, "no stream points measured"
+    assert icn, "no icn points measured"
     for p in points:
         d, t = p["deterministic"], p["timing"]
         assert set(d) == {"side", "mac", "nodes", "secs", "events"}, d.keys()
@@ -90,23 +95,36 @@ def deterministic(path):
         assert d["log_records"] == d["msgs"], "WAL must hold every offered uplink"
         assert d["msgs"] > 0 and d["sessions"] > 0, d
         assert d["log_bytes"] > 0 and d["segments"] > 0 and d["windows"] > 0, d
+    for p in icn:
+        d, t = p["deterministic"], p["timing"]
+        assert set(d) == {
+            "consumers", "nodes", "interests", "data", "cache_hits",
+            "verifies", "verify_fails", "delivered",
+        }, d.keys()
+        assert set(t) == {"wall_us"}, t.keys()
+        assert d["nodes"] == d["consumers"] + 2, d
+        assert d["verify_fails"] == 0, "honest workload must verify clean"
+        assert d["delivered"] > 0 and d["interests"] > 0 and d["data"] > 0, d
     return (
         [p["deterministic"] for p in points],
         [p["deterministic"] for p in scaling],
         [p["deterministic"] for p in cloud],
         [p["deterministic"] for p in stream],
+        [p["deterministic"] for p in icn],
     )
 
-p1, s1, c1, w1 = deterministic(sys.argv[1])
-p2, s2, c2, w2 = deterministic(sys.argv[2])
+p1, s1, c1, w1, i1 = deterministic(sys.argv[1])
+p2, s2, c2, w2, i2 = deterministic(sys.argv[2])
 assert p1 == p2, "index event counts drifted between --jobs 1 and --jobs 2"
 assert s1 == s2, "per-shard-count event counts drifted between --jobs 1 and --jobs 2"
 assert c1 == c2, "cloud deterministic blocks drifted between --jobs 1 and --jobs 2"
 assert w1 == w2, "stream deterministic blocks drifted between --jobs 1 and --jobs 2"
+assert i1 == i2, "icn deterministic blocks drifted between --jobs 1 and --jobs 2"
 print(
     f"perf gate: {len(p1)} index points + {len(s1)} scaling points "
     f"(shards 1/2/4) + {len(c1)} cloud points + {len(w1)} stream points "
-    "(replay asserted in-harness), deterministic blocks identical at --jobs 1/2"
+    f"(replay asserted in-harness) + {len(i1)} icn points (convergence "
+    "asserted in-harness), deterministic blocks identical at --jobs 1/2"
 )
 EOF
 

@@ -12,6 +12,7 @@
 //! | [`routing`] | `iiot-routing` | §IV/§V-D — Trickle, DODAG, RNFD, static trees |
 //! | [`coap`] | `iiot-coap` | §III-B — CoAP middleware (RFC 7252/7641/7959) |
 //! | [`dissem`] | `iiot-dissem` | §V-D — Deluge-style OTA dissemination, staged reprogramming |
+//! | [`icn`] | `iiot-icn` | §V-E — named-data pub/sub, content-object security, in-network caching |
 //! | [`crdt`] | `iiot-crdt` | §IV-B/§V-C — eventual consistency |
 //! | [`aggregate`] | `iiot-aggregate` | §IV-B — TinyDB-style in-network aggregation |
 //! | [`security`] | `iiot-security` | §V-E — frame security, secure join |
@@ -59,6 +60,7 @@ pub use iiot_dependability as dependability;
 pub use iiot_dissem as dissem;
 pub use iiot_fleet as fleet;
 pub use iiot_gateway as gateway;
+pub use iiot_icn as icn;
 pub use iiot_mac as mac;
 pub use iiot_routing as routing;
 pub use iiot_security as security;

@@ -4,7 +4,7 @@
 //! retransmission machinery under simulated time.
 
 use iiot::coap::resource::Response;
-use iiot::coap::{Code, CoapEndpoint, CoapEvent, EndpointConfig};
+use iiot::coap::{CoapEndpoint, CoapEvent, Code, EndpointConfig};
 use iiot::sim::prelude::*;
 use rand::Rng;
 
@@ -84,7 +84,6 @@ impl Proto for CoapWireNode {
         self.ep.handle_datagram(from.0 as u64, payload, ctx.now());
         self.flush(ctx);
     }
-
 }
 
 fn run(loss: f64, seed: u64, gets: usize) -> (usize, usize, f64) {
@@ -109,9 +108,11 @@ fn run(loss: f64, seed: u64, gets: usize) -> (usize, usize, f64) {
             move |_| {
                 let mut client = CoapWireNode::new(2, loss);
                 for k in 0..gets {
-                    client
-                        .gets
-                        .push((SimTime::from_secs(1 + 5 * k as u64), server_id, "plant/temp"));
+                    client.gets.push((
+                        SimTime::from_secs(1 + 5 * k as u64),
+                        server_id,
+                        "plant/temp",
+                    ));
                 }
                 Box::new(client)
             },

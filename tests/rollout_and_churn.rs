@@ -19,7 +19,11 @@ fn staged_rollout_with_churn_keeps_collecting() {
         .build();
     d.run_for(SimDuration::from_secs(60));
     let pilot = d.report();
-    assert!(pilot.delivery_ratio > 0.95, "pilot delivery {}", pilot.delivery_ratio);
+    assert!(
+        pilot.delivery_ratio > 0.95,
+        "pilot delivery {}",
+        pilot.delivery_ratio
+    );
 
     // Stage 2: rollout — the line grows to 12 nodes while running.
     let extra: Topology = (4..12).map(|i| Pos::new(i as f64 * 20.0, 0.0)).collect();
@@ -57,7 +61,11 @@ fn staged_rollout_with_churn_keeps_collecting() {
     // A line has no alternate routes: every crash partitions the tail
     // for its MTTR and wipes the victim's forwarding buffer, so some
     // loss is physically inevitable. The bar is "keeps collecting".
-    assert!(after.delivery_ratio > 0.7, "delivery {}", after.delivery_ratio);
+    assert!(
+        after.delivery_ratio > 0.7,
+        "delivery {}",
+        after.delivery_ratio
+    );
 
     // The audit reflects the deployment's current health.
     let card = Scorecard::from_deployment(&d);
@@ -96,11 +104,7 @@ fn orders_of_magnitude_growth_pilot_to_plant() {
     }
     assert_eq!(d.nodes.len(), 3 + 3 * 16);
     let r = d.report();
-    let joined = d
-        .nodes
-        .iter()
-        .filter(|&&n| d.has_route(n))
-        .count();
+    let joined = d.nodes.iter().filter(|&&n| d.has_route(n)).count();
     assert!(
         joined as f64 / d.nodes.len() as f64 > 0.95,
         "only {joined}/{} joined",

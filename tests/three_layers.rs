@@ -3,7 +3,7 @@
 //! plus the northbound CoAP surface observing the same points the rules
 //! act on.
 
-use iiot::coap::{Code, CoapEndpoint, CoapEvent, EndpointConfig};
+use iiot::coap::{CoapEndpoint, CoapEvent, Code, EndpointConfig};
 use iiot::crdt::ReplicaId;
 use iiot::gateway::modbus::{ModbusAdapter, ModbusDevice, RegisterMap};
 use iiot::gateway::tlv::{TlvAdapter, TlvSensor};
@@ -86,20 +86,13 @@ fn rule_actuation_lands_on_the_plc() {
     // The write went through the Modbus adapter; the next acquisition
     // observes the physically closed valve.
     sys.cycle(2_000_000);
-    assert_eq!(
-        sys.sensing.last("boiler/valve").map(|m| m.value),
-        Some(0.0)
-    );
+    assert_eq!(sys.sensing.last("boiler/valve").map(|m| m.value), Some(0.0));
     assert_eq!(sys.historian.latest("boiler/valve"), Some(0.0));
 }
 
 #[test]
 fn northbound_observer_sees_rule_driven_actuation() {
-    let mut sys = LayeredSystem::new(
-        plant_gateway(),
-        vec![purge_rule(60.0)],
-        Historian::new(100),
-    );
+    let mut sys = LayeredSystem::new(plant_gateway(), vec![purge_rule(60.0)], Historian::new(100));
 
     // Prime the cache: observe-registration GETs need a reading
     // (before the first poll the resource answers 5.03).
